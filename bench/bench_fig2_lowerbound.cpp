@@ -1,0 +1,134 @@
+// Figure 2 / Theorem 3.17: the Omega((D + k) Fack) lower bound.
+//
+// Two constructions:
+//   * the two-line network C of Figure 2 driven by the exact schedule
+//     of Lemmas 3.19/3.20 (LowerBoundScheduler): each message frontier
+//     advances one hop per Fack, so solve time >= (D-1) Fack;
+//   * the bridge star of Lemma 3.18 under the slow-ack scheduler: the
+//     center relays k messages at one Fack each, so solve time
+//     >= (k-1) Fack.
+//
+// Together they regenerate the Omega((D + k) Fack) row and certify the
+// matching tightness of the Theorem 3.1 upper bound (the grey-zone cell
+// of Figure 1 reads "Theta((D + k) Fack)").  The adversarial schedules
+// are validated against the model axioms by the test suite.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "graph/generators.h"
+
+namespace {
+
+using namespace ammb;
+using core::RunConfig;
+using core::SchedulerKind;
+namespace gen = graph::gen;
+
+constexpr Time kFprog = 4;
+constexpr Time kFack = 64;
+
+Time solveNetworkC(int D) {
+  const auto topo = gen::lowerBoundNetworkC(D);
+  core::MmbWorkload workload;
+  workload.k = 2;
+  workload.arrivals = {{0, 0}, {static_cast<NodeId>(D), 1}};
+  RunConfig config;
+  config.mac = bench::stdParams(kFprog, kFack);
+  config.scheduler = SchedulerKind::kLowerBound;
+  config.lowerBoundLineLength = D;
+  config.recordTrace = false;
+  return bench::mustSolve(core::runBmmb(topo, workload, config),
+                          "network C");
+}
+
+Time solveBridgeStar(int k) {
+  const auto topo = gen::bridgeStar(k);
+  core::MmbWorkload workload;
+  workload.k = k;
+  for (MsgId m = 0; m < k; ++m) {
+    workload.arrivals.emplace_back(static_cast<NodeId>(m), m);
+  }
+  RunConfig config;
+  config.mac = bench::stdParams(kFprog, kFack);
+  config.scheduler = SchedulerKind::kSlowAck;
+  config.recordTrace = false;
+  return bench::mustSolve(core::runBmmb(topo, workload, config),
+                          "bridge star");
+}
+
+void BM_Fig2_NetworkC(benchmark::State& state) {
+  const int D = static_cast<int>(state.range(0));
+  Time solve = 0;
+  for (auto _ : state) {
+    solve = solveNetworkC(D);
+    benchmark::DoNotOptimize(solve);
+  }
+  state.counters["ticks_measured"] = static_cast<double>(solve);
+  state.counters["ticks_lower_bound"] =
+      static_cast<double>((D - 1) * kFack);
+}
+BENCHMARK(BM_Fig2_NetworkC)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->Arg(64)
+    ->Arg(128)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Fig2_BridgeStar(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  Time solve = 0;
+  for (auto _ : state) {
+    solve = solveBridgeStar(k);
+    benchmark::DoNotOptimize(solve);
+  }
+  state.counters["ticks_measured"] = static_cast<double>(solve);
+  state.counters["ticks_lower_bound"] =
+      static_cast<double>((k - 1) * kFack);
+}
+BENCHMARK(BM_Fig2_BridgeStar)
+    ->Arg(4)
+    ->Arg(16)
+    ->Arg(64)
+    ->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+void printTables() {
+  std::vector<bench::Row> netc;
+  for (int D : {8, 16, 32, 64, 128}) {
+    bench::Row row;
+    row.label = "network C, D=" + std::to_string(D) + ", k=2, Fack=" +
+                std::to_string(kFack);
+    row.measured = solveNetworkC(D);
+    row.predicted = static_cast<Time>(D - 1) * kFack;  // Omega((D-1) Fack)
+    netc.push_back(row);
+  }
+  bench::printTable(
+      "Figure 2 / Thm 3.17: network C adversary, measured vs (D-1) Fack "
+      "(ratio >= 1 certifies the lower bound)",
+      netc);
+
+  std::vector<bench::Row> star;
+  for (int k : {4, 16, 64, 256}) {
+    bench::Row row;
+    row.label = "bridge star, k=" + std::to_string(k) + ", Fack=" +
+                std::to_string(kFack);
+    row.measured = solveBridgeStar(k);
+    row.predicted = static_cast<Time>(k - 1) * kFack;  // Omega((k-1) Fack)
+    star.push_back(row);
+  }
+  bench::printTable(
+      "Lemma 3.18: bridge-star choke point, measured vs (k-1) Fack "
+      "(ratio >= 1 certifies the lower bound)",
+      star);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  printTables();
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Shared helpers for the benchmark binaries.
+//
+// Every bench binary follows the same pattern: google-benchmark
+// registrations measure wall-clock cost of the simulations, and custom
+// counters report the *simulated* quantities the paper's tables are
+// about — solve time in ticks, the paper's formula evaluated at the
+// same parameters, and their ratio.  After the benchmark run each
+// binary prints a paper-style table (rows = sweep points) so the
+// output can be compared to Figure 1 / Figure 2 at a glance.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+
+namespace ammb::bench {
+
+/// One row of a paper-style results table.
+struct Row {
+  std::string label;
+  Time measured = 0;   ///< simulated solve time (ticks)
+  Time predicted = 0;  ///< the paper's bound / formula (ticks)
+};
+
+/// Prints rows as an aligned table with a measured/predicted ratio.
+inline void printTable(const std::string& title,
+                       const std::vector<Row>& rows) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  std::printf("%-48s %14s %14s %8s\n", "configuration", "measured",
+              "predicted", "ratio");
+  for (const Row& row : rows) {
+    const double ratio =
+        row.predicted > 0
+            ? static_cast<double>(row.measured) / row.predicted
+            : 0.0;
+    std::printf("%-48s %14lld %14lld %8.3f\n", row.label.c_str(),
+                static_cast<long long>(row.measured),
+                static_cast<long long>(row.predicted), ratio);
+  }
+}
+
+/// Standard-model MacParams helper.
+inline mac::MacParams stdParams(Time fprog, Time fack) {
+  mac::MacParams p;
+  p.fprog = fprog;
+  p.fack = fack;
+  p.variant = mac::ModelVariant::kStandard;
+  return p;
+}
+
+/// Enhanced-model MacParams helper.
+inline mac::MacParams enhParams(Time fprog, Time fack) {
+  mac::MacParams p = stdParams(fprog, fack);
+  p.variant = mac::ModelVariant::kEnhanced;
+  return p;
+}
+
+/// A solved run's time in ticks; aborts the bench on failure.
+inline Time mustSolve(const core::RunResult& result, const char* what) {
+  if (!result.solved) {
+    std::fprintf(stderr, "bench run failed to solve: %s\n", what);
+    std::abort();
+  }
+  return result.solveTime;
+}
+
+}  // namespace ammb::bench

@@ -1,0 +1,75 @@
+// Sensor field alarm dissemination: BMMB vs FMMB.
+//
+// The scenario the paper's introduction motivates: a field of wireless
+// sensors (grey-zone unit-disk topology — reliable links up to distance
+// 1, flaky links up to distance c) where several sensors raise alarms
+// that must reach every node.  We compare the two algorithms across a
+// sweep of Fack/Fprog ratios:
+//
+//   * BMMB needs no clocks and no abort, but pays Theta(k Fack) at the
+//     choke points;
+//   * FMMB needs the enhanced MAC layer (abort + known Fprog) and pays
+//     only Fprog-sized rounds.
+//
+// The output shows the crossover that motivates the paper's message to
+// MAC designers: expose an abort interface.
+#include <cstdio>
+
+#include "core/experiment.h"
+#include "graph/generators.h"
+
+int main() {
+  using namespace ammb;
+
+  // A 64-sensor field with average reliable degree ~7 and unreliable
+  // links up to 1.5x the reliable range.
+  Rng topoRng(99);
+  const auto field = graph::gen::greyZoneField(64, 7.0, 1.5, 0.4, topoRng);
+  std::printf(
+      "sensor field: %d nodes, %zu reliable edges, %zu unreliable edges, "
+      "diameter %d\n",
+      field.n(), field.g().edgeCount(),
+      field.gPrime().edgeCount() - field.g().edgeCount(),
+      field.g().diameter());
+
+  // Twelve alarms at random sensors.
+  Rng workloadRng(7);
+  const auto alarms = core::workloadRandom(12, field.n(), workloadRng);
+  std::printf("alarms: %d messages at random sensors\n\n", alarms.k);
+
+  const Time fprog = 4;
+  std::printf("%-14s %16s %16s %10s\n", "Fack/Fprog", "BMMB (ticks)",
+              "FMMB (ticks)", "winner");
+  for (Time fack : {8, 32, 128, 512, 2048}) {
+    // BMMB in the standard model under an adversarial scheduler.
+    core::RunConfig bmmbConfig;
+    bmmbConfig.mac.fprog = fprog;
+    bmmbConfig.mac.fack = fack;
+    bmmbConfig.mac.variant = mac::ModelVariant::kStandard;
+    bmmbConfig.scheduler = core::SchedulerKind::kAdversarial;
+    bmmbConfig.recordTrace = false;
+    const auto bmmb = core::runBmmb(field, alarms, bmmbConfig);
+
+    // FMMB in the enhanced model at the same timing parameters.
+    core::RunConfig fmmbConfig = bmmbConfig;
+    fmmbConfig.mac.variant = mac::ModelVariant::kEnhanced;
+    fmmbConfig.scheduler = core::SchedulerKind::kRandom;
+    const auto params = core::FmmbParams::make(field.n(), 1.5);
+    const auto fmmb = core::runFmmb(field, alarms, params, fmmbConfig);
+
+    if (!bmmb.solved || !fmmb.solved) {
+      std::printf("run failed to solve (Fack=%lld)\n",
+                  static_cast<long long>(fack));
+      return 1;
+    }
+    std::printf("%-14lld %16lld %16lld %10s\n",
+                static_cast<long long>(fack / fprog),
+                static_cast<long long>(bmmb.solveTime),
+                static_cast<long long>(fmmb.solveTime),
+                bmmb.solveTime <= fmmb.solveTime ? "BMMB" : "FMMB");
+  }
+  std::printf(
+      "\nFMMB's time is Fack-independent (lock-step Fprog rounds); BMMB's\n"
+      "grows with Fack — the gap is what the enhanced MAC layer buys.\n");
+  return 0;
+}

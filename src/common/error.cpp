@@ -1,0 +1,22 @@
+#include "common/error.h"
+
+#include <sstream>
+
+namespace ammb::detail {
+
+void throwRequire(const char* cond, const char* file, int line,
+                  const std::string& msg) {
+  std::ostringstream os;
+  os << "ammb precondition violated: " << msg << " [" << cond << " at "
+     << file << ":" << line << "]";
+  throw Error(os.str());
+}
+
+void throwAssert(const char* cond, const char* file, int line) {
+  std::ostringstream os;
+  os << "ammb internal invariant failed (please report a bug): " << cond
+     << " at " << file << ":" << line;
+  throw Error(os.str());
+}
+
+}  // namespace ammb::detail

@@ -1,0 +1,24 @@
+#include "common/rng.h"
+
+namespace ammb {
+
+namespace {
+// SplitMix64 finalizer; the classic seed-scrambling construction, used
+// here to decorrelate child seeds derived from sequential labels.
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+}  // namespace
+
+std::uint64_t SeedSequence::childSeed(std::uint64_t stream,
+                                      std::uint64_t index) const {
+  std::uint64_t s = splitmix64(master_ ^ splitmix64(stream));
+  s = splitmix64(s ^ splitmix64(index * 0x2545f4914f6cdd1dULL + 0x9e37ULL));
+  // Avoid the degenerate all-zero seed for mt19937_64.
+  return s == 0 ? 0x1234567887654321ULL : s;
+}
+
+}  // namespace ammb

@@ -1,0 +1,85 @@
+// Deterministic random-number streams.
+//
+// The paper models randomness by handing every node "sufficiently many
+// random bits" before the execution starts (Section 2).  We reproduce
+// that by deriving one independent, seeded stream per consumer (node,
+// scheduler, generator) from a single master seed, so a run is fully
+// determined by (configuration, master seed).
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "common/error.h"
+#include "common/types.h"
+
+namespace ammb {
+
+/// A single deterministic random stream.  Thin wrapper over
+/// std::mt19937_64 with the handful of draw shapes used by ammb.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive).  Requires lo <= hi.
+  std::int64_t uniformInt(std::int64_t lo, std::int64_t hi) {
+    AMMB_REQUIRE(lo <= hi, "uniformInt requires lo <= hi");
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform real in [0, 1).
+  double uniform01() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  /// Bernoulli draw with success probability p (clamped to [0, 1]).
+  bool bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return uniform01() < p;
+  }
+
+  /// `bits` uniformly random bits packed into the low end of a word.
+  /// Requires 1 <= bits <= 64.
+  std::uint64_t randomBits(int bits) {
+    AMMB_REQUIRE(bits >= 1 && bits <= 64, "randomBits requires 1..64 bits");
+    const std::uint64_t word = engine_();
+    return bits == 64 ? word : (word & ((std::uint64_t{1} << bits) - 1));
+  }
+
+  /// Access to the raw engine for std::shuffle and friends.
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+/// Derives per-consumer seeds from one master seed.  Streams with
+/// distinct (stream, index) labels are statistically independent.
+class SeedSequence {
+ public:
+  explicit SeedSequence(std::uint64_t masterSeed) : master_(masterSeed) {}
+
+  /// Deterministic child seed for the given (stream label, index).
+  std::uint64_t childSeed(std::uint64_t stream, std::uint64_t index) const;
+
+  /// Convenience: a ready-made Rng for (stream, index).
+  Rng childRng(std::uint64_t stream, std::uint64_t index) const {
+    return Rng(childSeed(stream, index));
+  }
+
+  std::uint64_t master() const { return master_; }
+
+ private:
+  std::uint64_t master_;
+};
+
+/// Well-known stream labels, so call sites do not collide by accident.
+namespace rngstream {
+inline constexpr std::uint64_t kNode = 1;       ///< per-node protocol bits
+inline constexpr std::uint64_t kScheduler = 2;  ///< MAC scheduler choices
+inline constexpr std::uint64_t kTopology = 3;   ///< graph generators
+inline constexpr std::uint64_t kWorkload = 4;   ///< message assignment
+}  // namespace rngstream
+
+}  // namespace ammb

@@ -1,0 +1,47 @@
+// Fundamental scalar types shared by every ammb module.
+//
+// Simulated time is kept as a signed 64-bit tick count so that event
+// ordering, the Fack/Fprog window arithmetic, and the offline trace
+// checker all operate on exact integers.  One tick has no fixed physical
+// meaning; experiments choose Fprog/Fack in ticks.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace ammb {
+
+/// Dense node identifier in [0, n).  Graphs, traces and protocol state
+/// all index by NodeId.
+using NodeId = std::int32_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kNoNode = -1;
+
+/// Simulated time in integer ticks.
+using Time = std::int64_t;
+
+/// Sentinel "never" timestamp (also used as +infinity in window math).
+inline constexpr Time kTimeNever = std::numeric_limits<Time>::max();
+
+/// Identifier of an MMB payload message (the black-box messages the
+/// environment injects; Section 2 of the paper).
+using MsgId = std::int32_t;
+
+/// Sentinel for "no MMB message".
+inline constexpr MsgId kNoMsg = -1;
+
+/// Identifier of a broadcast instance (one bcast event plus everything
+/// the cause function maps back to it).
+using InstanceId = std::int64_t;
+
+/// Sentinel for "no instance".
+inline constexpr InstanceId kNoInstance = -1;
+
+/// Identifier of a timer set through the enhanced-model interface.
+using TimerId = std::int64_t;
+
+/// Sentinel for "no timer".
+inline constexpr TimerId kNoTimer = -1;
+
+}  // namespace ammb

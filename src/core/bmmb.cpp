@@ -1,0 +1,74 @@
+#include "core/bmmb.h"
+
+#include <algorithm>
+
+namespace ammb::core {
+
+void BmmbProcess::onArrive(mac::Context& ctx, MsgId msg) { get(ctx, msg); }
+
+void BmmbProcess::onReceive(mac::Context& ctx, const mac::Packet& packet) {
+  for (MsgId m : packet.msgs) get(ctx, m);
+}
+
+void BmmbProcess::onAck(mac::Context& ctx, const mac::Packet& packet) {
+  AMMB_ASSERT(!queue_.empty());
+  AMMB_ASSERT(packet.msgs.size() == 1 && packet.msgs.front() == queue_.front());
+  sent_.insert(queue_.front());
+  queue_.pop_front();
+  maybeSend(ctx);
+}
+
+void BmmbProcess::get(mac::Context& ctx, MsgId msg) {
+  if (rcvd_.count(msg) > 0) return;  // duplicate: discard
+  rcvd_.insert(msg);
+  ctx.deliver(msg);
+  queue_.push_back(msg);
+  maybeSend(ctx);
+}
+
+void BmmbProcess::maybeSend(mac::Context& ctx) {
+  if (ctx.busy() || queue_.empty()) return;
+  // The head of the queue is the in-flight message; non-FIFO
+  // disciplines promote their pick to the head before sending.
+  switch (discipline_) {
+    case QueueDiscipline::kFifo:
+      break;
+    case QueueDiscipline::kLifo:
+      std::rotate(queue_.begin(), queue_.end() - 1, queue_.end());
+      break;
+    case QueueDiscipline::kRandom: {
+      const auto i = static_cast<std::size_t>(
+          ctx.rng().uniformInt(0, static_cast<std::int64_t>(queue_.size()) - 1));
+      std::swap(queue_[0], queue_[i]);
+      break;
+    }
+  }
+  mac::Packet packet;
+  packet.kind = mac::PacketKind::kData;
+  packet.msgs = {queue_.front()};
+  ctx.bcast(std::move(packet));
+}
+
+mac::MacEngine::ProcessFactory BmmbSuite::factory() {
+  return [this](NodeId node) {
+    auto p = std::make_unique<BmmbProcess>(discipline_);
+    byNode_[node] = p.get();
+    return p;
+  };
+}
+
+const BmmbProcess& BmmbSuite::process(NodeId node) const {
+  auto it = byNode_.find(node);
+  AMMB_REQUIRE(it != byNode_.end(), "unknown node (engine not built yet?)");
+  return *it->second;
+}
+
+bool BmmbSuite::uselessFor(NodeId node, const mac::Packet& packet) const {
+  auto it = byNode_.find(node);
+  if (it == byNode_.end()) return false;
+  const auto& rcvd = it->second->received();
+  return std::all_of(packet.msgs.begin(), packet.msgs.end(),
+                     [&rcvd](MsgId m) { return rcvd.count(m) > 0; });
+}
+
+}  // namespace ammb::core

@@ -1,0 +1,149 @@
+#include "core/experiment.h"
+
+#include <cmath>
+
+namespace ammb::core {
+
+std::string toString(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kFast: return "fast";
+    case SchedulerKind::kRandom: return "random";
+    case SchedulerKind::kSlowAck: return "slow-ack";
+    case SchedulerKind::kAdversarial: return "adversarial";
+    case SchedulerKind::kAdversarialStuffing: return "adversarial+stuff";
+    case SchedulerKind::kLowerBound: return "lower-bound";
+  }
+  return "?";
+}
+
+std::unique_ptr<mac::Scheduler> makeScheduler(SchedulerKind kind,
+                                              int lowerBoundLineLength) {
+  switch (kind) {
+    case SchedulerKind::kFast:
+      return std::make_unique<mac::FastScheduler>();
+    case SchedulerKind::kRandom:
+      return std::make_unique<mac::RandomScheduler>();
+    case SchedulerKind::kSlowAck:
+      return std::make_unique<mac::SlowAckScheduler>();
+    case SchedulerKind::kAdversarial:
+      return std::make_unique<mac::AdversarialScheduler>();
+    case SchedulerKind::kAdversarialStuffing: {
+      mac::AdversarialScheduler::Options opts;
+      opts.stuffUnreliable = true;
+      return std::make_unique<mac::AdversarialScheduler>(opts);
+    }
+    case SchedulerKind::kLowerBound:
+      return std::make_unique<mac::LowerBoundScheduler>(lowerBoundLineLength);
+  }
+  throw Error("unknown scheduler kind");
+}
+
+namespace {
+
+void injectWorkload(mac::MacEngine& engine, const MmbWorkload& workload) {
+  for (const auto& [node, msg, at] : workload.arrivals) {
+    engine.injectArriveAt(node, msg, at);
+  }
+}
+
+RunResult finishRun(mac::MacEngine& engine, const SolveTracker& tracker,
+                    sim::RunStatus status) {
+  RunResult result;
+  result.solved = tracker.solved();
+  result.solveTime = tracker.solved() ? tracker.solveTime() : Time{-1};
+  result.endTime = engine.now();
+  result.status = status;
+  result.stats = engine.stats();
+  return result;
+}
+
+}  // namespace
+
+BmmbExperiment::BmmbExperiment(const graph::DualGraph& topology,
+                               const MmbWorkload& workload,
+                               const RunConfig& config)
+    : topology_(topology),
+      config_(config),
+      suite_(config.discipline),
+      tracker_(topology, workload) {
+  engine_ = std::make_unique<mac::MacEngine>(
+      topology_, config_.mac,
+      makeScheduler(config_.scheduler, config_.lowerBoundLineLength),
+      suite_.factory(), config_.seed, config_.recordTrace);
+  engine_->setOracle(&suite_);
+  tracker_.attach(*engine_, config_.stopOnSolve);
+  injectWorkload(*engine_, workload);
+}
+
+RunResult BmmbExperiment::run() {
+  const sim::RunStatus status =
+      engine_->run(config_.maxTime, config_.maxEvents);
+  return finishRun(*engine_, tracker_, status);
+}
+
+FmmbExperiment::FmmbExperiment(const graph::DualGraph& topology,
+                               const MmbWorkload& workload,
+                               const FmmbParams& params,
+                               const RunConfig& config)
+    : topology_(topology),
+      config_(config),
+      suite_(params),
+      tracker_(topology, workload) {
+  AMMB_REQUIRE(config.mac.variant == mac::ModelVariant::kEnhanced,
+               "FMMB requires the enhanced abstract MAC layer model");
+  engine_ = std::make_unique<mac::MacEngine>(
+      topology_, config_.mac,
+      makeScheduler(config_.scheduler, config_.lowerBoundLineLength),
+      suite_.factory(), config_.seed, config_.recordTrace);
+  tracker_.attach(*engine_, config_.stopOnSolve);
+  injectWorkload(*engine_, workload);
+}
+
+RunResult FmmbExperiment::run() {
+  const sim::RunStatus status =
+      engine_->run(config_.maxTime, config_.maxEvents);
+  return finishRun(*engine_, tracker_, status);
+}
+
+RunResult runBmmb(const graph::DualGraph& topology, const MmbWorkload& workload,
+                  const RunConfig& config) {
+  BmmbExperiment experiment(topology, workload, config);
+  return experiment.run();
+}
+
+RunResult runFmmb(const graph::DualGraph& topology, const MmbWorkload& workload,
+                  const FmmbParams& params, const RunConfig& config) {
+  FmmbExperiment experiment(topology, workload, params, config);
+  return experiment.run();
+}
+
+Time bmmbRRestrictedBound(int diameter, int k, int r,
+                          const mac::MacParams& params) {
+  AMMB_REQUIRE(k >= 1 && r >= 1 && diameter >= 0, "invalid bound arguments");
+  return (diameter + static_cast<Time>(r + 1) * k - 2) * params.fprog +
+         static_cast<Time>(r) * (k - 1) * params.fack;
+}
+
+Time bmmbArbitraryBound(int diameter, int k, const mac::MacParams& params) {
+  AMMB_REQUIRE(k >= 1 && diameter >= 0, "invalid bound arguments");
+  return (static_cast<Time>(diameter) + k) * params.fack;
+}
+
+Time fmmbBoundEnvelope(int diameter, int k, const FmmbParams& fmmb,
+                       const mac::MacParams& params) {
+  AMMB_REQUIRE(k >= 1 && diameter >= 0, "invalid bound arguments");
+  const double c2 = fmmb.c * fmmb.c;
+  // Gather needs Theta(c^2 (k + log n)) periods of 3 rounds; spread
+  // needs (D_H + k + O(1)) procedure phases.  The factor 2 accounts
+  // for interleaving; generous constants make this a test envelope,
+  // not a tight prediction.
+  const auto gatherRounds = static_cast<Time>(
+      3.0 * std::ceil(6.0 * c2 * (k + fmmb.logn)));
+  const Time spreadRounds = static_cast<Time>(3) * fmmb.spreadPeriods *
+                            (static_cast<Time>(diameter) + k + 4);
+  const Time dissemination = 2 * (gatherRounds + spreadRounds);
+  const Time rounds = fmmb.misRounds() + dissemination;
+  return rounds * (params.fprog + 1);
+}
+
+}  // namespace ammb::core

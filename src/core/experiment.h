@@ -1,0 +1,126 @@
+// Experiment harness: one-call wiring of topology + scheduler +
+// protocol + workload, with solve detection and the paper's explicit
+// bound formulas for test/bench assertions.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/bmmb.h"
+#include "core/fmmb.h"
+#include "core/mmb.h"
+#include "graph/dual_graph.h"
+#include "mac/engine.h"
+#include "mac/lower_bound_scheduler.h"
+#include "mac/schedulers.h"
+
+namespace ammb::core {
+
+/// Which scheduler drives the execution.
+enum class SchedulerKind : std::uint8_t {
+  kFast,                 ///< immediate delivery everywhere
+  kRandom,               ///< uniform legal delays
+  kSlowAck,              ///< Fprog deliveries, Fack acks, no G'-extras
+  kAdversarial,          ///< late deliveries + useless progress fillers
+  kAdversarialStuffing,  ///< adversarial + early G'-only stuffing
+  kLowerBound,           ///< the Figure-2 network-C adversary
+};
+
+/// Human-readable scheduler name (for bench tables).
+std::string toString(SchedulerKind kind);
+
+/// Instantiates a scheduler.  `lowerBoundLineLength` is required for
+/// kLowerBound (the D of lowerBoundNetworkC).
+std::unique_ptr<mac::Scheduler> makeScheduler(SchedulerKind kind,
+                                              int lowerBoundLineLength = 0);
+
+/// Shared run configuration.
+struct RunConfig {
+  mac::MacParams mac;
+  SchedulerKind scheduler = SchedulerKind::kRandom;
+  std::uint64_t seed = 1;
+  bool recordTrace = true;
+  bool stopOnSolve = true;
+  Time maxTime = kTimeNever;
+  std::uint64_t maxEvents = 100'000'000;
+  /// BMMB queue discipline (ablation).
+  QueueDiscipline discipline = QueueDiscipline::kFifo;
+  /// Line length for SchedulerKind::kLowerBound.
+  int lowerBoundLineLength = 0;
+};
+
+/// Outcome of one run.
+struct RunResult {
+  bool solved = false;
+  Time solveTime = -1;       ///< time of the completing delivery
+  Time endTime = 0;          ///< simulation time when the run stopped
+  sim::RunStatus status = sim::RunStatus::kDrained;
+  mac::EngineStats stats;
+};
+
+/// A fully wired BMMB execution; keeps engine/suite/tracker alive for
+/// post-run inspection (trace checking, per-node state).
+class BmmbExperiment {
+ public:
+  BmmbExperiment(const graph::DualGraph& topology, const MmbWorkload& workload,
+                 const RunConfig& config);
+
+  /// Runs to completion (or limits) and reports.
+  RunResult run();
+
+  mac::MacEngine& engine() { return *engine_; }
+  const BmmbSuite& suite() const { return suite_; }
+  const SolveTracker& tracker() const { return tracker_; }
+
+ private:
+  const graph::DualGraph& topology_;
+  RunConfig config_;
+  BmmbSuite suite_;
+  std::unique_ptr<mac::MacEngine> engine_;
+  SolveTracker tracker_;
+};
+
+/// A fully wired FMMB execution (enhanced model).
+class FmmbExperiment {
+ public:
+  FmmbExperiment(const graph::DualGraph& topology, const MmbWorkload& workload,
+                 const FmmbParams& params, const RunConfig& config);
+
+  RunResult run();
+
+  mac::MacEngine& engine() { return *engine_; }
+  const FmmbSuite& suite() const { return suite_; }
+  const SolveTracker& tracker() const { return tracker_; }
+
+ private:
+  const graph::DualGraph& topology_;
+  RunConfig config_;
+  FmmbSuite suite_;
+  std::unique_ptr<mac::MacEngine> engine_;
+  SolveTracker tracker_;
+};
+
+/// Convenience one-shot runners.
+RunResult runBmmb(const graph::DualGraph& topology, const MmbWorkload& workload,
+                  const RunConfig& config);
+RunResult runFmmb(const graph::DualGraph& topology, const MmbWorkload& workload,
+                  const FmmbParams& params, const RunConfig& config);
+
+// --- the paper's explicit bound formulas ------------------------------------
+
+/// Theorem 3.16: with an r-restricted G', every message is received
+/// everywhere by t1 = (D + (r+1)k - 2) Fprog + r (k-1) Fack.
+/// G' = G is the r = 1 special case.
+Time bmmbRRestrictedBound(int diameter, int k, int r,
+                          const mac::MacParams& params);
+
+/// Theorem 3.1: with arbitrary G', BMMB solves MMB within (D + k) Fack.
+Time bmmbArbitraryBound(int diameter, int k, const mac::MacParams& params);
+
+/// Theorem 4.1 shape (constants are implementation-defined): an upper
+/// envelope for FMMB's solve time used by tests, expressed through the
+/// configured FmmbParams stage lengths.
+Time fmmbBoundEnvelope(int diameter, int k, const FmmbParams& fmmb,
+                       const mac::MacParams& params);
+
+}  // namespace ammb::core

@@ -1,0 +1,82 @@
+#include "core/fmmb.h"
+
+namespace ammb::core {
+
+void FmmbProcess::onArrive(mac::Context& ctx, MsgId msg) {
+  arrived_.insert(msg);
+  if (rolesFixed_) {
+    // Online arrival after the MIS stage: file it directly.
+    if (shared_.isMis) {
+      shared_.owned.insert(msg);
+    } else {
+      shared_.pendingUpload.insert(msg);
+    }
+  }
+  learn(ctx, msg);
+}
+
+void FmmbProcess::onReceive(mac::Context& ctx, const mac::Packet& packet) {
+  for (MsgId m : packet.msgs) learn(ctx, m);
+
+  const auto r = round();
+  if (r < params_.misRounds()) {
+    mis_.onReceive(ctx, packet, static_cast<int>(r));
+    return;
+  }
+  const auto [isGather, vr] = disseminationSlot(r - params_.misRounds());
+  switch (packet.kind) {
+    case mac::PacketKind::kGatherPoll:
+    case mac::PacketKind::kGatherData:
+    case mac::PacketKind::kGatherAck:
+      if (isGather) gather_.onReceive(ctx, packet, vr);
+      break;
+    case mac::PacketKind::kSpreadData:
+      if (!isGather) spread_.onReceive(ctx, packet, vr);
+      break;
+    default:
+      break;  // stale MIS traffic; message payloads already learned
+  }
+}
+
+void FmmbProcess::onRoundStart(mac::Context& ctx, std::int64_t round) {
+  if (round < params_.misRounds()) {
+    mis_.onRoundStart(ctx, static_cast<int>(round));
+    return;
+  }
+  if (!rolesFixed_) fixRoles();
+  const auto [isGather, vr] = disseminationSlot(round - params_.misRounds());
+  if (isGather) {
+    gather_.onVirtualRound(ctx, vr);
+  } else {
+    spread_.onVirtualRound(ctx, vr);
+  }
+}
+
+std::pair<bool, std::int64_t> FmmbProcess::disseminationSlot(
+    std::int64_t dr) const {
+  if (params_.mode == FmmbParams::Mode::kInterleaved) {
+    return {dr % 2 == 0, dr / 2};
+  }
+  const std::int64_t gatherRounds =
+      static_cast<std::int64_t>(3) * params_.gatherPeriods;
+  if (dr < gatherRounds) return {true, dr};
+  return {false, dr - gatherRounds};
+}
+
+void FmmbProcess::fixRoles() {
+  rolesFixed_ = true;
+  shared_.isMis = mis_.inMis();
+  for (MsgId m : arrived_) {
+    if (shared_.isMis) {
+      shared_.owned.insert(m);
+    } else {
+      shared_.pendingUpload.insert(m);
+    }
+  }
+}
+
+void FmmbProcess::learn(mac::Context& ctx, MsgId msg) {
+  if (known_.insert(msg).second) ctx.deliver(msg);
+}
+
+}  // namespace ammb::core

@@ -1,0 +1,29 @@
+// Message-set state shared by the FMMB gather and spread subroutines.
+#pragma once
+
+#include <set>
+
+#include "common/types.h"
+
+namespace ammb::core {
+
+/// Per-node message bookkeeping of FMMB's dissemination stages.
+/// std::set keeps iteration deterministic (smallest message first).
+struct FmmbShared {
+  /// Role fixed when the MIS stage finishes.
+  bool isMis = false;
+
+  /// Non-MIS only: messages this node still owns and must hand to an
+  /// MIS node (the paper's shrinking M_v of Section 4.3).
+  std::set<MsgId> pendingUpload;
+
+  /// MIS only: messages gathered/received (the growing M_v of
+  /// Sections 4.3/4.4, input of the spread stage).
+  std::set<MsgId> owned;
+
+  /// MIS only: messages already pushed through a spread procedure
+  /// phase (the sent-set M'_v of Section 4.4).
+  std::set<MsgId> sent;
+};
+
+}  // namespace ammb::core

@@ -1,0 +1,74 @@
+#include "core/gather.h"
+
+namespace ammb::core {
+
+void GatherSubroutine::onVirtualRound(mac::Context& ctx, std::int64_t vr) {
+  switch (subRound(vr)) {
+    case 0: {
+      // Period boundary: reset and (for MIS nodes) roll activation.
+      heardPoll_ = false;
+      toAck_ = kNoMsg;
+      activeThisPeriod_ =
+          shared_.isMis && ctx.rng().bernoulli(params_.pGather);
+      if (activeThisPeriod_) {
+        mac::Packet p;
+        p.kind = mac::PacketKind::kGatherPoll;
+        p.tag = static_cast<std::int32_t>(vr / 3);
+        ctx.bcast(std::move(p));
+      }
+      break;
+    }
+    case 1: {
+      if (!shared_.isMis && heardPoll_ && !shared_.pendingUpload.empty()) {
+        mac::Packet p;
+        p.kind = mac::PacketKind::kGatherData;
+        p.tag = static_cast<std::int32_t>(vr / 3);
+        p.msgs = {*shared_.pendingUpload.begin()};
+        ctx.bcast(std::move(p));
+      }
+      break;
+    }
+    case 2: {
+      if (shared_.isMis && toAck_ != kNoMsg) {
+        mac::Packet p;
+        p.kind = mac::PacketKind::kGatherAck;
+        p.tag = static_cast<std::int32_t>(vr / 3);
+        p.msgs = {toAck_};
+        ctx.bcast(std::move(p));
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void GatherSubroutine::onReceive(mac::Context& ctx, const mac::Packet& packet,
+                                 std::int64_t vr) {
+  const int sub = subRound(vr);
+  switch (packet.kind) {
+    case mac::PacketKind::kGatherPoll:
+      if (sub == 0 && !shared_.isMis && ctx.isGNeighbor(packet.sender)) {
+        heardPoll_ = true;
+      }
+      break;
+    case mac::PacketKind::kGatherData:
+      if (sub == 1 && shared_.isMis && ctx.isGNeighbor(packet.sender) &&
+          !packet.msgs.empty()) {
+        const MsgId m = packet.msgs.front();
+        shared_.owned.insert(m);
+        if (toAck_ == kNoMsg) toAck_ = m;
+      }
+      break;
+    case mac::PacketKind::kGatherAck:
+      if (sub == 2 && !shared_.isMis && ctx.isGNeighbor(packet.sender) &&
+          !packet.msgs.empty()) {
+        shared_.pendingUpload.erase(packet.msgs.front());
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+}  // namespace ammb::core

@@ -1,0 +1,50 @@
+// The FMMB message-gathering subroutine (Section 4.3).
+//
+// Delivers every MMB message owned by a non-MIS node to some MIS
+// G-neighbor.  Time is split into 3-round periods:
+//
+//   round 0: every MIS node activates with probability Theta(1/c^2)
+//            and broadcasts a poll carrying its id;
+//   round 1: a non-MIS node that heard a poll from a G-neighbor and
+//            still owns messages uploads one of them; MIS nodes add
+//            uploads heard from G-neighbors to their own set;
+//   round 2: an MIS node that absorbed an upload acknowledges it
+//            (message + id); a non-MIS node hearing the ack from a
+//            G-neighbor removes that message from its pending set.
+//
+// The analysis (Lemma 4.6) shows each pending message is absorbed with
+// probability Theta(1/c^2) per period, so O(c^2 (k + log n)) periods
+// drain everything w.h.p.
+#pragma once
+
+#include "core/fmmb_params.h"
+#include "core/fmmb_state.h"
+#include "mac/process.h"
+
+namespace ammb::core {
+
+/// Passive gather state machine; the owner maps its global rounds to
+/// gather-local virtual rounds.
+class GatherSubroutine {
+ public:
+  GatherSubroutine(const FmmbParams& params, FmmbShared& shared)
+      : params_(params), shared_(shared) {}
+
+  /// Virtual-round hook (0-based within the gather schedule).
+  void onVirtualRound(mac::Context& ctx, std::int64_t vr);
+
+  /// Packet hook, with the current virtual round.
+  void onReceive(mac::Context& ctx, const mac::Packet& packet,
+                 std::int64_t vr);
+
+ private:
+  static int subRound(std::int64_t vr) { return static_cast<int>(vr % 3); }
+
+  FmmbParams params_;
+  FmmbShared& shared_;
+  bool activeThisPeriod_ = false;  // MIS node activated in round 0
+  bool heardPoll_ = false;         // non-MIS: poll from a G-neighbor
+  MsgId toAck_ = kNoMsg;           // MIS: upload absorbed in round 1
+};
+
+}  // namespace ammb::core

@@ -1,0 +1,33 @@
+#include "core/max_flood.h"
+
+namespace ammb::core {
+
+void MaxFloodProcess::onWake(mac::Context& ctx) {
+  if (best_ < 0) best_ = ctx.id();
+  send(ctx);
+}
+
+void MaxFloodProcess::onReceive(mac::Context& ctx,
+                                const mac::Packet& packet) {
+  const auto value = static_cast<std::int64_t>(packet.bits);
+  if (value <= best_) return;  // dominated: ignore
+  best_ = value;
+  if (!ctx.busy()) send(ctx);
+  // If busy, the pending ack's handler notices lastSent_ < best_ and
+  // rebroadcasts — the improvement is never lost.
+}
+
+void MaxFloodProcess::onAck(mac::Context& ctx, const mac::Packet& packet) {
+  (void)packet;
+  if (best_ > lastSent_) send(ctx);
+}
+
+void MaxFloodProcess::send(mac::Context& ctx) {
+  mac::Packet p;
+  p.kind = mac::PacketKind::kCustom;
+  p.bits = static_cast<std::uint64_t>(best_);
+  lastSent_ = best_;
+  ctx.bcast(std::move(p));
+}
+
+}  // namespace ammb::core

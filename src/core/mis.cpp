@@ -1,0 +1,82 @@
+#include "core/mis.h"
+
+namespace ammb::core {
+
+MisSubroutine::RoundPos MisSubroutine::locate(int round) const {
+  const int phaseLen = params_.electionRounds + params_.announceRounds;
+  RoundPos pos;
+  pos.phase = round / phaseLen;
+  pos.inPhase = round % phaseLen;
+  pos.election = pos.inPhase < params_.electionRounds;
+  return pos;
+}
+
+void MisSubroutine::onRoundStart(mac::Context& ctx, int round) {
+  const RoundPos pos = locate(round);
+
+  if (pos.inPhase == 0) {
+    // Phase boundary: temporarily inactive nodes become active again
+    // and fresh contenders draw their election bit-strings.
+    joinedThisPhase_ = false;
+    if (status_ == MisStatus::kTempInactive) status_ = MisStatus::kActive;
+    if (status_ == MisStatus::kActive) {
+      bits_ = ctx.rng().randomBits(params_.electionRounds);
+    }
+  }
+
+  broadcastThisRound_ = false;
+  if (pos.election) {
+    if (status_ == MisStatus::kActive &&
+        ((bits_ >> pos.inPhase) & 1ULL) != 0) {
+      broadcastThisRound_ = true;
+      mac::Packet p;
+      p.kind = mac::PacketKind::kElectionBits;
+      p.tag = round;
+      p.bits = bits_;
+      ctx.bcast(std::move(p));
+    }
+    return;
+  }
+
+  // First announcement round doubles as the election decision point:
+  // whoever is still active joins the MIS.
+  if (pos.inPhase == params_.electionRounds &&
+      status_ == MisStatus::kActive) {
+    status_ = MisStatus::kInMis;
+    joinedThisPhase_ = true;
+    decide(round);
+  }
+
+  if (joinedThisPhase_ && ctx.rng().bernoulli(params_.pAnnounce)) {
+    mac::Packet p;
+    p.kind = mac::PacketKind::kMisAnnounce;
+    p.tag = round;
+    ctx.bcast(std::move(p));
+  }
+}
+
+void MisSubroutine::onReceive(mac::Context& ctx, const mac::Packet& packet,
+                              int round) {
+  const RoundPos pos = locate(round);
+  switch (packet.kind) {
+    case mac::PacketKind::kElectionBits:
+      // A silent contender that hears anything — over G or G' — stands
+      // down for the rest of the phase (Section 4.2).
+      if (pos.election && status_ == MisStatus::kActive &&
+          !broadcastThisRound_) {
+        status_ = MisStatus::kTempInactive;
+      }
+      break;
+    case mac::PacketKind::kMisAnnounce:
+      // Only an announcement from a reliable neighbor proves coverage.
+      if (status_ != MisStatus::kInMis && ctx.isGNeighbor(packet.sender)) {
+        status_ = MisStatus::kPermInactive;
+        decide(round);
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+}  // namespace ammb::core

@@ -1,0 +1,161 @@
+#include "core/mmb.h"
+
+#include <algorithm>
+
+namespace ammb::core {
+
+MmbWorkload workloadAllAtNode(int k, NodeId node) {
+  AMMB_REQUIRE(k >= 1, "MMB requires k >= 1");
+  AMMB_REQUIRE(node >= 0, "invalid node");
+  MmbWorkload w;
+  w.k = k;
+  for (MsgId m = 0; m < k; ++m) w.arrivals.push_back({node, m, 0});
+  return w;
+}
+
+MmbWorkload workloadRoundRobin(int k, NodeId n, NodeId origin, NodeId stride) {
+  AMMB_REQUIRE(k >= 1, "MMB requires k >= 1");
+  AMMB_REQUIRE(n >= 1 && origin >= 0 && origin < n && stride >= 1,
+               "invalid round-robin workload parameters");
+  MmbWorkload w;
+  w.k = k;
+  for (MsgId m = 0; m < k; ++m) {
+    w.arrivals.push_back(
+        {static_cast<NodeId>((origin + static_cast<std::int64_t>(m) * stride) %
+                             n),
+         m, 0});
+  }
+  return w;
+}
+
+MmbWorkload workloadRandom(int k, NodeId n, Rng& rng) {
+  AMMB_REQUIRE(k >= 1, "MMB requires k >= 1");
+  AMMB_REQUIRE(n >= 1, "invalid node count");
+  MmbWorkload w;
+  w.k = k;
+  for (MsgId m = 0; m < k; ++m) {
+    w.arrivals.push_back(
+        {static_cast<NodeId>(rng.uniformInt(0, n - 1)), m, 0});
+  }
+  return w;
+}
+
+MmbWorkload workloadOnline(int k, NodeId n, Time interval, Rng& rng) {
+  AMMB_REQUIRE(k >= 1, "MMB requires k >= 1");
+  AMMB_REQUIRE(n >= 1, "invalid node count");
+  AMMB_REQUIRE(interval >= 0, "arrival interval must be non-negative");
+  MmbWorkload w;
+  w.k = k;
+  for (MsgId m = 0; m < k; ++m) {
+    w.arrivals.push_back({static_cast<NodeId>(rng.uniformInt(0, n - 1)), m,
+                          interval * m});
+  }
+  return w;
+}
+
+SolveTracker::SolveTracker(const graph::DualGraph& topology,
+                           const MmbWorkload& workload)
+    : n_(topology.n()), k_(workload.k) {
+  AMMB_REQUIRE(k_ >= 1, "workload must carry at least one message");
+  required_.assign(static_cast<std::size_t>(n_) * k_, 0);
+  delivered_.assign(static_cast<std::size_t>(n_) * k_, 0);
+  const auto labels = topology.g().componentLabels();
+  for (const auto& [node, msg, at] : workload.arrivals) {
+    (void)at;
+    AMMB_REQUIRE(node >= 0 && node < n_, "arrival node out of range");
+    AMMB_REQUIRE(msg >= 0 && msg < k_, "arrival message out of range");
+    const int comp = labels[static_cast<std::size_t>(node)];
+    for (NodeId v = 0; v < n_; ++v) {
+      if (labels[static_cast<std::size_t>(v)] != comp) continue;
+      char& req = required_[static_cast<std::size_t>(v) * k_ + msg];
+      if (req == 0) {
+        req = 1;
+        ++remaining_;
+      }
+    }
+  }
+}
+
+void SolveTracker::attach(mac::MacEngine& engine, bool stopOnSolve) {
+  engine_ = &engine;
+  stopOnSolve_ = stopOnSolve;
+  engine.setDeliverHook([this](NodeId node, MsgId msg, Time at) {
+    onDeliver(node, msg, at);
+  });
+}
+
+Time SolveTracker::solveTime() const {
+  AMMB_REQUIRE(solved(), "the problem has not been solved yet");
+  return solveTime_;
+}
+
+void SolveTracker::onDeliver(NodeId node, MsgId msg, Time at) {
+  if (node < 0 || node >= n_ || msg < 0 || msg >= k_) return;
+  const std::size_t idx = static_cast<std::size_t>(node) * k_ + msg;
+  if (delivered_[idx]) return;
+  delivered_[idx] = 1;
+  if (required_[idx]) {
+    --remaining_;
+    if (remaining_ == 0) {
+      solveTime_ = at;
+      if (stopOnSolve_ && engine_ != nullptr) engine_->requestStop();
+    }
+  }
+}
+
+MmbCheckResult checkMmbTrace(const graph::DualGraph& topology,
+                             const MmbWorkload& workload,
+                             const sim::Trace& trace, bool requireSolved) {
+  MmbCheckResult result;
+  const auto fail = [&result](const std::string& msg) {
+    result.ok = false;
+    result.violations.push_back(msg);
+  };
+
+  const NodeId n = topology.n();
+  const int k = workload.k;
+  std::vector<char> arrived(static_cast<std::size_t>(k), 0);
+  std::vector<char> delivered(static_cast<std::size_t>(n) * k, 0);
+
+  for (const auto& rec : trace.records()) {
+    if (rec.kind == sim::TraceKind::kArrive) {
+      if (rec.msg >= 0 && rec.msg < k) {
+        arrived[static_cast<std::size_t>(rec.msg)] = 1;
+      }
+    } else if (rec.kind == sim::TraceKind::kDeliver) {
+      if (rec.msg < 0 || rec.msg >= k) {
+        fail("deliver of unknown message " + std::to_string(rec.msg));
+        continue;
+      }
+      if (!arrived[static_cast<std::size_t>(rec.msg)]) {
+        fail("node " + std::to_string(rec.node) + " delivered message " +
+             std::to_string(rec.msg) + " before any arrive event");
+      }
+      char& d =
+          delivered[static_cast<std::size_t>(rec.node) * k + rec.msg];
+      if (d) {
+        fail("node " + std::to_string(rec.node) + " delivered message " +
+             std::to_string(rec.msg) + " twice");
+      }
+      d = 1;
+    }
+  }
+
+  if (requireSolved) {
+    const auto labels = topology.g().componentLabels();
+    for (const auto& [node, msg, at] : workload.arrivals) {
+      (void)at;
+      const int comp = labels[static_cast<std::size_t>(node)];
+      for (NodeId v = 0; v < n; ++v) {
+        if (labels[static_cast<std::size_t>(v)] != comp) continue;
+        if (!delivered[static_cast<std::size_t>(v) * k + msg]) {
+          fail("required delivery missing: node " + std::to_string(v) +
+               ", message " + std::to_string(msg));
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace ammb::core

@@ -1,0 +1,108 @@
+// The multi-message broadcast (MMB) problem layer.
+//
+// The environment injects k >= 1 messages at time 0 (k unknown to the
+// nodes); the problem is solved once every message m that arrived at a
+// node u has been delivered by every node in u's connected component of
+// G (Section 2).  This header provides workload builders, online solve
+// detection, and the offline problem-level checker that validates the
+// deliver-event axioms (each node delivers a message at most once,
+// never before it arrived, and — for required nodes — at least once).
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/dual_graph.h"
+#include "mac/engine.h"
+#include "sim/trace.h"
+
+namespace ammb::core {
+
+/// One environment injection.
+struct Arrival {
+  NodeId node = kNoNode;
+  MsgId msg = kNoMsg;
+  /// Injection time.  The core MMB problem injects everything at t = 0;
+  /// later times give the online generalization the paper mentions in
+  /// Section 2 (footnote 4).
+  Time at = 0;
+};
+
+/// One MMB workload: which messages arrive where and when.
+struct MmbWorkload {
+  /// Number of distinct messages; ids are 0..k-1.
+  int k = 0;
+  /// Arrival events (default time 0).
+  std::vector<Arrival> arrivals;
+};
+
+/// All k messages arrive at a single node.
+MmbWorkload workloadAllAtNode(int k, NodeId node);
+
+/// Message i arrives at node (origin + i * stride) mod n — a
+/// deterministic singleton assignment (no node gets two messages when
+/// k <= n and stride is coprime with n).
+MmbWorkload workloadRoundRobin(int k, NodeId n, NodeId origin = 0,
+                               NodeId stride = 1);
+
+/// Each message arrives at an independently random node.
+MmbWorkload workloadRandom(int k, NodeId n, Rng& rng);
+
+/// Online workload: message i arrives at a random node at time
+/// i * interval (the general MMB version of footnote 4).
+MmbWorkload workloadOnline(int k, NodeId n, Time interval, Rng& rng);
+
+/// Tracks deliver events online and detects the solved condition.
+class SolveTracker {
+ public:
+  /// Computes the required (node, message) delivery set from G's
+  /// component structure.
+  SolveTracker(const graph::DualGraph& topology, const MmbWorkload& workload);
+
+  /// Registers this tracker as the engine's deliver hook.  When
+  /// `stopOnSolve` is set the engine is asked to stop at the solving
+  /// delivery (protocols like FMMB never quiesce on their own).
+  void attach(mac::MacEngine& engine, bool stopOnSolve = true);
+
+  /// True once every required delivery happened.
+  bool solved() const { return remaining_ == 0; }
+
+  /// Time of the delivery that completed the problem (requires solved).
+  Time solveTime() const;
+
+  /// Deliveries still missing.
+  std::int64_t remaining() const { return remaining_; }
+
+ private:
+  void onDeliver(NodeId node, MsgId msg, Time at);
+
+  NodeId n_;
+  int k_;
+  std::vector<char> required_;   ///< [node * k + msg]
+  std::vector<char> delivered_;  ///< [node * k + msg]
+  std::int64_t remaining_ = 0;
+  Time solveTime_ = kTimeNever;
+  mac::MacEngine* engine_ = nullptr;
+  bool stopOnSolve_ = true;
+};
+
+/// Result of the MMB problem-level trace check.
+struct MmbCheckResult {
+  bool ok = true;
+  std::vector<std::string> violations;
+};
+
+/// Validates the deliver events of a finished execution:
+///  (a) every required (node, message) pair was delivered;
+///  (b) no (node, message) pair was delivered twice;
+///  (c) every delivery follows the message's arrival;
+///  (d) only injected messages are ever delivered.
+/// Pass requireSolved = false to skip (a) for truncated runs.
+MmbCheckResult checkMmbTrace(const graph::DualGraph& topology,
+                             const MmbWorkload& workload,
+                             const sim::Trace& trace,
+                             bool requireSolved = true);
+
+}  // namespace ammb::core

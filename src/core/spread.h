@@ -1,0 +1,55 @@
+// The FMMB message-spreading subroutine (Section 4.4).
+//
+// Broadcasts the messages gathered at MIS nodes over the overlay
+// H = (S, E_S): MIS nodes within 3 G-hops are overlay neighbors.  The
+// building block is the "local broadcast procedure": a procedure phase
+// consists of Theta(c^2 log n) periods of 3 rounds each; in every
+// period each MIS node with a current message activates with
+// probability Theta(1/c^2) and broadcasts it in the period's first
+// round, and *every* node (MIS or not) that hears a spread payload
+// from a G-neighbor in round 1 or 2 of the period relays it in the
+// next round.  Lemma 4.7: when an MIS node is the only active one in
+// its 7c-ball, its message reaches all overlay neighbors (3 G-hops)
+// within the period, w.h.p. at least once per phase.
+//
+// On top of the procedure, spread runs BMMB over H: each phase every
+// MIS node pushes one not-yet-sent owned message (smallest id), so by
+// the pipelining argument of Lemma 4.8, O(D_H + k) phases deliver
+// everything to every MIS node — and the relaying implies every plain
+// node hears every message too.
+#pragma once
+
+#include "core/fmmb_params.h"
+#include "core/fmmb_state.h"
+#include "mac/process.h"
+
+namespace ammb::core {
+
+/// Passive spread state machine; the owner maps its global rounds to
+/// spread-local virtual rounds.
+class SpreadSubroutine {
+ public:
+  SpreadSubroutine(const FmmbParams& params, FmmbShared& shared)
+      : params_(params), shared_(shared) {}
+
+  /// Virtual-round hook (0-based within the spread schedule).
+  void onVirtualRound(mac::Context& ctx, std::int64_t vr);
+
+  /// Packet hook, with the current virtual round.
+  void onReceive(mac::Context& ctx, const mac::Packet& packet,
+                 std::int64_t vr);
+
+  /// Number of completed procedure phases.
+  std::int64_t completedPhases() const { return completedPhases_; }
+
+ private:
+  int phaseLen() const { return 3 * params_.spreadPeriods; }
+
+  FmmbParams params_;
+  FmmbShared& shared_;
+  MsgId current_ = kNoMsg;    ///< the m_v pushed during this phase
+  MsgId relayNext_ = kNoMsg;  ///< first payload heard this round
+  std::int64_t completedPhases_ = 0;
+};
+
+}  // namespace ammb::core

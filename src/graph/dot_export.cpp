@@ -1,0 +1,38 @@
+#include "graph/dot_export.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace ammb::graph {
+
+std::string toDot(const DualGraph& topology, const DotOptions& options) {
+  std::ostringstream os;
+  os << "graph ammb {\n";
+  os << "  node [shape=circle, fontsize=10];\n";
+  const auto& embedding = topology.embedding();
+  for (NodeId v = 0; v < topology.n(); ++v) {
+    os << "  n" << v << " [label=\"" << v << "\"";
+    if (embedding.has_value()) {
+      const Point2& p = (*embedding)[static_cast<std::size_t>(v)];
+      os << ", pos=\"" << p.x * options.scale << "," << p.y * options.scale
+         << "!\"";
+    }
+    if (std::find(options.highlight.begin(), options.highlight.end(), v) !=
+        options.highlight.end()) {
+      os << ", style=filled, fillcolor=lightblue";
+    }
+    os << "];\n";
+  }
+  for (const auto& [u, v] : topology.g().edges()) {
+    os << "  n" << u << " -- n" << v << ";\n";
+  }
+  for (const auto& [u, v] : topology.gPrime().edges()) {
+    if (!topology.g().hasEdge(u, v)) {
+      os << "  n" << u << " -- n" << v << " [style=dashed, color=red];\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace ammb::graph

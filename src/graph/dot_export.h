@@ -1,0 +1,26 @@
+// Graphviz DOT export for dual graphs.
+//
+// Reliable edges render solid, unreliable edges dashed; when the
+// topology carries a plane embedding, node positions are pinned so
+// `neato -n` reproduces the geometric layout.  Handy for inspecting
+// generated topologies and for figures in downstream write-ups.
+#pragma once
+
+#include <string>
+
+#include "graph/dual_graph.h"
+
+namespace ammb::graph {
+
+/// Options for toDot.
+struct DotOptions {
+  /// Highlight these nodes (e.g., an MIS) with a filled style.
+  std::vector<NodeId> highlight;
+  /// Scale factor applied to embedded coordinates.
+  double scale = 1.0;
+};
+
+/// Renders the dual graph as a Graphviz `graph` document.
+std::string toDot(const DualGraph& topology, const DotOptions& options = {});
+
+}  // namespace ammb::graph

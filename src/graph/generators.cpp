@@ -1,0 +1,229 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <utility>
+
+namespace ammb::graph::gen {
+
+Graph line(NodeId n) {
+  AMMB_REQUIRE(n >= 1, "line requires n >= 1");
+  Graph g(n);
+  for (NodeId i = 0; i + 1 < n; ++i) g.addEdge(i, i + 1);
+  g.finalize();
+  return g;
+}
+
+Graph ring(NodeId n) {
+  AMMB_REQUIRE(n >= 3, "ring requires n >= 3");
+  Graph g(n);
+  for (NodeId i = 0; i < n; ++i) g.addEdge(i, (i + 1) % n);
+  g.finalize();
+  return g;
+}
+
+Graph star(NodeId n) {
+  AMMB_REQUIRE(n >= 2, "star requires n >= 2");
+  Graph g(n);
+  for (NodeId i = 1; i < n; ++i) g.addEdge(0, i);
+  g.finalize();
+  return g;
+}
+
+Graph grid(int w, int h) {
+  AMMB_REQUIRE(w >= 1 && h >= 1, "grid requires positive dimensions");
+  Graph g(static_cast<NodeId>(w * h));
+  const auto id = [w](int x, int y) { return static_cast<NodeId>(y * w + x); };
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      if (x + 1 < w) g.addEdge(id(x, y), id(x + 1, y));
+      if (y + 1 < h) g.addEdge(id(x, y), id(x, y + 1));
+    }
+  }
+  g.finalize();
+  return g;
+}
+
+Graph randomTree(NodeId n, Rng& rng) {
+  AMMB_REQUIRE(n >= 1, "randomTree requires n >= 1");
+  Graph g(n);
+  for (NodeId i = 1; i < n; ++i) {
+    g.addEdge(i, static_cast<NodeId>(rng.uniformInt(0, i - 1)));
+  }
+  g.finalize();
+  return g;
+}
+
+DualGraph identityDual(Graph g) {
+  Graph gp = g;
+  return DualGraph(std::move(g), std::move(gp));
+}
+
+DualGraph withRRestrictedNoise(Graph g, int r, double edgeProb, Rng& rng) {
+  AMMB_REQUIRE(r >= 1, "r-restricted noise requires r >= 1");
+  AMMB_REQUIRE(edgeProb >= 0.0 && edgeProb <= 1.0,
+               "edgeProb must be a probability");
+  const Graph gr = g.power(r);
+  Graph gp(g.n());
+  for (const auto& [u, v] : g.edges()) gp.addEdge(u, v);
+  for (const auto& [u, v] : gr.edges()) {
+    if (!g.hasEdge(u, v) && rng.bernoulli(edgeProb)) gp.addEdge(u, v);
+  }
+  gp.finalize();
+  return DualGraph(std::move(g), std::move(gp));
+}
+
+DualGraph withArbitraryNoise(Graph g, std::size_t extraEdges, Rng& rng) {
+  const NodeId n = g.n();
+  AMMB_REQUIRE(n >= 2 || extraEdges == 0,
+               "cannot add unreliable edges to a graph with < 2 nodes");
+  Graph gp(n);
+  for (const auto& [u, v] : g.edges()) gp.addEdge(u, v);
+  std::set<std::pair<NodeId, NodeId>> chosen;
+  const std::size_t maxExtra =
+      static_cast<std::size_t>(n) * (static_cast<std::size_t>(n) - 1) / 2 -
+      g.edgeCount();
+  AMMB_REQUIRE(extraEdges <= maxExtra,
+               "requested more unreliable edges than non-edges available");
+  while (chosen.size() < extraEdges) {
+    NodeId u = static_cast<NodeId>(rng.uniformInt(0, n - 1));
+    NodeId v = static_cast<NodeId>(rng.uniformInt(0, n - 1));
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    if (g.hasEdge(u, v)) continue;
+    if (!chosen.insert({u, v}).second) continue;
+    gp.addEdge(u, v);
+  }
+  gp.finalize();
+  return DualGraph(std::move(g), std::move(gp));
+}
+
+DualGraph greyZoneFromPoints(Embedding points, double c, double pGrey,
+                             Rng& rng) {
+  AMMB_REQUIRE(c >= 1.0, "grey zone constant c must be >= 1");
+  AMMB_REQUIRE(pGrey >= 0.0 && pGrey <= 1.0, "pGrey must be a probability");
+  const NodeId n = static_cast<NodeId>(points.size());
+  Graph g(n);
+  Graph gp(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      const double d = distance(points[static_cast<std::size_t>(u)],
+                                points[static_cast<std::size_t>(v)]);
+      if (d <= 1.0) {
+        g.addEdge(u, v);
+        gp.addEdge(u, v);
+      } else if (d <= c && rng.bernoulli(pGrey)) {
+        gp.addEdge(u, v);
+      }
+    }
+  }
+  g.finalize();
+  gp.finalize();
+  return DualGraph(std::move(g), std::move(gp), std::move(points));
+}
+
+Embedding linePoints(NodeId n) {
+  AMMB_REQUIRE(n >= 1, "linePoints requires n >= 1");
+  Embedding pts(static_cast<std::size_t>(n));
+  for (NodeId i = 0; i < n; ++i) {
+    pts[static_cast<std::size_t>(i)] = {static_cast<double>(i), 0.0};
+  }
+  return pts;
+}
+
+Embedding gridPoints(int w, int h) {
+  AMMB_REQUIRE(w >= 1 && h >= 1, "gridPoints requires positive dimensions");
+  Embedding pts;
+  pts.reserve(static_cast<std::size_t>(w) * static_cast<std::size_t>(h));
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      pts.push_back({static_cast<double>(x), static_cast<double>(y)});
+    }
+  }
+  return pts;
+}
+
+Embedding randomPoints(NodeId n, double width, double height, Rng& rng) {
+  AMMB_REQUIRE(n >= 1, "randomPoints requires n >= 1");
+  AMMB_REQUIRE(width > 0.0 && height > 0.0, "area must be positive");
+  Embedding pts(static_cast<std::size_t>(n));
+  for (auto& p : pts) {
+    p.x = rng.uniform01() * width;
+    p.y = rng.uniform01() * height;
+  }
+  return pts;
+}
+
+DualGraph greyZoneUnitDisk(const GreyZoneParams& params, Rng& rng) {
+  AMMB_REQUIRE(params.maxTries >= 1, "maxTries must be >= 1");
+  for (int attempt = 0; attempt < params.maxTries; ++attempt) {
+    Embedding pts = randomPoints(params.n, params.width, params.height, rng);
+    DualGraph dual =
+        greyZoneFromPoints(std::move(pts), params.c, params.pGrey, rng);
+    if (dual.g().connected()) return dual;
+  }
+  throw Error(
+      "greyZoneUnitDisk: could not sample a connected unit-disk graph; "
+      "increase density (smaller area or larger n) or maxTries");
+}
+
+DualGraph greyZoneField(NodeId n, double avgDegree, double c, double pGrey,
+                        Rng& rng) {
+  AMMB_REQUIRE(avgDegree > 0.0, "target degree must be positive");
+  GreyZoneParams params;
+  params.n = n;
+  // Expected G-degree of a unit-disk graph with density d is ~ d * pi;
+  // a square of side sqrt(n pi / avgDegree) yields that density.
+  const double side =
+      std::sqrt(static_cast<double>(n) * 3.14159265358979 / avgDegree);
+  params.width = std::max(side, 1.0);
+  params.height = params.width;
+  params.c = c;
+  params.pGrey = pGrey;
+  params.maxTries = 256;
+  return greyZoneUnitDisk(params, rng);
+}
+
+DualGraph lowerBoundNetworkC(int D) {
+  AMMB_REQUIRE(D >= 2, "network C requires line length D >= 2");
+  const NodeId n = static_cast<NodeId>(2 * D);
+  Graph g(n);
+  Graph gp(n);
+  const auto a = [](int i) { return static_cast<NodeId>(i); };
+  const auto b = [D](int i) { return static_cast<NodeId>(D + i); };
+  for (int i = 0; i + 1 < D; ++i) {
+    g.addEdge(a(i), a(i + 1));
+    g.addEdge(b(i), b(i + 1));
+    gp.addEdge(a(i), a(i + 1));
+    gp.addEdge(b(i), b(i + 1));
+    // Unreliable cross edges of Figure 2.
+    gp.addEdge(a(i), b(i + 1));
+    gp.addEdge(b(i), a(i + 1));
+  }
+  g.finalize();
+  gp.finalize();
+  // Embedding: the two lines at vertical offset 1.1, so intra-line
+  // neighbors are at distance 1 (E edges), opposite nodes at 1.1 (no
+  // edge), diagonals at sqrt(1 + 1.21) ~ 1.49 <= c for c >= 1.5.
+  Embedding pts(static_cast<std::size_t>(n));
+  for (int i = 0; i < D; ++i) {
+    pts[static_cast<std::size_t>(a(i))] = {static_cast<double>(i), 0.0};
+    pts[static_cast<std::size_t>(b(i))] = {static_cast<double>(i), 1.1};
+  }
+  return DualGraph(std::move(g), std::move(gp), std::move(pts));
+}
+
+DualGraph bridgeStar(int k) {
+  AMMB_REQUIRE(k >= 2, "bridgeStar requires k >= 2");
+  const NodeId n = static_cast<NodeId>(k + 1);
+  const NodeId center = static_cast<NodeId>(k - 1);
+  const NodeId receiver = static_cast<NodeId>(k);
+  Graph g(n);
+  for (NodeId leaf = 0; leaf < center; ++leaf) g.addEdge(leaf, center);
+  g.addEdge(center, receiver);
+  g.finalize();
+  return identityDual(std::move(g));
+}
+
+}  // namespace ammb::graph::gen

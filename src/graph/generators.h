@@ -1,0 +1,93 @@
+// Topology generators.
+//
+// Covers every network family used in the paper's analysis:
+//   * structured reliable graphs: line, ring, star, grid, random tree;
+//   * G′ constructions: G′ = G, r-restricted noise (Theorem 3.2),
+//     arbitrary long-range noise (Theorem 3.1), grey-zone geometric
+//     noise (Section 2, Section 4);
+//   * the two explicit lower-bound networks: the two-line network C of
+//     Figure 2 (Lemmas 3.19/3.20) and the bridge star of Lemma 3.18.
+//
+// All randomized generators draw exclusively from the caller-provided
+// Rng, so topologies are reproducible from a seed.
+#pragma once
+
+#include "common/rng.h"
+#include "graph/dual_graph.h"
+
+namespace ammb::graph::gen {
+
+/// Path a_0 - a_1 - ... - a_{n-1}.  Diameter n-1.
+Graph line(NodeId n);
+
+/// Cycle over n >= 3 nodes.
+Graph ring(NodeId n);
+
+/// Star with center 0 and leaves 1..n-1.
+Graph star(NodeId n);
+
+/// w x h grid; node (x, y) has id y*w + x; orthogonal neighbors.
+Graph grid(int w, int h);
+
+/// Uniform random spanning tree shape: node i >= 1 attaches to a
+/// uniformly random earlier node.
+Graph randomTree(NodeId n, Rng& rng);
+
+/// The trivial dual graph with no unreliable links (G′ = G).
+DualGraph identityDual(Graph g);
+
+/// Adds each Gʳ-but-not-G pair as an unreliable edge with probability
+/// `edgeProb`; the result is r-restricted by construction.
+DualGraph withRRestrictedNoise(Graph g, int r, double edgeProb, Rng& rng);
+
+/// Adds `extraEdges` distinct uniformly random non-E pairs as
+/// unreliable edges (the "arbitrary G′" regime of Theorem 3.1).
+DualGraph withArbitraryNoise(Graph g, std::size_t extraEdges, Rng& rng);
+
+/// Builds a grey-zone dual graph from a plane embedding:
+/// E = pairs at distance <= 1; E′ additionally contains each pair at
+/// distance in (1, c] independently with probability `pGrey`.
+DualGraph greyZoneFromPoints(Embedding points, double c, double pGrey,
+                             Rng& rng);
+
+/// Embedding of a line with unit spacing (UDG of the line graph).
+Embedding linePoints(NodeId n);
+
+/// Embedding of a w x h grid with unit spacing.
+Embedding gridPoints(int w, int h);
+
+/// n uniform points in [0, width] x [0, height].
+Embedding randomPoints(NodeId n, double width, double height, Rng& rng);
+
+/// Parameters for a connected random grey-zone unit-disk network.
+struct GreyZoneParams {
+  NodeId n = 64;        ///< node count
+  double width = 8.0;   ///< area width
+  double height = 8.0;  ///< area height
+  double c = 2.0;       ///< grey zone constant (>= 1)
+  double pGrey = 0.3;   ///< per-pair probability of an unreliable edge
+  int maxTries = 64;    ///< resampling attempts to get a connected G
+};
+
+/// Samples random embeddings until G is connected; throws ammb::Error
+/// if no connected instance is found within maxTries.
+DualGraph greyZoneUnitDisk(const GreyZoneParams& params, Rng& rng);
+
+/// Convenience: a connected grey-zone unit-disk network sized for a
+/// target average G-degree (square area of n*pi/avgDegree).  Higher
+/// degree targets give denser, lower-diameter fields.
+DualGraph greyZoneField(NodeId n, double avgDegree, double c, double pGrey,
+                        Rng& rng);
+
+/// The Figure-2 lower-bound network C for a given per-line length D:
+/// two disjoint D-node G-lines A and B, plus unreliable cross edges
+/// a_i—b_{i+1} and b_i—a_{i+1}.  Node ids: a_i = i, b_i = D + i
+/// (0-based).  Carries a grey-zone embedding valid for c >= 1.5.
+DualGraph lowerBoundNetworkC(int D);
+
+/// The Lemma-3.18 choke-point network: leaves 0..k-2 and the bridge
+/// center k-1 form a star, and the center also connects to the receiver
+/// node k.  G′ = G; n = k + 1.
+DualGraph bridgeStar(int k);
+
+}  // namespace ammb::graph::gen

@@ -1,0 +1,31 @@
+// Plane geometry helpers for geometric (grey-zone) topologies.
+//
+// The grey-zone restriction (Section 2 of the paper) embeds nodes in R²:
+// reliable edges connect nodes at Euclidean distance <= 1, unreliable
+// edges may exist only up to distance c >= 1.
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ammb::graph {
+
+/// A point in the Euclidean plane.
+struct Point2 {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// Euclidean distance between two points.
+inline double distance(const Point2& a, const Point2& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+/// One position per node; index == NodeId.
+using Embedding = std::vector<Point2>;
+
+}  // namespace ammb::graph

@@ -1,0 +1,93 @@
+// Undirected simple graphs over dense node ids.
+//
+// The communication topology of an abstract MAC layer network is a pair
+// of graphs (G, G′) with E ⊆ E′ (see dual_graph.h).  This header is the
+// single-graph building block: adjacency queries, BFS metrics (shortest
+// hop distances, diameter, eccentricity), connected components, and the
+// r-th power graph Gʳ used by the r-restricted analysis (Section 3.2).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/error.h"
+#include "common/types.h"
+
+namespace ammb::graph {
+
+/// An undirected simple graph with nodes 0..n-1.
+///
+/// Edges are stored as sorted adjacency lists; `finalize()` must be
+/// called after the last `addEdge` and before adjacency queries (the
+/// generators do this for you).  Self-loops and parallel edges are
+/// rejected.
+class Graph {
+ public:
+  /// Creates a graph with `n` isolated nodes.
+  explicit Graph(NodeId n);
+
+  /// Number of nodes.
+  NodeId n() const { return static_cast<NodeId>(adj_.size()); }
+
+  /// Number of undirected edges.
+  std::size_t edgeCount() const { return edgeCount_; }
+
+  /// Adds the undirected edge {u, v}.  Duplicate insertions are idempotent.
+  void addEdge(NodeId u, NodeId v);
+
+  /// Sorts adjacency lists and deduplicates; call once after building.
+  void finalize();
+
+  /// True after finalize().
+  bool finalized() const { return finalized_; }
+
+  /// Sorted neighbors of `u`.
+  const std::vector<NodeId>& neighbors(NodeId u) const {
+    checkNode(u);
+    AMMB_REQUIRE(finalized_, "Graph::finalize() must be called first");
+    return adj_[static_cast<std::size_t>(u)];
+  }
+
+  /// True iff {u, v} is an edge.  O(log deg).
+  bool hasEdge(NodeId u, NodeId v) const;
+
+  /// Degree of `u`.
+  std::size_t degree(NodeId u) const { return neighbors(u).size(); }
+
+  /// Hop distances from `src`; unreachable nodes get -1.
+  std::vector<int> bfsDistances(NodeId src) const;
+
+  /// Hop distances from the nearest node of `srcs`; unreachable: -1.
+  std::vector<int> bfsDistancesMulti(const std::vector<NodeId>& srcs) const;
+
+  /// Diameter of the graph restricted to its largest connected
+  /// component (max over BFS eccentricities).  Returns 0 for n <= 1.
+  int diameter() const;
+
+  /// Component label per node (labels are 0-based, in discovery order).
+  std::vector<int> componentLabels() const;
+
+  /// Number of connected components.
+  int componentCount() const;
+
+  /// True iff the graph is connected (n == 0 counts as connected).
+  bool connected() const { return componentCount() <= 1; }
+
+  /// The r-th power graph: an edge {u, v} for every pair at hop
+  /// distance in [1, r].  Requires r >= 1.
+  Graph power(int r) const;
+
+  /// All edges as (u, v) pairs with u < v.
+  std::vector<std::pair<NodeId, NodeId>> edges() const;
+
+ private:
+  void checkNode(NodeId u) const {
+    AMMB_REQUIRE(u >= 0 && u < n(), "node id out of range");
+  }
+
+  std::vector<std::vector<NodeId>> adj_;
+  std::size_t edgeCount_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace ammb::graph

@@ -1,0 +1,380 @@
+#include "mac/engine.h"
+
+#include <algorithm>
+#include <unordered_set>
+#include <utility>
+
+namespace ammb::mac {
+
+// ---------------------------------------------------------------------------
+// Scheduler default behaviour
+// ---------------------------------------------------------------------------
+
+InstanceId Scheduler::pickProgressDelivery(
+    NodeId receiver, const std::vector<InstanceId>& candidates) {
+  (void)receiver;
+  AMMB_ASSERT(!candidates.empty());
+  return candidates.front();
+}
+
+// ---------------------------------------------------------------------------
+// Context
+// ---------------------------------------------------------------------------
+
+NodeId Context::n() const { return engine_.n(); }
+
+const std::vector<NodeId>& Context::gNeighbors() const {
+  return engine_.topology().g().neighbors(node_);
+}
+
+const std::vector<NodeId>& Context::gPrimeNeighbors() const {
+  return engine_.topology().gPrime().neighbors(node_);
+}
+
+bool Context::isGNeighbor(NodeId v) const {
+  return engine_.topology().g().hasEdge(node_, v);
+}
+
+Rng& Context::rng() { return engine_.nodeRng(node_); }
+
+void Context::bcast(Packet packet) {
+  engine_.apiBcast(node_, std::move(packet));
+}
+
+bool Context::busy() const { return engine_.apiBusy(node_); }
+
+void Context::deliver(MsgId msg) { engine_.apiDeliver(node_, msg); }
+
+Time Context::now() const {
+  engine_.requireEnhanced("Context::now");
+  return engine_.now();
+}
+
+Time Context::fack() const {
+  engine_.requireEnhanced("Context::fack");
+  return engine_.params().fack;
+}
+
+Time Context::fprog() const {
+  engine_.requireEnhanced("Context::fprog");
+  return engine_.params().fprog;
+}
+
+TimerId Context::setTimerAt(Time at) { return engine_.apiSetTimer(node_, at); }
+
+TimerId Context::setTimerAfter(Time delay) {
+  AMMB_REQUIRE(delay >= 0, "timer delay must be non-negative");
+  return engine_.apiSetTimer(node_, engine_.now() + delay);
+}
+
+bool Context::cancelTimer(TimerId id) { return engine_.apiCancelTimer(id); }
+
+void Context::abortBcast() { engine_.apiAbort(node_); }
+
+// ---------------------------------------------------------------------------
+// MacEngine
+// ---------------------------------------------------------------------------
+
+MacEngine::MacEngine(const graph::DualGraph& topology, MacParams params,
+                     std::unique_ptr<Scheduler> scheduler,
+                     ProcessFactory factory, std::uint64_t seed,
+                     bool traceEnabled)
+    : topology_(topology),
+      params_(params),
+      scheduler_(std::move(scheduler)),
+      trace_(traceEnabled),
+      guard_(*this, topology.n()),
+      schedulerRng_(SeedSequence(seed).childSeed(rngstream::kScheduler, 0)) {
+  params_.validate();
+  AMMB_REQUIRE(scheduler_ != nullptr, "a scheduler is required");
+  AMMB_REQUIRE(factory != nullptr, "a process factory is required");
+
+  const SeedSequence seeds(seed);
+  nodes_.reserve(static_cast<std::size_t>(topology_.n()));
+  for (NodeId v = 0; v < topology_.n(); ++v) {
+    NodeState ns{factory(v),
+                 seeds.childRng(rngstream::kNode,
+                                static_cast<std::uint64_t>(v)),
+                 kNoInstance,
+                 {}};
+    AMMB_REQUIRE(ns.process != nullptr, "process factory returned null");
+    nodes_.push_back(std::move(ns));
+  }
+  scheduler_->attach(*this);
+
+  // Wake every node at t = 0, in id order, before any environment event.
+  for (NodeId v = 0; v < topology_.n(); ++v) {
+    queue_.schedule(0, [this, v] {
+      trace_.add({now(), sim::TraceKind::kWake, v, kNoInstance, kNoMsg});
+      Context ctx(*this, v);
+      state(v).process->onWake(ctx);
+    });
+  }
+}
+
+void MacEngine::injectArriveAt(NodeId node, MsgId msg, Time at) {
+  checkNode(node);
+  AMMB_REQUIRE(msg >= 0, "message ids must be non-negative");
+  AMMB_REQUIRE(at >= now(), "cannot inject an arrival in the past");
+  queue_.schedule(at, [this, node, msg] {
+    trace_.add({now(), sim::TraceKind::kArrive, node, kNoInstance, msg});
+    ++stats_.arrives;
+    Context ctx(*this, node);
+    state(node).process->onArrive(ctx, msg);
+  });
+}
+
+sim::RunStatus MacEngine::run(Time timeLimit, std::uint64_t maxEvents) {
+  return queue_.run(timeLimit, maxEvents);
+}
+
+const Instance& MacEngine::instance(InstanceId id) const {
+  AMMB_REQUIRE(id >= 0 && id < static_cast<InstanceId>(instances_.size()),
+               "unknown instance id");
+  return instances_[static_cast<std::size_t>(id)];
+}
+
+Process& MacEngine::processAt(NodeId node) { return *state(node).process; }
+
+const Process& MacEngine::processAt(NodeId node) const {
+  return *state(node).process;
+}
+
+const std::vector<InstanceId>& MacEngine::liveInstancesNear(
+    NodeId node) const {
+  return state(node).liveNear;
+}
+
+// --- Context services -------------------------------------------------------
+
+void MacEngine::apiBcast(NodeId node, Packet packet) {
+  checkNode(node);
+  NodeState& ns = state(node);
+  AMMB_REQUIRE(ns.current == kNoInstance,
+               "user well-formedness: bcast while a previous broadcast is "
+               "still unterminated");
+  AMMB_REQUIRE(static_cast<int>(packet.msgs.size()) <= params_.msgCapacity,
+               "packet exceeds the per-broadcast message capacity");
+  packet.sender = node;
+
+  const InstanceId id = static_cast<InstanceId>(instances_.size());
+  instances_.push_back(Instance{});
+  Instance& inst = instances_.back();
+  inst.id = id;
+  inst.sender = node;
+  inst.packet = std::move(packet);
+  inst.bcastAt = now();
+
+  trace_.add({now(), sim::TraceKind::kBcast, node, id, kNoMsg});
+  ++stats_.bcasts;
+
+  const DeliveryPlan plan = scheduler_->planBcast(inst);
+  validatePlan(inst, plan);
+  inst.plannedAck = plan.ackAt;
+  inst.pendingGDeliveries =
+      static_cast<int>(topology_.g().neighbors(node).size());
+
+  for (const PlannedDelivery& d : plan.deliveries) {
+    const sim::EventHandle h = queue_.schedule(
+        d.at, [this, id, target = d.target] { onDeliveryEvent(id, target); });
+    inst.pending.emplace(d.target, Instance::PendingDelivery{d.at, h});
+  }
+  inst.ackEvent =
+      queue_.schedule(plan.ackAt, [this, id] { onAckEvent(id); });
+
+  ns.current = id;
+  for (NodeId j : topology_.gPrime().neighbors(node)) {
+    state(j).liveNear.push_back(id);
+  }
+  // The new instance changes the need set of the sender's G-neighbors.
+  for (NodeId j : topology_.g().neighbors(node)) guard_.recompute(j);
+}
+
+bool MacEngine::apiBusy(NodeId node) const {
+  return state(node).current != kNoInstance;
+}
+
+void MacEngine::apiDeliver(NodeId node, MsgId msg) {
+  checkNode(node);
+  trace_.add({now(), sim::TraceKind::kDeliver, node, kNoInstance, msg});
+  ++stats_.delivers;
+  if (deliverHook_) deliverHook_(node, msg, now());
+}
+
+TimerId MacEngine::apiSetTimer(NodeId node, Time at) {
+  requireEnhanced("Context::setTimer");
+  checkNode(node);
+  AMMB_REQUIRE(at >= now(), "timers cannot fire in the past");
+  const TimerId id = nextTimer_++;
+  const sim::EventHandle h = queue_.schedule(at, [this, node, id] {
+    timers_.erase(id);
+    Context ctx(*this, node);
+    state(node).process->onTimer(ctx, id);
+  });
+  timers_.emplace(id, h);
+  return id;
+}
+
+bool MacEngine::apiCancelTimer(TimerId id) {
+  requireEnhanced("Context::cancelTimer");
+  auto it = timers_.find(id);
+  if (it == timers_.end()) return false;
+  queue_.cancel(it->second);
+  timers_.erase(it);
+  return true;
+}
+
+void MacEngine::apiAbort(NodeId node) {
+  requireEnhanced("Context::abortBcast");
+  NodeState& ns = state(node);
+  AMMB_REQUIRE(ns.current != kNoInstance,
+               "abort requires a broadcast in progress");
+  Instance& inst = instances_[static_cast<std::size_t>(ns.current)];
+
+  inst.terminated = true;
+  inst.aborted = true;
+  inst.termAt = now();
+  trace_.add({now(), sim::TraceKind::kAbort, node, inst.id, kNoMsg});
+  ++stats_.aborts;
+
+  queue_.cancel(inst.ackEvent);
+  // Pending receives may still fire within epsAbort of the abort.
+  const Time cutoff = now() + params_.epsAbort;
+  for (auto& [target, pd] : inst.pending) {
+    if (pd.at > cutoff) queue_.cancel(pd.handle);
+  }
+  finishInstance(inst);
+}
+
+void MacEngine::requireEnhanced(const char* api) const {
+  AMMB_REQUIRE(params_.variant == ModelVariant::kEnhanced,
+               std::string(api) +
+                   " is only available in the enhanced abstract MAC layer "
+                   "model");
+}
+
+Rng& MacEngine::nodeRng(NodeId node) { return state(node).rng; }
+
+// --- internal machinery -----------------------------------------------------
+
+void MacEngine::validatePlan(const Instance& instance,
+                             const DeliveryPlan& plan) const {
+  const Time t0 = instance.bcastAt;
+  AMMB_REQUIRE(plan.ackAt >= t0 && plan.ackAt <= t0 + params_.fack,
+               "scheduler plan violates the acknowledgment bound");
+  const auto& gp = topology_.gPrime();
+  const auto& g = topology_.g();
+  std::unordered_set<NodeId> seen;
+  for (const PlannedDelivery& d : plan.deliveries) {
+    AMMB_REQUIRE(d.target != instance.sender,
+                 "scheduler plan delivers to the sender itself");
+    AMMB_REQUIRE(gp.hasEdge(instance.sender, d.target),
+                 "scheduler plan delivers outside G'");
+    AMMB_REQUIRE(seen.insert(d.target).second,
+                 "scheduler plan delivers twice to one receiver");
+    AMMB_REQUIRE(d.at >= t0 && d.at <= plan.ackAt,
+                 "scheduler plan delivery time outside [bcast, ack]");
+  }
+  for (NodeId j : g.neighbors(instance.sender)) {
+    AMMB_REQUIRE(seen.count(j) > 0,
+                 "scheduler plan misses a reliable (G) neighbor");
+  }
+}
+
+void MacEngine::performDelivery(InstanceId id, NodeId receiver, bool forced) {
+  Instance& inst = instances_[static_cast<std::size_t>(id)];
+  AMMB_ASSERT(!inst.hasDeliveredTo(receiver));
+
+  // Drop the planned event if the guard preempted it.
+  auto it = inst.pending.find(receiver);
+  if (it != inst.pending.end()) {
+    queue_.cancel(it->second.handle);
+    inst.pending.erase(it);
+  }
+
+  inst.deliveredTo.push_back(receiver);
+  inst.deliveredSet.insert(receiver);
+  if (topology_.g().hasEdge(inst.sender, receiver)) {
+    --inst.pendingGDeliveries;
+    AMMB_ASSERT(inst.pendingGDeliveries >= 0);
+  }
+
+  trace_.add({now(), sim::TraceKind::kRcv, receiver, id, kNoMsg});
+  ++stats_.rcvs;
+  if (forced) ++stats_.forcedRcvs;
+
+  guard_.onReceive(receiver, id, now());
+
+  Context ctx(*this, receiver);
+  state(receiver).process->onReceive(ctx, inst.packet);
+}
+
+void MacEngine::onDeliveryEvent(InstanceId id, NodeId receiver) {
+  Instance& inst = instances_[static_cast<std::size_t>(id)];
+  inst.pending.erase(receiver);
+  if (inst.hasDeliveredTo(receiver)) return;  // guard got there first
+  if (inst.terminated && now() > inst.termAt + params_.epsAbort) return;
+  performDelivery(id, receiver, /*forced=*/false);
+}
+
+void MacEngine::onAckEvent(InstanceId id) {
+  Instance& inst = instances_[static_cast<std::size_t>(id)];
+  if (inst.terminated) return;  // aborted; event race
+  AMMB_ASSERT(inst.pendingGDeliveries == 0);
+  inst.terminated = true;
+  inst.termAt = now();
+  trace_.add({now(), sim::TraceKind::kAck, inst.sender, id, kNoMsg});
+  ++stats_.acks;
+  finishInstance(inst);
+
+  Context ctx(*this, inst.sender);
+  state(inst.sender).process->onAck(ctx, inst.packet);
+}
+
+void MacEngine::finishInstance(Instance& inst) {
+  NodeState& sender = state(inst.sender);
+  if (sender.current == inst.id) sender.current = kNoInstance;
+
+  // The instance no longer contends anywhere; coverage intervals it
+  // provided are now capped at termAt, so re-evaluate the neighborhood.
+  for (NodeId j : topology_.gPrime().neighbors(inst.sender)) {
+    auto& live = state(j).liveNear;
+    live.erase(std::remove(live.begin(), live.end(), inst.id), live.end());
+  }
+  for (NodeId j : topology_.gPrime().neighbors(inst.sender)) {
+    guard_.recompute(j);
+  }
+}
+
+void MacEngine::forceProgressDelivery(NodeId receiver) {
+  std::vector<InstanceId> candidates;
+  for (InstanceId id : state(receiver).liveNear) {
+    const Instance& inst = instances_[static_cast<std::size_t>(id)];
+    if (!inst.terminated && !inst.hasDeliveredTo(receiver)) {
+      candidates.push_back(id);
+    }
+  }
+  std::sort(candidates.begin(), candidates.end());
+  AMMB_ASSERT(!candidates.empty());
+  const InstanceId chosen =
+      scheduler_->pickProgressDelivery(receiver, candidates);
+  AMMB_ASSERT(std::find(candidates.begin(), candidates.end(), chosen) !=
+              candidates.end());
+  performDelivery(chosen, receiver, /*forced=*/true);
+}
+
+MacEngine::NodeState& MacEngine::state(NodeId node) {
+  checkNode(node);
+  return nodes_[static_cast<std::size_t>(node)];
+}
+
+const MacEngine::NodeState& MacEngine::state(NodeId node) const {
+  checkNode(node);
+  return nodes_[static_cast<std::size_t>(node)];
+}
+
+void MacEngine::checkNode(NodeId node) const {
+  AMMB_REQUIRE(node >= 0 && node < topology_.n(), "node id out of range");
+}
+
+}  // namespace ammb::mac

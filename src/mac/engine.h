@@ -1,0 +1,160 @@
+// The abstract MAC layer engine.
+//
+// MacEngine composes a dual-graph topology, a message scheduler, and
+// one Process automaton per node into an executable system.  It
+// implements the model of Section 2 / 3.2.1 of the paper:
+//
+//   * acknowledged local broadcast with guaranteed delivery to all
+//     G-neighbors and scheduler-chosen delivery to G'-neighbors;
+//   * the Fack acknowledgment bound and the Fprog progress bound
+//     (enforced online by ProgressGuard, re-checkable offline with
+//     TraceChecker);
+//   * the standard / enhanced model split: timers, now(), Fack/Fprog
+//     knowledge and abort are rejected under ModelVariant::kStandard;
+//   * environment arrive(m) inputs and protocol deliver(m) outputs.
+//
+// Determinism: given (topology, params, scheduler, process factory,
+// seed), executions are bit-for-bit reproducible.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "graph/dual_graph.h"
+#include "mac/instance.h"
+#include "mac/oracle.h"
+#include "mac/params.h"
+#include "mac/process.h"
+#include "mac/progress_guard.h"
+#include "mac/scheduler.h"
+#include "sim/event_queue.h"
+#include "sim/trace.h"
+
+namespace ammb::mac {
+
+/// Aggregate counters of a run.
+struct EngineStats {
+  std::uint64_t bcasts = 0;
+  std::uint64_t rcvs = 0;
+  std::uint64_t forcedRcvs = 0;  ///< deliveries forced by the guard
+  std::uint64_t acks = 0;
+  std::uint64_t aborts = 0;
+  std::uint64_t delivers = 0;
+  std::uint64_t arrives = 0;
+};
+
+/// The simulation engine for one execution.
+class MacEngine {
+ public:
+  using ProcessFactory = std::function<std::unique_ptr<Process>(NodeId)>;
+  /// Hook fired on every protocol deliver(m) output.
+  using DeliverHook = std::function<void(NodeId, MsgId, Time)>;
+
+  /// Wires the system together and schedules the wake events at t=0.
+  /// The topology must outlive the engine.
+  MacEngine(const graph::DualGraph& topology, MacParams params,
+            std::unique_ptr<Scheduler> scheduler, ProcessFactory factory,
+            std::uint64_t seed, bool traceEnabled = true);
+
+  MacEngine(const MacEngine&) = delete;
+  MacEngine& operator=(const MacEngine&) = delete;
+
+  // --- environment ----------------------------------------------------
+  /// Injects an arrive(m) event at `node` at time `at` (>= now).  The
+  /// MMB problem injects everything at t=0; online arrivals are the
+  /// generalization mentioned in Section 2.
+  void injectArriveAt(NodeId node, MsgId msg, Time at);
+
+  /// Runs until drained / stopped / past `timeLimit`.
+  sim::RunStatus run(Time timeLimit = kTimeNever,
+                     std::uint64_t maxEvents = 250'000'000);
+
+  /// Requests the current run to stop after the ongoing event.
+  void requestStop() { queue_.requestStop(); }
+
+  // --- hooks ------------------------------------------------------------
+  /// Registers the deliver-output observer (e.g., solve detection).
+  void setDeliverHook(DeliverHook hook) { deliverHook_ = std::move(hook); }
+
+  /// Registers the protocol oracle consulted by adversarial schedulers.
+  void setOracle(const ProtocolOracle* oracle) { oracle_ = oracle; }
+
+  /// The registered oracle, or nullptr.
+  const ProtocolOracle* oracle() const { return oracle_; }
+
+  // --- introspection ----------------------------------------------------
+  Time now() const { return queue_.now(); }
+  const graph::DualGraph& topology() const { return topology_; }
+  const MacParams& params() const { return params_; }
+  const sim::Trace& trace() const { return trace_; }
+  const EngineStats& stats() const { return stats_; }
+  NodeId n() const { return topology_.n(); }
+
+  /// All instances ever created, indexed by InstanceId.
+  const std::vector<Instance>& instances() const { return instances_; }
+  const Instance& instance(InstanceId id) const;
+
+  /// The protocol automaton at `node` (for harness inspection).
+  Process& processAt(NodeId node);
+  const Process& processAt(NodeId node) const;
+
+  /// RNG stream reserved for the scheduler.
+  Rng& schedulerRng() { return schedulerRng_; }
+
+  /// Live instances whose sender is a G'-neighbor of `node` (i.e., the
+  /// instances that may legally deliver to `node` right now).
+  const std::vector<InstanceId>& liveInstancesNear(NodeId node) const;
+
+ private:
+  friend class Context;
+  friend class ProgressGuard;
+
+  struct NodeState {
+    std::unique_ptr<Process> process;
+    Rng rng;
+    InstanceId current = kNoInstance;  ///< outstanding bcast, if any
+    std::vector<InstanceId> liveNear;  ///< live instances from E' nbrs
+  };
+
+  // Context services -----------------------------------------------------
+  void apiBcast(NodeId node, Packet packet);
+  bool apiBusy(NodeId node) const;
+  void apiDeliver(NodeId node, MsgId msg);
+  TimerId apiSetTimer(NodeId node, Time at);
+  bool apiCancelTimer(TimerId id);
+  void apiAbort(NodeId node);
+  void requireEnhanced(const char* api) const;
+  Rng& nodeRng(NodeId node);
+
+  // Internal machinery ----------------------------------------------------
+  void validatePlan(const Instance& instance, const DeliveryPlan& plan) const;
+  void performDelivery(InstanceId id, NodeId receiver, bool forced);
+  void onDeliveryEvent(InstanceId id, NodeId receiver);
+  void onAckEvent(InstanceId id);
+  void finishInstance(Instance& instance);
+  void forceProgressDelivery(NodeId receiver);
+
+  NodeState& state(NodeId node);
+  const NodeState& state(NodeId node) const;
+  void checkNode(NodeId node) const;
+
+  const graph::DualGraph& topology_;
+  MacParams params_;
+  std::unique_ptr<Scheduler> scheduler_;
+  sim::EventQueue queue_;
+  sim::Trace trace_;
+  EngineStats stats_;
+  std::vector<NodeState> nodes_;
+  std::vector<Instance> instances_;
+  ProgressGuard guard_;
+  Rng schedulerRng_;
+  const ProtocolOracle* oracle_ = nullptr;
+  DeliverHook deliverHook_;
+  std::unordered_map<TimerId, sim::EventHandle> timers_;
+  TimerId nextTimer_ = 1;
+};
+
+}  // namespace ammb::mac

@@ -1,0 +1,61 @@
+// Broadcast instances.
+//
+// A message instance (Section 3.2.1) is one bcast event plus every rcv
+// and the terminating ack/abort the cause function maps back to it.
+// The engine materializes instances as the records below; schedulers
+// receive a const view when planning.
+#pragma once
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/error.h"
+
+#include "common/types.h"
+#include "mac/packet.h"
+#include "sim/event_queue.h"
+
+namespace ammb::mac {
+
+/// One acknowledged-local-broadcast instance and its bookkeeping.
+struct Instance {
+  InstanceId id = kNoInstance;
+  NodeId sender = kNoNode;
+  Packet packet;
+  Time bcastAt = 0;
+
+  /// Ack time chosen by the scheduler's plan (may be preempted by an
+  /// abort).  Used by the progress guard as the planned termination.
+  Time plannedAck = 0;
+
+  /// Actual termination (ack or abort) once it happened.
+  Time termAt = kTimeNever;
+  bool terminated = false;
+  bool aborted = false;
+
+  /// Receivers in delivery order (the cause-function image).
+  std::vector<NodeId> deliveredTo;
+  std::unordered_set<NodeId> deliveredSet;
+
+  /// Scheduled-but-not-yet-executed delivery events.
+  struct PendingDelivery {
+    Time at = 0;
+    sim::EventHandle handle = 0;
+  };
+  std::unordered_map<NodeId, PendingDelivery> pending;
+
+  /// G-neighbors of the sender not yet delivered to (ack gate).
+  int pendingGDeliveries = 0;
+
+  /// Handle of the scheduled ack event (cancelled on abort).
+  sim::EventHandle ackEvent = 0;
+
+  /// True if this instance already delivered to `j`.
+  bool hasDeliveredTo(NodeId j) const { return deliveredSet.count(j) > 0; }
+
+  /// Current best knowledge of when the instance terminates.
+  Time plannedTermination() const { return terminated ? termAt : plannedAck; }
+};
+
+}  // namespace ammb::mac

@@ -1,0 +1,62 @@
+// The Figure-2 lower-bound scheduler (Lemmas 3.19 / 3.20).
+//
+// Bound to the two-line network C produced by
+// graph::gen::lowerBoundNetworkC(D), with m0 arriving at a_0 and m1 at
+// b_0.  The schedule mirrors the paper's construction:
+//
+//   * a broadcast that advances a message along its own line (the
+//     "frontier": a-node sending m0 whose successor lacks m0, or
+//     b-node sending m1 symmetrically) is held for the full Fack —
+//     reliable deliveries and the ack land only at bcast + Fack;
+//   * during that interval, the *opposite* frontier instance makes the
+//     cross deliveries over the unreliable diagonal edges
+//     (a_i—b_{i±1}, b_i—a_{i±1}), which satisfy every progress
+//     obligation with messages that are useless in the receiver's own
+//     G-component (A and B are disconnected in G, so m1 arriving at an
+//     a-node never has to be delivered there — it only wastes time);
+//   * every other broadcast completes instantaneously ("no time
+//     passes"): reliable deliveries and ack at the bcast tick.
+//
+// The result: each message advances one hop per Fack, giving the
+// Ω(D * Fack) term of Theorem 3.17.  Any residual progress obligation
+// the stage analysis misses is picked up by the engine's guard, with
+// pickProgressDelivery preferring useless cross deliveries — so the
+// execution is always model-compliant.
+#pragma once
+
+#include "mac/engine.h"
+#include "mac/scheduler.h"
+
+namespace ammb::mac {
+
+/// Adversary for network C.  `lineLength` is the D passed to
+/// lowerBoundNetworkC; m0/m1 are the MMB message ids on lines A/B.
+class LowerBoundScheduler : public Scheduler {
+ public:
+  LowerBoundScheduler(int lineLength, MsgId m0 = 0, MsgId m1 = 1);
+
+  void attach(MacEngine& engine) override;
+  DeliveryPlan planBcast(const Instance& instance) override;
+  InstanceId pickProgressDelivery(
+      NodeId receiver, const std::vector<InstanceId>& candidates) override;
+
+ private:
+  bool isANode(NodeId v) const { return v < lineLength_; }
+  int lineIndex(NodeId v) const {
+    return isANode(v) ? v : v - lineLength_;
+  }
+  NodeId aNode(int i) const { return static_cast<NodeId>(i); }
+  NodeId bNode(int i) const { return static_cast<NodeId>(lineLength_ + i); }
+
+  /// True when this bcast advances its message along its own line.
+  bool isFrontier(const Instance& instance) const;
+
+  int lineLength_;
+  MsgId m0_;
+  MsgId m1_;
+  /// hasMsg_[v] — v already received its own line's message (m0 for
+  /// a-nodes, m1 for b-nodes); maintained from planned deliveries.
+  std::vector<bool> hasOwnMsg_;
+};
+
+}  // namespace ammb::mac

@@ -1,0 +1,28 @@
+// Protocol oracle: the adversary's window into protocol state.
+//
+// The paper's lower bound grants the message scheduler full knowledge
+// of the algorithm (including its random bits).  Schedulers in this
+// library get the same power through this narrow interface: a protocol
+// harness may register an oracle that tells the scheduler whether
+// delivering a given packet to a given node would be useless for the
+// protocol (e.g., a duplicate a BMMB node would discard).  Adversarial
+// schedulers use it to satisfy the progress bound with useless
+// deliveries — the central trick of Lemmas 3.19/3.20.
+#pragma once
+
+#include "common/types.h"
+#include "mac/packet.h"
+
+namespace ammb::mac {
+
+/// Read-only protocol knowledge exposed to schedulers.
+class ProtocolOracle {
+ public:
+  virtual ~ProtocolOracle() = default;
+
+  /// True when delivering `packet` to `node` cannot advance the
+  /// protocol (the adversary's preferred kind of delivery).
+  virtual bool uselessFor(NodeId node, const Packet& packet) const = 0;
+};
+
+}  // namespace ammb::mac

@@ -1,0 +1,46 @@
+// The unit of local broadcast.
+//
+// Packets are the opaque "messages" of the abstract MAC layer.  The
+// model treats them as black boxes; the fields below are a fixed,
+// small schema sufficient for every protocol in this repository.  The
+// paper's constraint that only a constant number of MMB messages fit in
+// one local broadcast is enforced by MacParams::msgCapacity.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ammb::mac {
+
+/// Discriminates protocol message types (BMMB data, FMMB subroutine
+/// traffic, ...).  Kinds are purely protocol-level; the MAC layer never
+/// interprets them.
+enum class PacketKind : std::uint8_t {
+  kData,          ///< BMMB / generic payload carrying MMB messages
+  kElectionBits,  ///< FMMB MIS election bit-string broadcast
+  kMisAnnounce,   ///< FMMB MIS announcement (ID of a new MIS member)
+  kGatherPoll,    ///< FMMB gather round 1: active MIS node announces
+  kGatherData,    ///< FMMB gather round 2: non-MIS node uploads one msg
+  kGatherAck,     ///< FMMB gather round 3: MIS node acknowledges a msg
+  kSpreadData,    ///< FMMB spread: overlay local-broadcast payload
+  kCustom,        ///< reserved for user protocols built on the library
+};
+
+/// A local broadcast payload.
+struct Packet {
+  PacketKind kind = PacketKind::kData;
+  /// Filled in by the engine at bcast time; receivers may use it to
+  /// tell G-neighbors from G'-only neighbors (a standard-practice
+  /// assumption the paper makes explicitly in Section 2).
+  NodeId sender = kNoNode;
+  /// Protocol scratch value (round index, phase id, ...).
+  std::int32_t tag = 0;
+  /// Protocol scratch bits (MIS election bit-strings, ...).
+  std::uint64_t bits = 0;
+  /// MMB messages carried; size is capped by MacParams::msgCapacity.
+  std::vector<MsgId> msgs;
+};
+
+}  // namespace ammb::mac

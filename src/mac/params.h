@@ -1,0 +1,43 @@
+// Model parameters of an abstract MAC layer execution.
+#pragma once
+
+#include "common/error.h"
+#include "common/types.h"
+
+namespace ammb::mac {
+
+/// Which abstract MAC layer variant governs the execution (Section 2).
+enum class ModelVariant : std::uint8_t {
+  /// Event-driven nodes; no clocks, no timers, no aborts.
+  kStandard,
+  /// Nodes additionally know Fack/Fprog/n, can set timers, read the
+  /// current time, and abort broadcasts in progress.
+  kEnhanced,
+};
+
+/// Timing and capacity parameters, fixed per execution.
+struct MacParams {
+  /// Acknowledgment bound: every broadcast is delivered to all
+  /// G-neighbors and acknowledged within fack ticks.
+  Time fack = 32;
+  /// Progress bound: a node with a broadcasting G-neighbor receives
+  /// *some* contending message within any window longer than fprog.
+  Time fprog = 4;
+  /// Grace period after an abort during which planned receives may
+  /// still fire (the paper's eps_abort).
+  Time epsAbort = 0;
+  /// Max MMB messages per packet (the paper's "constant number").
+  int msgCapacity = 1;
+  /// Model variant; gates the enhanced-only process APIs.
+  ModelVariant variant = ModelVariant::kStandard;
+
+  /// Validates parameter consistency (throws ammb::Error).
+  void validate() const {
+    AMMB_REQUIRE(fprog >= 1, "fprog must be at least one tick");
+    AMMB_REQUIRE(fack >= fprog, "the model assumes fprog <= fack");
+    AMMB_REQUIRE(epsAbort >= 0, "epsAbort must be non-negative");
+    AMMB_REQUIRE(msgCapacity >= 1, "msgCapacity must be at least 1");
+  }
+};
+
+}  // namespace ammb::mac

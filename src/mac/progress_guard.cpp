@@ -1,0 +1,147 @@
+#include "mac/progress_guard.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "mac/engine.h"
+
+namespace ammb::mac {
+
+namespace {
+
+/// A closed integer interval [lo, hi]; hi == kTimeNever means +infinity.
+struct Interval {
+  Time lo;
+  Time hi;
+};
+
+void sortByLo(std::vector<Interval>& xs) {
+  std::sort(xs.begin(), xs.end(),
+            [](const Interval& a, const Interval& b) { return a.lo < b.lo; });
+}
+
+/// Sorts and merges overlapping/adjacent intervals in place.  Dense
+/// neighborhoods (stars, cliques) produce many near-identical need
+/// intervals; merging keeps the cover scan linear instead of
+/// quadratic.
+void normalize(std::vector<Interval>& xs) {
+  sortByLo(xs);
+  std::size_t out = 0;
+  for (const Interval& x : xs) {
+    if (out > 0 && x.lo <= xs[out - 1].hi + 1) {
+      xs[out - 1].hi = std::max(xs[out - 1].hi, x.hi);
+    } else {
+      xs[out++] = x;
+    }
+  }
+  xs.resize(out);
+}
+
+}  // namespace
+
+ProgressGuard::ProgressGuard(MacEngine& engine, NodeId n)
+    : engine_(engine), states_(static_cast<std::size_t>(n)) {}
+
+void ProgressGuard::onReceive(NodeId receiver, InstanceId instance, Time at) {
+  states_[static_cast<std::size_t>(receiver)].covers.push_back(
+      Cover{at, instance});
+  recompute(receiver);
+}
+
+Time ProgressGuard::earliestUncovered(NodeId receiver) const {
+  const Time fprog = engine_.params().fprog;
+
+  // Need set: window starts demanded by live instances of G-neighbors.
+  std::vector<Interval> need;
+  for (InstanceId id : engine_.liveInstancesNear(receiver)) {
+    const Instance& inst = engine_.instance(id);
+    if (inst.terminated) continue;
+    if (!engine_.topology().g().hasEdge(inst.sender, receiver)) continue;
+    const Time lo = inst.bcastAt;
+    const Time hi = inst.plannedAck - fprog - 1;
+    if (hi >= lo) need.push_back({lo, hi});
+  }
+  if (need.empty()) return kTimeNever;
+  normalize(need);
+
+  // Cover set: window starts already satisfied by past receives.  The
+  // covers vector is appended in receive-time order, so it is already
+  // sorted by interval start (rcvAt - fprog) — scan it directly.
+  const State& st = states_[static_cast<std::size_t>(receiver)];
+  for (const Interval& nd : need) {
+    Time t = nd.lo;
+    for (const Cover& c : st.covers) {
+      if (t > nd.hi) break;
+      const Time lo = c.rcvAt - fprog;
+      if (lo > t) break;  // sorted: no later cover can contain t
+      const Instance& inst = engine_.instance(c.instance);
+      const Time hi = inst.terminated ? inst.termAt - 1 : kTimeNever;
+      if (hi >= t) {
+        t = (hi == kTimeNever) ? nd.hi + 1 : hi + 1;
+      }
+    }
+    if (t <= nd.hi) return t;
+  }
+  return kTimeNever;
+}
+
+void ProgressGuard::recompute(NodeId receiver) {
+  State& st = states_[static_cast<std::size_t>(receiver)];
+  pruneCovers(receiver);
+  const Time t = earliestUncovered(receiver);
+  if (t == kTimeNever) {
+    if (st.armedEvent != 0) {
+      // No obligation left; stand down.
+      st.armedDeadline = kTimeNever;
+      // Cancellation may fail if the event is mid-flight; onDeadline
+      // re-validates, so that is harmless.
+      st.armedEvent = 0;
+    }
+    return;
+  }
+  const Time deadline = t + engine_.params().fprog;
+  AMMB_ASSERT(deadline >= engine_.now());
+  if (st.armedEvent != 0 && st.armedDeadline == deadline) return;
+  st.armedDeadline = deadline;
+  st.armedEvent = 0;
+  // Note: superseded events are left to fire and re-validate; this
+  // avoids handle-reuse bookkeeping and keeps the guard reentrant.
+  sim::EventQueue& queue = engine_.queue_;
+  st.armedEvent =
+      queue.schedule(deadline, [this, receiver] { onDeadline(receiver); });
+}
+
+void ProgressGuard::onDeadline(NodeId receiver) {
+  State& st = states_[static_cast<std::size_t>(receiver)];
+  st.armedEvent = 0;
+  st.armedDeadline = kTimeNever;
+  const Time t = earliestUncovered(receiver);
+  if (t == kTimeNever) return;  // obligation satisfied meanwhile
+  const Time deadline = t + engine_.params().fprog;
+  const Time now = engine_.now();
+  if (deadline > now) {
+    recompute(receiver);
+    return;
+  }
+  AMMB_ASSERT(deadline == now);
+  engine_.forceProgressDelivery(receiver);
+  recompute(receiver);
+}
+
+void ProgressGuard::pruneCovers(NodeId receiver) {
+  State& st = states_[static_cast<std::size_t>(receiver)];
+  if (st.covers.size() < 128) return;
+  // No live or future instance can demand window starts earlier than
+  // now - fack, so finite covers that end before that are dead weight.
+  const Time floor = engine_.now() - engine_.params().fack;
+  std::vector<Cover> kept;
+  kept.reserve(st.covers.size());
+  for (const Cover& c : st.covers) {
+    const Instance& inst = engine_.instance(c.instance);
+    if (inst.terminated && inst.termAt - 1 < floor) continue;
+    kept.push_back(c);
+  }
+  st.covers = std::move(kept);
+}
+
+}  // namespace ammb::mac

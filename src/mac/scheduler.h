@@ -1,0 +1,72 @@
+// The message scheduler: the model's source of non-determinism.
+//
+// In the abstract MAC layer, which G'-neighbors receive a message, and
+// *when* every receive/ack fires, is chosen by an arbitrary scheduler
+// constrained only by the Fack/Fprog bounds (Section 2).  Upper-bound
+// theorems quantify over all schedulers; lower bounds construct
+// specific ones.  This interface is that scheduler.
+//
+// A scheduler contributes in two places:
+//   1. planBcast — when an instance is born, it commits to delivery
+//      times for every G-neighbor, an ack time, and any extra
+//      G'-deliveries it wants (all validated by the engine);
+//   2. pickProgressDelivery — when the engine's progress guard finds a
+//      receiver about to violate the progress bound, the scheduler
+//      picks which live contending instance delivers (adversaries pick
+//      useless ones; see oracle.h).
+//
+// The engine guarantees the resulting execution satisfies every model
+// axiom regardless of what the scheduler returns (invalid plans throw).
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+#include "mac/instance.h"
+
+namespace ammb::mac {
+
+class MacEngine;
+
+/// One planned receive event.
+struct PlannedDelivery {
+  NodeId target = kNoNode;
+  Time at = 0;
+};
+
+/// The scheduler's commitment for a freshly born instance.
+///
+/// Validity (checked by the engine):
+///  * ackAt in [bcastAt, bcastAt + Fack];
+///  * targets are distinct G'-neighbors of the sender;
+///  * every G-neighbor of the sender appears;
+///  * every delivery time is in [bcastAt, ackAt].
+struct DeliveryPlan {
+  std::vector<PlannedDelivery> deliveries;
+  Time ackAt = 0;
+};
+
+/// Base scheduler.  Implementations must be deterministic given the
+/// engine's scheduler RNG stream.
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Called once when the engine is constructed.
+  virtual void attach(MacEngine& engine) { engine_ = &engine; }
+
+  /// Commits delivery/ack times for a new instance.
+  virtual DeliveryPlan planBcast(const Instance& instance) = 0;
+
+  /// Picks the instance that satisfies an imminent progress deadline at
+  /// `receiver`.  `candidates` is non-empty, sorted by instance id, and
+  /// contains only live instances from G'-neighbors that have not yet
+  /// delivered to `receiver`.  Default: the oldest instance.
+  virtual InstanceId pickProgressDelivery(
+      NodeId receiver, const std::vector<InstanceId>& candidates);
+
+ protected:
+  MacEngine* engine_ = nullptr;
+};
+
+}  // namespace ammb::mac

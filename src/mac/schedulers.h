@@ -1,0 +1,90 @@
+// The scheduler family.
+//
+// Upper-bound theorems in the paper hold for *every* scheduler the
+// model admits; the schedulers here span that space from friendly to
+// maximally hostile so experiments can measure both ends:
+//
+//   FastScheduler        — immediate delivery, immediate ack; the
+//                          "perfect network" reference point.
+//   RandomScheduler      — delays drawn uniformly within the legal
+//                          windows; a "typical" network.
+//   SlowAckScheduler     — delivers at Fprog but withholds every ack
+//                          until the full Fack; the slowest scheduler
+//                          that never exploits unreliable links.  With
+//                          G' = G this is the worst case BMMB can see
+//                          (Theorem from [30]); on the bridge star it
+//                          realizes the Ω(kFack) choke (Lemma 3.18).
+//   AdversarialScheduler — withholds reliable deliveries until the last
+//                          legal instant and satisfies progress
+//                          deadlines with useless deliveries over
+//                          unreliable links (consulting the protocol
+//                          oracle), optionally stuffing far receivers
+//                          with early out-of-order messages.  This is
+//                          the regime of Theorems 3.1/3.2: its power
+//                          comes *only* from G' \ G edges — with
+//                          G' = G the progress guard forces it to make
+//                          real progress every Fprog.
+#pragma once
+
+#include "mac/engine.h"
+#include "mac/scheduler.h"
+
+namespace ammb::mac {
+
+/// Best-case scheduler: everything happens `delay` ticks after bcast.
+class FastScheduler : public Scheduler {
+ public:
+  struct Options {
+    Time delay = 1;            ///< delivery/ack latency (<= fprog)
+    bool deliverGPrime = true; ///< also deliver over all G'-only edges
+  };
+  FastScheduler();
+  explicit FastScheduler(Options options);
+  DeliveryPlan planBcast(const Instance& instance) override;
+
+ private:
+  Options options_;
+};
+
+/// Uniformly random legal delays; unreliable edges deliver with a
+/// fixed probability.
+class RandomScheduler : public Scheduler {
+ public:
+  struct Options {
+    double pUnreliable = 0.5;  ///< chance each G'-only neighbor receives
+  };
+  RandomScheduler();
+  explicit RandomScheduler(Options options);
+  DeliveryPlan planBcast(const Instance& instance) override;
+
+ private:
+  Options options_;
+};
+
+/// Delivers to G-neighbors at exactly Fprog; acks at exactly Fack; no
+/// unreliable deliveries.
+class SlowAckScheduler : public Scheduler {
+ public:
+  DeliveryPlan planBcast(const Instance& instance) override;
+};
+
+/// The strongest generic adversary the model admits.
+class AdversarialScheduler : public Scheduler {
+ public:
+  struct Options {
+    /// Deliver each packet to all G'-only neighbors one tick after the
+    /// bcast, pushing messages ahead of the reliable frontier (stuffs
+    /// FIFO queues; relevant for the r-restricted regime).
+    bool stuffUnreliable = false;
+  };
+  AdversarialScheduler();
+  explicit AdversarialScheduler(Options options);
+  DeliveryPlan planBcast(const Instance& instance) override;
+  InstanceId pickProgressDelivery(
+      NodeId receiver, const std::vector<InstanceId>& candidates) override;
+
+ private:
+  Options options_;
+};
+
+}  // namespace ammb::mac

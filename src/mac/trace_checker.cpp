@@ -1,0 +1,277 @@
+#include "mac/trace_checker.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace ammb::mac {
+
+namespace {
+
+using sim::TraceKind;
+using sim::TraceRecord;
+
+/// Closed interval [lo, hi], hi == kTimeNever meaning +infinity.
+struct Interval {
+  Time lo;
+  Time hi;
+};
+
+/// Sorts and merges overlapping/adjacent intervals.
+std::vector<Interval> normalize(std::vector<Interval> xs) {
+  std::sort(xs.begin(), xs.end(),
+            [](const Interval& a, const Interval& b) { return a.lo < b.lo; });
+  std::vector<Interval> out;
+  for (const Interval& x : xs) {
+    if (x.hi != kTimeNever && x.hi < x.lo) continue;
+    if (!out.empty() && out.back().hi != kTimeNever &&
+        x.lo <= out.back().hi + 1) {
+      out.back().hi = (x.hi == kTimeNever)
+                          ? kTimeNever
+                          : std::max(out.back().hi, x.hi);
+    } else if (!out.empty() && out.back().hi == kTimeNever) {
+      // Everything later is already covered.
+      continue;
+    } else {
+      out.push_back(x);
+    }
+  }
+  return out;
+}
+
+/// First point of `need` not covered by `cover`, or kTimeNever.
+Time firstUncovered(const std::vector<Interval>& needRaw,
+                    const std::vector<Interval>& coverRaw) {
+  const auto need = normalize(needRaw);
+  const auto cover = normalize(coverRaw);
+  for (const Interval& nd : need) {
+    Time t = nd.lo;
+    for (const Interval& cv : cover) {
+      if (nd.hi != kTimeNever && t > nd.hi) break;
+      if (cv.lo > t) break;
+      if (cv.hi == kTimeNever) {
+        t = kTimeNever;
+        break;
+      }
+      if (cv.hi >= t) t = cv.hi + 1;
+    }
+    if (t != kTimeNever && (nd.hi == kTimeNever || t <= nd.hi)) return t;
+  }
+  return kTimeNever;
+}
+
+/// Reconstructed per-instance facts.
+struct InstanceFacts {
+  NodeId sender = kNoNode;
+  Time bcastAt = 0;
+  std::size_t bcastIdx = 0;
+  bool terminated = false;
+  bool aborted = false;
+  Time termAt = kTimeNever;
+  std::size_t termIdx = 0;
+  std::vector<std::pair<NodeId, std::size_t>> rcvs;  // (receiver, index)
+  std::vector<Time> rcvTimes;
+};
+
+class Checker {
+ public:
+  Checker(const graph::DualGraph& topo, const MacParams& params,
+          const sim::Trace& trace, Time horizon)
+      : topo_(topo), params_(params), trace_(trace), horizon_(horizon) {}
+
+  CheckResult run() {
+    scan();
+    checkPerInstance();
+    checkProgress();
+    return std::move(result_);
+  }
+
+ private:
+  void fail(const std::string& msg) {
+    result_.ok = false;
+    result_.violations.push_back(msg);
+  }
+
+  void scan() {
+    // busy_[v] tracks the outstanding instance of node v, enforcing
+    // user well-formedness in stream order.
+    std::map<NodeId, InstanceId> busy;
+    const auto& recs = trace_.records();
+    for (std::size_t idx = 0; idx < recs.size(); ++idx) {
+      const TraceRecord& r = recs[idx];
+      switch (r.kind) {
+        case TraceKind::kBcast: {
+          if (busy.count(r.node) > 0) {
+            fail("well-formedness: node " + std::to_string(r.node) +
+                 " bcast while instance " +
+                 std::to_string(busy[r.node]) + " is outstanding");
+          }
+          busy[r.node] = r.instance;
+          InstanceFacts f;
+          f.sender = r.node;
+          f.bcastAt = r.t;
+          f.bcastIdx = idx;
+          if (!facts_.emplace(r.instance, f).second) {
+            fail("duplicate bcast record for instance " +
+                 std::to_string(r.instance));
+          }
+          break;
+        }
+        case TraceKind::kRcv: {
+          auto it = facts_.find(r.instance);
+          if (it == facts_.end()) {
+            fail("rcv for unknown instance " + std::to_string(r.instance));
+            break;
+          }
+          it->second.rcvs.emplace_back(r.node, idx);
+          it->second.rcvTimes.push_back(r.t);
+          break;
+        }
+        case TraceKind::kAck:
+        case TraceKind::kAbort: {
+          auto it = facts_.find(r.instance);
+          if (it == facts_.end()) {
+            fail("termination for unknown instance " +
+                 std::to_string(r.instance));
+            break;
+          }
+          InstanceFacts& f = it->second;
+          if (f.terminated) {
+            fail("instance " + std::to_string(r.instance) +
+                 " terminated twice");
+          }
+          f.terminated = true;
+          f.aborted = (r.kind == TraceKind::kAbort);
+          f.termAt = r.t;
+          f.termIdx = idx;
+          auto bit = busy.find(r.node);
+          if (bit == busy.end() || bit->second != r.instance) {
+            fail("termination of instance " + std::to_string(r.instance) +
+                 " which is not the outstanding bcast of node " +
+                 std::to_string(r.node));
+          } else {
+            busy.erase(bit);
+          }
+          break;
+        }
+        default:
+          break;
+      }
+    }
+  }
+
+  void checkPerInstance() {
+    for (const auto& [id, f] : facts_) {
+      // Receive correctness.
+      std::set<NodeId> seen;
+      for (std::size_t i = 0; i < f.rcvs.size(); ++i) {
+        const auto& [receiver, idx] = f.rcvs[i];
+        const Time at = f.rcvTimes[i];
+        if (receiver == f.sender) {
+          fail("instance " + std::to_string(id) + " delivered to its sender");
+        }
+        if (!topo_.gPrime().hasEdge(f.sender, receiver)) {
+          fail("instance " + std::to_string(id) +
+               " delivered outside G' to node " + std::to_string(receiver));
+        }
+        if (!seen.insert(receiver).second) {
+          fail("instance " + std::to_string(id) +
+               " delivered twice to node " + std::to_string(receiver));
+        }
+        if (idx < f.bcastIdx) {
+          fail("instance " + std::to_string(id) + " rcv precedes its bcast");
+        }
+        if (f.terminated && !f.aborted && idx > f.termIdx) {
+          fail("instance " + std::to_string(id) + " rcv after its ack");
+        }
+        if (f.terminated && f.aborted && at > f.termAt + params_.epsAbort) {
+          fail("instance " + std::to_string(id) +
+               " rcv more than epsAbort after its abort");
+        }
+      }
+      // Acknowledgment correctness + ack bound.
+      if (f.terminated && !f.aborted) {
+        for (NodeId j : topo_.g().neighbors(f.sender)) {
+          bool found = false;
+          for (std::size_t i = 0; i < f.rcvs.size(); ++i) {
+            if (f.rcvs[i].first == j && f.rcvs[i].second < f.termIdx) {
+              found = true;
+              break;
+            }
+          }
+          if (!found) {
+            fail("instance " + std::to_string(id) +
+                 " acked before G-neighbor " + std::to_string(j) +
+                 " received it");
+          }
+        }
+        if (f.termAt - f.bcastAt > params_.fack) {
+          fail("instance " + std::to_string(id) + " violated the ack bound (" +
+               std::to_string(f.termAt - f.bcastAt) + " > Fack)");
+        }
+      }
+      // Termination.  Strict comparison: an instance whose Fack budget
+      // expires exactly at the horizon may still ack at that instant
+      // (runs stopped mid-tick by solve detection hit this boundary).
+      if (!f.terminated && f.bcastAt + params_.fack < horizon_) {
+        fail("instance " + std::to_string(id) +
+             " never terminated although its Fack budget expired before "
+             "the horizon");
+      }
+    }
+  }
+
+  void checkProgress() {
+    const Time fprog = params_.fprog;
+    for (NodeId j = 0; j < topo_.n(); ++j) {
+      std::vector<Interval> need;
+      std::vector<Interval> cover;
+      for (const auto& [id, f] : facts_) {
+        (void)id;
+        const Time term =
+            f.terminated ? f.termAt : std::max(horizon_, f.bcastAt);
+        if (topo_.g().hasEdge(f.sender, j)) {
+          const Time hi = std::min(term, horizon_) - fprog - 1;
+          if (hi >= f.bcastAt) need.push_back({f.bcastAt, hi});
+        }
+        if (!topo_.gPrime().hasEdge(f.sender, j)) continue;
+        for (std::size_t i = 0; i < f.rcvs.size(); ++i) {
+          if (f.rcvs[i].first != j) continue;
+          const Time d = f.rcvTimes[i];
+          const Time hi = f.terminated ? f.termAt - 1 : kTimeNever;
+          cover.push_back({d - fprog, hi});
+        }
+      }
+      const Time t = firstUncovered(need, cover);
+      if (t != kTimeNever) {
+        fail("progress bound violated at receiver " + std::to_string(j) +
+             ": window starting at t=" + std::to_string(t) +
+             " has a broadcasting G-neighbor but no covering rcv");
+      }
+    }
+  }
+
+  const graph::DualGraph& topo_;
+  const MacParams& params_;
+  const sim::Trace& trace_;
+  Time horizon_;
+  CheckResult result_;
+  std::map<InstanceId, InstanceFacts> facts_;
+};
+
+}  // namespace
+
+CheckResult checkTrace(const graph::DualGraph& topology,
+                       const MacParams& params, const sim::Trace& trace,
+                       Time horizon) {
+  AMMB_REQUIRE(trace.enabled(),
+               "checkTrace requires a trace that recorded events");
+  if (horizon < 0) {
+    horizon = trace.records().empty() ? 0 : trace.records().back().t;
+  }
+  Checker checker(topology, params, trace, horizon);
+  return checker.run();
+}
+
+}  // namespace ammb::mac

@@ -1,0 +1,50 @@
+// Offline model checker for abstract-MAC-layer executions.
+//
+// Re-validates a recorded trace against every axiom of Section 3.2.1:
+//
+//   1. user well-formedness (bcasts separated by ack/abort);
+//   2. receive correctness (deliveries only over E', at most one rcv
+//      per (instance, receiver), no rcv after the terminating event —
+//      beyond epsAbort for aborted instances);
+//   3. acknowledgment correctness (ack only after every G-neighbor
+//      received; a single terminating event per instance);
+//   4. termination (every instance acks/aborts — instances still in
+//      flight when the observation window closes are exempt unless
+//      their Fack budget already expired);
+//   5. the acknowledgment bound (ack within Fack);
+//   6. the progress bound, via the interval algebra described in
+//      progress_guard.h (need-set minus cover-set must be empty).
+//
+// The checker is the test suite's ground truth that no scheduler —
+// including the hand-built lower-bound adversaries — is ever granted
+// more power than the model allows.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/dual_graph.h"
+#include "mac/params.h"
+#include "sim/trace.h"
+
+namespace ammb::mac {
+
+/// Result of checking one execution.
+struct CheckResult {
+  bool ok = true;
+  std::vector<std::string> violations;
+
+  /// Convenience: first violation or "ok".
+  std::string summary() const {
+    return ok ? "ok" : violations.front();
+  }
+};
+
+/// Checks `trace` (an execution over `topology` under `params`,
+/// observed up to time `horizon`) against all model axioms.
+/// `horizon` defaults to the last record's timestamp.
+CheckResult checkTrace(const graph::DualGraph& topology,
+                       const MacParams& params, const sim::Trace& trace,
+                       Time horizon = -1);
+
+}  // namespace ammb::mac

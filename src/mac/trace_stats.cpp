@@ -1,0 +1,42 @@
+#include "mac/trace_stats.h"
+
+#include "common/error.h"
+
+namespace ammb::mac {
+
+std::vector<MessageLatency> messageLatencies(const sim::Trace& trace,
+                                             int k) {
+  AMMB_REQUIRE(k >= 1, "k must be positive");
+  std::vector<MessageLatency> out(static_cast<std::size_t>(k));
+  for (MsgId m = 0; m < k; ++m) out[static_cast<std::size_t>(m)].msg = m;
+  for (const auto& record : trace.records()) {
+    if (record.msg < 0 || record.msg >= k) continue;
+    MessageLatency& lat = out[static_cast<std::size_t>(record.msg)];
+    if (record.kind == sim::TraceKind::kArrive) {
+      if (lat.arriveAt < 0) lat.arriveAt = record.t;
+    } else if (record.kind == sim::TraceKind::kDeliver) {
+      if (lat.firstDeliver < 0) lat.firstDeliver = record.t;
+      lat.lastDeliver = record.t;
+      ++lat.deliveries;
+    }
+  }
+  return out;
+}
+
+std::vector<Time> deliveryTimeline(const sim::Trace& trace, MsgId msg,
+                                   NodeId n) {
+  AMMB_REQUIRE(n >= 1, "node count must be positive");
+  std::vector<Time> out(static_cast<std::size_t>(n), -1);
+  for (const auto& record : trace.records()) {
+    if (record.kind != sim::TraceKind::kDeliver || record.msg != msg) {
+      continue;
+    }
+    if (record.node >= 0 && record.node < n &&
+        out[static_cast<std::size_t>(record.node)] < 0) {
+      out[static_cast<std::size_t>(record.node)] = record.t;
+    }
+  }
+  return out;
+}
+
+}  // namespace ammb::mac

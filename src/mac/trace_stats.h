@@ -1,0 +1,48 @@
+// Trace analysis utilities.
+//
+// Post-processing helpers over recorded executions: per-message
+// delivery latency profiles, per-hop frontier timelines, and breakdowns
+// of reliable vs unreliable link usage.  The example binaries and
+// EXPERIMENTS.md tables are produced with these.
+#pragma once
+
+#include <vector>
+
+#include "graph/dual_graph.h"
+#include "sim/trace.h"
+
+namespace ammb::mac {
+
+/// Latency profile of one MMB message.
+struct MessageLatency {
+  MsgId msg = kNoMsg;
+  Time arriveAt = -1;       ///< injection time (first arrive event)
+  Time firstDeliver = -1;   ///< earliest deliver anywhere
+  Time lastDeliver = -1;    ///< latest deliver anywhere (completion)
+  std::size_t deliveries = 0;
+};
+
+/// Per-message latency profiles, indexed by message id (0..k-1).
+std::vector<MessageLatency> messageLatencies(const sim::Trace& trace, int k);
+
+/// Count of receive events that crossed unreliable (E' \ E) links.
+/// `instanceSender(id)` resolves an instance to its broadcaster —
+/// callers pass a lambda over MacEngine::instance.
+template <typename SenderFn>
+std::size_t unreliableDeliveryCount(const graph::DualGraph& topology,
+                                    const sim::Trace& trace,
+                                    SenderFn&& instanceSender) {
+  std::size_t count = 0;
+  for (const auto& record : trace.records()) {
+    if (record.kind != sim::TraceKind::kRcv) continue;
+    const NodeId sender = instanceSender(record.instance);
+    if (topology.isUnreliableOnlyEdge(sender, record.node)) ++count;
+  }
+  return count;
+}
+
+/// First-delivery time of `msg` per node (-1 where never delivered).
+std::vector<Time> deliveryTimeline(const sim::Trace& trace, MsgId msg,
+                                   NodeId n);
+
+}  // namespace ammb::mac

@@ -1,0 +1,44 @@
+#include "sim/event_queue.h"
+
+#include <utility>
+
+namespace ammb::sim {
+
+EventHandle EventQueue::schedule(Time at, std::function<void()> fn) {
+  AMMB_REQUIRE(at >= now_, "cannot schedule an event in the past");
+  AMMB_REQUIRE(fn != nullptr, "event function must not be null");
+  const EventHandle handle = nextHandle_++;
+  heap_.push(Entry{at, handle, std::move(fn)});
+  return handle;
+}
+
+bool EventQueue::cancel(EventHandle handle) {
+  if (handle == 0 || handle >= nextHandle_) return false;
+  // Lazy cancellation: the entry is skipped when popped.
+  return cancelled_.insert(handle).second;
+}
+
+RunStatus EventQueue::run(Time timeLimit, std::uint64_t maxEvents) {
+  stopRequested_ = false;
+  std::uint64_t executed = 0;
+  while (!heap_.empty()) {
+    if (stopRequested_) return RunStatus::kStopped;
+    const Entry& top = heap_.top();
+    if (top.at > timeLimit) return RunStatus::kTimeLimit;
+    if (cancelled_.erase(top.handle) > 0) {
+      heap_.pop();
+      continue;
+    }
+    if (executed >= maxEvents) return RunStatus::kEventLimit;
+    // Move the entry out before popping so the callback may schedule.
+    Entry entry = std::move(const_cast<Entry&>(top));
+    heap_.pop();
+    now_ = entry.at;
+    ++processed_;
+    ++executed;
+    entry.fn();
+  }
+  return stopRequested_ ? RunStatus::kStopped : RunStatus::kDrained;
+}
+
+}  // namespace ammb::sim

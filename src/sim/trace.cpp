@@ -1,0 +1,31 @@
+#include "sim/trace.h"
+
+#include <sstream>
+
+namespace ammb::sim {
+
+namespace {
+const char* kindName(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kWake: return "wake";
+    case TraceKind::kArrive: return "arrive";
+    case TraceKind::kBcast: return "bcast";
+    case TraceKind::kRcv: return "rcv";
+    case TraceKind::kAck: return "ack";
+    case TraceKind::kAbort: return "abort";
+    case TraceKind::kDeliver: return "deliver";
+  }
+  return "?";
+}
+}  // namespace
+
+std::string toString(const TraceRecord& record) {
+  std::ostringstream os;
+  os << "t=" << record.t << " " << kindName(record.kind) << " node="
+     << record.node;
+  if (record.instance != kNoInstance) os << " inst=" << record.instance;
+  if (record.msg != kNoMsg) os << " msg=" << record.msg;
+  return os.str();
+}
+
+}  // namespace ammb::sim

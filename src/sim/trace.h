@@ -1,0 +1,67 @@
+// Execution traces.
+//
+// Every observable event of a run — environment arrivals, MAC-layer
+// bcast/rcv/ack/abort, and protocol-level deliver outputs — is appended
+// to a Trace in execution order.  The trace is the ground truth for the
+// offline model checker (mac/trace_checker.h): event *order* in the
+// vector resolves same-tick precedence questions (the model's "precedes"
+// relation), while timestamps feed the Fack/Fprog bound checks.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ammb::sim {
+
+/// Kind of a trace record.
+enum class TraceKind : std::uint8_t {
+  kWake,     ///< node woke up (start of execution)
+  kArrive,   ///< environment injected MMB message `msg` at `node`
+  kBcast,    ///< `node` initiated broadcast instance `instance`
+  kRcv,      ///< `node` received instance `instance` (from its sender)
+  kAck,      ///< instance `instance` acknowledged at its sender `node`
+  kAbort,    ///< instance `instance` aborted by its sender `node`
+  kDeliver,  ///< protocol performed deliver(msg) output at `node`
+};
+
+/// One observable event.
+struct TraceRecord {
+  Time t = 0;
+  TraceKind kind = TraceKind::kWake;
+  NodeId node = kNoNode;             ///< the node the event happened at
+  InstanceId instance = kNoInstance; ///< for bcast/rcv/ack/abort
+  MsgId msg = kNoMsg;                ///< for arrive/deliver
+};
+
+/// Human-readable one-liner for debugging and the example binaries.
+std::string toString(const TraceRecord& record);
+
+/// An append-only event log.  Recording can be disabled for large
+/// benchmark runs (bounds are still enforced online by the engine).
+class Trace {
+ public:
+  explicit Trace(bool enabled = true) : enabled_(enabled) {}
+
+  /// True when records are being kept.
+  bool enabled() const { return enabled_; }
+
+  /// Appends a record (no-op when disabled).
+  void add(const TraceRecord& record) {
+    if (enabled_) records_.push_back(record);
+  }
+
+  /// All records in execution order.
+  const std::vector<TraceRecord>& records() const { return records_; }
+
+  /// Number of records kept.
+  std::size_t size() const { return records_.size(); }
+
+ private:
+  bool enabled_;
+  std::vector<TraceRecord> records_;
+};
+
+}  // namespace ammb::sim

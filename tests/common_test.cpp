@@ -1,0 +1,118 @@
+// Tests for the common substrate: RNG streams and contract macros.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace ammb {
+namespace {
+
+TEST(Rng, UniformIntRespectsBounds) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniformInt(-3, 7);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 7);
+  }
+  EXPECT_EQ(rng.uniformInt(5, 5), 5);
+  EXPECT_THROW(rng.uniformInt(3, 2), Error);
+}
+
+TEST(Rng, Uniform01InHalfOpenRange) {
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+    EXPECT_FALSE(rng.bernoulli(-1.0));
+    EXPECT_TRUE(rng.bernoulli(2.0));
+  }
+}
+
+TEST(Rng, BernoulliRoughlyCalibrated) {
+  Rng rng(4);
+  int hits = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.02);
+}
+
+TEST(Rng, RandomBitsWidth) {
+  Rng rng(5);
+  for (int bits = 1; bits <= 63; ++bits) {
+    const auto v = rng.randomBits(bits);
+    EXPECT_LT(v, std::uint64_t{1} << bits);
+  }
+  (void)rng.randomBits(64);  // full width is legal
+  EXPECT_THROW(rng.randomBits(0), Error);
+  EXPECT_THROW(rng.randomBits(65), Error);
+}
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.uniformInt(0, 1000000), b.uniformInt(0, 1000000));
+  }
+}
+
+TEST(SeedSequence, ChildStreamsAreDistinct) {
+  const SeedSequence seeds(7);
+  std::set<std::uint64_t> unique;
+  for (std::uint64_t stream = 1; stream <= 4; ++stream) {
+    for (std::uint64_t index = 0; index < 50; ++index) {
+      unique.insert(seeds.childSeed(stream, index));
+    }
+  }
+  EXPECT_EQ(unique.size(), 200u);  // no collisions
+}
+
+TEST(SeedSequence, DeterministicAcrossInstances) {
+  const SeedSequence a(99);
+  const SeedSequence b(99);
+  EXPECT_EQ(a.childSeed(rngstream::kNode, 3),
+            b.childSeed(rngstream::kNode, 3));
+  const SeedSequence c(100);
+  EXPECT_NE(a.childSeed(rngstream::kNode, 3),
+            c.childSeed(rngstream::kNode, 3));
+}
+
+TEST(SeedSequence, NeverReturnsZero) {
+  const SeedSequence seeds(0);
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    EXPECT_NE(seeds.childSeed(1, i), 0u);
+  }
+}
+
+TEST(Error, RequireCarriesMessageAndLocation) {
+  try {
+    AMMB_REQUIRE(false, "the user-facing explanation");
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("the user-facing explanation"), std::string::npos);
+    EXPECT_NE(what.find("common_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(Error, AssertMentionsBug) {
+  try {
+    AMMB_ASSERT(1 == 2);
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("bug"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace ammb

@@ -1,0 +1,133 @@
+// FMMB parameter/variant coverage: strict paper phases, grey-zone
+// constant sweep, parameter validation, and cross-mode equivalence.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/experiment.h"
+#include "graph/generators.h"
+#include "test_util.h"
+
+namespace ammb {
+namespace {
+
+using core::FmmbParams;
+using core::RunConfig;
+using core::SchedulerKind;
+namespace gen = graph::gen;
+using testutil::enhParams;
+
+TEST(FmmbParams, FormulasMatchThePaper) {
+  const auto p = FmmbParams::make(64, 2.0);
+  EXPECT_EQ(p.logn, 6);
+  EXPECT_EQ(p.electionRounds, 4 * 6);              // 4 log n (Section 4.2)
+  EXPECT_EQ(p.announceRounds, 72);                 // ceil(3 c^2 log n)
+  EXPECT_DOUBLE_EQ(p.pAnnounce, 1.0 / 8.0);        // 1 / (2 c^2)
+  EXPECT_EQ(p.misRounds(), p.phases * (24 + 72));
+  // Strict mode: Theta(c^2 log^2 n) phases.
+  auto strict = FmmbParams::make(64, 2.0).strictPaperPhases();
+  EXPECT_EQ(strict.phases, static_cast<int>(std::ceil(4.0 * 36)));
+}
+
+TEST(FmmbParams, RejectsOversizedNetworks) {
+  // 4 log n must fit in a 64-bit election string: n <= 2^16.
+  EXPECT_NO_THROW(FmmbParams::make(1 << 16));
+  EXPECT_THROW(FmmbParams::make((1 << 16) + 1), Error);
+  EXPECT_THROW(FmmbParams::make(0), Error);
+  EXPECT_THROW(FmmbParams::make(8, 0.5), Error);
+  EXPECT_THROW(FmmbParams::makeSequential(8, 0), Error);
+}
+
+TEST(FmmbParams, LognIsCeilLog2) {
+  EXPECT_EQ(FmmbParams::make(1).logn, 1);
+  EXPECT_EQ(FmmbParams::make(2).logn, 1);
+  EXPECT_EQ(FmmbParams::make(3).logn, 2);
+  EXPECT_EQ(FmmbParams::make(64).logn, 6);
+  EXPECT_EQ(FmmbParams::make(65).logn, 7);
+}
+
+class FmmbCSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(FmmbCSweep, SolvesAtLargerGreyZoneConstants) {
+  const double c = GetParam();
+  Rng rng(91);
+  const auto topo = gen::greyZoneField(28, 7.0, c, 0.4, rng);
+  RunConfig config;
+  config.mac = enhParams(4, 64);
+  config.scheduler = SchedulerKind::kRandom;
+  const auto params = FmmbParams::make(topo.n(), c);
+  const auto result = core::runFmmb(
+      topo, core::workloadRoundRobin(3, topo.n()), params, config);
+  EXPECT_TRUE(result.solved) << "c=" << c;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, FmmbCSweep, ::testing::Values(1.5, 2.0, 3.0));
+
+TEST(FmmbVariants, StrictPaperPhasesStillSolve) {
+  Rng rng(17);
+  const auto topo = gen::greyZoneField(16, 6.0, 1.5, 0.4, rng);
+  auto params = FmmbParams::make(topo.n());
+  params.strictPaperPhases();
+  RunConfig config;
+  config.mac = enhParams(2, 16);  // small constants keep the run short
+  config.scheduler = SchedulerKind::kFast;
+  const auto result = core::runFmmb(
+      topo, core::workloadAllAtNode(2, 0), params, config);
+  EXPECT_TRUE(result.solved);
+}
+
+TEST(FmmbVariants, SequentialAndInterleavedAgreeOnCorrectness) {
+  Rng rng(23);
+  const auto topo = gen::greyZoneField(32, 7.0, 1.5, 0.4, rng);
+  const int k = 5;
+  const auto workload = core::workloadRoundRobin(k, topo.n());
+  RunConfig config;
+  config.mac = enhParams(4, 64);
+  config.scheduler = SchedulerKind::kRandom;
+  for (const auto& params :
+       {FmmbParams::make(topo.n()), FmmbParams::makeSequential(topo.n(), k)}) {
+    core::FmmbExperiment experiment(topo, workload, params, config);
+    const auto result = experiment.run();
+    ASSERT_TRUE(result.solved);
+    const auto mmb = core::checkMmbTrace(topo, workload,
+                                         experiment.engine().trace());
+    EXPECT_TRUE(mmb.ok);
+  }
+}
+
+TEST(FmmbVariants, SequentialModeToleratesUnderestimatedK) {
+  // The k hint only sizes the gather stage; a low hint means some
+  // messages ride later gather... there is no later gather in
+  // sequential mode, BUT messages owned by MIS nodes directly and the
+  // spread relays still circulate them.  With all messages starting at
+  // MIS-adjacent... to keep this honest we place all messages at one
+  // node: if that node turns out non-MIS, its uploads must fit the
+  // gather stage sized for k=1.  We therefore only assert that the
+  // run either solves or hits the time limit without crashing —
+  // underestimating k is a documented misuse, not UB.
+  Rng rng(29);
+  const auto topo = gen::greyZoneField(24, 7.0, 1.5, 0.4, rng);
+  const auto params = FmmbParams::makeSequential(topo.n(), /*k hint=*/1);
+  RunConfig config;
+  config.mac = enhParams(4, 64);
+  config.scheduler = SchedulerKind::kRandom;
+  config.maxTime = 200'000;
+  const auto result = core::runFmmb(
+      topo, core::workloadAllAtNode(4, 0), params, config);
+  SUCCEED() << "completed without crash; solved=" << result.solved;
+}
+
+TEST(FmmbVariants, MsgCapacityAboveOneIsAccepted) {
+  Rng rng(37);
+  const auto topo = gen::greyZoneField(20, 6.0, 1.5, 0.4, rng);
+  RunConfig config;
+  config.mac = enhParams(4, 64);
+  config.mac.msgCapacity = 3;  // protocols still send one per packet
+  config.scheduler = SchedulerKind::kRandom;
+  const auto result = core::runFmmb(topo, core::workloadAllAtNode(2, 0),
+                                    FmmbParams::make(topo.n()), config);
+  EXPECT_TRUE(result.solved);
+}
+
+}  // namespace
+}  // namespace ammb

@@ -1,0 +1,133 @@
+// Parameterized property tests over random graphs: invariants that
+// must hold for every instance of the generators, power graphs, and
+// dual-graph restrictions.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/mmb.h"
+#include "graph/dot_export.h"
+#include "graph/generators.h"
+
+namespace ammb::graph {
+namespace {
+
+namespace gen = graph::gen;
+
+class PowerGraphProperty
+    : public ::testing::TestWithParam<std::tuple<int /*seed*/, int /*r*/>> {};
+
+TEST_P(PowerGraphProperty, PowerEdgesMatchBfsDistance) {
+  const auto [seed, r] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed));
+  const Graph g = gen::randomTree(24, rng);
+  const Graph gr = g.power(r);
+  for (NodeId u = 0; u < g.n(); ++u) {
+    const auto dist = g.bfsDistances(u);
+    for (NodeId v = 0; v < g.n(); ++v) {
+      if (u == v) continue;
+      const int d = dist[static_cast<std::size_t>(v)];
+      EXPECT_EQ(gr.hasEdge(u, v), d >= 1 && d <= r)
+          << "u=" << u << " v=" << v << " d=" << d << " r=" << r;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PowerGraphProperty,
+                         ::testing::Combine(::testing::Values(1, 2, 3),
+                                            ::testing::Values(1, 2, 3, 5)));
+
+class RRestrictionProperty
+    : public ::testing::TestWithParam<std::tuple<int /*seed*/, int /*r*/>> {};
+
+TEST_P(RRestrictionProperty, NoiseGeneratorHonorsItsRadius) {
+  const auto [seed, r] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed) + 100);
+  const auto dual = gen::withRRestrictedNoise(gen::grid(6, 4), r, 0.8, rng);
+  ASSERT_TRUE(dual.restrictionRadius().has_value());
+  EXPECT_LE(dual.restrictionRadius().value(), r);
+  EXPECT_TRUE(dual.isRRestricted(r));
+  // Every E'-only edge really joins nodes within r hops in G.
+  for (const auto& [u, v] : dual.gPrime().edges()) {
+    if (dual.g().hasEdge(u, v)) continue;
+    const auto dist = dual.g().bfsDistances(u);
+    EXPECT_LE(dist[static_cast<std::size_t>(v)], r);
+    EXPECT_GE(dist[static_cast<std::size_t>(v)], 2);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RRestrictionProperty,
+                         ::testing::Combine(::testing::Values(1, 2, 3),
+                                            ::testing::Values(2, 3, 4)));
+
+class GreyZoneProperty : public ::testing::TestWithParam<int /*seed*/> {};
+
+TEST_P(GreyZoneProperty, FieldsAreConnectedAndGeometric) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7 + 1);
+  const auto dual = gen::greyZoneField(40, 7.0, 2.0, 0.5, rng);
+  EXPECT_TRUE(dual.g().connected());
+  EXPECT_TRUE(dual.satisfiesGreyZone(2.0));
+  ASSERT_TRUE(dual.embedding().has_value());
+  // Geometry implies a bounded restriction radius: an edge of length
+  // <= 2 cannot join nodes that are far apart in a connected unit-disk
+  // graph... but it CAN be many hops if the graph detours.  The radius
+  // must at least be finite (same component).
+  EXPECT_TRUE(dual.restrictionRadius().has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, GreyZoneProperty, ::testing::Range(1, 9));
+
+TEST(GreyZoneField, DegreeTargetTracksDensity) {
+  Rng rng(5);
+  const auto sparse = gen::greyZoneField(60, 5.5, 1.5, 0.3, rng);
+  const auto dense = gen::greyZoneField(60, 10.0, 1.5, 0.3, rng);
+  const auto avgDeg = [](const DualGraph& d) {
+    return 2.0 * static_cast<double>(d.g().edgeCount()) / d.n();
+  };
+  EXPECT_GT(avgDeg(dense), avgDeg(sparse));
+}
+
+TEST(DotExport, ContainsNodesAndEdgeStyles) {
+  Rng rng(2);
+  const auto dual = gen::withArbitraryNoise(gen::line(5), 2, rng);
+  DotOptions options;
+  options.highlight = {3};
+  const std::string dot = toDot(dual, options);
+  EXPECT_NE(dot.find("graph ammb {"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -- n1"), std::string::npos);
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);   // unreliable
+  EXPECT_NE(dot.find("fillcolor=lightblue"), std::string::npos);
+  // No reliable edge is drawn dashed.
+  EXPECT_EQ(dot.find("n0 -- n1 [style=dashed"), std::string::npos);
+}
+
+TEST(DotExport, EmbeddedTopologiesCarryPositions) {
+  Rng rng(3);
+  const auto dual =
+      gen::greyZoneFromPoints(gen::linePoints(4), 1.5, 0.0, rng);
+  const std::string dot = toDot(dual);
+  EXPECT_NE(dot.find("pos=\""), std::string::npos);
+}
+
+TEST(NetworkC, EveryCrossEdgeSpansComponents) {
+  const auto net = gen::lowerBoundNetworkC(10);
+  const auto labels = net.g().componentLabels();
+  for (const auto& [u, v] : net.gPrime().edges()) {
+    if (net.g().hasEdge(u, v)) continue;
+    EXPECT_NE(labels[static_cast<std::size_t>(u)],
+              labels[static_cast<std::size_t>(v)])
+        << "cross edge " << u << "-" << v << " must join the two lines";
+  }
+}
+
+TEST(Workloads, RoundRobinIsSingletonWhenCoprime) {
+  const auto w = core::workloadRoundRobin(7, 7, 0, 3);
+  std::vector<int> perNode(7, 0);
+  for (const auto& a : w.arrivals) {
+    ++perNode[static_cast<std::size_t>(a.node)];
+  }
+  for (int c : perNode) EXPECT_EQ(c, 1);
+}
+
+}  // namespace
+}  // namespace ammb::graph

@@ -1,0 +1,397 @@
+// Unit tests for the MAC engine: API contracts, plan validation,
+// standard/enhanced model split, abort semantics, progress forcing.
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "mac/engine.h"
+#include "mac/schedulers.h"
+#include "mac/trace_checker.h"
+#include "test_util.h"
+
+namespace ammb::mac {
+namespace {
+
+namespace gen = graph::gen;
+using testutil::enhParams;
+using testutil::stdParams;
+
+/// A process that broadcasts `count` data packets back to back.
+class ChainSender : public Process {
+ public:
+  explicit ChainSender(int count) : remaining_(count) {}
+  void onWake(Context& ctx) override { sendNext(ctx); }
+  void onAck(Context& ctx, const Packet&) override { sendNext(ctx); }
+
+ private:
+  void sendNext(Context& ctx) {
+    if (remaining_ <= 0) return;
+    --remaining_;
+    Packet p;
+    p.msgs = {0};
+    ctx.bcast(std::move(p));
+  }
+  int remaining_;
+};
+
+/// A silent process.
+class Idle : public Process {};
+
+MacEngine::ProcessFactory idleFactory() {
+  return [](NodeId) { return std::make_unique<Idle>(); };
+}
+
+TEST(MacEngine, WakeHappensBeforeArrivals) {
+  const auto topo = gen::identityDual(gen::line(2));
+  std::vector<std::string> log;
+  class Recorder : public Process {
+   public:
+    explicit Recorder(std::vector<std::string>& log) : log_(log) {}
+    void onWake(Context&) override { log_.push_back("wake"); }
+    void onArrive(Context&, MsgId) override { log_.push_back("arrive"); }
+
+   private:
+    std::vector<std::string>& log_;
+  };
+  MacEngine engine(
+      topo, stdParams(), std::make_unique<FastScheduler>(),
+      [&log](NodeId) { return std::make_unique<Recorder>(log); }, 1);
+  engine.injectArriveAt(0, 0, 0);
+  engine.run();
+  ASSERT_EQ(log.size(), 3u);  // two wakes, one arrive
+  EXPECT_EQ(log[0], "wake");
+  EXPECT_EQ(log[1], "wake");
+  EXPECT_EQ(log[2], "arrive");
+}
+
+TEST(MacEngine, DoubleBcastViolatesWellFormedness) {
+  const auto topo = gen::identityDual(gen::line(2));
+  class DoubleSender : public Process {
+   public:
+    void onWake(Context& ctx) override {
+      Packet a;
+      ctx.bcast(std::move(a));
+      Packet b;
+      ctx.bcast(std::move(b));  // before the ack: must throw
+    }
+  };
+  MacEngine engine(topo, stdParams(), std::make_unique<FastScheduler>(),
+                   [](NodeId) { return std::make_unique<DoubleSender>(); }, 1);
+  EXPECT_THROW(engine.run(), Error);
+}
+
+TEST(MacEngine, PacketCapacityEnforced) {
+  const auto topo = gen::identityDual(gen::line(2));
+  class FatSender : public Process {
+   public:
+    void onWake(Context& ctx) override {
+      Packet p;
+      p.msgs = {0, 1, 2};
+      ctx.bcast(std::move(p));
+    }
+  };
+  auto params = stdParams();
+  params.msgCapacity = 2;
+  MacEngine engine(topo, params, std::make_unique<FastScheduler>(),
+                   [](NodeId) { return std::make_unique<FatSender>(); }, 1);
+  EXPECT_THROW(engine.run(), Error);
+}
+
+TEST(MacEngine, StandardModelForbidsEnhancedApis) {
+  const auto topo = gen::identityDual(gen::line(2));
+  class Cheater : public Process {
+   public:
+    void onWake(Context& ctx) override { ctx.setTimerAfter(1); }
+  };
+  MacEngine engine(topo, stdParams(), std::make_unique<FastScheduler>(),
+                   [](NodeId) { return std::make_unique<Cheater>(); }, 1);
+  EXPECT_THROW(engine.run(), Error);
+}
+
+TEST(MacEngine, StandardModelForbidsClockAndAbort) {
+  const auto topo = gen::identityDual(gen::line(2));
+  class ClockCheater : public Process {
+   public:
+    void onWake(Context& ctx) override { (void)ctx.now(); }
+  };
+  MacEngine e1(topo, stdParams(), std::make_unique<FastScheduler>(),
+               [](NodeId) { return std::make_unique<ClockCheater>(); }, 1);
+  EXPECT_THROW(e1.run(), Error);
+
+  class AbortCheater : public Process {
+   public:
+    void onWake(Context& ctx) override {
+      Packet p;
+      ctx.bcast(std::move(p));
+      ctx.abortBcast();
+    }
+  };
+  MacEngine e2(topo, stdParams(), std::make_unique<FastScheduler>(),
+               [](NodeId) { return std::make_unique<AbortCheater>(); }, 1);
+  EXPECT_THROW(e2.run(), Error);
+}
+
+// --- scheduler plan validation ---------------------------------------------
+
+/// Scheduler returning a fixed broken plan (configured per test).
+class BrokenScheduler : public Scheduler {
+ public:
+  enum class Flaw { kLateAck, kMissGNeighbor, kDuplicateTarget, kOutsideGp,
+                    kDeliveryAfterAck };
+  explicit BrokenScheduler(Flaw flaw) : flaw_(flaw) {}
+
+  DeliveryPlan planBcast(const Instance& inst) override {
+    const MacParams& p = engine_->params();
+    const auto& topo = engine_->topology();
+    DeliveryPlan plan;
+    plan.ackAt = inst.bcastAt + p.fack;
+    for (NodeId j : topo.g().neighbors(inst.sender)) {
+      plan.deliveries.push_back({j, inst.bcastAt + 1});
+    }
+    switch (flaw_) {
+      case Flaw::kLateAck:
+        plan.ackAt = inst.bcastAt + p.fack + 1;
+        break;
+      case Flaw::kMissGNeighbor:
+        plan.deliveries.pop_back();
+        break;
+      case Flaw::kDuplicateTarget:
+        plan.deliveries.push_back(plan.deliveries.front());
+        break;
+      case Flaw::kOutsideGp: {
+        // Line 0-1-2-3: node 0 broadcasting to node 3 is outside G'.
+        plan.deliveries.push_back({3, inst.bcastAt + 1});
+        break;
+      }
+      case Flaw::kDeliveryAfterAck:
+        plan.deliveries.front().at = plan.ackAt + 1;
+        break;
+    }
+    return plan;
+  }
+
+ private:
+  Flaw flaw_;
+};
+
+class SendOnce : public Process {
+ public:
+  void onWake(Context& ctx) override {
+    if (ctx.id() != 0) return;
+    Packet p;
+    ctx.bcast(std::move(p));
+  }
+};
+
+TEST(MacEngine, RejectsIllegalPlans) {
+  const auto topo = gen::identityDual(gen::line(4));
+  using Flaw = BrokenScheduler::Flaw;
+  for (Flaw flaw : {Flaw::kLateAck, Flaw::kMissGNeighbor,
+                    Flaw::kDuplicateTarget, Flaw::kOutsideGp,
+                    Flaw::kDeliveryAfterAck}) {
+    MacEngine engine(topo, stdParams(),
+                     std::make_unique<BrokenScheduler>(flaw),
+                     [](NodeId) { return std::make_unique<SendOnce>(); }, 1);
+    EXPECT_THROW(engine.run(), Error) << "flaw " << static_cast<int>(flaw);
+  }
+}
+
+// --- delivery & ack ordering -------------------------------------------------
+
+TEST(MacEngine, AckArrivesAfterAllGNeighborsReceive) {
+  const auto topo = gen::identityDual(gen::star(6));
+  MacEngine engine(topo, stdParams(), std::make_unique<SlowAckScheduler>(),
+                   [](NodeId node) -> std::unique_ptr<Process> {
+                     if (node == 0) return std::make_unique<ChainSender>(1);
+                     return std::make_unique<Idle>();
+                   },
+                   1);
+  engine.run();
+  const auto check = checkTrace(topo, engine.params(), engine.trace());
+  EXPECT_TRUE(check.ok) << check.summary();
+  EXPECT_EQ(engine.stats().acks, 1u);
+  EXPECT_EQ(engine.stats().rcvs, 5u);
+  EXPECT_EQ(engine.instance(0).termAt, stdParams().fack);
+}
+
+TEST(MacEngine, ProgressGuardForcesDeliveryUnderAdversary) {
+  // With G' = G the adversary has no junk: the guard must force the
+  // real message within Fprog even though the plan says Fack.
+  const auto topo = gen::identityDual(gen::line(2));
+  MacEngine engine(topo, stdParams(4, 32),
+                   std::make_unique<AdversarialScheduler>(),
+                   [](NodeId node) -> std::unique_ptr<Process> {
+                     if (node == 0) return std::make_unique<ChainSender>(1);
+                     return std::make_unique<Idle>();
+                   },
+                   1);
+  engine.run();
+  EXPECT_EQ(engine.stats().forcedRcvs, 1u);
+  const auto& inst = engine.instance(0);
+  ASSERT_EQ(inst.deliveredTo.size(), 1u);
+  // Forced at the progress deadline: bcast(0) + fprog.
+  const auto& recs = engine.trace().records();
+  for (const auto& rec : recs) {
+    if (rec.kind == sim::TraceKind::kRcv) EXPECT_EQ(rec.t, 4);
+  }
+  const auto check = checkTrace(topo, engine.params(), engine.trace());
+  EXPECT_TRUE(check.ok) << check.summary();
+}
+
+TEST(MacEngine, BackToBackBroadcastsRespectAckBound) {
+  const auto topo = gen::identityDual(gen::line(2));
+  MacEngine engine(topo, stdParams(2, 16), std::make_unique<SlowAckScheduler>(),
+                   [](NodeId node) -> std::unique_ptr<Process> {
+                     if (node == 0) return std::make_unique<ChainSender>(5);
+                     return std::make_unique<Idle>();
+                   },
+                   1);
+  engine.run();
+  EXPECT_EQ(engine.stats().bcasts, 5u);
+  EXPECT_EQ(engine.now(), 5 * 16);
+  const auto check = checkTrace(topo, engine.params(), engine.trace());
+  EXPECT_TRUE(check.ok) << check.summary();
+}
+
+// --- enhanced model -----------------------------------------------------------
+
+/// Broadcasts every `period` ticks and aborts at the next boundary if
+/// the ack has not arrived (the FMMB round pattern).
+class RoundSender : public Process {
+ public:
+  RoundSender(Time period, int rounds) : period_(period), rounds_(rounds) {}
+  void onWake(Context& ctx) override {
+    act(ctx, 0);
+    ctx.setTimerAt(period_);
+  }
+  void onTimer(Context& ctx, TimerId) override {
+    if (ctx.busy()) ctx.abortBcast();
+    ++round_;
+    if (round_ >= rounds_) return;
+    act(ctx, round_);
+    ctx.setTimerAt((round_ + 1) * period_);
+  }
+
+ private:
+  void act(Context& ctx, int round) {
+    if (ctx.id() != 0) return;
+    Packet p;
+    p.tag = round;
+    ctx.bcast(std::move(p));
+  }
+  Time period_;
+  int rounds_;
+  int round_ = 0;
+};
+
+TEST(MacEngine, EnhancedRoundsAbortAndStayWellFormed) {
+  const auto topo = gen::identityDual(gen::line(3));
+  const auto params = enhParams(4, 64);
+  const Time period = params.fprog + 1;
+  MacEngine engine(topo, params, std::make_unique<AdversarialScheduler>(),
+                   [&](NodeId) {
+                     return std::make_unique<RoundSender>(period, 6);
+                   },
+                   1);
+  engine.run();
+  EXPECT_EQ(engine.stats().bcasts, 6u);
+  EXPECT_EQ(engine.stats().aborts, 6u);  // adversary acks at Fack > round
+  // Node 1 (G-neighbor of the sender) received something every round.
+  EXPECT_GE(engine.stats().rcvs, 6u);
+  const auto check = checkTrace(topo, engine.params(), engine.trace());
+  EXPECT_TRUE(check.ok) << check.summary();
+}
+
+TEST(MacEngine, AbortCancelsLateDeliveries) {
+  const auto topo = gen::identityDual(gen::line(2));
+  class AbortEarly : public Process {
+   public:
+    void onWake(Context& ctx) override {
+      if (ctx.id() != 0) return;
+      Packet p;
+      ctx.bcast(std::move(p));
+      ctx.setTimerAfter(2);
+    }
+    void onTimer(Context& ctx, TimerId) override {
+      if (ctx.busy()) ctx.abortBcast();
+    }
+  };
+  // SlowAck plans the delivery at fprog = 4 > abort time 2.
+  MacEngine engine(topo, enhParams(4, 32), std::make_unique<SlowAckScheduler>(),
+                   [](NodeId) { return std::make_unique<AbortEarly>(); }, 1);
+  engine.run();
+  EXPECT_EQ(engine.stats().aborts, 1u);
+  EXPECT_EQ(engine.stats().rcvs, 0u);
+  EXPECT_EQ(engine.stats().acks, 0u);
+  const auto check = checkTrace(topo, engine.params(), engine.trace());
+  EXPECT_TRUE(check.ok) << check.summary();
+}
+
+TEST(MacEngine, TimersFireAndCancel) {
+  const auto topo = gen::identityDual(gen::line(2));
+  class TimerUser : public Process {
+   public:
+    void onWake(Context& ctx) override {
+      if (ctx.id() != 0) return;
+      keep_ = ctx.setTimerAfter(5);
+      drop_ = ctx.setTimerAfter(7);
+      EXPECT_TRUE(ctx.cancelTimer(drop_));
+      EXPECT_FALSE(ctx.cancelTimer(drop_));
+    }
+    void onTimer(Context& ctx, TimerId id) override {
+      EXPECT_EQ(id, keep_);
+      EXPECT_EQ(ctx.now(), 5);
+      ++fires_;
+    }
+    int fires_ = 0;
+
+   private:
+    TimerId keep_ = kNoTimer;
+    TimerId drop_ = kNoTimer;
+  };
+  TimerUser* p0 = nullptr;
+  MacEngine engine(topo, enhParams(), std::make_unique<FastScheduler>(),
+                   [&p0](NodeId node) {
+                     auto p = std::make_unique<TimerUser>();
+                     if (node == 0) p0 = p.get();
+                     return p;
+                   },
+                   1);
+  engine.run();
+  ASSERT_NE(p0, nullptr);
+  EXPECT_EQ(p0->fires_, 1);
+}
+
+TEST(MacEngine, EnhancedContextExposesConstants) {
+  const auto topo = gen::identityDual(gen::line(2));
+  class Reader : public Process {
+   public:
+    void onWake(Context& ctx) override {
+      EXPECT_EQ(ctx.fprog(), 4);
+      EXPECT_EQ(ctx.fack(), 32);
+      EXPECT_EQ(ctx.n(), 2);
+      EXPECT_EQ(ctx.gNeighbors().size(), 1u);
+      EXPECT_TRUE(ctx.isGNeighbor(1 - ctx.id()));
+    }
+  };
+  MacEngine engine(topo, enhParams(4, 32), std::make_unique<FastScheduler>(),
+                   [](NodeId) { return std::make_unique<Reader>(); }, 1);
+  engine.run();
+}
+
+TEST(MacEngine, UnreliableDeliveryReachesGPrimeOnlyNeighbors) {
+  Rng rng(3);
+  const auto topo = gen::withArbitraryNoise(gen::line(4), 2, rng);
+  MacEngine engine(topo, stdParams(), std::make_unique<FastScheduler>(),
+                   [](NodeId node) -> std::unique_ptr<Process> {
+                     if (node == 0) return std::make_unique<ChainSender>(1);
+                     return std::make_unique<Idle>();
+                   },
+                   1);
+  engine.run();
+  const auto& inst = engine.instance(0);
+  EXPECT_EQ(inst.deliveredTo.size(),
+            topo.gPrime().neighbors(0).size());
+}
+
+}  // namespace
+}  // namespace ammb::mac

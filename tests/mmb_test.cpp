@@ -1,0 +1,125 @@
+// Unit tests for the MMB problem layer: workloads, solve tracking,
+// problem-level trace checking.
+#include <gtest/gtest.h>
+
+#include "core/mmb.h"
+#include "graph/generators.h"
+
+namespace ammb::core {
+namespace {
+
+namespace gen = graph::gen;
+using sim::Trace;
+using sim::TraceKind;
+
+TEST(Workload, AllAtNode) {
+  const auto w = workloadAllAtNode(4, 2);
+  EXPECT_EQ(w.k, 4);
+  ASSERT_EQ(w.arrivals.size(), 4u);
+  for (const auto& a : w.arrivals) EXPECT_EQ(a.node, 2);
+}
+
+TEST(Workload, RoundRobinSingleton) {
+  const auto w = workloadRoundRobin(5, 7, 1, 2);
+  ASSERT_EQ(w.arrivals.size(), 5u);
+  EXPECT_EQ(w.arrivals[0].node, 1);
+  EXPECT_EQ(w.arrivals[1].node, 3);
+  EXPECT_EQ(w.arrivals[4].node, (1 + 8) % 7);
+}
+
+TEST(Workload, RandomInRange) {
+  Rng rng(4);
+  const auto w = workloadRandom(20, 5, rng);
+  for (const auto& a : w.arrivals) {
+    EXPECT_GE(a.node, 0);
+    EXPECT_LT(a.node, 5);
+  }
+}
+
+TEST(Workload, RejectsInvalid) {
+  Rng rng(1);
+  EXPECT_THROW(workloadAllAtNode(0, 1), Error);
+  EXPECT_THROW(workloadRoundRobin(3, 0), Error);
+  EXPECT_THROW(workloadRandom(0, 5, rng), Error);
+}
+
+TEST(SolveTracker, RequiresOnlyOwnComponent) {
+  // Two disjoint 2-node lines.
+  graph::Graph g(4);
+  g.addEdge(0, 1);
+  g.addEdge(2, 3);
+  g.finalize();
+  const auto topo = gen::identityDual(std::move(g));
+  MmbWorkload w;
+  w.k = 1;
+  w.arrivals = {{0, 0}};
+  SolveTracker tracker(topo, w);
+  // Only nodes 0 and 1 must deliver message 0.
+  EXPECT_EQ(tracker.remaining(), 2);
+}
+
+TEST(CheckMmbTrace, AcceptsCompleteExecution) {
+  const auto topo = gen::identityDual(gen::line(2));
+  MmbWorkload w;
+  w.k = 1;
+  w.arrivals = {{0, 0}};
+  Trace trace;
+  trace.add({0, TraceKind::kArrive, 0, kNoInstance, 0});
+  trace.add({0, TraceKind::kDeliver, 0, kNoInstance, 0});
+  trace.add({5, TraceKind::kDeliver, 1, kNoInstance, 0});
+  const auto res = checkMmbTrace(topo, w, trace);
+  EXPECT_TRUE(res.ok) << res.violations.front();
+}
+
+TEST(CheckMmbTrace, DetectsMissingDelivery) {
+  const auto topo = gen::identityDual(gen::line(3));
+  MmbWorkload w;
+  w.k = 1;
+  w.arrivals = {{0, 0}};
+  Trace trace;
+  trace.add({0, TraceKind::kArrive, 0, kNoInstance, 0});
+  trace.add({0, TraceKind::kDeliver, 0, kNoInstance, 0});
+  const auto res = checkMmbTrace(topo, w, trace);
+  EXPECT_FALSE(res.ok);
+  // Truncated-run mode skips completeness.
+  EXPECT_TRUE(checkMmbTrace(topo, w, trace, /*requireSolved=*/false).ok);
+}
+
+TEST(CheckMmbTrace, DetectsDoubleDelivery) {
+  const auto topo = gen::identityDual(gen::line(2));
+  MmbWorkload w;
+  w.k = 1;
+  w.arrivals = {{0, 0}};
+  Trace trace;
+  trace.add({0, TraceKind::kArrive, 0, kNoInstance, 0});
+  trace.add({0, TraceKind::kDeliver, 0, kNoInstance, 0});
+  trace.add({1, TraceKind::kDeliver, 1, kNoInstance, 0});
+  trace.add({2, TraceKind::kDeliver, 1, kNoInstance, 0});
+  EXPECT_FALSE(checkMmbTrace(topo, w, trace).ok);
+}
+
+TEST(CheckMmbTrace, DetectsDeliveryBeforeArrival) {
+  const auto topo = gen::identityDual(gen::line(2));
+  MmbWorkload w;
+  w.k = 1;
+  w.arrivals = {{0, 0}};
+  Trace trace;
+  trace.add({0, TraceKind::kDeliver, 1, kNoInstance, 0});
+  trace.add({1, TraceKind::kArrive, 0, kNoInstance, 0});
+  trace.add({1, TraceKind::kDeliver, 0, kNoInstance, 0});
+  EXPECT_FALSE(checkMmbTrace(topo, w, trace).ok);
+}
+
+TEST(CheckMmbTrace, DetectsUnknownMessage) {
+  const auto topo = gen::identityDual(gen::line(2));
+  MmbWorkload w;
+  w.k = 1;
+  w.arrivals = {{0, 0}};
+  Trace trace;
+  trace.add({0, TraceKind::kArrive, 0, kNoInstance, 0});
+  trace.add({0, TraceKind::kDeliver, 0, kNoInstance, 7});
+  EXPECT_FALSE(checkMmbTrace(topo, w, trace, false).ok);
+}
+
+}  // namespace
+}  // namespace ammb::core

@@ -1,0 +1,222 @@
+// Focused tests for the progress guard: the engine component that
+// keeps adversarial schedulers honest.  Each scenario is driven by a
+// purpose-built scheduler and verified both through engine state and
+// the offline checker.
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "mac/engine.h"
+#include "mac/schedulers.h"
+#include "mac/trace_checker.h"
+#include "test_util.h"
+
+namespace ammb::mac {
+namespace {
+
+namespace gen = graph::gen;
+using testutil::stdParams;
+
+class SendN : public Process {
+ public:
+  explicit SendN(int count, NodeId who = 0) : remaining_(count), who_(who) {}
+  void onWake(Context& ctx) override {
+    if (ctx.id() == who_) next(ctx);
+  }
+  void onAck(Context& ctx, const Packet&) override { next(ctx); }
+
+ private:
+  void next(Context& ctx) {
+    if (remaining_-- <= 0) return;
+    Packet p;
+    p.tag = remaining_;
+    ctx.bcast(std::move(p));
+  }
+  int remaining_;
+  NodeId who_;
+};
+
+TEST(ProgressGuard, ForcesExactlyOneDeliveryPerInstanceLifetime) {
+  // A 2-node line under the adversary: the guard must force the
+  // delivery at fprog, and the single rcv covers the rest of the
+  // instance's lifetime (no further forcing).
+  const auto topo = gen::identityDual(gen::line(2));
+  MacEngine engine(topo, stdParams(4, 32),
+                   std::make_unique<AdversarialScheduler>(),
+                   [](NodeId) -> std::unique_ptr<Process> {
+                     return std::make_unique<SendN>(3);
+                   },
+                   1);
+  engine.run();
+  EXPECT_EQ(engine.stats().bcasts, 3u);
+  // One forced delivery per broadcast: 3 total, each at bcast + fprog.
+  EXPECT_EQ(engine.stats().forcedRcvs, 3u);
+  std::vector<Time> rcvTimes;
+  for (const auto& rec : engine.trace().records()) {
+    if (rec.kind == sim::TraceKind::kRcv) rcvTimes.push_back(rec.t);
+  }
+  EXPECT_EQ(rcvTimes, (std::vector<Time>{4, 36, 68}));
+  const auto check = checkTrace(topo, engine.params(), engine.trace());
+  EXPECT_TRUE(check.ok) << check.summary();
+}
+
+TEST(ProgressGuard, JunkCoverageSuppressesForcedRealDeliveries) {
+  // Node 1 sits between broadcaster 0 (G-neighbor) and junk source 2
+  // (G'-only neighbor).  When both broadcast, the adversary covers
+  // node 1's obligations with junk from 2 and withholds the real
+  // message until the ack.
+  graph::Graph g(3);
+  g.addEdge(0, 1);
+  g.finalize();
+  graph::Graph gp(3);
+  gp.addEdge(0, 1);
+  gp.addEdge(1, 2);
+  gp.finalize();
+  const graph::DualGraph topo(std::move(g), std::move(gp));
+
+  MacEngine engine(topo, stdParams(4, 32),
+                   std::make_unique<AdversarialScheduler>(),
+                   [](NodeId node) -> std::unique_ptr<Process> {
+                     if (node == 0) return std::make_unique<SendN>(1, 0);
+                     if (node == 2) return std::make_unique<SendN>(1, 2);
+                     return std::make_unique<SendN>(0, 1);
+                   },
+                   1);
+  engine.run();
+  // Find when node 1 received the real message (instance from 0).
+  Time realAt = -1;
+  Time junkAt = -1;
+  for (const auto& rec : engine.trace().records()) {
+    if (rec.kind != sim::TraceKind::kRcv || rec.node != 1) continue;
+    const auto& inst = engine.instance(rec.instance);
+    if (inst.sender == 0) realAt = rec.t;
+    if (inst.sender == 2) junkAt = rec.t;
+  }
+  // The junk was forced at the progress deadline; the real message
+  // only arrived with the ack at fack.
+  EXPECT_EQ(junkAt, 4);
+  EXPECT_EQ(realAt, 32);
+  const auto check = checkTrace(topo, engine.params(), engine.trace());
+  EXPECT_TRUE(check.ok) << check.summary();
+}
+
+TEST(ProgressGuard, CoverageExpiresWhenJunkInstanceTerminates) {
+  // Same topology, but the junk source finishes fast (FastScheduler
+  // semantics simulated by a custom plan is overkill — instead make
+  // node 2 broadcast under the adversary too; its instance lives the
+  // full fack, then terminates; node 0 keeps broadcasting, so after
+  // the junk dies the guard must force again).
+  graph::Graph g(3);
+  g.addEdge(0, 1);
+  g.finalize();
+  graph::Graph gp(3);
+  gp.addEdge(0, 1);
+  gp.addEdge(1, 2);
+  gp.finalize();
+  const graph::DualGraph topo(std::move(g), std::move(gp));
+
+  MacEngine engine(topo, stdParams(4, 32),
+                   std::make_unique<AdversarialScheduler>(),
+                   [](NodeId node) -> std::unique_ptr<Process> {
+                     if (node == 0) return std::make_unique<SendN>(4, 0);
+                     if (node == 2) return std::make_unique<SendN>(1, 2);
+                     return std::make_unique<SendN>(0, 1);
+                   },
+                   1);
+  engine.run();
+  const auto check = checkTrace(topo, engine.params(), engine.trace());
+  EXPECT_TRUE(check.ok) << check.summary();
+  // Node 1 must have received >= 4 messages in total: the junk one,
+  // plus coverage for the later broadcasts of node 0 after the junk
+  // instance terminated.
+  std::size_t rcvsAt1 = 0;
+  for (const auto& rec : engine.trace().records()) {
+    if (rec.kind == sim::TraceKind::kRcv && rec.node == 1) ++rcvsAt1;
+  }
+  EXPECT_GE(rcvsAt1, 4u);
+}
+
+TEST(ProgressGuard, NoObligationWithoutGNeighborBroadcast) {
+  // Only a G'-only neighbor broadcasts: the model owes the receiver
+  // nothing, and the adversary delivers nothing before the ack.
+  graph::Graph g(3);
+  g.addEdge(0, 1);
+  g.finalize();
+  graph::Graph gp(3);
+  gp.addEdge(0, 1);
+  gp.addEdge(1, 2);
+  gp.finalize();
+  const graph::DualGraph topo(std::move(g), std::move(gp));
+
+  MacEngine engine(topo, stdParams(4, 32),
+                   std::make_unique<AdversarialScheduler>(),
+                   [](NodeId node) -> std::unique_ptr<Process> {
+                     if (node == 2) return std::make_unique<SendN>(1, 2);
+                     return std::make_unique<SendN>(0, node);
+                   },
+                   1);
+  engine.run();
+  EXPECT_EQ(engine.stats().forcedRcvs, 0u);
+  // Node 2 has no G-neighbors at all, so its instance acks with no
+  // deliveries — and that execution is still model-compliant.
+  EXPECT_EQ(engine.instance(0).deliveredTo.size(), 0u);
+  const auto check = checkTrace(topo, engine.params(), engine.trace());
+  EXPECT_TRUE(check.ok) << check.summary();
+}
+
+TEST(ProgressGuard, ZeroDurationInstancesCreateNoObligation) {
+  // Instant broadcasts (plan ack at the bcast tick) never open a
+  // window longer than fprog.
+  class InstantScheduler : public Scheduler {
+   public:
+    DeliveryPlan planBcast(const Instance& inst) override {
+      DeliveryPlan plan;
+      plan.ackAt = inst.bcastAt;
+      for (NodeId j : engine_->topology().g().neighbors(inst.sender)) {
+        plan.deliveries.push_back({j, inst.bcastAt});
+      }
+      return plan;
+    }
+  };
+  const auto topo = gen::identityDual(gen::line(3));
+  MacEngine engine(topo, stdParams(4, 32),
+                   std::make_unique<InstantScheduler>(),
+                   [](NodeId node) -> std::unique_ptr<Process> {
+                     return std::make_unique<SendN>(node == 0 ? 5 : 0, node);
+                   },
+                   1);
+  engine.run();
+  EXPECT_EQ(engine.stats().forcedRcvs, 0u);
+  EXPECT_EQ(engine.now(), 0);  // everything happened at t = 0
+  const auto check = checkTrace(topo, engine.params(), engine.trace());
+  EXPECT_TRUE(check.ok) << check.summary();
+}
+
+TEST(ProgressGuard, AbortCancelsTheObligation) {
+  // Enhanced model: a broadcast aborted before fprog elapses leaves
+  // nothing to force.
+  class AbortQuick : public Process {
+   public:
+    void onWake(Context& ctx) override {
+      if (ctx.id() != 0) return;
+      Packet p;
+      ctx.bcast(std::move(p));
+      ctx.setTimerAfter(2);  // abort before the fprog=4 deadline
+    }
+    void onTimer(Context& ctx, TimerId) override {
+      if (ctx.busy()) ctx.abortBcast();
+    }
+  };
+  auto params = stdParams(4, 32);
+  params.variant = ModelVariant::kEnhanced;
+  const auto topo = gen::identityDual(gen::line(2));
+  MacEngine engine(topo, params, std::make_unique<AdversarialScheduler>(),
+                   [](NodeId) { return std::make_unique<AbortQuick>(); }, 1);
+  engine.run();
+  EXPECT_EQ(engine.stats().forcedRcvs, 0u);
+  EXPECT_EQ(engine.stats().rcvs, 0u);
+  const auto check = checkTrace(topo, params, engine.trace());
+  EXPECT_TRUE(check.ok) << check.summary();
+}
+
+}  // namespace
+}  // namespace ammb::mac

@@ -1,0 +1,24 @@
+// Shared helpers for the ammb test suite.
+#pragma once
+
+#include "mac/params.h"
+
+namespace ammb::testutil {
+
+/// Standard-model parameters with the given timing constants.
+inline mac::MacParams stdParams(Time fprog = 4, Time fack = 32) {
+  mac::MacParams p;
+  p.fprog = fprog;
+  p.fack = fack;
+  p.variant = mac::ModelVariant::kStandard;
+  return p;
+}
+
+/// Enhanced-model parameters with the given timing constants.
+inline mac::MacParams enhParams(Time fprog = 4, Time fack = 32) {
+  mac::MacParams p = stdParams(fprog, fack);
+  p.variant = mac::ModelVariant::kEnhanced;
+  return p;
+}
+
+}  // namespace ammb::testutil

@@ -1,0 +1,210 @@
+// Unit tests for the offline model checker: every axiom's violation is
+// detected on hand-built traces, and real engine traces pass.
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "mac/trace_checker.h"
+#include "test_util.h"
+
+namespace ammb::mac {
+namespace {
+
+namespace gen = graph::gen;
+using sim::Trace;
+using sim::TraceKind;
+using testutil::stdParams;
+
+// Convention for hand-built traces: a line 0-1-2 with G' = G, fprog 4,
+// fack 32 unless stated otherwise.
+
+Trace validSingleHop() {
+  Trace t;
+  t.add({0, TraceKind::kBcast, 0, 0, kNoMsg});
+  t.add({4, TraceKind::kRcv, 1, 0, kNoMsg});
+  t.add({32, TraceKind::kAck, 0, 0, kNoMsg});
+  return t;
+}
+
+TEST(TraceChecker, AcceptsValidExecution) {
+  const auto topo = gen::identityDual(gen::line(2));
+  const auto res = checkTrace(topo, stdParams(), validSingleHop());
+  EXPECT_TRUE(res.ok) << res.summary();
+}
+
+TEST(TraceChecker, DetectsDoubleBcast) {
+  const auto topo = gen::identityDual(gen::line(2));
+  Trace t;
+  t.add({0, TraceKind::kBcast, 0, 0, kNoMsg});
+  t.add({1, TraceKind::kBcast, 0, 1, kNoMsg});  // no intervening ack
+  const auto res = checkTrace(topo, stdParams(), t);
+  EXPECT_FALSE(res.ok);
+  EXPECT_NE(res.summary().find("well-formedness"), std::string::npos);
+}
+
+TEST(TraceChecker, DetectsDeliveryOutsideGPrime) {
+  const auto topo = gen::identityDual(gen::line(3));
+  Trace t;
+  t.add({0, TraceKind::kBcast, 0, 0, kNoMsg});
+  t.add({1, TraceKind::kRcv, 2, 0, kNoMsg});  // node 2 is 2 hops away
+  t.add({2, TraceKind::kRcv, 1, 0, kNoMsg});
+  t.add({3, TraceKind::kAck, 0, 0, kNoMsg});
+  EXPECT_FALSE(checkTrace(topo, stdParams(), t).ok);
+}
+
+TEST(TraceChecker, DetectsDuplicateDelivery) {
+  const auto topo = gen::identityDual(gen::line(2));
+  Trace t;
+  t.add({0, TraceKind::kBcast, 0, 0, kNoMsg});
+  t.add({1, TraceKind::kRcv, 1, 0, kNoMsg});
+  t.add({2, TraceKind::kRcv, 1, 0, kNoMsg});
+  t.add({3, TraceKind::kAck, 0, 0, kNoMsg});
+  EXPECT_FALSE(checkTrace(topo, stdParams(), t).ok);
+}
+
+TEST(TraceChecker, DetectsRcvAfterAck) {
+  Rng rng(1);
+  const auto topo = gen::withArbitraryNoise(gen::line(3), 1, rng);
+  // Find the unreliable pair so the extra delivery is inside G'.
+  Trace t;
+  t.add({0, TraceKind::kBcast, 0, 0, kNoMsg});
+  t.add({1, TraceKind::kRcv, 1, 0, kNoMsg});
+  t.add({2, TraceKind::kAck, 0, 0, kNoMsg});
+  t.add({3, TraceKind::kRcv, 1, 0, kNoMsg});  // after ack AND duplicate
+  EXPECT_FALSE(checkTrace(topo, stdParams(), t).ok);
+}
+
+TEST(TraceChecker, DetectsAckBeforeGNeighborReceives) {
+  const auto topo = gen::identityDual(gen::star(3));
+  Trace t;
+  t.add({0, TraceKind::kBcast, 0, 0, kNoMsg});
+  t.add({1, TraceKind::kRcv, 1, 0, kNoMsg});
+  t.add({2, TraceKind::kAck, 0, 0, kNoMsg});  // node 2 never received
+  EXPECT_FALSE(checkTrace(topo, stdParams(), t).ok);
+}
+
+TEST(TraceChecker, DetectsAckBoundViolation) {
+  const auto topo = gen::identityDual(gen::line(2));
+  Trace t;
+  t.add({0, TraceKind::kBcast, 0, 0, kNoMsg});
+  t.add({4, TraceKind::kRcv, 1, 0, kNoMsg});
+  t.add({33, TraceKind::kAck, 0, 0, kNoMsg});  // fack = 32
+  EXPECT_FALSE(checkTrace(topo, stdParams(), t).ok);
+}
+
+TEST(TraceChecker, DetectsMissingTermination) {
+  const auto topo = gen::identityDual(gen::line(2));
+  Trace t;
+  t.add({0, TraceKind::kBcast, 0, 0, kNoMsg});
+  t.add({4, TraceKind::kRcv, 1, 0, kNoMsg});
+  t.add({100, TraceKind::kWake, 1, kNoInstance, kNoMsg});  // horizon marker
+  EXPECT_FALSE(checkTrace(topo, stdParams(), t).ok);
+  // Within the Fack budget the open instance is fine.
+  Trace young;
+  young.add({0, TraceKind::kBcast, 0, 0, kNoMsg});
+  young.add({4, TraceKind::kRcv, 1, 0, kNoMsg});
+  EXPECT_TRUE(checkTrace(topo, stdParams(), young, /*horizon=*/10).ok);
+}
+
+TEST(TraceChecker, DetectsDoubleTermination) {
+  const auto topo = gen::identityDual(gen::line(2));
+  Trace t = validSingleHop();
+  t.add({32, TraceKind::kAck, 0, 0, kNoMsg});
+  EXPECT_FALSE(checkTrace(topo, stdParams(), t).ok);
+}
+
+TEST(TraceChecker, DetectsProgressViolation) {
+  const auto topo = gen::identityDual(gen::line(2));
+  Trace t;
+  t.add({0, TraceKind::kBcast, 0, 0, kNoMsg});
+  t.add({32, TraceKind::kRcv, 1, 0, kNoMsg});  // first rcv at fack
+  t.add({32, TraceKind::kAck, 0, 0, kNoMsg});
+  // Window [0, 5] has a broadcasting G-neighbor and no rcv: violation.
+  const auto res = checkTrace(topo, stdParams(), t);
+  ASSERT_FALSE(res.ok);
+  EXPECT_NE(res.summary().find("progress"), std::string::npos);
+}
+
+TEST(TraceChecker, ProgressSatisfiedByEarlyRcvFromLiveInstance) {
+  const auto topo = gen::identityDual(gen::line(2));
+  // One rcv at fprog covers the rest of the instance's lifetime: the
+  // delivering instance stays unterminated, so every later window still
+  // contains a contending rcv "by its end".
+  const auto res = checkTrace(topo, stdParams(), validSingleHop());
+  EXPECT_TRUE(res.ok) << res.summary();
+}
+
+TEST(TraceChecker, ProgressCoverageEndsWhenCoveringInstanceTerminates) {
+  Rng rng(1);
+  // Line 0-1 plus a G'-only edge between 2 and 1: instance from node 2
+  // covers node 1's obligations only while it lives.
+  graph::Graph g(3);
+  g.addEdge(0, 1);
+  g.finalize();
+  graph::Graph gp(3);
+  gp.addEdge(0, 1);
+  gp.addEdge(1, 2);
+  gp.finalize();
+  const graph::DualGraph topo(std::move(g), std::move(gp));
+
+  auto params = stdParams(4, 64);
+  Trace t;
+  t.add({0, TraceKind::kBcast, 2, 1, kNoMsg});   // junk instance from 2
+  t.add({0, TraceKind::kBcast, 0, 0, kNoMsg});   // real instance from 0
+  t.add({2, TraceKind::kRcv, 1, 1, kNoMsg});     // junk delivered early
+  t.add({10, TraceKind::kAck, 2, 1, kNoMsg});    // junk terminates at 10
+  t.add({64, TraceKind::kRcv, 1, 0, kNoMsg});    // real delivery at fack
+  t.add({64, TraceKind::kAck, 0, 0, kNoMsg});
+  // Coverage from the junk rcv ends at t=9; windows starting in
+  // [10, 64-4-1] are uncovered: violation.
+  const auto res = checkTrace(topo, params, t);
+  ASSERT_FALSE(res.ok);
+  EXPECT_NE(res.summary().find("progress"), std::string::npos);
+
+  // A second junk instance covering the tail fixes it.
+  Trace t2;
+  t2.add({0, TraceKind::kBcast, 2, 1, kNoMsg});
+  t2.add({0, TraceKind::kBcast, 0, 0, kNoMsg});
+  t2.add({2, TraceKind::kRcv, 1, 1, kNoMsg});
+  t2.add({10, TraceKind::kAck, 2, 1, kNoMsg});
+  t2.add({10, TraceKind::kBcast, 2, 2, kNoMsg});
+  t2.add({12, TraceKind::kRcv, 1, 2, kNoMsg});
+  t2.add({64, TraceKind::kRcv, 1, 0, kNoMsg});
+  t2.add({64, TraceKind::kAck, 0, 0, kNoMsg});
+  t2.add({74, TraceKind::kAck, 2, 2, kNoMsg});
+  const auto res2 = checkTrace(topo, params, t2);
+  EXPECT_TRUE(res2.ok) << res2.summary();
+}
+
+TEST(TraceChecker, AbortAllowsGracePeriodDeliveries) {
+  const auto topo = gen::identityDual(gen::line(2));
+  auto params = stdParams();
+  params.epsAbort = 2;
+  Trace t;
+  t.add({0, TraceKind::kBcast, 0, 0, kNoMsg});
+  t.add({1, TraceKind::kAbort, 0, 0, kNoMsg});
+  t.add({3, TraceKind::kRcv, 1, 0, kNoMsg});  // within epsAbort
+  EXPECT_TRUE(checkTrace(topo, params, t).ok);
+  Trace late;
+  late.add({0, TraceKind::kBcast, 0, 0, kNoMsg});
+  late.add({1, TraceKind::kAbort, 0, 0, kNoMsg});
+  late.add({4, TraceKind::kRcv, 1, 0, kNoMsg});  // beyond epsAbort
+  EXPECT_FALSE(checkTrace(topo, params, late).ok);
+}
+
+TEST(TraceChecker, AbortedInstanceNeedsNoAck) {
+  const auto topo = gen::identityDual(gen::line(2));
+  Trace t;
+  t.add({0, TraceKind::kBcast, 0, 0, kNoMsg});
+  t.add({1, TraceKind::kAbort, 0, 0, kNoMsg});
+  EXPECT_TRUE(checkTrace(topo, stdParams(), t, /*horizon=*/100).ok);
+}
+
+TEST(TraceChecker, RcvForUnknownInstance) {
+  const auto topo = gen::identityDual(gen::line(2));
+  Trace t;
+  t.add({1, TraceKind::kRcv, 1, 42, kNoMsg});
+  EXPECT_FALSE(checkTrace(topo, stdParams(), t).ok);
+}
+
+}  // namespace
+}  // namespace ammb::mac
