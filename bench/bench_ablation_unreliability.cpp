@@ -11,8 +11,11 @@
 //   cross (Fig.2) — the 2(D-1) long diagonals of network C (FEW
 //                   edges), the Lemma 3.19/3.20 adversary.
 //
-// The cross topology has the fewest unreliable edges and by far the
-// worst completion time — reproducing the paper's core insight.
+// Each variant is a single-cell runner::SweepSpec (its own topology,
+// scheduler and MacParams), so the four variants execute concurrently
+// on the SweepRunner pool.  The cross topology has the fewest
+// unreliable edges and by far the worst completion time — reproducing
+// the paper's core insight.
 #include <benchmark/benchmark.h>
 
 #include "bench_util.h"
@@ -21,8 +24,8 @@
 namespace {
 
 using namespace ammb;
-using core::RunConfig;
 using core::SchedulerKind;
+using runner::SweepSpec;
 namespace gen = graph::gen;
 
 constexpr Time kFprog = 2;
@@ -39,92 +42,104 @@ graph::Graph twoLines() {
   return g;
 }
 
-core::MmbWorkload twoLineWorkload() {
-  core::MmbWorkload w;
-  w.k = 2;
-  w.arrivals = {{0, 0}, {static_cast<NodeId>(kD), 1}};
-  return w;
+/// The fixed two-source workload (one message per line head).
+runner::WorkloadSpec twoLineWorkload() {
+  return {"two-line-heads", [](int, NodeId, std::uint64_t) {
+            core::MmbWorkload w;
+            w.k = 2;
+            w.arrivals = {{0, 0, 0}, {static_cast<NodeId>(kD), 1, 0}};
+            return w;
+          }};
 }
 
 struct Variant {
+  std::string name;
+  runner::TopologySpec topology;
+  SchedulerKind scheduler;
+  int lowerBoundLineLength = 0;
+};
+
+std::vector<Variant> variants() {
+  std::vector<Variant> out;
+  out.push_back({"G' = G (no unreliable edges)",
+                 {"two-lines", [](std::uint64_t) {
+                    return gen::identityDual(twoLines());
+                  }},
+                 SchedulerKind::kAdversarial,
+                 0});
+  for (int r : {2, 4}) {
+    out.push_back({"r=" + std::to_string(r) + "-local (dense short edges)",
+                   {"two-lines-r" + std::to_string(r),
+                    [r](std::uint64_t) {
+                      Rng rng(7);
+                      return gen::withRRestrictedNoise(twoLines(), r, 1.0,
+                                                       rng);
+                    }},
+                   SchedulerKind::kAdversarialStuffing,
+                   0});
+  }
+  out.push_back({"cross diagonals (Figure 2, sparse long edges)",
+                 runner::lowerBoundNetworkCTopology(kD),
+                 SchedulerKind::kLowerBound,
+                 kD});
+  return out;
+}
+
+SweepSpec variantSpec(const Variant& v) {
+  SweepSpec spec;
+  spec.name = "unreliability-ablation";
+  spec.topologies = {v.topology};
+  spec.schedulers = {v.scheduler};
+  spec.ks = {2};
+  spec.macs = {{"std", bench::stdParams(kFprog, kFack)}};
+  spec.workload = twoLineWorkload();
+  spec.lowerBoundLineLength = v.lowerBoundLineLength;
+  spec.seedBegin = 1;
+  spec.seedEnd = 2;
+  return spec;
+}
+
+struct Outcome {
   std::string name;
   Time solve = 0;
   std::size_t unreliableEdges = 0;
 };
 
-Variant runNone() {
-  const auto topo = gen::identityDual(twoLines());
-  RunConfig config;
-  config.mac = bench::stdParams(kFprog, kFack);
-  config.scheduler = SchedulerKind::kAdversarial;
-  config.recordTrace = false;
-  Variant v;
-  v.name = "G' = G (no unreliable edges)";
-  v.solve = bench::mustSolve(
-      core::runBmmb(topo, twoLineWorkload(), config), "none");
-  v.unreliableEdges = 0;
-  return v;
-}
-
-Variant runLocal(int r) {
-  Rng rng(7);
-  const auto topo = gen::withRRestrictedNoise(twoLines(), r, 1.0, rng);
-  RunConfig config;
-  config.mac = bench::stdParams(kFprog, kFack);
-  config.scheduler = SchedulerKind::kAdversarialStuffing;
-  config.recordTrace = false;
-  Variant v;
-  v.name = "r=" + std::to_string(r) + "-local (dense short edges)";
-  v.solve = bench::mustSolve(
-      core::runBmmb(topo, twoLineWorkload(), config), "local");
-  v.unreliableEdges = topo.gPrime().edgeCount() - topo.g().edgeCount();
-  return v;
-}
-
-Variant runCross() {
-  const auto topo = gen::lowerBoundNetworkC(kD);
-  RunConfig config;
-  config.mac = bench::stdParams(kFprog, kFack);
-  config.scheduler = SchedulerKind::kLowerBound;
-  config.lowerBoundLineLength = kD;
-  config.recordTrace = false;
-  Variant v;
-  v.name = "cross diagonals (Figure 2, sparse long edges)";
-  v.solve = bench::mustSolve(
-      core::runBmmb(topo, twoLineWorkload(), config), "cross");
-  v.unreliableEdges = topo.gPrime().edgeCount() - topo.g().edgeCount();
-  return v;
+Outcome runVariant(const Variant& v) {
+  const auto result = bench::mustSweep(variantSpec(v));
+  const auto topo = v.topology.make(1);
+  Outcome o;
+  o.name = v.name;
+  o.solve = bench::mustSolveCell(result.cell(0));
+  o.unreliableEdges = topo.gPrime().edgeCount() - topo.g().edgeCount();
+  return o;
 }
 
 void BM_Unreliability(benchmark::State& state) {
-  const int variant = static_cast<int>(state.range(0));
-  Variant v;
+  const auto all = variants();
+  const Variant& v = all[static_cast<std::size_t>(state.range(0))];
+  Outcome o;
   for (auto _ : state) {
-    switch (variant) {
-      case 0: v = runNone(); break;
-      case 1: v = runLocal(2); break;
-      case 2: v = runLocal(4); break;
-      default: v = runCross(); break;
-    }
-    benchmark::DoNotOptimize(v.solve);
+    o = runVariant(v);
+    benchmark::DoNotOptimize(o.solve);
   }
-  state.counters["ticks_measured"] = static_cast<double>(v.solve);
+  state.counters["ticks_measured"] = static_cast<double>(o.solve);
   state.counters["unreliable_edges"] =
-      static_cast<double>(v.unreliableEdges);
+      static_cast<double>(o.unreliableEdges);
 }
 BENCHMARK(BM_Unreliability)->Arg(0)->Arg(1)->Arg(2)->Arg(3)->Unit(
     benchmark::kMillisecond);
 
 void printTables() {
-  std::vector<Variant> variants = {runNone(), runLocal(2), runLocal(4),
-                                   runCross()};
+  std::vector<Outcome> outcomes;
+  for (const Variant& v : variants()) outcomes.push_back(runVariant(v));
   std::vector<bench::Row> rows;
-  for (const Variant& v : variants) {
+  for (const Outcome& o : outcomes) {
     bench::Row row;
     row.label =
-        v.name + " [" + std::to_string(v.unreliableEdges) + " G'-edges]";
-    row.measured = v.solve;
-    row.predicted = variants.front().solve;  // baseline: G' = G
+        o.name + " [" + std::to_string(o.unreliableEdges) + " G'-edges]";
+    row.measured = o.solve;
+    row.predicted = outcomes.front().solve;  // baseline: G' = G
     rows.push_back(row);
   }
   bench::printTable(

@@ -11,10 +11,12 @@
 //                                                       the matching lower
 //                                                       bound)
 //
-// Each sweep prints measured solve time against the theorem's formula
-// evaluated with its explicit constants.  The *shape* is the claim:
-// measured grows linearly in the right parameter and stays below the
-// bound for every scheduler, including the adversarial ones.
+// Each cell is a declarative runner::SweepSpec grid executed on the
+// SweepRunner worker pool; the tables print the per-cell aggregates
+// against the theorem's formula evaluated with its explicit constants.
+// The *shape* is the claim: measured grows linearly in the right
+// parameter and stays below the bound for every scheduler, including
+// the adversarial ones.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -25,197 +27,215 @@
 namespace {
 
 using namespace ammb;
-using core::RunConfig;
 using core::SchedulerKind;
+using runner::SweepSpec;
 namespace gen = graph::gen;
 
 constexpr Time kFprog = 4;
 constexpr Time kFack = 64;
 
+// Grid axes shared between the spec builders and the table printers, so
+// the tables can never drift from the sweeps they label.
+const std::vector<int> kGgNs = {16, 32, 64, 128};
+const std::vector<int> kGgKs = {1, 8, 32};
+const std::vector<int> kRrRs = {1, 2, 4, 8};
+constexpr int kRrN = 64;
+constexpr int kRrK = 8;
+const std::vector<int> kArbNs = {32, 64};
+const std::vector<int> kArbKs = {4, 16};
+const std::vector<SchedulerKind> kAdversaries = {
+    SchedulerKind::kAdversarial, SchedulerKind::kAdversarialStuffing};
+
 // --- cell 1: G' = G ----------------------------------------------------------
 
-Time solveGg(int n, int k, SchedulerKind sched, std::uint64_t seed) {
-  const auto topo = gen::identityDual(gen::line(n));
-  RunConfig config;
-  config.mac = bench::stdParams(kFprog, kFack);
-  config.scheduler = sched;
-  config.seed = seed;
-  config.recordTrace = false;
-  const auto result =
-      core::runBmmb(topo, core::workloadAllAtNode(k, 0), config);
-  return bench::mustSolve(result, "fig1 G'=G");
+SweepSpec ggSpec() {
+  SweepSpec spec;
+  spec.name = "fig1-gg";
+  for (int n : kGgNs) spec.topologies.push_back(runner::lineTopology(n));
+  spec.schedulers = {SchedulerKind::kSlowAck};
+  spec.ks = kGgKs;
+  spec.macs = {{"std", bench::stdParams(kFprog, kFack)}};
+  spec.workload = runner::allAtNodeWorkload(0);
+  spec.seedBegin = 1;
+  spec.seedEnd = 2;
+  return spec;
 }
-
-void BM_Fig1_GG(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  const int k = static_cast<int>(state.range(1));
-  Time solve = 0;
-  for (auto _ : state) {
-    solve = solveGg(n, k, SchedulerKind::kSlowAck, 1);
-    benchmark::DoNotOptimize(solve);
-  }
-  state.counters["ticks_measured"] = static_cast<double>(solve);
-  state.counters["ticks_bound"] = static_cast<double>(
-      core::bmmbRRestrictedBound(n - 1, k, 1, bench::stdParams(kFprog, kFack)));
-}
-BENCHMARK(BM_Fig1_GG)
-    ->ArgsProduct({{16, 32, 64, 128}, {1, 8, 32}})
-    ->Unit(benchmark::kMillisecond);
 
 // --- cell 2: r-restricted G' -------------------------------------------------
 
-Time solveRRestricted(int n, int k, int r, SchedulerKind sched,
-                      std::uint64_t seed) {
-  Rng rng(seed);
-  const auto topo = gen::withRRestrictedNoise(gen::line(n), r, 0.7, rng);
-  RunConfig config;
-  config.mac = bench::stdParams(kFprog, kFack);
-  config.scheduler = sched;
-  config.seed = seed;
-  config.recordTrace = false;
-  const auto result =
-      core::runBmmb(topo, core::workloadRoundRobin(k, n), config);
-  return bench::mustSolve(result, "fig1 r-restricted");
-}
-
-void BM_Fig1_RRestricted(benchmark::State& state) {
-  const int r = static_cast<int>(state.range(0));
-  const int n = 64;
-  const int k = 8;
-  Time solve = 0;
-  for (auto _ : state) {
-    solve = solveRRestricted(n, k, r, SchedulerKind::kAdversarialStuffing, 1);
-    benchmark::DoNotOptimize(solve);
+SweepSpec rRestrictedSpec() {
+  SweepSpec spec;
+  spec.name = "fig1-rrestricted";
+  for (int r : kRrRs) {
+    spec.topologies.push_back(runner::rRestrictedLineTopology(kRrN, r, 0.7));
   }
-  state.counters["ticks_measured"] = static_cast<double>(solve);
-  state.counters["ticks_bound"] = static_cast<double>(
-      core::bmmbRRestrictedBound(n - 1, k, r, bench::stdParams(kFprog, kFack)));
+  // Worst case over the generic adversary family: pure delay (junk
+  // progress fillers) and delay+stuffing.
+  spec.schedulers = kAdversaries;
+  spec.ks = {kRrK};
+  spec.macs = {{"std", bench::stdParams(kFprog, kFack)}};
+  spec.workload = runner::roundRobinWorkload();
+  spec.seedBegin = 1;
+  spec.seedEnd = 3;
+  return spec;
 }
-BENCHMARK(BM_Fig1_RRestricted)
-    ->Arg(1)
-    ->Arg(2)
-    ->Arg(4)
-    ->Arg(8)
-    ->Unit(benchmark::kMillisecond);
 
 // --- cell 3: grey zone / arbitrary G' upper bound -----------------------------
 
-Time solveArbitrary(int n, int k, std::uint64_t seed) {
-  Rng rng(seed);
-  const auto topo =
-      gen::withArbitraryNoise(gen::line(n), static_cast<std::size_t>(n), rng);
-  Time worst = 0;
-  for (SchedulerKind sched : {SchedulerKind::kAdversarial,
-                              SchedulerKind::kAdversarialStuffing}) {
-    RunConfig config;
-    config.mac = bench::stdParams(kFprog, kFack);
-    config.scheduler = sched;
-    config.seed = seed;
-    config.recordTrace = false;
-    const auto result =
-        core::runBmmb(topo, core::workloadRoundRobin(k, n), config);
-    worst = std::max(worst, bench::mustSolve(result, "fig1 arbitrary"));
+SweepSpec arbitrarySpec() {
+  SweepSpec spec;
+  spec.name = "fig1-arbitrary";
+  for (int n : kArbNs) {
+    spec.topologies.push_back(runner::arbitraryNoiseLineTopology(
+        n, static_cast<std::size_t>(n)));
   }
-  return worst;
+  spec.schedulers = kAdversaries;
+  spec.ks = kArbKs;
+  spec.macs = {{"std", bench::stdParams(kFprog, kFack)}};
+  spec.workload = runner::roundRobinWorkload();
+  spec.seedBegin = 1;
+  spec.seedEnd = 2;
+  return spec;
 }
 
-Time solveGreyZone(int n, int k, std::uint64_t seed) {
-  Rng rng(seed);
-  const auto topo = gen::greyZoneField(n, 7.0, 2.0, 0.5, rng);
-  RunConfig config;
-  config.mac = bench::stdParams(kFprog, kFack);
-  config.scheduler = SchedulerKind::kAdversarialStuffing;
-  config.seed = seed;
-  config.recordTrace = false;
-  const auto result =
-      core::runBmmb(topo, core::workloadRoundRobin(k, topo.n()), config);
-  return bench::mustSolve(result, "fig1 grey zone");
+SweepSpec greyZoneSpec() {
+  SweepSpec spec;
+  spec.name = "fig1-greyzone";
+  spec.topologies = {runner::greyZoneFieldTopology(48, 7.0, 2.0, 0.5),
+                     runner::greyZoneFieldTopology(96, 7.0, 2.0, 0.5)};
+  spec.schedulers = {SchedulerKind::kAdversarialStuffing};
+  spec.ks = {8};
+  spec.macs = {{"std", bench::stdParams(kFprog, kFack)}};
+  spec.workload = runner::roundRobinWorkload();
+  spec.seedBegin = 3;
+  spec.seedEnd = 4;
+  return spec;
 }
 
-void BM_Fig1_Arbitrary(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  const int k = static_cast<int>(state.range(1));
-  Time solve = 0;
+// --- google-benchmark registrations: sweep throughput ------------------------
+
+void BM_Fig1_Sweep(benchmark::State& state) {
+  // Wall-clock cost of the full Figure-1 G'=G grid at a given worker
+  // count — the SweepRunner scaling measurement.
+  const int threads = static_cast<int>(state.range(0));
+  const SweepSpec spec = ggSpec();
   for (auto _ : state) {
-    solve = solveArbitrary(n, k, 1);
-    benchmark::DoNotOptimize(solve);
+    runner::SweepRunner::Options options;
+    options.threads = threads;
+    options.keepRunRecords = false;
+    const auto result = runner::SweepRunner(options).run(spec);
+    benchmark::DoNotOptimize(result.cells.size());
   }
-  state.counters["ticks_measured"] = static_cast<double>(solve);
+  state.SetItemsProcessed(static_cast<std::int64_t>(spec.runCount()) *
+                          state.iterations());
+  state.counters["runs_per_sweep"] = static_cast<double>(spec.runCount());
 }
-BENCHMARK(BM_Fig1_Arbitrary)
-    ->ArgsProduct({{32, 64}, {4, 16}})
-    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Fig1_Sweep)->Arg(1)->Arg(2)->Arg(4)->Unit(
+    benchmark::kMillisecond);
 
 // --- paper-style tables -------------------------------------------------------
 
 void printTables() {
   const auto params = bench::stdParams(kFprog, kFack);
 
-  std::vector<bench::Row> gg;
-  for (int n : {16, 32, 64, 128}) {
-    for (int k : {1, 8, 32}) {
+  // G' = G: cells enumerate (topology, k) in row-major order, matching
+  // enumerateRuns's (topology, scheduler, k, mac) lexicographic order.
+  {
+    const auto result = bench::mustSweep(ggSpec());
+    AMMB_REQUIRE(result.cells.size() == kGgNs.size() * kGgKs.size(),
+                 "fig1 G'=G grid shape changed; update the table");
+    std::vector<bench::Row> rows;
+    for (std::size_t i = 0; i < result.cells.size(); ++i) {
+      const auto& cell = result.cells[i];
+      const int n = kGgNs[i / kGgKs.size()];
       bench::Row row;
       row.label = "G'=G line D=" + std::to_string(n - 1) +
-                  " k=" + std::to_string(k) + " slow-ack";
-      row.measured = solveGg(n, k, SchedulerKind::kSlowAck, 1);
-      row.predicted = core::bmmbRRestrictedBound(n - 1, k, 1, params);
-      gg.push_back(row);
+                  " k=" + std::to_string(cell.k) + " slow-ack";
+      row.measured = bench::mustSolveCell(cell);
+      row.predicted = core::bmmbRRestrictedBound(n - 1, cell.k, 1, params);
+      rows.push_back(row);
     }
+    bench::printTable(
+        "Figure 1 [Standard, G'=G]: BMMB vs O(D Fprog + k Fack), Thm 3.16 "
+        "r=1",
+        rows);
   }
-  bench::printTable(
-      "Figure 1 [Standard, G'=G]: BMMB vs O(D Fprog + k Fack), Thm 3.16 r=1",
-      gg);
 
-  std::vector<bench::Row> rr;
-  for (int r : {1, 2, 4, 8}) {
-    for (std::uint64_t seed : {1u, 2u}) {
+  // r-restricted: worst adversary per r (max over scheduler cells,
+  // which already aggregate the seeds).
+  {
+    const auto result = bench::mustSweep(rRestrictedSpec());
+    const std::size_t nSched = kAdversaries.size();
+    AMMB_REQUIRE(result.cells.size() == kRrRs.size() * nSched,
+                 "fig1 r-restricted grid shape changed; update the table");
+    std::vector<bench::Row> rows;
+    // Cells are (topology r) x (schedulers); reduce the scheduler axis.
+    for (std::size_t t = 0; t < kRrRs.size(); ++t) {
+      Time worst = 0;
+      for (std::size_t s = 0; s < nSched; ++s) {
+        worst = std::max(
+            worst, bench::mustSolveCell(result.cells[t * nSched + s]));
+      }
       bench::Row row;
-      row.label = "r=" + std::to_string(r) + " line D=63 k=8 seed=" +
-                  std::to_string(seed) + " worst-adversary";
-      // Worst case over the generic adversary family: pure delay
-      // (junk progress fillers) and delay+stuffing.  The paper proves
-      // no matching lower bound for this cell, so the claim is that
-      // the measured worst case stays below the Theorem 3.16 formula.
-      row.measured =
-          std::max(solveRRestricted(64, 8, r, SchedulerKind::kAdversarial,
-                                    seed),
-                   solveRRestricted(64, 8, r,
-                                    SchedulerKind::kAdversarialStuffing,
-                                    seed));
-      row.predicted = core::bmmbRRestrictedBound(63, 8, r, params);
-      rr.push_back(row);
+      row.label = "r=" + std::to_string(kRrRs[t]) +
+                  " line D=" + std::to_string(kRrN - 1) +
+                  " k=" + std::to_string(kRrK) + " seeds=1-2 worst-adversary";
+      row.measured = worst;
+      row.predicted =
+          core::bmmbRRestrictedBound(kRrN - 1, kRrK, kRrRs[t], params);
+      rows.push_back(row);
     }
+    bench::printTable(
+        "Figure 1 [Standard, r-Restricted]: BMMB vs O(D Fprog + r k Fack), "
+        "Thm 3.16",
+        rows);
   }
-  bench::printTable(
-      "Figure 1 [Standard, r-Restricted]: BMMB vs O(D Fprog + r k Fack), "
-      "Thm 3.16",
-      rr);
 
-  std::vector<bench::Row> arb;
-  for (int n : {32, 64}) {
-    for (int k : {4, 16}) {
-      bench::Row row;
-      row.label = "arbitrary G' line D=" + std::to_string(n - 1) +
-                  " k=" + std::to_string(k) + " worst-adversary";
-      row.measured = solveArbitrary(n, k, 1);
-      row.predicted = core::bmmbArbitraryBound(n - 1, k, params);
-      arb.push_back(row);
+  // Arbitrary G' + grey zone fields.
+  {
+    std::vector<bench::Row> rows;
+    const auto result = bench::mustSweep(arbitrarySpec());
+    const std::size_t nSched = kAdversaries.size();
+    const std::size_t nKs = kArbKs.size();
+    AMMB_REQUIRE(result.cells.size() == kArbNs.size() * nSched * nKs,
+                 "fig1 arbitrary grid shape changed; update the table");
+    // Cells: (topologies) x (schedulers) x (ks); reduce over the
+    // scheduler axis for the worst adversary per (n, k).
+    for (std::size_t t = 0; t < kArbNs.size(); ++t) {
+      for (std::size_t k = 0; k < nKs; ++k) {
+        Time worst = 0;
+        int kVal = 0;
+        for (std::size_t s = 0; s < nSched; ++s) {
+          const auto& cell = result.cells[(t * nSched + s) * nKs + k];
+          kVal = cell.k;
+          worst = std::max(worst, bench::mustSolveCell(cell));
+        }
+        bench::Row row;
+        row.label = "arbitrary G' line D=" + std::to_string(kArbNs[t] - 1) +
+                    " k=" + std::to_string(kVal) + " worst-adversary";
+        row.measured = worst;
+        row.predicted = core::bmmbArbitraryBound(kArbNs[t] - 1, kVal, params);
+        rows.push_back(row);
+      }
     }
+
+    const auto greySpec = greyZoneSpec();
+    const auto grey = bench::mustSweep(greySpec);
+    for (std::size_t t = 0; t < grey.cells.size(); ++t) {
+      // Re-derive the generated field's diameter for the bound column.
+      const auto topo = greySpec.topologies[t].make(greySpec.seedBegin);
+      bench::Row row;
+      row.label = "grey zone field n=" + std::to_string(topo.n()) +
+                  " k=8 adversarial+stuff";
+      row.measured = bench::mustSolveCell(grey.cells[t]);
+      row.predicted = core::bmmbArbitraryBound(topo.g().diameter(), 8, params);
+      rows.push_back(row);
+    }
+    bench::printTable(
+        "Figure 1 [Standard, Grey Zone / arbitrary]: BMMB vs O((D+k) Fack), "
+        "Thm 3.1",
+        rows);
   }
-  for (int n : {48, 96}) {
-    Rng rng(3);
-    const auto topo = gen::greyZoneField(n, 7.0, 2.0, 0.5, rng);
-    bench::Row row;
-    row.label = "grey zone field n=" + std::to_string(n) +
-                " k=8 adversarial+stuff";
-    row.measured = solveGreyZone(n, 8, 3);
-    row.predicted = core::bmmbArbitraryBound(topo.g().diameter(), 8, params);
-    arb.push_back(row);
-  }
-  bench::printTable(
-      "Figure 1 [Standard, Grey Zone / arbitrary]: BMMB vs O((D+k) Fack), "
-      "Thm 3.1",
-      arb);
 }
 
 }  // namespace

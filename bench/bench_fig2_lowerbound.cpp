@@ -46,7 +46,7 @@ Time solveBridgeStar(int k) {
   core::MmbWorkload workload;
   workload.k = k;
   for (MsgId m = 0; m < k; ++m) {
-    workload.arrivals.emplace_back(static_cast<NodeId>(m), m);
+    workload.arrivals.push_back(core::Arrival{static_cast<NodeId>(m), m, 0});
   }
   RunConfig config;
   config.mac = bench::stdParams(kFprog, kFack);

@@ -11,9 +11,12 @@
 
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/experiment.h"
+#include "runner/emit.h"
+#include "runner/sweep_runner.h"
 
 namespace ammb::bench {
 
@@ -64,6 +67,37 @@ inline Time mustSolve(const core::RunResult& result, const char* what) {
     std::abort();
   }
   return result.solveTime;
+}
+
+/// Worker threads used by the bench sweeps.
+inline int sweepThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw > 8 ? 8 : hw);
+}
+
+/// Runs a sweep on the bench worker pool; aborts if any run failed.
+inline runner::SweepResult mustSweep(const runner::SweepSpec& spec) {
+  runner::SweepRunner::Options options;
+  options.threads = sweepThreads();
+  options.keepRunRecords = false;
+  const auto result = runner::SweepRunner(options).run(spec);
+  if (result.errorCount() != 0) {
+    std::fprintf(stderr, "bench sweep '%s' had %llu failed runs\n",
+                 spec.name.c_str(),
+                 static_cast<unsigned long long>(result.errorCount()));
+    std::abort();
+  }
+  return result;
+}
+
+/// A fully solved cell's worst (max over seeds) solve time in ticks.
+inline Time mustSolveCell(const runner::CellAggregate& cell) {
+  if (cell.solved != cell.runs) {
+    std::fprintf(stderr, "bench cell %s/%s/k=%d failed to solve\n",
+                 cell.topology.c_str(), cell.scheduler.c_str(), cell.k);
+    std::abort();
+  }
+  return cell.maxSolve;
 }
 
 }  // namespace ammb::bench

@@ -1,0 +1,97 @@
+// The seed repository's event kernel, preserved verbatim as the
+// baseline for bench_event_queue: std::function entries in a
+// std::priority_queue with lazy tombstone cancellation in an
+// unordered_set.  Kept out of src/ on purpose — production code uses
+// sim::EventQueue (slot-pooled, generation-tagged, true-cancel); this
+// copy exists only so the microbench can quantify the difference.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/error.h"
+#include "common/types.h"
+#include "sim/event_queue.h"
+
+namespace ammb::bench {
+
+/// The seed kernel (lazy cancellation, allocating closures).
+class LegacyEventQueue {
+ public:
+  using EventHandle = std::uint64_t;
+
+  LegacyEventQueue() = default;
+
+  Time now() const { return now_; }
+
+  EventHandle schedule(Time at, std::function<void()> fn) {
+    AMMB_REQUIRE(at >= now_, "cannot schedule an event in the past");
+    AMMB_REQUIRE(fn != nullptr, "event function must not be null");
+    const EventHandle handle = nextHandle_++;
+    heap_.push(Entry{at, handle, std::move(fn)});
+    return handle;
+  }
+
+  EventHandle scheduleAfter(Time delay, std::function<void()> fn) {
+    AMMB_REQUIRE(delay >= 0, "event delay must be non-negative");
+    return schedule(now_ + delay, std::move(fn));
+  }
+
+  bool cancel(EventHandle handle) {
+    if (handle == 0 || handle >= nextHandle_) return false;
+    return cancelled_.insert(handle).second;
+  }
+
+  sim::RunStatus run(Time timeLimit = kTimeNever,
+                     std::uint64_t maxEvents = 250'000'000) {
+    stopRequested_ = false;
+    std::uint64_t executed = 0;
+    while (!heap_.empty()) {
+      if (stopRequested_) return sim::RunStatus::kStopped;
+      const Entry& top = heap_.top();
+      if (top.at > timeLimit) return sim::RunStatus::kTimeLimit;
+      if (cancelled_.erase(top.handle) > 0) {
+        heap_.pop();
+        continue;
+      }
+      if (executed >= maxEvents) return sim::RunStatus::kEventLimit;
+      Entry entry = std::move(const_cast<Entry&>(top));
+      heap_.pop();
+      now_ = entry.at;
+      ++processed_;
+      ++executed;
+      entry.fn();
+    }
+    return stopRequested_ ? sim::RunStatus::kStopped
+                          : sim::RunStatus::kDrained;
+  }
+
+  void requestStop() { stopRequested_ = true; }
+  std::uint64_t processedCount() const { return processed_; }
+  std::size_t pendingCount() const { return heap_.size(); }
+
+ private:
+  struct Entry {
+    Time at;
+    EventHandle handle;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.handle > b.handle;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<EventHandle> cancelled_;
+  Time now_ = 0;
+  EventHandle nextHandle_ = 1;
+  std::uint64_t processed_ = 0;
+  bool stopRequested_ = false;
+};
+
+}  // namespace ammb::bench

@@ -117,6 +117,43 @@ RunResult runFmmb(const graph::DualGraph& topology, const MmbWorkload& workload,
   return experiment.run();
 }
 
+std::string toString(ProtocolKind kind) {
+  switch (kind) {
+    case ProtocolKind::kBmmb: return "bmmb";
+    case ProtocolKind::kFmmb: return "fmmb";
+  }
+  return "?";
+}
+
+RunResult runProtocol(ProtocolKind protocol, const graph::DualGraph& topology,
+                      const MmbWorkload& workload, const FmmbParams& fmmb,
+                      const RunConfig& config) {
+  switch (protocol) {
+    case ProtocolKind::kBmmb: return runBmmb(topology, workload, config);
+    case ProtocolKind::kFmmb:
+      return runFmmb(topology, workload, fmmb, config);
+  }
+  throw Error("unknown protocol kind");
+}
+
+std::vector<RunResult> runSeedSweep(ProtocolKind protocol,
+                                    const graph::DualGraph& topology,
+                                    const MmbWorkload& workload,
+                                    const FmmbParams& fmmb,
+                                    const RunConfig& config,
+                                    std::uint64_t seedBegin,
+                                    std::uint64_t seedEnd) {
+  AMMB_REQUIRE(seedBegin <= seedEnd, "empty-or-forward seed range required");
+  std::vector<RunResult> results;
+  results.reserve(static_cast<std::size_t>(seedEnd - seedBegin));
+  for (std::uint64_t seed = seedBegin; seed < seedEnd; ++seed) {
+    RunConfig cfg = config;
+    cfg.seed = seed;
+    results.push_back(runProtocol(protocol, topology, workload, fmmb, cfg));
+  }
+  return results;
+}
+
 Time bmmbRRestrictedBound(int diameter, int k, int r,
                           const mac::MacParams& params) {
   AMMB_REQUIRE(k >= 1 && r >= 1 && diameter >= 0, "invalid bound arguments");

@@ -5,6 +5,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/bmmb.h"
 #include "core/fmmb.h"
@@ -105,6 +106,35 @@ RunResult runBmmb(const graph::DualGraph& topology, const MmbWorkload& workload,
                   const RunConfig& config);
 RunResult runFmmb(const graph::DualGraph& topology, const MmbWorkload& workload,
                   const FmmbParams& params, const RunConfig& config);
+
+// --- sweep entry points -----------------------------------------------------
+
+/// Which protocol an experiment executes (runner::SweepSpec cells pick
+/// one per grid).
+enum class ProtocolKind : std::uint8_t {
+  kBmmb,  ///< Section 3, standard or enhanced model
+  kFmmb,  ///< Section 4, enhanced model only
+};
+
+/// Human-readable protocol name (for sweep tables and emitters).
+std::string toString(ProtocolKind kind);
+
+/// One-call protocol dispatch.  `fmmb` is consulted only for kFmmb.
+RunResult runProtocol(ProtocolKind protocol, const graph::DualGraph& topology,
+                      const MmbWorkload& workload, const FmmbParams& fmmb,
+                      const RunConfig& config);
+
+/// Sequential seed sweep over [seedBegin, seedEnd): one run per seed on
+/// a shared topology/workload, with config.seed overridden per run.
+/// This is the single-cell, single-thread building block underneath
+/// runner::SweepRunner; results are indexed by seed - seedBegin.
+std::vector<RunResult> runSeedSweep(ProtocolKind protocol,
+                                    const graph::DualGraph& topology,
+                                    const MmbWorkload& workload,
+                                    const FmmbParams& fmmb,
+                                    const RunConfig& config,
+                                    std::uint64_t seedBegin,
+                                    std::uint64_t seedEnd);
 
 // --- the paper's explicit bound formulas ------------------------------------
 

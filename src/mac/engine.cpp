@@ -96,6 +96,7 @@ MacEngine::MacEngine(const graph::DualGraph& topology, MacParams params,
                  seeds.childRng(rngstream::kNode,
                                 static_cast<std::uint64_t>(v)),
                  kNoInstance,
+                 {},
                  {}};
     AMMB_REQUIRE(ns.process != nullptr, "process factory returned null");
     nodes_.push_back(std::move(ns));
@@ -177,14 +178,14 @@ void MacEngine::apiBcast(NodeId node, Packet packet) {
   for (const PlannedDelivery& d : plan.deliveries) {
     const sim::EventHandle h = queue_.schedule(
         d.at, [this, id, target = d.target] { onDeliveryEvent(id, target); });
-    inst.pending.emplace(d.target, Instance::PendingDelivery{d.at, h});
+    inst.addPending(d.target, d.at, h);
   }
   inst.ackEvent =
       queue_.schedule(plan.ackAt, [this, id] { onAckEvent(id); });
 
   ns.current = id;
   for (NodeId j : topology_.gPrime().neighbors(node)) {
-    state(j).liveNear.push_back(id);
+    state(j).addLive(id);
   }
   // The new instance changes the need set of the sender's G-neighbors.
   for (NodeId j : topology_.g().neighbors(node)) guard_.recompute(j);
@@ -240,7 +241,7 @@ void MacEngine::apiAbort(NodeId node) {
   queue_.cancel(inst.ackEvent);
   // Pending receives may still fire within epsAbort of the abort.
   const Time cutoff = now() + params_.epsAbort;
-  for (auto& [target, pd] : inst.pending) {
+  for (const Instance::PendingDelivery& pd : inst.pending) {
     if (pd.at > cutoff) queue_.cancel(pd.handle);
   }
   finishInstance(inst);
@@ -286,10 +287,9 @@ void MacEngine::performDelivery(InstanceId id, NodeId receiver, bool forced) {
   AMMB_ASSERT(!inst.hasDeliveredTo(receiver));
 
   // Drop the planned event if the guard preempted it.
-  auto it = inst.pending.find(receiver);
-  if (it != inst.pending.end()) {
-    queue_.cancel(it->second.handle);
-    inst.pending.erase(it);
+  if (const Instance::PendingDelivery* pd = inst.findPending(receiver)) {
+    queue_.cancel(pd->handle);
+    inst.removePending(receiver);
   }
 
   inst.deliveredTo.push_back(receiver);
@@ -311,7 +311,7 @@ void MacEngine::performDelivery(InstanceId id, NodeId receiver, bool forced) {
 
 void MacEngine::onDeliveryEvent(InstanceId id, NodeId receiver) {
   Instance& inst = instances_[static_cast<std::size_t>(id)];
-  inst.pending.erase(receiver);
+  inst.removePending(receiver);
   if (inst.hasDeliveredTo(receiver)) return;  // guard got there first
   if (inst.terminated && now() > inst.termAt + params_.epsAbort) return;
   performDelivery(id, receiver, /*forced=*/false);
@@ -338,8 +338,7 @@ void MacEngine::finishInstance(Instance& inst) {
   // The instance no longer contends anywhere; coverage intervals it
   // provided are now capped at termAt, so re-evaluate the neighborhood.
   for (NodeId j : topology_.gPrime().neighbors(inst.sender)) {
-    auto& live = state(j).liveNear;
-    live.erase(std::remove(live.begin(), live.end(), inst.id), live.end());
+    state(j).removeLive(inst.id);
   }
   for (NodeId j : topology_.gPrime().neighbors(inst.sender)) {
     guard_.recompute(j);

@@ -19,6 +19,7 @@
 
 #include <functional>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "common/rng.h"
@@ -117,6 +118,26 @@ class MacEngine {
     Rng rng;
     InstanceId current = kNoInstance;  ///< outstanding bcast, if any
     std::vector<InstanceId> liveNear;  ///< live instances from E' nbrs
+    /// Position of each live instance inside liveNear, so termination
+    /// is an O(1) swap-remove instead of a scan-erase over every
+    /// G'-neighbor's live list.
+    std::unordered_map<InstanceId, std::size_t> liveIndex;
+
+    void addLive(InstanceId id) {
+      liveIndex.emplace(id, liveNear.size());
+      liveNear.push_back(id);
+    }
+    void removeLive(InstanceId id) {
+      const auto it = liveIndex.find(id);
+      if (it == liveIndex.end()) return;
+      const std::size_t pos = it->second;
+      liveIndex.erase(it);
+      if (pos + 1 != liveNear.size()) {
+        liveNear[pos] = liveNear.back();
+        liveIndex[liveNear[pos]] = pos;
+      }
+      liveNear.pop_back();
+    }
   };
 
   // Context services -----------------------------------------------------

@@ -38,12 +38,43 @@ struct Instance {
   std::vector<NodeId> deliveredTo;
   std::unordered_set<NodeId> deliveredSet;
 
-  /// Scheduled-but-not-yet-executed delivery events.
+  /// Scheduled-but-not-yet-executed delivery events.  Kept as a flat
+  /// array with a receiver -> position index so removal is a swap-remove
+  /// instead of an ordered-container erase; iteration order is the
+  /// deterministic insertion/removal history, never hash order.
   struct PendingDelivery {
+    NodeId target = kNoNode;
     Time at = 0;
     sim::EventHandle handle = 0;
   };
-  std::unordered_map<NodeId, PendingDelivery> pending;
+  std::vector<PendingDelivery> pending;
+
+  /// Appends a pending delivery (receiver must not already be pending).
+  void addPending(NodeId target, Time at, sim::EventHandle handle) {
+    AMMB_ASSERT(pendingIndex_.count(target) == 0);
+    pendingIndex_.emplace(target, pending.size());
+    pending.push_back(PendingDelivery{target, at, handle});
+  }
+
+  /// The pending delivery for `target`, or nullptr.
+  const PendingDelivery* findPending(NodeId target) const {
+    const auto it = pendingIndex_.find(target);
+    return it == pendingIndex_.end() ? nullptr : &pending[it->second];
+  }
+
+  /// Swap-removes `target`'s pending delivery; false if none existed.
+  bool removePending(NodeId target) {
+    const auto it = pendingIndex_.find(target);
+    if (it == pendingIndex_.end()) return false;
+    const std::size_t pos = it->second;
+    pendingIndex_.erase(it);
+    if (pos + 1 != pending.size()) {
+      pending[pos] = pending.back();
+      pendingIndex_[pending[pos].target] = pos;
+    }
+    pending.pop_back();
+    return true;
+  }
 
   /// G-neighbors of the sender not yet delivered to (ack gate).
   int pendingGDeliveries = 0;
@@ -56,6 +87,9 @@ struct Instance {
 
   /// Current best knowledge of when the instance terminates.
   Time plannedTermination() const { return terminated ? termAt : plannedAck; }
+
+ private:
+  std::unordered_map<NodeId, std::size_t> pendingIndex_;
 };
 
 }  // namespace ammb::mac

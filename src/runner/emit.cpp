@@ -1,0 +1,141 @@
+#include "runner/emit.h"
+
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace ammb::runner {
+
+namespace {
+
+/// Fixed-precision decimal for CSV/JSON doubles; identical input bits
+/// give identical text, keeping emitted files diffable.
+std::string fixed(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.6f", value);
+  return buffer;
+}
+
+std::string csvEscape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string jsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+const char* statusName(sim::RunStatus status) {
+  switch (status) {
+    case sim::RunStatus::kDrained: return "drained";
+    case sim::RunStatus::kStopped: return "stopped";
+    case sim::RunStatus::kTimeLimit: return "time-limit";
+    case sim::RunStatus::kEventLimit: return "event-limit";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void emitCellsCsv(const SweepResult& result, std::ostream& out) {
+  out << "sweep,protocol,workload,topology,scheduler,k,mac,seed_begin,"
+         "seed_end,runs,solved,errors,min_solve,median_solve,mean_solve,"
+         "p95_solve,max_solve,mean_end_time,bcasts,rcvs,forced_rcvs,acks,"
+         "aborts,delivers,arrives\n";
+  for (const CellAggregate& c : result.cells) {
+    out << csvEscape(result.name) << ',' << core::toString(result.protocol)
+        << ',' << csvEscape(result.workload) << ',' << csvEscape(c.topology)
+        << ',' << csvEscape(c.scheduler) << ',' << c.k << ','
+        << csvEscape(c.mac) << ',' << result.seedBegin << ','
+        << result.seedEnd << ',' << c.runs << ',' << c.solved << ','
+        << c.errors << ',' << c.minSolve << ',' << c.medianSolve << ','
+        << fixed(c.meanSolve) << ',' << c.p95Solve << ',' << c.maxSolve
+        << ',' << fixed(c.meanEndTime) << ',' << c.stats.bcasts << ','
+        << c.stats.rcvs << ',' << c.stats.forcedRcvs << ',' << c.stats.acks
+        << ',' << c.stats.aborts << ',' << c.stats.delivers << ','
+        << c.stats.arrives << '\n';
+  }
+}
+
+void emitRunsCsv(const SweepResult& result, std::ostream& out) {
+  out << "run_index,cell_index,topology,scheduler,k,mac,seed,solved,"
+         "solve_time,end_time,status,error\n";
+  for (const RunRecord& r : result.runs) {
+    const CellAggregate& c = result.cell(r.point.cellIndex);
+    out << r.point.runIndex << ',' << r.point.cellIndex << ','
+        << csvEscape(c.topology) << ',' << csvEscape(c.scheduler) << ','
+        << c.k << ',' << csvEscape(c.mac) << ',' << r.point.seed << ','
+        << (r.result.solved ? 1 : 0) << ',' << r.result.solveTime << ','
+        << r.result.endTime << ',' << statusName(r.result.status) << ','
+        << csvEscape(r.error) << '\n';
+  }
+}
+
+void emitJson(const SweepResult& result, std::ostream& out) {
+  out << "{\n"
+      << "  \"sweep\": \"" << jsonEscape(result.name) << "\",\n"
+      << "  \"protocol\": \"" << core::toString(result.protocol) << "\",\n"
+      << "  \"workload\": \"" << jsonEscape(result.workload) << "\",\n"
+      << "  \"seed_begin\": " << result.seedBegin << ",\n"
+      << "  \"seed_end\": " << result.seedEnd << ",\n"
+      << "  \"cells\": [\n";
+  for (std::size_t i = 0; i < result.cells.size(); ++i) {
+    const CellAggregate& c = result.cells[i];
+    out << "    {\"topology\": \"" << jsonEscape(c.topology)
+        << "\", \"scheduler\": \"" << jsonEscape(c.scheduler)
+        << "\", \"k\": " << c.k << ", \"mac\": \"" << jsonEscape(c.mac)
+        << "\", \"runs\": " << c.runs << ", \"solved\": " << c.solved
+        << ", \"errors\": " << c.errors << ", \"min_solve\": " << c.minSolve
+        << ", \"median_solve\": " << c.medianSolve
+        << ", \"mean_solve\": " << fixed(c.meanSolve)
+        << ", \"p95_solve\": " << c.p95Solve
+        << ", \"max_solve\": " << c.maxSolve
+        << ", \"mean_end_time\": " << fixed(c.meanEndTime)
+        << ", \"stats\": {\"bcasts\": " << c.stats.bcasts
+        << ", \"rcvs\": " << c.stats.rcvs
+        << ", \"forced_rcvs\": " << c.stats.forcedRcvs
+        << ", \"acks\": " << c.stats.acks << ", \"aborts\": " << c.stats.aborts
+        << ", \"delivers\": " << c.stats.delivers
+        << ", \"arrives\": " << c.stats.arrives << "}}"
+        << (i + 1 < result.cells.size() ? ",\n" : "\n");
+  }
+  out << "  ]\n}\n";
+}
+
+std::string cellsCsv(const SweepResult& result) {
+  std::ostringstream out;
+  emitCellsCsv(result, out);
+  return out.str();
+}
+
+std::string toJson(const SweepResult& result) {
+  std::ostringstream out;
+  emitJson(result, out);
+  return out.str();
+}
+
+}  // namespace ammb::runner

@@ -1,0 +1,33 @@
+// Sweep result emitters.
+//
+// One format for everything downstream: benches print these tables,
+// regression tooling diffs the CSV, and the JSON document carries the
+// full per-cell aggregate for dashboards.  Emitters write only
+// deterministic fields (simulated quantities and grid labels) into data
+// rows, so two equal sweeps produce byte-identical output regardless of
+// thread count or wall-clock.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "runner/sweep_runner.h"
+
+namespace ammb::runner {
+
+/// Per-cell aggregates as CSV (header + one row per cell).
+void emitCellsCsv(const SweepResult& result, std::ostream& out);
+
+/// Per-run outcomes as CSV (requires keepRunRecords).
+void emitRunsCsv(const SweepResult& result, std::ostream& out);
+
+/// The whole sweep (metadata + cells) as a JSON document.
+void emitJson(const SweepResult& result, std::ostream& out);
+
+/// Convenience: emitCellsCsv into a string (test/regression diffing).
+std::string cellsCsv(const SweepResult& result);
+
+/// Convenience: emitJson into a string.
+std::string toJson(const SweepResult& result);
+
+}  // namespace ammb::runner

@@ -1,0 +1,174 @@
+#include "runner/sweep_runner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+namespace ammb::runner {
+
+namespace {
+
+/// Nearest-rank percentile of an ascending vector (integer arithmetic,
+/// so the result is an exact element and trivially deterministic).
+Time percentile(const std::vector<Time>& sorted, std::uint64_t p) {
+  AMMB_ASSERT(!sorted.empty() && p <= 100);
+  const std::size_t idx =
+      static_cast<std::size_t>((p * (sorted.size() - 1)) / 100);
+  return sorted[idx];
+}
+
+void accumulateStats(mac::EngineStats& into, const mac::EngineStats& from) {
+  into.bcasts += from.bcasts;
+  into.rcvs += from.rcvs;
+  into.forcedRcvs += from.forcedRcvs;
+  into.acks += from.acks;
+  into.aborts += from.aborts;
+  into.delivers += from.delivers;
+  into.arrives += from.arrives;
+}
+
+}  // namespace
+
+RunRecord executeRun(const SweepSpec& spec, const RunPoint& point) {
+  RunRecord record;
+  record.point = point;
+  try {
+    const graph::DualGraph topology =
+        spec.topologies[point.topoIdx].make(point.seed);
+    const int k = spec.ks[point.kIdx];
+    const core::MmbWorkload workload =
+        spec.workload.make(k, topology.n(), point.seed);
+    const core::RunConfig config = runConfigFor(spec, point);
+    const core::FmmbParams fmmb =
+        spec.fmmbParams ? spec.fmmbParams(topology.n(), k)
+                        : core::FmmbParams{};
+    record.result =
+        core::runProtocol(spec.protocol, topology, workload, fmmb, config);
+  } catch (const std::exception& e) {
+    record.error = e.what();
+  }
+  return record;
+}
+
+std::uint64_t SweepResult::errorCount() const {
+  std::uint64_t total = 0;
+  for (const CellAggregate& c : cells) total += c.errors;
+  return total;
+}
+
+const CellAggregate& SweepResult::cell(std::size_t cellIndex) const {
+  AMMB_REQUIRE(cellIndex < cells.size(), "cell index out of range");
+  return cells[cellIndex];
+}
+
+SweepResult SweepRunner::run(const SweepSpec& spec) const {
+  spec.validate();
+  const auto started = std::chrono::steady_clock::now();
+
+  const std::vector<RunPoint> points = enumerateRuns(spec);
+  std::vector<RunRecord> records(points.size());
+
+  int threads = options_.threads;
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads <= 0) threads = 1;
+  }
+  threads = std::min<int>(threads, static_cast<int>(points.size()));
+  threads = std::max(threads, 1);
+
+  // Work-stealing over a single atomic index: runs are share-nothing,
+  // so the only shared mutable state is the claim counter and each
+  // run's private result slot.
+  std::atomic<std::size_t> nextRun{0};
+  std::atomic<std::size_t> doneRuns{0};
+  std::mutex progressMutex;
+  const auto worker = [&] {
+    while (true) {
+      const std::size_t i = nextRun.fetch_add(1, std::memory_order_relaxed);
+      if (i >= points.size()) return;
+      records[i] = executeRun(spec, points[i]);
+      const std::size_t done =
+          doneRuns.fetch_add(1, std::memory_order_relaxed) + 1;
+      if (options_.progress) {
+        std::lock_guard<std::mutex> lock(progressMutex);
+        options_.progress(done, points.size());
+      }
+    }
+  };
+
+  if (threads == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+
+  // Deterministic aggregation: sequential, in run-index order, over the
+  // exact same records no matter how the pool interleaved.
+  SweepResult result;
+  result.name = spec.name;
+  result.protocol = spec.protocol;
+  result.workload = spec.workload.name;
+  result.seedBegin = spec.seedBegin;
+  result.seedEnd = spec.seedEnd;
+  result.threads = threads;
+  result.cells.resize(spec.cellCount());
+
+  std::vector<std::vector<Time>> solveTimes(result.cells.size());
+  std::vector<std::int64_t> solveSums(result.cells.size(), 0);
+  std::vector<std::int64_t> endSums(result.cells.size(), 0);
+  std::vector<std::uint64_t> endCounts(result.cells.size(), 0);
+
+  for (const RunRecord& record : records) {
+    CellAggregate& cell = result.cells[record.point.cellIndex];
+    if (cell.runs == 0) {
+      cell.cellIndex = record.point.cellIndex;
+      cell.topology = spec.topologies[record.point.topoIdx].name;
+      cell.scheduler = core::toString(spec.schedulers[record.point.schedIdx]);
+      cell.k = spec.ks[record.point.kIdx];
+      cell.mac = spec.macs[record.point.macIdx].name;
+    }
+    ++cell.runs;
+    if (record.failed()) {
+      ++cell.errors;
+      continue;
+    }
+    accumulateStats(cell.stats, record.result.stats);
+    endSums[cell.cellIndex] += record.result.endTime;
+    ++endCounts[cell.cellIndex];
+    if (record.result.solved) {
+      ++cell.solved;
+      solveTimes[cell.cellIndex].push_back(record.result.solveTime);
+      solveSums[cell.cellIndex] += record.result.solveTime;
+    }
+  }
+
+  for (CellAggregate& cell : result.cells) {
+    std::vector<Time>& times = solveTimes[cell.cellIndex];
+    if (!times.empty()) {
+      std::sort(times.begin(), times.end());
+      cell.minSolve = times.front();
+      cell.maxSolve = times.back();
+      cell.medianSolve = percentile(times, 50);
+      cell.p95Solve = percentile(times, 95);
+      cell.meanSolve = static_cast<double>(solveSums[cell.cellIndex]) /
+                       static_cast<double>(times.size());
+    }
+    if (endCounts[cell.cellIndex] > 0) {
+      cell.meanEndTime = static_cast<double>(endSums[cell.cellIndex]) /
+                         static_cast<double>(endCounts[cell.cellIndex]);
+    }
+  }
+
+  if (options_.keepRunRecords) result.runs = std::move(records);
+  result.wallSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
+          .count();
+  return result;
+}
+
+}  // namespace ammb::runner

@@ -1,0 +1,110 @@
+// Multi-threaded sweep execution with deterministic aggregation.
+//
+// Runs of a SweepSpec are share-nothing and fully determined by
+// (spec, seed), so SweepRunner distributes them over a worker pool with
+// a single atomic work index: each worker claims the next run, builds
+// its topology/workload privately, executes it, and writes the result
+// into the run's preallocated slot.  Aggregation happens after the pool
+// joins, sequentially and in run-index order — which makes every
+// aggregate (including the floating-point means) bit-identical no
+// matter how many threads executed the sweep or how they interleaved.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "runner/sweep_spec.h"
+
+namespace ammb::runner {
+
+/// Outcome of one grid run.
+struct RunRecord {
+  RunPoint point;
+  core::RunResult result;
+  /// Non-empty iff the run threw (spec error, unsolvable cell, ...).
+  std::string error;
+  bool failed() const { return !error.empty(); }
+};
+
+/// Deterministic summary of one grid cell (all seeds of one
+/// topology x scheduler x k x mac point).
+struct CellAggregate {
+  std::size_t cellIndex = 0;
+
+  // Axis labels, copied from the spec so emitters are self-contained.
+  std::string topology;
+  std::string scheduler;
+  int k = 0;
+  std::string mac;
+
+  std::uint64_t runs = 0;
+  std::uint64_t solved = 0;
+  std::uint64_t errors = 0;
+
+  // Solve-time statistics over the solved runs (ticks).  Percentiles
+  // use the integer nearest-rank rule, so every field except the mean
+  // is an exact tick value; the mean is accumulated in run order.
+  Time minSolve = 0;
+  Time medianSolve = 0;
+  Time p95Solve = 0;
+  Time maxSolve = 0;
+  double meanSolve = 0.0;
+
+  /// Mean simulated end time over all (solved or not) non-error runs.
+  double meanEndTime = 0.0;
+
+  /// Engine counters summed over non-error runs.
+  mac::EngineStats stats;
+};
+
+/// Everything a sweep produced.
+struct SweepResult {
+  std::string name;
+  core::ProtocolKind protocol = core::ProtocolKind::kBmmb;
+  std::string workload;
+  std::uint64_t seedBegin = 0;
+  std::uint64_t seedEnd = 0;
+  int threads = 1;
+  double wallSeconds = 0.0;  ///< not deterministic; excluded from emitters' data rows
+
+  /// Per-run outcomes in runIndex order (empty if keepRunRecords off).
+  std::vector<RunRecord> runs;
+  /// Per-cell aggregates in cellIndex order.
+  std::vector<CellAggregate> cells;
+
+  /// Total runs that threw, across all cells.
+  std::uint64_t errorCount() const;
+  /// The cell for a (topoIdx, schedIdx, kIdx, macIdx) coordinate.
+  const CellAggregate& cell(std::size_t cellIndex) const;
+};
+
+/// Executes SweepSpecs over a fixed-size worker pool.
+class SweepRunner {
+ public:
+  struct Options {
+    /// Worker threads; 0 means hardware_concurrency (at least 1).
+    int threads = 0;
+    /// Retain per-run records in the result (cells are always kept).
+    bool keepRunRecords = true;
+    /// Optional progress observer, called after each completed run with
+    /// (completedRuns, totalRuns) under an internal mutex.
+    std::function<void(std::size_t, std::size_t)> progress;
+  };
+
+  SweepRunner() = default;
+  explicit SweepRunner(Options options) : options_(std::move(options)) {}
+
+  /// Runs the full grid; throws ammb::Error on an invalid spec.
+  /// Individual run failures are captured per-run, not thrown.
+  SweepResult run(const SweepSpec& spec) const;
+
+ private:
+  Options options_;
+};
+
+/// Executes one grid point (the worker body; exposed for tests).
+RunRecord executeRun(const SweepSpec& spec, const RunPoint& point);
+
+}  // namespace ammb::runner

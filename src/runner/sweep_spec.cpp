@@ -1,0 +1,137 @@
+#include "runner/sweep_spec.h"
+
+#include "graph/generators.h"
+
+namespace ammb::runner {
+
+void SweepSpec::validate() const {
+  AMMB_REQUIRE(!topologies.empty(), "sweep needs at least one topology");
+  AMMB_REQUIRE(!schedulers.empty(), "sweep needs at least one scheduler");
+  AMMB_REQUIRE(!ks.empty(), "sweep needs at least one k");
+  AMMB_REQUIRE(!macs.empty(), "sweep needs at least one MacParams point");
+  AMMB_REQUIRE(seedBegin < seedEnd, "sweep needs a non-empty seed range");
+  AMMB_REQUIRE(workload.make != nullptr, "sweep needs a workload generator");
+  for (const TopologySpec& t : topologies) {
+    AMMB_REQUIRE(t.make != nullptr,
+                 "topology spec '" + t.name + "' has no generator");
+  }
+  for (int k : ks) AMMB_REQUIRE(k >= 1, "sweep k values must be >= 1");
+  for (const MacParamsSpec& m : macs) m.params.validate();
+  if (protocol == core::ProtocolKind::kFmmb) {
+    AMMB_REQUIRE(fmmbParams != nullptr,
+                 "FMMB sweeps need an FmmbParamsFactory");
+    for (const MacParamsSpec& m : macs) {
+      AMMB_REQUIRE(m.params.variant == mac::ModelVariant::kEnhanced,
+                   "FMMB sweeps require enhanced-model MacParams");
+    }
+  }
+}
+
+std::vector<RunPoint> enumerateRuns(const SweepSpec& spec) {
+  std::vector<RunPoint> points;
+  points.reserve(spec.runCount());
+  std::size_t cell = 0;
+  for (std::size_t t = 0; t < spec.topologies.size(); ++t) {
+    for (std::size_t s = 0; s < spec.schedulers.size(); ++s) {
+      for (std::size_t k = 0; k < spec.ks.size(); ++k) {
+        for (std::size_t m = 0; m < spec.macs.size(); ++m) {
+          for (std::uint64_t seed = spec.seedBegin; seed < spec.seedEnd;
+               ++seed) {
+            RunPoint p;
+            p.runIndex = points.size();
+            p.cellIndex = cell;
+            p.topoIdx = t;
+            p.schedIdx = s;
+            p.kIdx = k;
+            p.macIdx = m;
+            p.seed = seed;
+            points.push_back(p);
+          }
+          ++cell;
+        }
+      }
+    }
+  }
+  return points;
+}
+
+core::RunConfig runConfigFor(const SweepSpec& spec, const RunPoint& point) {
+  core::RunConfig config;
+  config.mac = spec.macs[point.macIdx].params;
+  config.scheduler = spec.schedulers[point.schedIdx];
+  config.seed = point.seed;
+  config.recordTrace = spec.recordTrace;
+  config.stopOnSolve = spec.stopOnSolve;
+  config.maxTime = spec.maxTime;
+  config.maxEvents = spec.maxEvents;
+  config.discipline = spec.discipline;
+  config.lowerBoundLineLength = spec.lowerBoundLineLength;
+  return config;
+}
+
+namespace {
+namespace gen = graph::gen;
+
+/// Stream label for topology RNGs, distinct from run-internal streams.
+Rng topologyRng(std::uint64_t seed) {
+  return SeedSequence(seed).childRng(rngstream::kTopology, 0);
+}
+
+}  // namespace
+
+TopologySpec lineTopology(NodeId n) {
+  return {"line" + std::to_string(n),
+          [n](std::uint64_t) { return gen::identityDual(gen::line(n)); }};
+}
+
+TopologySpec rRestrictedLineTopology(NodeId n, int r, double edgeProb) {
+  return {"line" + std::to_string(n) + "-r" + std::to_string(r),
+          [n, r, edgeProb](std::uint64_t seed) {
+            Rng rng = topologyRng(seed);
+            return gen::withRRestrictedNoise(gen::line(n), r, edgeProb, rng);
+          }};
+}
+
+TopologySpec arbitraryNoiseLineTopology(NodeId n, std::size_t extraEdges) {
+  return {"line" + std::to_string(n) + "-arb" + std::to_string(extraEdges),
+          [n, extraEdges](std::uint64_t seed) {
+            Rng rng = topologyRng(seed);
+            return gen::withArbitraryNoise(gen::line(n), extraEdges, rng);
+          }};
+}
+
+TopologySpec greyZoneFieldTopology(NodeId n, double avgDegree, double c,
+                                   double pGrey) {
+  return {"greyfield" + std::to_string(n),
+          [n, avgDegree, c, pGrey](std::uint64_t seed) {
+            Rng rng = topologyRng(seed);
+            return gen::greyZoneField(n, avgDegree, c, pGrey, rng);
+          }};
+}
+
+TopologySpec lowerBoundNetworkCTopology(int D) {
+  return {"networkC-D" + std::to_string(D),
+          [D](std::uint64_t) { return gen::lowerBoundNetworkC(D); }};
+}
+
+WorkloadSpec allAtNodeWorkload(NodeId node) {
+  return {"all-at-" + std::to_string(node),
+          [node](int k, NodeId, std::uint64_t) {
+            return core::workloadAllAtNode(k, node);
+          }};
+}
+
+WorkloadSpec roundRobinWorkload() {
+  return {"round-robin", [](int k, NodeId n, std::uint64_t) {
+            return core::workloadRoundRobin(k, n);
+          }};
+}
+
+WorkloadSpec randomWorkload() {
+  return {"random", [](int k, NodeId n, std::uint64_t seed) {
+            Rng rng = SeedSequence(seed).childRng(rngstream::kWorkload, 0);
+            return core::workloadRandom(k, n, rng);
+          }};
+}
+
+}  // namespace ammb::runner

@@ -1,0 +1,141 @@
+// Declarative sweep specifications.
+//
+// The paper's results are sweeps: solve time against D, k, r, the
+// scheduler, and the placement of unreliable links (Figure 1, Figure 2,
+// the FMMB ablations).  A SweepSpec captures one such sweep as a grid
+//
+//   topology generator x SchedulerKind x k x MacParams x seed range
+//
+// for either protocol (BMMB or FMMB).  Every run of the grid is
+// self-contained and seed-deterministic — the topology, workload and
+// execution are all derived from the spec plus the run's seed — which
+// is what lets runner::SweepRunner execute runs on any number of
+// worker threads and still aggregate bit-identical results.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "graph/dual_graph.h"
+
+namespace ammb::runner {
+
+/// Named topology generator.  `make(seed)` must be a pure function of
+/// the seed so re-running a point reproduces its network.
+struct TopologySpec {
+  std::string name;
+  std::function<graph::DualGraph(std::uint64_t seed)> make;
+};
+
+/// Named workload generator; receives the cell's k, the generated
+/// topology's n, and the run seed.
+struct WorkloadSpec {
+  std::string name;
+  std::function<core::MmbWorkload(int k, NodeId n, std::uint64_t seed)> make;
+};
+
+/// Named MacParams grid point.
+struct MacParamsSpec {
+  std::string name;
+  mac::MacParams params;
+};
+
+/// FMMB constants per generated network (consulted for kFmmb only).
+using FmmbParamsFactory = std::function<core::FmmbParams(NodeId n, int k)>;
+
+/// One declarative sweep: the full cross product of the axes below,
+/// with `seedsPerCell()` repetitions of every cell.
+struct SweepSpec {
+  std::string name = "sweep";
+  core::ProtocolKind protocol = core::ProtocolKind::kBmmb;
+
+  // Grid axes.  Every vector must be non-empty.
+  std::vector<TopologySpec> topologies;
+  std::vector<core::SchedulerKind> schedulers;
+  std::vector<int> ks;
+  std::vector<MacParamsSpec> macs;
+
+  /// Workload shape shared by every cell.
+  WorkloadSpec workload;
+
+  /// Seed range [seedBegin, seedEnd): one run per seed per cell.
+  std::uint64_t seedBegin = 1;
+  std::uint64_t seedEnd = 2;
+
+  // Per-run execution controls (RunConfig fields not on the grid).
+  bool stopOnSolve = true;
+  bool recordTrace = false;
+  Time maxTime = kTimeNever;
+  std::uint64_t maxEvents = 100'000'000;
+  core::QueueDiscipline discipline = core::QueueDiscipline::kFifo;
+  /// Line length hint for SchedulerKind::kLowerBound cells.
+  int lowerBoundLineLength = 0;
+  /// Required iff protocol == kFmmb.
+  FmmbParamsFactory fmmbParams;
+
+  /// Throws ammb::Error on an ill-formed spec (empty axis, missing
+  /// generators, empty seed range, missing FMMB factory, ...).
+  void validate() const;
+
+  std::size_t cellCount() const {
+    return topologies.size() * schedulers.size() * ks.size() * macs.size();
+  }
+  std::size_t seedsPerCell() const {
+    return static_cast<std::size_t>(seedEnd - seedBegin);
+  }
+  std::size_t runCount() const { return cellCount() * seedsPerCell(); }
+};
+
+/// Dense grid coordinates of one run.  Cells are numbered in
+/// (topology, scheduler, k, mac) lexicographic order; runs in
+/// (cell, seed) order.  enumerateRuns() is the single source of truth
+/// for this order, shared by the runner and the aggregator.
+struct RunPoint {
+  std::size_t runIndex = 0;
+  std::size_t cellIndex = 0;
+  std::size_t topoIdx = 0;
+  std::size_t schedIdx = 0;
+  std::size_t kIdx = 0;
+  std::size_t macIdx = 0;
+  std::uint64_t seed = 0;
+};
+
+/// Every run of the grid, in deterministic order (runIndex == position).
+std::vector<RunPoint> enumerateRuns(const SweepSpec& spec);
+
+/// The RunConfig for one grid point (seed + cell axes applied).
+core::RunConfig runConfigFor(const SweepSpec& spec, const RunPoint& point);
+
+// --- canonical axis builders ------------------------------------------------
+// The common topology/workload families, pre-named for emitter output.
+// Anything fancier: construct TopologySpec/WorkloadSpec with a lambda.
+
+/// G' = G line of n nodes.
+TopologySpec lineTopology(NodeId n);
+
+/// Line with every G^r-pair unreliable edge kept with probability p.
+TopologySpec rRestrictedLineTopology(NodeId n, int r, double edgeProb);
+
+/// Line plus `extraEdges` uniformly random unreliable edges.
+TopologySpec arbitraryNoiseLineTopology(NodeId n, std::size_t extraEdges);
+
+/// Connected grey-zone unit-disk field (see graph::gen::greyZoneField).
+TopologySpec greyZoneFieldTopology(NodeId n, double avgDegree, double c,
+                                   double pGrey);
+
+/// The Figure-2 lower-bound network C with per-line length D.
+TopologySpec lowerBoundNetworkCTopology(int D);
+
+/// All k messages arrive at `node` at t = 0.
+WorkloadSpec allAtNodeWorkload(NodeId node = 0);
+
+/// Message i arrives at node (origin + i) mod n at t = 0.
+WorkloadSpec roundRobinWorkload();
+
+/// Each message arrives at an independently random node (seeded).
+WorkloadSpec randomWorkload();
+
+}  // namespace ammb::runner

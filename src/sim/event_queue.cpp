@@ -1,21 +1,113 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
+
 #include <utility>
 
 namespace ammb::sim {
 
-EventHandle EventQueue::schedule(Time at, std::function<void()> fn) {
+std::uint32_t EventQueue::acquireSlot() {
+  if (!freeSlots_.empty()) {
+    const std::uint32_t slot = freeSlots_.back();
+    freeSlots_.pop_back();
+    return slot;
+  }
+  AMMB_REQUIRE(meta_.size() < 0xffffffffu, "event slot pool exhausted");
+  meta_.emplace_back();
+  fns_.emplace_back();
+  return static_cast<std::uint32_t>(meta_.size() - 1);
+}
+
+void EventQueue::releaseSlot(std::uint32_t slot) {
+  fns_[slot] = nullptr;
+  SlotMeta& m = meta_[slot];
+  m.heapPos = kNoPos;
+  // The generation bump invalidates every outstanding handle to this
+  // slot, so a reused slot cannot be cancelled through a stale handle.
+  ++m.generation;
+  freeSlots_.push_back(slot);
+}
+
+void EventQueue::siftUp(std::uint32_t pos) {
+  HeapEntry entry = heap_[pos];
+  while (pos > 0) {
+    const std::uint32_t parent = (pos - 1) / kArity;
+    if (!before(entry, heap_[parent])) break;
+    place(pos, heap_[parent]);
+    pos = parent;
+  }
+  place(pos, entry);
+}
+
+void EventQueue::siftDown(std::uint32_t pos) {
+  HeapEntry entry = heap_[pos];
+  const std::uint32_t size = static_cast<std::uint32_t>(heap_.size());
+  while (true) {
+    const std::uint32_t first = kArity * pos + 1;
+    if (first >= size) break;
+    std::uint32_t best = first;
+    const std::uint32_t end = std::min(first + kArity, size);
+    for (std::uint32_t c = first + 1; c < end; ++c) {
+      if (before(heap_[c], heap_[best])) best = c;
+    }
+    if (!before(heap_[best], entry)) break;
+    place(pos, heap_[best]);
+    pos = best;
+  }
+  place(pos, entry);
+}
+
+void EventQueue::heapRemoveAt(std::uint32_t pos) {
+  const std::uint32_t last = static_cast<std::uint32_t>(heap_.size() - 1);
+  if (pos != last) {
+    const HeapEntry moved = heap_[last];
+    heap_.pop_back();
+    place(pos, moved);
+    // The filler may need to move either way relative to its new
+    // neighborhood; only one of the two sifts will do anything.
+    siftDown(pos);
+    siftUp(meta_[moved.slot].heapPos);
+  } else {
+    heap_.pop_back();
+  }
+}
+
+void EventQueue::popRoot() {
+  // Root removal on the run() hot path: the filler can only move down,
+  // so skip heapRemoveAt's sift-up leg.
+  const std::uint32_t last = static_cast<std::uint32_t>(heap_.size() - 1);
+  if (last != 0) {
+    const HeapEntry moved = heap_[last];
+    heap_.pop_back();
+    place(0, moved);
+    siftDown(0);
+  } else {
+    heap_.pop_back();
+  }
+}
+
+EventHandle EventQueue::schedule(Time at, EventFn fn) {
   AMMB_REQUIRE(at >= now_, "cannot schedule an event in the past");
   AMMB_REQUIRE(fn != nullptr, "event function must not be null");
-  const EventHandle handle = nextHandle_++;
-  heap_.push(Entry{at, handle, std::move(fn)});
-  return handle;
+  const std::uint32_t slot = acquireSlot();
+  fns_[slot] = std::move(fn);
+  heap_.push_back(HeapEntry{at, nextSeq_++, slot});
+  const auto pos = static_cast<std::uint32_t>(heap_.size() - 1);
+  meta_[slot].heapPos = pos;
+  siftUp(pos);
+  return makeHandle(meta_[slot].generation, slot);
 }
 
 bool EventQueue::cancel(EventHandle handle) {
-  if (handle == 0 || handle >= nextHandle_) return false;
-  // Lazy cancellation: the entry is skipped when popped.
-  return cancelled_.insert(handle).second;
+  const std::uint64_t slotPlusOne = handle & 0xffffffffu;
+  if (slotPlusOne == 0 || slotPlusOne > meta_.size()) return false;
+  const auto slot = static_cast<std::uint32_t>(slotPlusOne - 1);
+  const auto generation = static_cast<std::uint32_t>(handle >> 32);
+  const SlotMeta m = meta_[slot];
+  if (m.generation != generation || m.heapPos == kNoPos) return false;
+  heapRemoveAt(m.heapPos);
+  releaseSlot(slot);
+  return true;
 }
 
 RunStatus EventQueue::run(Time timeLimit, std::uint64_t maxEvents) {
@@ -23,20 +115,18 @@ RunStatus EventQueue::run(Time timeLimit, std::uint64_t maxEvents) {
   std::uint64_t executed = 0;
   while (!heap_.empty()) {
     if (stopRequested_) return RunStatus::kStopped;
-    const Entry& top = heap_.top();
+    const HeapEntry top = heap_[0];
     if (top.at > timeLimit) return RunStatus::kTimeLimit;
-    if (cancelled_.erase(top.handle) > 0) {
-      heap_.pop();
-      continue;
-    }
     if (executed >= maxEvents) return RunStatus::kEventLimit;
-    // Move the entry out before popping so the callback may schedule.
-    Entry entry = std::move(const_cast<Entry&>(top));
-    heap_.pop();
-    now_ = entry.at;
+    // Move the callable out and retire the slot before invoking, so the
+    // callback may freely schedule (growing the pool) or cancel.
+    EventFn fn = std::move(fns_[top.slot]);
+    popRoot();
+    releaseSlot(top.slot);
+    now_ = top.at;
     ++processed_;
     ++executed;
-    entry.fn();
+    fn();
   }
   return stopRequested_ ? RunStatus::kStopped : RunStatus::kDrained;
 }

@@ -105,7 +105,7 @@ TEST(LowerBound, BridgeStarChokesAtKFack) {
     core::MmbWorkload w;
     w.k = k;
     for (MsgId m = 0; m < k; ++m) {
-      w.arrivals.emplace_back(static_cast<NodeId>(m), m);
+      w.arrivals.push_back(core::Arrival{static_cast<NodeId>(m), m, 0});
     }
     RunConfig config;
     config.mac = stdParams(4, 64);

@@ -1,6 +1,8 @@
 // Unit tests for the discrete-event kernel and traces.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <functional>
 #include <vector>
 
 #include "sim/event_queue.h"
@@ -49,6 +51,12 @@ TEST(EventQueue, RejectsPastAndNull) {
   EXPECT_THROW(q.schedule(5, [] {}), Error);
   EXPECT_THROW(q.schedule(20, nullptr), Error);
   EXPECT_THROW(q.scheduleAfter(-1, [] {}), Error);
+  // An empty std::function must be rejected at schedule time, not
+  // explode as bad_function_call when the event fires.
+  std::function<void()> empty;
+  EXPECT_THROW(q.schedule(20, empty), Error);
+  void (*nullFp)() = nullptr;
+  EXPECT_THROW(q.schedule(20, nullFp), Error);
 }
 
 TEST(EventQueue, Cancel) {
@@ -61,6 +69,87 @@ TEST(EventQueue, Cancel) {
   EXPECT_FALSE(q.cancel(99999));  // unknown handle
   q.run();
   EXPECT_EQ(hits, 1);
+}
+
+TEST(EventQueue, PendingCountExcludesCancelled) {
+  // Regression: the seed kernel used lazy tombstones, so cancelled
+  // events were still reported as pending until reaped by run().
+  EventQueue q;
+  const EventHandle a = q.schedule(10, [] {});
+  q.schedule(20, [] {});
+  q.schedule(30, [] {});
+  EXPECT_EQ(q.pendingCount(), 3u);
+  EXPECT_TRUE(q.cancel(a));
+  EXPECT_EQ(q.pendingCount(), 2u);
+  q.run();
+  EXPECT_EQ(q.pendingCount(), 0u);
+  EXPECT_EQ(q.processedCount(), 2u);
+}
+
+TEST(EventQueue, CancelAfterExecutionFails) {
+  EventQueue q;
+  const EventHandle h = q.schedule(5, [] {});
+  q.run();
+  EXPECT_FALSE(q.cancel(h));
+}
+
+TEST(EventQueue, StaleHandleDoesNotCancelReusedSlot) {
+  EventQueue q;
+  int hits = 0;
+  const EventHandle a = q.schedule(10, [&] { ++hits; });
+  EXPECT_TRUE(q.cancel(a));
+  // The pooled slot is reused by the next schedule; the stale handle
+  // must not be able to cancel the new occupant.
+  const EventHandle b = q.schedule(12, [&] { hits += 10; });
+  EXPECT_NE(a, b);
+  EXPECT_FALSE(q.cancel(a));
+  q.run();
+  EXPECT_EQ(hits, 10);
+}
+
+TEST(EventQueue, CancelFromInsideCallback) {
+  EventQueue q;
+  int hits = 0;
+  const EventHandle later = q.schedule(20, [&] { ++hits; });
+  q.schedule(10, [&] { EXPECT_TRUE(q.cancel(later)); });
+  EXPECT_EQ(q.run(), RunStatus::kDrained);
+  EXPECT_EQ(hits, 0);
+}
+
+TEST(EventQueue, CancelMiddleKeepsOrder) {
+  // Removing an interior heap entry must not disturb (time, insertion)
+  // execution order of the survivors.
+  EventQueue q;
+  std::vector<int> order;
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 32; ++i) {
+    handles.push_back(
+        q.schedule(100 - 3 * (i % 7), [&order, i] { order.push_back(i); }));
+  }
+  for (int i = 0; i < 32; i += 3) EXPECT_TRUE(q.cancel(handles[i]));
+  q.run();
+  std::vector<int> expected;
+  for (int i = 0; i < 32; ++i) {
+    if (i % 3 != 0) expected.push_back(i);
+  }
+  std::sort(expected.begin(), expected.end(), [](int a, int b) {
+    const int ta = 100 - 3 * (a % 7), tb = 100 - 3 * (b % 7);
+    if (ta != tb) return ta < tb;
+    return a < b;
+  });
+  EXPECT_EQ(order, expected);
+}
+
+TEST(EventQueue, SlotPoolReusesCapacity) {
+  // Steady-state churn must recycle slots instead of growing the pool.
+  EventQueue q;
+  std::function<void()> chain = [&] {
+    if (q.now() < 1000) q.scheduleAfter(1, chain);
+  };
+  q.schedule(0, chain);
+  q.run();
+  EXPECT_EQ(q.processedCount(), 1001u);
+  EXPECT_LE(q.slotCapacity(), 4u);
 }
 
 TEST(EventQueue, TimeLimitStopsBeforeLaterEvents) {
