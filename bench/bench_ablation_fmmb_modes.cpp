@@ -37,8 +37,9 @@ Time solve(const graph::DualGraph& topo, int k, const FmmbParams& params,
   config.scheduler = SchedulerKind::kRandom;
   config.seed = seed;
   config.recordTrace = false;
-  const auto result = core::runFmmb(
-      topo, core::workloadRoundRobin(k, topo.n()), params, config);
+  const auto result =
+      core::runExperiment(topo, core::fmmbProtocol(params),
+                          core::workloadRoundRobin(k, topo.n()), config);
   return bench::mustSolve(result, "fmmb mode ablation");
 }
 

@@ -38,14 +38,14 @@ Time solve(QueueDiscipline discipline, int n, int k, int r,
   RunConfig config;
   config.mac = bench::stdParams(kFprog, kFack);
   config.scheduler = SchedulerKind::kAdversarialStuffing;
-  config.discipline = discipline;
   config.seed = seed;
   config.recordTrace = false;
   // Messages spread over many sources so that forwarding queues really
   // mix (with a single source, its sequential k Fack sending dominates
   // and the discipline never gets to matter).
   return bench::mustSolve(
-      core::runBmmb(topo, core::workloadRoundRobin(k, n, 0, 5), config),
+      core::runExperiment(topo, core::bmmbProtocol(discipline),
+                          core::workloadRoundRobin(k, n, 0, 5), config),
       "queue ablation");
 }
 

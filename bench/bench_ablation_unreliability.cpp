@@ -48,7 +48,7 @@ runner::WorkloadSpec twoLineWorkload() {
             core::MmbWorkload w;
             w.k = 2;
             w.arrivals = {{0, 0, 0}, {static_cast<NodeId>(kD), 1, 0}};
-            return w;
+            return core::streamWorkload(std::move(w));
           }};
 }
 
@@ -92,7 +92,7 @@ SweepSpec variantSpec(const Variant& v) {
   spec.schedulers = {v.scheduler};
   spec.ks = {2};
   spec.macs = {{"std", bench::stdParams(kFprog, kFack)}};
-  spec.workload = twoLineWorkload();
+  spec.workloads = {twoLineWorkload()};
   spec.lowerBoundLineLength = v.lowerBoundLineLength;
   spec.seedBegin = 1;
   spec.seedEnd = 2;

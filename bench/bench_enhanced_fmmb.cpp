@@ -38,8 +38,9 @@ Time solveFmmb(const graph::DualGraph& topo, int k, Time fack,
   config.seed = seed;
   config.recordTrace = false;
   const auto params = FmmbParams::make(topo.n());
-  const auto result = core::runFmmb(
-      topo, core::workloadRoundRobin(k, topo.n()), params, config);
+  const auto result =
+      core::runExperiment(topo, core::fmmbProtocol(params),
+                          core::workloadRoundRobin(k, topo.n()), config);
   return bench::mustSolve(result, "fmmb");
 }
 
@@ -51,7 +52,8 @@ Time solveBmmb(const graph::DualGraph& topo, int k, Time fack,
   config.seed = seed;
   config.recordTrace = false;
   const auto result =
-      core::runBmmb(topo, core::workloadRoundRobin(k, topo.n()), config);
+      core::runExperiment(topo, core::bmmbProtocol(),
+                          core::workloadRoundRobin(k, topo.n()), config);
   return bench::mustSolve(result, "bmmb baseline");
 }
 

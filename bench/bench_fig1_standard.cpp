@@ -55,7 +55,7 @@ SweepSpec ggSpec() {
   spec.schedulers = {SchedulerKind::kSlowAck};
   spec.ks = kGgKs;
   spec.macs = {{"std", bench::stdParams(kFprog, kFack)}};
-  spec.workload = runner::allAtNodeWorkload(0);
+  spec.workloads = {runner::allAtNodeWorkload(0)};
   spec.seedBegin = 1;
   spec.seedEnd = 2;
   return spec;
@@ -74,7 +74,7 @@ SweepSpec rRestrictedSpec() {
   spec.schedulers = kAdversaries;
   spec.ks = {kRrK};
   spec.macs = {{"std", bench::stdParams(kFprog, kFack)}};
-  spec.workload = runner::roundRobinWorkload();
+  spec.workloads = {runner::roundRobinWorkload()};
   spec.seedBegin = 1;
   spec.seedEnd = 3;
   return spec;
@@ -92,7 +92,7 @@ SweepSpec arbitrarySpec() {
   spec.schedulers = kAdversaries;
   spec.ks = kArbKs;
   spec.macs = {{"std", bench::stdParams(kFprog, kFack)}};
-  spec.workload = runner::roundRobinWorkload();
+  spec.workloads = {runner::roundRobinWorkload()};
   spec.seedBegin = 1;
   spec.seedEnd = 2;
   return spec;
@@ -106,7 +106,7 @@ SweepSpec greyZoneSpec() {
   spec.schedulers = {SchedulerKind::kAdversarialStuffing};
   spec.ks = {8};
   spec.macs = {{"std", bench::stdParams(kFprog, kFack)}};
-  spec.workload = runner::roundRobinWorkload();
+  spec.workloads = {runner::roundRobinWorkload()};
   spec.seedBegin = 3;
   spec.seedEnd = 4;
   return spec;

@@ -35,10 +35,11 @@ Time solveNetworkC(int D) {
   RunConfig config;
   config.mac = bench::stdParams(kFprog, kFack);
   config.scheduler = SchedulerKind::kLowerBound;
-  config.lowerBoundLineLength = D;
+  config.scheduler.lowerBoundLineLength = D;
   config.recordTrace = false;
-  return bench::mustSolve(core::runBmmb(topo, workload, config),
-                          "network C");
+  return bench::mustSolve(
+      core::runExperiment(topo, core::bmmbProtocol(), workload, config),
+      "network C");
 }
 
 Time solveBridgeStar(int k) {
@@ -52,8 +53,9 @@ Time solveBridgeStar(int k) {
   config.mac = bench::stdParams(kFprog, kFack);
   config.scheduler = SchedulerKind::kSlowAck;
   config.recordTrace = false;
-  return bench::mustSolve(core::runBmmb(topo, workload, config),
-                          "bridge star");
+  return bench::mustSolve(
+      core::runExperiment(topo, core::bmmbProtocol(), workload, config),
+      "bridge star");
 }
 
 void BM_Fig2_NetworkC(benchmark::State& state) {

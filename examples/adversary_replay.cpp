@@ -27,9 +27,10 @@ int main() {
   config.mac.fack = 64;
   config.mac.variant = mac::ModelVariant::kStandard;
   config.scheduler = core::SchedulerKind::kLowerBound;
-  config.lowerBoundLineLength = D;
+  config.scheduler.lowerBoundLineLength = D;
 
-  core::BmmbExperiment experiment(topology, workload, config);
+  core::Experiment experiment(topology, core::bmmbProtocol(), workload,
+                              config);
   const auto result = experiment.run();
   std::printf("network C with D=%d, k=2, Fprog=%lld, Fack=%lld\n", D,
               static_cast<long long>(config.mac.fprog),

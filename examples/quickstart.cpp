@@ -40,7 +40,8 @@ int main() {
   config.seed = 2024;
 
   // 4. Run BMMB and report.
-  core::BmmbExperiment experiment(topology, workload, config);
+  core::Experiment experiment(topology, core::bmmbProtocol(), workload,
+                              config);
   const core::RunResult result = experiment.run();
 
   std::printf("solved: %s\n", result.solved ? "yes" : "no");
@@ -52,6 +53,10 @@ int main() {
               static_cast<unsigned long long>(result.stats.bcasts),
               static_cast<unsigned long long>(result.stats.rcvs),
               static_cast<unsigned long long>(result.stats.delivers));
+  std::printf("per-message latency: p50=%lld p95=%lld max=%lld ticks\n",
+              static_cast<long long>(result.messages.p50Latency),
+              static_cast<long long>(result.messages.p95Latency),
+              static_cast<long long>(result.messages.maxLatency));
 
   // The theoretical bound of Theorem 3.16 (r = 1 because G' = G):
   const Time bound = core::bmmbRRestrictedBound(topology.g().diameter(),

@@ -48,14 +48,16 @@ int main() {
     bmmbConfig.mac.variant = mac::ModelVariant::kStandard;
     bmmbConfig.scheduler = core::SchedulerKind::kAdversarial;
     bmmbConfig.recordTrace = false;
-    const auto bmmb = core::runBmmb(field, alarms, bmmbConfig);
+    const auto bmmb =
+        core::runExperiment(field, core::bmmbProtocol(), alarms, bmmbConfig);
 
     // FMMB in the enhanced model at the same timing parameters.
     core::RunConfig fmmbConfig = bmmbConfig;
     fmmbConfig.mac.variant = mac::ModelVariant::kEnhanced;
     fmmbConfig.scheduler = core::SchedulerKind::kRandom;
     const auto params = core::FmmbParams::make(field.n(), 1.5);
-    const auto fmmb = core::runFmmb(field, alarms, params, fmmbConfig);
+    const auto fmmb = core::runExperiment(
+        field, core::fmmbProtocol(params), alarms, fmmbConfig);
 
     if (!bmmb.solved || !fmmb.solved) {
       std::printf("run failed to solve (Fack=%lld)\n",

@@ -1,8 +1,10 @@
 // Parallel sweep-runner walkthrough.
 //
 // Declares a small Figure-1-style BMMB grid — two line topologies, three
-// schedulers, two message counts, eight seeds per cell — executes it on
-// a 4-thread SweepRunner pool, and prints the per-cell aggregate CSV and
+// schedulers, two message counts, two workload shapes (eager round-robin
+// and a streamed Poisson arrival process), eight seeds per cell —
+// executes it on a 4-thread SweepRunner pool, and prints the per-cell
+// aggregate CSV (solve times plus per-message latency percentiles) and
 // the JSON document.  Re-running at any thread count produces
 // byte-identical output: runs are seed-deterministic and aggregation is
 // ordered, which is the property the regression tests pin.
@@ -34,7 +36,8 @@ int main(int argc, char** argv) {
                      core::SchedulerKind::kAdversarial};
   spec.ks = {2, 8};
   spec.macs = {{"f4a32", macParams}};
-  spec.workload = runner::roundRobinWorkload();
+  spec.workloads = {runner::roundRobinWorkload(),
+                    runner::poissonWorkload(20.0)};
   spec.seedBegin = 1;
   spec.seedEnd = 9;
 

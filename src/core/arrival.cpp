@@ -1,0 +1,146 @@
+#include "core/arrival.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ammb::core {
+
+Rng workloadRng(std::uint64_t seed) {
+  return SeedSequence(seed).childRng(rngstream::kWorkload, 0);
+}
+
+// --- WorkloadArrivalProcess -------------------------------------------------
+
+WorkloadArrivalProcess::WorkloadArrivalProcess(MmbWorkload workload)
+    : workload_(std::move(workload)) {
+  AMMB_REQUIRE(workload_.k >= 1, "MMB requires k >= 1");
+  AMMB_REQUIRE(!workload_.arrivals.empty(),
+               "workload must carry at least one arrival");
+  std::stable_sort(workload_.arrivals.begin(), workload_.arrivals.end(),
+                   [](const Arrival& a, const Arrival& b) {
+                     return a.at < b.at;
+                   });
+}
+
+std::optional<Arrival> WorkloadArrivalProcess::next() {
+  if (cursor_ >= workload_.arrivals.size()) return std::nullopt;
+  return workload_.arrivals[cursor_++];
+}
+
+std::unique_ptr<ArrivalProcess> streamWorkload(MmbWorkload workload) {
+  return std::make_unique<WorkloadArrivalProcess>(std::move(workload));
+}
+
+MmbWorkload materializeWorkload(ArrivalProcess& process) {
+  MmbWorkload out;
+  out.k = process.k();
+  process.reset();
+  while (const std::optional<Arrival> arrival = process.next()) {
+    out.arrivals.push_back(*arrival);
+  }
+  process.reset();
+  return out;
+}
+
+// --- PoissonArrivalProcess --------------------------------------------------
+
+PoissonArrivalProcess::PoissonArrivalProcess(int k, NodeId n, double meanGap,
+                                             std::uint64_t seed)
+    : k_(k), n_(n), meanGap_(meanGap), seed_(seed), rng_(workloadRng(seed)) {
+  AMMB_REQUIRE(k >= 1, "MMB requires k >= 1");
+  AMMB_REQUIRE(n >= 1, "invalid node count");
+  AMMB_REQUIRE(meanGap >= 0.0, "mean inter-arrival gap must be >= 0");
+}
+
+std::optional<Arrival> PoissonArrivalProcess::next() {
+  if (nextMsg_ >= k_) return std::nullopt;
+  const MsgId msg = nextMsg_++;
+  if (msg > 0) {
+    // Inverse-CDF exponential draw, rounded to integer ticks.
+    const double u = rng_.uniform01();
+    const double gap = -meanGap_ * std::log1p(-u);
+    t_ += std::max<Time>(0, static_cast<Time>(std::llround(gap)));
+  }
+  const auto node = static_cast<NodeId>(rng_.uniformInt(0, n_ - 1));
+  return Arrival{node, msg, t_};
+}
+
+void PoissonArrivalProcess::reset() {
+  rng_ = workloadRng(seed_);
+  nextMsg_ = 0;
+  t_ = 0;
+}
+
+// --- BurstyArrivalProcess ---------------------------------------------------
+
+BurstyArrivalProcess::BurstyArrivalProcess(int k, NodeId n, int batchSize,
+                                           Time gap, std::uint64_t seed)
+    : k_(k),
+      n_(n),
+      batchSize_(batchSize),
+      gap_(gap),
+      seed_(seed),
+      rng_(workloadRng(seed)) {
+  AMMB_REQUIRE(k >= 1, "MMB requires k >= 1");
+  AMMB_REQUIRE(n >= 1, "invalid node count");
+  AMMB_REQUIRE(batchSize >= 1, "batch size must be >= 1");
+  AMMB_REQUIRE(gap >= 0, "batch gap must be non-negative");
+}
+
+std::optional<Arrival> BurstyArrivalProcess::next() {
+  if (nextMsg_ >= k_) return std::nullopt;
+  const MsgId msg = nextMsg_++;
+  const Time at = static_cast<Time>(msg / batchSize_) * gap_;
+  const auto node = static_cast<NodeId>(rng_.uniformInt(0, n_ - 1));
+  return Arrival{node, msg, at};
+}
+
+void BurstyArrivalProcess::reset() {
+  rng_ = workloadRng(seed_);
+  nextMsg_ = 0;
+}
+
+// --- StaggeredArrivalProcess ------------------------------------------------
+
+StaggeredArrivalProcess::StaggeredArrivalProcess(int k, NodeId n, int sources,
+                                                 Time interval)
+    : k_(k), n_(n), sources_(sources), interval_(interval) {
+  AMMB_REQUIRE(k >= 1, "MMB requires k >= 1");
+  AMMB_REQUIRE(n >= 1, "invalid node count");
+  AMMB_REQUIRE(sources >= 1 && sources <= n,
+               "staggered sources must be in [1, n]");
+  AMMB_REQUIRE(interval >= 0, "arrival interval must be non-negative");
+  phase_ = interval_ / sources_;
+  emitted_.assign(static_cast<std::size_t>(sources_), 0);
+  share_.assign(static_cast<std::size_t>(sources_), k_ / sources_);
+  for (int s = 0; s < k_ % sources_; ++s) ++share_[static_cast<std::size_t>(s)];
+}
+
+std::optional<Arrival> StaggeredArrivalProcess::next() {
+  if (nextMsg_ >= k_) return std::nullopt;
+  // Earliest pending source; ties break toward the lowest source index,
+  // so the emission order (and the id assignment) is deterministic.
+  int best = -1;
+  Time bestAt = 0;
+  for (int s = 0; s < sources_; ++s) {
+    const auto idx = static_cast<std::size_t>(s);
+    if (emitted_[idx] >= share_[idx]) continue;
+    const Time at = static_cast<Time>(s) * phase_ + emitted_[idx] * interval_;
+    if (best < 0 || at < bestAt) {
+      best = s;
+      bestAt = at;
+    }
+  }
+  AMMB_ASSERT(best >= 0);
+  ++emitted_[static_cast<std::size_t>(best)];
+  const auto node = static_cast<NodeId>(
+      (static_cast<std::int64_t>(best) * n_) / sources_);
+  return Arrival{node, nextMsg_++, bestAt};
+}
+
+void StaggeredArrivalProcess::reset() {
+  nextMsg_ = 0;
+  std::fill(emitted_.begin(), emitted_.end(), 0);
+}
+
+}  // namespace ammb::core

@@ -1,0 +1,148 @@
+// Streaming arrival workloads.
+//
+// The MMB problem injects k messages at t = 0; footnote 4 of Section 2
+// generalizes to arrivals at arbitrary times, and dynamic-arrival
+// broadcast (Ahmadi & Kuhn) makes the arrival *process* the object of
+// study.  An ArrivalProcess is the canonical workload input of the
+// experiment layer: a pull-based, seed-deterministic stream of
+// arrivals that the engine injects lazily during the run — one pending
+// arrival at a time — so k can be large (or effectively open-ended)
+// without materializing a vector up front.
+//
+// Contract for every implementation:
+//   * next() yields arrivals in nondecreasing `at` order;
+//   * message ids are dense in [0, k()), every id is emitted at least
+//     once (the built-in generators emit each exactly once; workload
+//     adapters may replay multi-origin injections of one message), and
+//     next() returns nullopt forever once the stream is exhausted;
+//   * the stream is a pure function of the constructor arguments:
+//     reset() rewinds to the first arrival and replays the identical
+//     sequence, and two instances built with equal arguments agree
+//     element for element (replay determinism).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/mmb.h"
+
+namespace ammb::core {
+
+/// The dedicated workload RNG stream of a run seed, independent from
+/// the node/scheduler/topology streams derived from the same master.
+/// Shared by every arrival generator (and the runner's eager workload
+/// builders), so eager and streamed workloads agree on their draws.
+Rng workloadRng(std::uint64_t seed);
+
+/// Pull-based, seed-deterministic stream of MMB arrivals.
+class ArrivalProcess {
+ public:
+  virtual ~ArrivalProcess() = default;
+
+  /// Total number of distinct messages the stream will ever emit.
+  virtual int k() const = 0;
+
+  /// The next arrival, or nullopt once all k() have been emitted.
+  virtual std::optional<Arrival> next() = 0;
+
+  /// Rewinds to the first arrival; the replay is bit-identical.
+  virtual void reset() = 0;
+};
+
+/// Adapter: replays a materialized MmbWorkload in time order.  This is
+/// the bridge from the eager builders (workloadAllAtNode,
+/// workloadRoundRobin, workloadRandom, workloadOnline, or any
+/// hand-built arrival vector) to the streaming interface; the arrivals
+/// are stable-sorted by time once at construction.
+class WorkloadArrivalProcess final : public ArrivalProcess {
+ public:
+  explicit WorkloadArrivalProcess(MmbWorkload workload);
+
+  int k() const override { return workload_.k; }
+  std::optional<Arrival> next() override;
+  void reset() override { cursor_ = 0; }
+
+ private:
+  MmbWorkload workload_;
+  std::size_t cursor_ = 0;
+};
+
+/// Convenience: wraps a workload into a heap-allocated stream.
+std::unique_ptr<ArrivalProcess> streamWorkload(MmbWorkload workload);
+
+/// Drains a full replay of `process` into an eager workload (resetting
+/// it before and after), e.g. for the offline checkMmbTrace checker.
+MmbWorkload materializeWorkload(ArrivalProcess& process);
+
+/// Poisson arrivals: i.i.d. exponential gaps with mean `meanGap` ticks
+/// (rounded to integer ticks) between consecutive arrivals, each at an
+/// independently uniform node.  The first arrival is at t = 0.
+class PoissonArrivalProcess final : public ArrivalProcess {
+ public:
+  PoissonArrivalProcess(int k, NodeId n, double meanGap, std::uint64_t seed);
+
+  int k() const override { return k_; }
+  std::optional<Arrival> next() override;
+  void reset() override;
+
+ private:
+  int k_;
+  NodeId n_;
+  double meanGap_;
+  std::uint64_t seed_;
+  Rng rng_;
+  MsgId nextMsg_ = 0;
+  Time t_ = 0;
+};
+
+/// Bursty batches: messages arrive `batchSize` at a time, every batch
+/// at one instant (each message at an independently uniform node), and
+/// consecutive batches `gap` ticks apart.  The last batch may be
+/// smaller when batchSize does not divide k.
+class BurstyArrivalProcess final : public ArrivalProcess {
+ public:
+  BurstyArrivalProcess(int k, NodeId n, int batchSize, Time gap,
+                       std::uint64_t seed);
+
+  int k() const override { return k_; }
+  std::optional<Arrival> next() override;
+  void reset() override;
+
+ private:
+  int k_;
+  NodeId n_;
+  int batchSize_;
+  Time gap_;
+  std::uint64_t seed_;
+  Rng rng_;
+  MsgId nextMsg_ = 0;
+};
+
+/// Multi-source staggered arrivals: `sources` evenly spaced origin
+/// nodes (source s sits at node s * n / sources), each emitting one
+/// message every `interval` ticks, with source s phase-shifted by
+/// s * interval / sources.  Messages are distributed round-robin over
+/// the sources and ids are assigned in emission (time) order; the
+/// whole stream is deterministic with no RNG.
+class StaggeredArrivalProcess final : public ArrivalProcess {
+ public:
+  StaggeredArrivalProcess(int k, NodeId n, int sources, Time interval);
+
+  int k() const override { return k_; }
+  std::optional<Arrival> next() override;
+  void reset() override;
+
+ private:
+  int k_;
+  NodeId n_;
+  int sources_;
+  Time interval_;
+  Time phase_;
+  MsgId nextMsg_ = 0;
+  std::vector<std::int64_t> emitted_;  ///< arrivals emitted per source
+  std::vector<std::int64_t> share_;    ///< arrivals owed per source
+};
+
+}  // namespace ammb::core

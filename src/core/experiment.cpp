@@ -1,6 +1,7 @@
 #include "core/experiment.h"
 
 #include <cmath>
+#include <utility>
 
 namespace ammb::core {
 
@@ -38,85 +39,6 @@ std::unique_ptr<mac::Scheduler> makeScheduler(SchedulerKind kind,
   throw Error("unknown scheduler kind");
 }
 
-namespace {
-
-void injectWorkload(mac::MacEngine& engine, const MmbWorkload& workload) {
-  for (const auto& [node, msg, at] : workload.arrivals) {
-    engine.injectArriveAt(node, msg, at);
-  }
-}
-
-RunResult finishRun(mac::MacEngine& engine, const SolveTracker& tracker,
-                    sim::RunStatus status) {
-  RunResult result;
-  result.solved = tracker.solved();
-  result.solveTime = tracker.solved() ? tracker.solveTime() : Time{-1};
-  result.endTime = engine.now();
-  result.status = status;
-  result.stats = engine.stats();
-  return result;
-}
-
-}  // namespace
-
-BmmbExperiment::BmmbExperiment(const graph::DualGraph& topology,
-                               const MmbWorkload& workload,
-                               const RunConfig& config)
-    : topology_(topology),
-      config_(config),
-      suite_(config.discipline),
-      tracker_(topology, workload) {
-  engine_ = std::make_unique<mac::MacEngine>(
-      topology_, config_.mac,
-      makeScheduler(config_.scheduler, config_.lowerBoundLineLength),
-      suite_.factory(), config_.seed, config_.recordTrace);
-  engine_->setOracle(&suite_);
-  tracker_.attach(*engine_, config_.stopOnSolve);
-  injectWorkload(*engine_, workload);
-}
-
-RunResult BmmbExperiment::run() {
-  const sim::RunStatus status =
-      engine_->run(config_.maxTime, config_.maxEvents);
-  return finishRun(*engine_, tracker_, status);
-}
-
-FmmbExperiment::FmmbExperiment(const graph::DualGraph& topology,
-                               const MmbWorkload& workload,
-                               const FmmbParams& params,
-                               const RunConfig& config)
-    : topology_(topology),
-      config_(config),
-      suite_(params),
-      tracker_(topology, workload) {
-  AMMB_REQUIRE(config.mac.variant == mac::ModelVariant::kEnhanced,
-               "FMMB requires the enhanced abstract MAC layer model");
-  engine_ = std::make_unique<mac::MacEngine>(
-      topology_, config_.mac,
-      makeScheduler(config_.scheduler, config_.lowerBoundLineLength),
-      suite_.factory(), config_.seed, config_.recordTrace);
-  tracker_.attach(*engine_, config_.stopOnSolve);
-  injectWorkload(*engine_, workload);
-}
-
-RunResult FmmbExperiment::run() {
-  const sim::RunStatus status =
-      engine_->run(config_.maxTime, config_.maxEvents);
-  return finishRun(*engine_, tracker_, status);
-}
-
-RunResult runBmmb(const graph::DualGraph& topology, const MmbWorkload& workload,
-                  const RunConfig& config) {
-  BmmbExperiment experiment(topology, workload, config);
-  return experiment.run();
-}
-
-RunResult runFmmb(const graph::DualGraph& topology, const MmbWorkload& workload,
-                  const FmmbParams& params, const RunConfig& config) {
-  FmmbExperiment experiment(topology, workload, params, config);
-  return experiment.run();
-}
-
 std::string toString(ProtocolKind kind) {
   switch (kind) {
     case ProtocolKind::kBmmb: return "bmmb";
@@ -125,31 +47,147 @@ std::string toString(ProtocolKind kind) {
   return "?";
 }
 
-RunResult runProtocol(ProtocolKind protocol, const graph::DualGraph& topology,
-                      const MmbWorkload& workload, const FmmbParams& fmmb,
-                      const RunConfig& config) {
-  switch (protocol) {
-    case ProtocolKind::kBmmb: return runBmmb(topology, workload, config);
-    case ProtocolKind::kFmmb:
-      return runFmmb(topology, workload, fmmb, config);
-  }
-  throw Error("unknown protocol kind");
+const BmmbSpec& ProtocolSpec::bmmb() const {
+  AMMB_REQUIRE(kind() == ProtocolKind::kBmmb,
+               "ProtocolSpec does not hold BMMB knobs");
+  return std::get<BmmbSpec>(spec_);
 }
 
-std::vector<RunResult> runSeedSweep(ProtocolKind protocol,
-                                    const graph::DualGraph& topology,
-                                    const MmbWorkload& workload,
-                                    const FmmbParams& fmmb,
+const FmmbSpec& ProtocolSpec::fmmb() const {
+  AMMB_REQUIRE(kind() == ProtocolKind::kFmmb,
+               "ProtocolSpec does not hold FMMB knobs");
+  return std::get<FmmbSpec>(spec_);
+}
+
+ProtocolSpec bmmbProtocol(QueueDiscipline discipline) {
+  return ProtocolSpec(BmmbSpec{discipline});
+}
+
+ProtocolSpec fmmbProtocol(FmmbParams params) {
+  return ProtocolSpec(FmmbSpec{std::move(params)});
+}
+
+namespace {
+
+std::variant<BmmbSuite, FmmbSuite> makeSuite(const ProtocolSpec& protocol) {
+  using SuiteVariant = std::variant<BmmbSuite, FmmbSuite>;
+  if (protocol.kind() == ProtocolKind::kFmmb) {
+    return SuiteVariant(std::in_place_type<FmmbSuite>,
+                        protocol.fmmb().params);
+  }
+  return SuiteVariant(std::in_place_type<BmmbSuite>,
+                      protocol.bmmb().discipline);
+}
+
+}  // namespace
+
+Experiment::Experiment(const graph::DualGraph& topology,
+                       const ProtocolSpec& protocol, ArrivalProcess& arrivals,
+                       const RunConfig& config)
+    : Experiment(topology, protocol, nullptr, &arrivals, config) {}
+
+Experiment::Experiment(const graph::DualGraph& topology,
+                       const ProtocolSpec& protocol,
+                       const MmbWorkload& workload, const RunConfig& config)
+    : Experiment(topology, protocol, streamWorkload(workload), nullptr,
+                 config) {}
+
+Experiment::Experiment(const graph::DualGraph& topology,
+                       const ProtocolSpec& protocol,
+                       std::unique_ptr<ArrivalProcess> owned,
+                       ArrivalProcess* external, const RunConfig& config)
+    : topology_(topology),
+      protocol_(protocol),
+      config_(config),
+      ownedArrivals_(std::move(owned)),
+      arrivals_(external != nullptr ? external : ownedArrivals_.get()),
+      suite_(makeSuite(protocol)),
+      tracker_(topology, arrivals_->k()) {
+  if (protocol_.kind() == ProtocolKind::kFmmb) {
+    AMMB_REQUIRE(config_.mac.variant == mac::ModelVariant::kEnhanced,
+                 "FMMB requires the enhanced abstract MAC layer model");
+  }
+  const mac::MacEngine::ProcessFactory factory =
+      std::visit([](auto& suite) { return suite.factory(); }, suite_);
+  engine_ = std::make_unique<mac::MacEngine>(
+      topology_, config_.mac,
+      makeScheduler(config_.scheduler.kind,
+                    config_.scheduler.lowerBoundLineLength),
+      factory, config_.seed, config_.recordTrace);
+  if (auto* bmmb = std::get_if<BmmbSuite>(&suite_)) {
+    engine_->setOracle(bmmb);
+  }
+  tracker_.attach(*engine_, config_.limits.stopOnSolve);
+  engine_->setArrivalSource(
+      [this]() -> std::optional<mac::MacEngine::ArrivalEvent> {
+        const std::optional<Arrival> arrival = arrivals_->next();
+        if (!arrival.has_value()) {
+          // Solve detection must not fire while arrivals are pending:
+          // a later arrival of an already-seen message can still add
+          // requirements (e.g. in another component of G).
+          tracker_.markArrivalsComplete(engine_->now());
+          return std::nullopt;
+        }
+        return mac::MacEngine::ArrivalEvent{arrival->node, arrival->msg,
+                                            arrival->at};
+      });
+}
+
+RunResult Experiment::run() {
+  const sim::RunStatus status =
+      engine_->run(config_.limits.maxTime, config_.limits.maxEvents);
+  RunResult result;
+  result.solved = tracker_.solved();
+  result.solveTime = tracker_.solved() ? tracker_.solveTime() : kTimeNever;
+  result.endTime = engine_->now();
+  result.status = status;
+  result.stats = engine_->stats();
+  result.messages = tracker_.metrics();
+  return result;
+}
+
+const BmmbSuite& Experiment::bmmbSuite() const {
+  const auto* suite = std::get_if<BmmbSuite>(&suite_);
+  AMMB_REQUIRE(suite != nullptr, "this experiment does not run BMMB");
+  return *suite;
+}
+
+const FmmbSuite& Experiment::fmmbSuite() const {
+  const auto* suite = std::get_if<FmmbSuite>(&suite_);
+  AMMB_REQUIRE(suite != nullptr, "this experiment does not run FMMB");
+  return *suite;
+}
+
+RunResult runExperiment(const graph::DualGraph& topology,
+                        const ProtocolSpec& protocol, ArrivalProcess& arrivals,
+                        const RunConfig& config) {
+  Experiment experiment(topology, protocol, arrivals, config);
+  return experiment.run();
+}
+
+RunResult runExperiment(const graph::DualGraph& topology,
+                        const ProtocolSpec& protocol,
+                        const MmbWorkload& workload, const RunConfig& config) {
+  Experiment experiment(topology, protocol, workload, config);
+  return experiment.run();
+}
+
+std::vector<RunResult> runSeedSweep(const graph::DualGraph& topology,
+                                    const ProtocolSpec& protocol,
+                                    const ArrivalFactory& arrivals,
                                     const RunConfig& config,
                                     std::uint64_t seedBegin,
                                     std::uint64_t seedEnd) {
   AMMB_REQUIRE(seedBegin <= seedEnd, "empty-or-forward seed range required");
+  AMMB_REQUIRE(arrivals != nullptr, "an arrival factory is required");
   std::vector<RunResult> results;
   results.reserve(static_cast<std::size_t>(seedEnd - seedBegin));
   for (std::uint64_t seed = seedBegin; seed < seedEnd; ++seed) {
     RunConfig cfg = config;
     cfg.seed = seed;
-    results.push_back(runProtocol(protocol, topology, workload, fmmb, cfg));
+    const std::unique_ptr<ArrivalProcess> stream = arrivals(seed);
+    AMMB_REQUIRE(stream != nullptr, "arrival factory returned null");
+    results.push_back(runExperiment(topology, protocol, *stream, cfg));
   }
   return results;
 }

@@ -1,12 +1,24 @@
 // Experiment harness: one-call wiring of topology + scheduler +
-// protocol + workload, with solve detection and the paper's explicit
-// bound formulas for test/bench assertions.
+// protocol + arrival stream, with solve detection, per-message latency
+// metrics, and the paper's explicit bound formulas for test/bench
+// assertions.
+//
+// The v2 API is protocol-polymorphic: a single core::Experiment facade
+// runs either protocol, with everything protocol-specific carried by a
+// ProtocolSpec tagged union (BMMB queue discipline, FMMB parameters)
+// and everything shared split into SchedulerSpec + ExecutionLimits
+// inside RunConfig.  Workloads are streaming ArrivalProcess inputs,
+// injected lazily by the engine during the run; eager MmbWorkload
+// vectors are adapted transparently.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
+#include <variant>
 #include <vector>
 
+#include "core/arrival.h"
 #include "core/bmmb.h"
 #include "core/fmmb.h"
 #include "core/mmb.h"
@@ -35,82 +47,7 @@ std::string toString(SchedulerKind kind);
 std::unique_ptr<mac::Scheduler> makeScheduler(SchedulerKind kind,
                                               int lowerBoundLineLength = 0);
 
-/// Shared run configuration.
-struct RunConfig {
-  mac::MacParams mac;
-  SchedulerKind scheduler = SchedulerKind::kRandom;
-  std::uint64_t seed = 1;
-  bool recordTrace = true;
-  bool stopOnSolve = true;
-  Time maxTime = kTimeNever;
-  std::uint64_t maxEvents = 100'000'000;
-  /// BMMB queue discipline (ablation).
-  QueueDiscipline discipline = QueueDiscipline::kFifo;
-  /// Line length for SchedulerKind::kLowerBound.
-  int lowerBoundLineLength = 0;
-};
-
-/// Outcome of one run.
-struct RunResult {
-  bool solved = false;
-  Time solveTime = -1;       ///< time of the completing delivery
-  Time endTime = 0;          ///< simulation time when the run stopped
-  sim::RunStatus status = sim::RunStatus::kDrained;
-  mac::EngineStats stats;
-};
-
-/// A fully wired BMMB execution; keeps engine/suite/tracker alive for
-/// post-run inspection (trace checking, per-node state).
-class BmmbExperiment {
- public:
-  BmmbExperiment(const graph::DualGraph& topology, const MmbWorkload& workload,
-                 const RunConfig& config);
-
-  /// Runs to completion (or limits) and reports.
-  RunResult run();
-
-  mac::MacEngine& engine() { return *engine_; }
-  const BmmbSuite& suite() const { return suite_; }
-  const SolveTracker& tracker() const { return tracker_; }
-
- private:
-  const graph::DualGraph& topology_;
-  RunConfig config_;
-  BmmbSuite suite_;
-  std::unique_ptr<mac::MacEngine> engine_;
-  SolveTracker tracker_;
-};
-
-/// A fully wired FMMB execution (enhanced model).
-class FmmbExperiment {
- public:
-  FmmbExperiment(const graph::DualGraph& topology, const MmbWorkload& workload,
-                 const FmmbParams& params, const RunConfig& config);
-
-  RunResult run();
-
-  mac::MacEngine& engine() { return *engine_; }
-  const FmmbSuite& suite() const { return suite_; }
-  const SolveTracker& tracker() const { return tracker_; }
-
- private:
-  const graph::DualGraph& topology_;
-  RunConfig config_;
-  FmmbSuite suite_;
-  std::unique_ptr<mac::MacEngine> engine_;
-  SolveTracker tracker_;
-};
-
-/// Convenience one-shot runners.
-RunResult runBmmb(const graph::DualGraph& topology, const MmbWorkload& workload,
-                  const RunConfig& config);
-RunResult runFmmb(const graph::DualGraph& topology, const MmbWorkload& workload,
-                  const FmmbParams& params, const RunConfig& config);
-
-// --- sweep entry points -----------------------------------------------------
-
-/// Which protocol an experiment executes (runner::SweepSpec cells pick
-/// one per grid).
+/// Which protocol an experiment executes.
 enum class ProtocolKind : std::uint8_t {
   kBmmb,  ///< Section 3, standard or enhanced model
   kFmmb,  ///< Section 4, enhanced model only
@@ -119,19 +56,152 @@ enum class ProtocolKind : std::uint8_t {
 /// Human-readable protocol name (for sweep tables and emitters).
 std::string toString(ProtocolKind kind);
 
-/// One-call protocol dispatch.  `fmmb` is consulted only for kFmmb.
-RunResult runProtocol(ProtocolKind protocol, const graph::DualGraph& topology,
-                      const MmbWorkload& workload, const FmmbParams& fmmb,
-                      const RunConfig& config);
+/// BMMB-specific knobs (Section 3).
+struct BmmbSpec {
+  QueueDiscipline discipline = QueueDiscipline::kFifo;
+};
+
+/// FMMB-specific knobs (Section 4; enhanced model only).
+struct FmmbSpec {
+  FmmbParams params;
+};
+
+/// Tagged union of protocol choice + protocol-specific knobs.  The
+/// shared RunConfig stays protocol-agnostic: everything BMMB- or
+/// FMMB-specific lives here, so neither protocol's options leak into
+/// the other's runs.
+class ProtocolSpec {
+ public:
+  ProtocolSpec() : spec_(BmmbSpec{}) {}
+  /*implicit*/ ProtocolSpec(BmmbSpec spec) : spec_(spec) {}
+  /*implicit*/ ProtocolSpec(FmmbSpec spec) : spec_(std::move(spec)) {}
+
+  ProtocolKind kind() const {
+    return std::holds_alternative<FmmbSpec>(spec_) ? ProtocolKind::kFmmb
+                                                   : ProtocolKind::kBmmb;
+  }
+
+  /// The BMMB knobs (requires kind() == kBmmb).
+  const BmmbSpec& bmmb() const;
+  /// The FMMB knobs (requires kind() == kFmmb).
+  const FmmbSpec& fmmb() const;
+
+ private:
+  std::variant<BmmbSpec, FmmbSpec> spec_;
+};
+
+/// Convenience factories.
+ProtocolSpec bmmbProtocol(QueueDiscipline discipline = QueueDiscipline::kFifo);
+ProtocolSpec fmmbProtocol(FmmbParams params);
+
+/// Scheduler choice plus its knobs.  Implicitly constructible from a
+/// bare SchedulerKind, so `config.scheduler = SchedulerKind::kRandom`
+/// reads naturally.
+struct SchedulerSpec {
+  SchedulerSpec() = default;
+  /*implicit*/ SchedulerSpec(SchedulerKind k) : kind(k) {}
+
+  SchedulerKind kind = SchedulerKind::kRandom;
+  /// Line length for SchedulerKind::kLowerBound.
+  int lowerBoundLineLength = 0;
+};
+
+/// When a run stops.
+struct ExecutionLimits {
+  bool stopOnSolve = true;
+  Time maxTime = kTimeNever;
+  std::uint64_t maxEvents = 100'000'000;
+};
+
+/// Shared, protocol-agnostic run configuration.
+struct RunConfig {
+  mac::MacParams mac;
+  SchedulerSpec scheduler;
+  ExecutionLimits limits;
+  std::uint64_t seed = 1;
+  bool recordTrace = true;
+};
+
+/// Outcome of one run.
+struct RunResult {
+  bool solved = false;
+  Time solveTime = kTimeNever;  ///< completing delivery (kTimeNever if unsolved)
+  Time endTime = 0;             ///< simulation time when the run stopped
+  sim::RunStatus status = sim::RunStatus::kDrained;
+  mac::EngineStats stats;
+  /// Per-message arrival-to-last-required-delivery latencies and their
+  /// p50/p95/max aggregates, tracked online by SolveTracker.
+  MessageMetrics messages;
+};
+
+/// A fully wired execution of either protocol; keeps engine / protocol
+/// suite / tracker alive for post-run inspection (trace checking,
+/// per-node state).  Arrivals are injected lazily: the engine pulls
+/// the next arrival from the stream only after the previous one fired.
+class Experiment {
+ public:
+  /// Streaming form.  `arrivals` must outlive the experiment.
+  Experiment(const graph::DualGraph& topology, const ProtocolSpec& protocol,
+             ArrivalProcess& arrivals, const RunConfig& config);
+
+  /// Eager convenience: adapts `workload` to an internal stream.
+  Experiment(const graph::DualGraph& topology, const ProtocolSpec& protocol,
+             const MmbWorkload& workload, const RunConfig& config);
+
+  // The engine holds this-capturing hooks into the tracker and the
+  // arrival stream; the experiment must stay where it was built.
+  Experiment(const Experiment&) = delete;
+  Experiment& operator=(const Experiment&) = delete;
+
+  /// Runs to completion (or limits) and reports.
+  RunResult run();
+
+  mac::MacEngine& engine() { return *engine_; }
+  const SolveTracker& tracker() const { return tracker_; }
+  ProtocolKind protocol() const { return protocol_.kind(); }
+
+  /// The BMMB process registry (requires protocol() == kBmmb).
+  const BmmbSuite& bmmbSuite() const;
+  /// The FMMB process registry (requires protocol() == kFmmb).
+  const FmmbSuite& fmmbSuite() const;
+
+ private:
+  Experiment(const graph::DualGraph& topology, const ProtocolSpec& protocol,
+             std::unique_ptr<ArrivalProcess> owned, ArrivalProcess* external,
+             const RunConfig& config);
+
+  const graph::DualGraph& topology_;
+  ProtocolSpec protocol_;
+  RunConfig config_;
+  std::unique_ptr<ArrivalProcess> ownedArrivals_;
+  ArrivalProcess* arrivals_ = nullptr;
+  std::variant<BmmbSuite, FmmbSuite> suite_;
+  std::unique_ptr<mac::MacEngine> engine_;
+  SolveTracker tracker_;
+};
+
+/// Convenience one-shot runners.
+RunResult runExperiment(const graph::DualGraph& topology,
+                        const ProtocolSpec& protocol, ArrivalProcess& arrivals,
+                        const RunConfig& config);
+RunResult runExperiment(const graph::DualGraph& topology,
+                        const ProtocolSpec& protocol,
+                        const MmbWorkload& workload, const RunConfig& config);
+
+// --- sweep entry points -----------------------------------------------------
+
+/// Seed-deterministic arrival-stream recipe: one fresh stream per run.
+using ArrivalFactory =
+    std::function<std::unique_ptr<ArrivalProcess>(std::uint64_t seed)>;
 
 /// Sequential seed sweep over [seedBegin, seedEnd): one run per seed on
-/// a shared topology/workload, with config.seed overridden per run.
-/// This is the single-cell, single-thread building block underneath
-/// runner::SweepRunner; results are indexed by seed - seedBegin.
-std::vector<RunResult> runSeedSweep(ProtocolKind protocol,
-                                    const graph::DualGraph& topology,
-                                    const MmbWorkload& workload,
-                                    const FmmbParams& fmmb,
+/// a shared topology, with config.seed overridden per run and a fresh
+/// arrival stream built per seed.  This is the single-cell,
+/// single-thread building block underneath runner::SweepRunner;
+/// results are indexed by seed - seedBegin.
+std::vector<RunResult> runSeedSweep(const graph::DualGraph& topology,
+                                    const ProtocolSpec& protocol,
+                                    const ArrivalFactory& arrivals,
                                     const RunConfig& config,
                                     std::uint64_t seedBegin,
                                     std::uint64_t seedEnd);

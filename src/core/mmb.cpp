@@ -53,32 +53,33 @@ MmbWorkload workloadOnline(int k, NodeId n, Time interval, Rng& rng) {
   return w;
 }
 
-SolveTracker::SolveTracker(const graph::DualGraph& topology,
-                           const MmbWorkload& workload)
-    : n_(topology.n()), k_(workload.k) {
+SolveTracker::SolveTracker(const graph::DualGraph& topology, int k)
+    : labels_(topology.g().componentLabels()), n_(topology.n()), k_(k) {
   AMMB_REQUIRE(k_ >= 1, "workload must carry at least one message");
   required_.assign(static_cast<std::size_t>(n_) * k_, 0);
   delivered_.assign(static_cast<std::size_t>(n_) * k_, 0);
-  const auto labels = topology.g().componentLabels();
+  msgArrived_.assign(static_cast<std::size_t>(k_), 0);
+  arriveAt_.assign(static_cast<std::size_t>(k_), kTimeNever);
+  completeAt_.assign(static_cast<std::size_t>(k_), kTimeNever);
+  msgRemaining_.assign(static_cast<std::size_t>(k_), 0);
+}
+
+SolveTracker::SolveTracker(const graph::DualGraph& topology,
+                           const MmbWorkload& workload)
+    : SolveTracker(topology, workload.k) {
   for (const auto& [node, msg, at] : workload.arrivals) {
-    (void)at;
-    AMMB_REQUIRE(node >= 0 && node < n_, "arrival node out of range");
-    AMMB_REQUIRE(msg >= 0 && msg < k_, "arrival message out of range");
-    const int comp = labels[static_cast<std::size_t>(node)];
-    for (NodeId v = 0; v < n_; ++v) {
-      if (labels[static_cast<std::size_t>(v)] != comp) continue;
-      char& req = required_[static_cast<std::size_t>(v) * k_ + msg];
-      if (req == 0) {
-        req = 1;
-        ++remaining_;
-      }
-    }
+    onArrive(node, msg, at);
   }
+  // The whole arrival set is known up front; nothing can reopen it.
+  arrivalsComplete_ = true;
 }
 
 void SolveTracker::attach(mac::MacEngine& engine, bool stopOnSolve) {
   engine_ = &engine;
   stopOnSolve_ = stopOnSolve;
+  engine.setArriveHook([this](NodeId node, MsgId msg, Time at) {
+    onArrive(node, msg, at);
+  });
   engine.setDeliverHook([this](NodeId node, MsgId msg, Time at) {
     onDeliver(node, msg, at);
   });
@@ -89,18 +90,100 @@ Time SolveTracker::solveTime() const {
   return solveTime_;
 }
 
+Time nearestRankPercentile(const std::vector<Time>& sortedAscending,
+                           unsigned p) {
+  AMMB_REQUIRE(!sortedAscending.empty() && p >= 1 && p <= 100,
+               "nearestRankPercentile needs data and p in [1, 100]");
+  const std::size_t rank =
+      (static_cast<std::size_t>(p) * sortedAscending.size() + 99) / 100;
+  return sortedAscending[rank - 1];
+}
+
+void SolveTracker::onArrive(NodeId node, MsgId msg, Time at) {
+  AMMB_REQUIRE(node >= 0 && node < n_, "arrival node out of range");
+  AMMB_REQUIRE(msg >= 0 && msg < k_, "arrival message out of range");
+  const auto m = static_cast<std::size_t>(msg);
+  if (!msgArrived_[m]) {
+    msgArrived_[m] = 1;
+    ++arrivedMsgs_;
+    arriveAt_[m] = at;
+  }
+  // Register the requirement set of this arrival: every node of the
+  // origin's component of G.  Requirements already satisfied by an
+  // earlier delivery (possible when the same message arrives again
+  // later, elsewhere) are counted as met.
+  const int comp = labels_[static_cast<std::size_t>(node)];
+  bool reopened = false;
+  for (NodeId v = 0; v < n_; ++v) {
+    if (labels_[static_cast<std::size_t>(v)] != comp) continue;
+    const std::size_t idx = static_cast<std::size_t>(v) * k_ + msg;
+    if (required_[idx]) continue;
+    required_[idx] = 1;
+    if (!delivered_[idx]) {
+      ++remaining_;
+      ++msgRemaining_[m];
+      reopened = true;
+    }
+  }
+  if (reopened) {
+    completeAt_[m] = kTimeNever;
+    if (!solved()) solveTime_ = kTimeNever;
+  }
+  maybeSolve(at);
+}
+
 void SolveTracker::onDeliver(NodeId node, MsgId msg, Time at) {
   if (node < 0 || node >= n_ || msg < 0 || msg >= k_) return;
   const std::size_t idx = static_cast<std::size_t>(node) * k_ + msg;
   if (delivered_[idx]) return;
   delivered_[idx] = 1;
-  if (required_[idx]) {
-    --remaining_;
-    if (remaining_ == 0) {
-      solveTime_ = at;
-      if (stopOnSolve_ && engine_ != nullptr) engine_->requestStop();
+  if (!required_[idx]) return;
+  --remaining_;
+  const auto m = static_cast<std::size_t>(msg);
+  if (--msgRemaining_[m] == 0) completeAt_[m] = at;
+  maybeSolve(at);
+}
+
+void SolveTracker::markArrivalsComplete(Time at) {
+  if (arrivalsComplete_) return;
+  arrivalsComplete_ = true;
+  maybeSolve(at);
+}
+
+void SolveTracker::maybeSolve(Time at) {
+  if (solved() && solveTime_ == kTimeNever) {
+    solveTime_ = at;
+    if (stopOnSolve_ && engine_ != nullptr) engine_->requestStop();
+  }
+}
+
+MessageMetrics SolveTracker::metrics() const {
+  MessageMetrics out;
+  out.perMessage.resize(static_cast<std::size_t>(k_));
+  std::vector<Time> latencies;
+  std::int64_t sum = 0;
+  for (MsgId msg = 0; msg < k_; ++msg) {
+    const auto m = static_cast<std::size_t>(msg);
+    MessageMetric& pm = out.perMessage[m];
+    pm.msg = msg;
+    pm.arriveAt = arriveAt_[m];
+    pm.completeAt = completeAt_[m];
+    if (msgArrived_[m]) ++out.arrived;
+    if (pm.completed()) {
+      ++out.completed;
+      latencies.push_back(pm.latency());
+      sum += pm.latency();
     }
   }
+  if (!latencies.empty()) {
+    std::sort(latencies.begin(), latencies.end());
+    out.p50Latency = nearestRankPercentile(latencies, 50);
+    out.p95Latency = nearestRankPercentile(latencies, 95);
+    out.maxLatency = latencies.back();
+    out.meanLatency =
+        static_cast<double>(sum) / static_cast<double>(latencies.size());
+  }
+  return out;
 }
 
 MmbCheckResult checkMmbTrace(const graph::DualGraph& topology,

@@ -54,34 +54,109 @@ MmbWorkload workloadRandom(int k, NodeId n, Rng& rng);
 /// i * interval (the general MMB version of footnote 4).
 MmbWorkload workloadOnline(int k, NodeId n, Time interval, Rng& rng);
 
-/// Tracks deliver events online and detects the solved condition.
+/// Latency profile of one message, tracked online by SolveTracker.
+struct MessageMetric {
+  MsgId msg = kNoMsg;
+  Time arriveAt = kTimeNever;    ///< first arrive event
+  Time completeAt = kTimeNever;  ///< last *required* delivery
+  bool completed() const { return completeAt != kTimeNever; }
+  /// Arrival-to-last-required-delivery latency (requires completed).
+  Time latency() const { return completeAt - arriveAt; }
+};
+
+/// Per-message latency distribution of one run.  Percentiles use the
+/// integer nearest-rank rule over the completed messages' latencies,
+/// so every aggregate is an exact tick value and deterministic.
+struct MessageMetrics {
+  std::vector<MessageMetric> perMessage;  ///< indexed by message id
+  std::uint64_t arrived = 0;    ///< messages whose arrival was observed
+  std::uint64_t completed = 0;  ///< messages fully delivered where required
+  Time p50Latency = 0;
+  Time p95Latency = 0;
+  Time maxLatency = 0;
+  double meanLatency = 0.0;
+};
+
+/// Integer nearest-rank percentile of an ascending vector: the
+/// ceil(p/100 * N)-th smallest element (p in [1, 100]).  Exact and
+/// trivially deterministic.
+Time nearestRankPercentile(const std::vector<Time>& sortedAscending,
+                           unsigned p);
+
+/// Tracks arrive/deliver events online, detects the solved condition,
+/// and computes per-message latency metrics.
+///
+/// Requirements are registered *per arrival*: when message m arrives at
+/// node u, every node of u's connected component of G must eventually
+/// deliver m.  This makes the tracker streaming-capable — it needs only
+/// the total message count up front (ArrivalProcess::k()), not the
+/// arrival vector, and the solved condition is "the arrival stream is
+/// exhausted, all k messages arrived, and no registered requirement is
+/// outstanding".  Waiting for stream exhaustion is what keeps a
+/// stopOnSolve run from stopping early when a later arrival of an
+/// already-seen message would add requirements (e.g. in another
+/// component of G).
 class SolveTracker {
  public:
-  /// Computes the required (node, message) delivery set from G's
-  /// component structure.
+  /// Streaming form: requirements accrue via onArrive; the caller must
+  /// invoke markArrivalsComplete once the stream is exhausted (the
+  /// Experiment facade wires this to the engine's arrival source).
+  SolveTracker(const graph::DualGraph& topology, int k);
+
+  /// Eager convenience: pre-registers every arrival of `workload` (at
+  /// its scheduled time), reproducing the classic all-known-up-front
+  /// required set.
   SolveTracker(const graph::DualGraph& topology, const MmbWorkload& workload);
 
-  /// Registers this tracker as the engine's deliver hook.  When
-  /// `stopOnSolve` is set the engine is asked to stop at the solving
-  /// delivery (protocols like FMMB never quiesce on their own).
+  /// Registers this tracker as the engine's arrive + deliver hooks.
+  /// When `stopOnSolve` is set the engine is asked to stop at the
+  /// solving delivery (protocols like FMMB never quiesce on their own).
   void attach(mac::MacEngine& engine, bool stopOnSolve = true);
 
-  /// True once every required delivery happened.
-  bool solved() const { return remaining_ == 0; }
+  /// Observes one arrive event (idempotent per (node, msg)).
+  void onArrive(NodeId node, MsgId msg, Time at);
 
-  /// Time of the delivery that completed the problem (requires solved).
-  Time solveTime() const;
-
-  /// Deliveries still missing.
-  std::int64_t remaining() const { return remaining_; }
-
- private:
+  /// Observes one deliver event (duplicates are ignored).
   void onDeliver(NodeId node, MsgId msg, Time at);
 
+  /// Declares that no further arrivals will ever be observed; `at` is
+  /// the current simulation time (solve detection may fire here when
+  /// the last requirement was already met).
+  void markArrivalsComplete(Time at);
+
+  /// True once the stream ended, every message arrived, and every
+  /// required delivery happened.
+  bool solved() const {
+    return arrivalsComplete_ && arrivedMsgs_ == k_ && remaining_ == 0;
+  }
+
+  /// Time of the event that completed the problem (requires solved).
+  Time solveTime() const;
+
+  /// Registered deliveries still missing.
+  std::int64_t remaining() const { return remaining_; }
+
+  /// Distinct messages whose arrival has been observed.
+  int arrivedMessages() const { return arrivedMsgs_; }
+
+  /// Snapshot of the per-message latency metrics (aggregates computed
+  /// deterministically at call time).
+  MessageMetrics metrics() const;
+
+ private:
+  void maybeSolve(Time at);
+
+  std::vector<int> labels_;  ///< component label per node
   NodeId n_;
   int k_;
   std::vector<char> required_;   ///< [node * k + msg]
   std::vector<char> delivered_;  ///< [node * k + msg]
+  std::vector<char> msgArrived_;          ///< [msg]
+  std::vector<Time> arriveAt_;            ///< [msg], kTimeNever until seen
+  std::vector<Time> completeAt_;          ///< [msg], kTimeNever until done
+  std::vector<std::int64_t> msgRemaining_;  ///< [msg]
+  bool arrivalsComplete_ = false;
+  int arrivedMsgs_ = 0;
   std::int64_t remaining_ = 0;
   Time solveTime_ = kTimeNever;
   mac::MacEngine* engine_ = nullptr;

@@ -117,11 +117,38 @@ void MacEngine::injectArriveAt(NodeId node, MsgId msg, Time at) {
   checkNode(node);
   AMMB_REQUIRE(msg >= 0, "message ids must be non-negative");
   AMMB_REQUIRE(at >= now(), "cannot inject an arrival in the past");
-  queue_.schedule(at, [this, node, msg] {
-    trace_.add({now(), sim::TraceKind::kArrive, node, kNoInstance, msg});
-    ++stats_.arrives;
-    Context ctx(*this, node);
-    state(node).process->onArrive(ctx, msg);
+  queue_.schedule(at, [this, node, msg] { fireArrive(node, msg); });
+}
+
+void MacEngine::fireArrive(NodeId node, MsgId msg) {
+  trace_.add({now(), sim::TraceKind::kArrive, node, kNoInstance, msg});
+  ++stats_.arrives;
+  // The hook observes the arrival before the process reacts, so solve
+  // trackers register the delivery requirements ahead of the immediate
+  // deliver(m) most protocols emit at the origin.
+  if (arriveHook_) arriveHook_(node, msg, now());
+  Context ctx(*this, node);
+  state(node).process->onArrive(ctx, msg);
+}
+
+void MacEngine::setArrivalSource(ArrivalSource source) {
+  AMMB_REQUIRE(source != nullptr, "arrival source must be callable");
+  AMMB_REQUIRE(arrivalSource_ == nullptr,
+               "an arrival source is already registered");
+  arrivalSource_ = std::move(source);
+  scheduleNextArrival();
+}
+
+void MacEngine::scheduleNextArrival() {
+  std::optional<ArrivalEvent> next = arrivalSource_();
+  if (!next.has_value()) return;
+  checkNode(next->node);
+  AMMB_REQUIRE(next->msg >= 0, "message ids must be non-negative");
+  AMMB_REQUIRE(next->at >= now(),
+               "arrival sources must yield nondecreasing times");
+  queue_.schedule(next->at, [this, node = next->node, msg = next->msg] {
+    fireArrive(node, msg);
+    scheduleNextArrival();
   });
 }
 

@@ -19,6 +19,7 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -53,6 +54,17 @@ class MacEngine {
   using ProcessFactory = std::function<std::unique_ptr<Process>(NodeId)>;
   /// Hook fired on every protocol deliver(m) output.
   using DeliverHook = std::function<void(NodeId, MsgId, Time)>;
+  /// Hook fired on every environment arrive(m) input, before the
+  /// process reacts to it (so solve trackers see the arrival first).
+  using ArriveHook = std::function<void(NodeId, MsgId, Time)>;
+  /// One environment arrival pulled from a lazy source.
+  struct ArrivalEvent {
+    NodeId node = kNoNode;
+    MsgId msg = kNoMsg;
+    Time at = 0;
+  };
+  /// Pull-based arrival stream: nullopt means exhausted.
+  using ArrivalSource = std::function<std::optional<ArrivalEvent>()>;
 
   /// Wires the system together and schedules the wake events at t=0.
   /// The topology must outlive the engine.
@@ -69,6 +81,13 @@ class MacEngine {
   /// generalization mentioned in Section 2.
   void injectArriveAt(NodeId node, MsgId msg, Time at);
 
+  /// Registers a pull-based arrival stream and schedules its first
+  /// arrival.  The engine keeps exactly one pending arrival event in
+  /// the queue: when it fires, the next arrival is pulled and
+  /// scheduled — so arbitrarily long (or open-ended) streams cost O(1)
+  /// queue space.  The source must yield nondecreasing times >= now().
+  void setArrivalSource(ArrivalSource source);
+
   /// Runs until drained / stopped / past `timeLimit`.
   sim::RunStatus run(Time timeLimit = kTimeNever,
                      std::uint64_t maxEvents = 250'000'000);
@@ -79,6 +98,9 @@ class MacEngine {
   // --- hooks ------------------------------------------------------------
   /// Registers the deliver-output observer (e.g., solve detection).
   void setDeliverHook(DeliverHook hook) { deliverHook_ = std::move(hook); }
+
+  /// Registers the arrive-input observer (e.g., latency tracking).
+  void setArriveHook(ArriveHook hook) { arriveHook_ = std::move(hook); }
 
   /// Registers the protocol oracle consulted by adversarial schedulers.
   void setOracle(const ProtocolOracle* oracle) { oracle_ = oracle; }
@@ -151,6 +173,8 @@ class MacEngine {
   Rng& nodeRng(NodeId node);
 
   // Internal machinery ----------------------------------------------------
+  void fireArrive(NodeId node, MsgId msg);
+  void scheduleNextArrival();
   void validatePlan(const Instance& instance, const DeliveryPlan& plan) const;
   void performDelivery(InstanceId id, NodeId receiver, bool forced);
   void onDeliveryEvent(InstanceId id, NodeId receiver);
@@ -174,6 +198,8 @@ class MacEngine {
   Rng schedulerRng_;
   const ProtocolOracle* oracle_ = nullptr;
   DeliverHook deliverHook_;
+  ArriveHook arriveHook_;
+  ArrivalSource arrivalSource_;
   std::unordered_map<TimerId, sim::EventHandle> timers_;
   TimerId nextTimer_ = 1;
 };

@@ -6,7 +6,7 @@ namespace ammb::mac {
 
 namespace {
 /// Deliveries to every G-neighbor at `gAt`, plus (optionally) every
-/// G'-only neighbor at `gpAt` (skipped when gpAt < 0).
+/// G'-only neighbor at `gpAt` (skipped when gpAt == kTimeNever).
 DeliveryPlan uniformPlan(const MacEngine& engine, const Instance& instance,
                          Time gAt, Time gpAt, Time ackAt) {
   DeliveryPlan plan;
@@ -15,7 +15,7 @@ DeliveryPlan uniformPlan(const MacEngine& engine, const Instance& instance,
   for (NodeId j : topo.g().neighbors(instance.sender)) {
     plan.deliveries.push_back({j, gAt});
   }
-  if (gpAt >= 0) {
+  if (gpAt != kTimeNever) {
     for (NodeId j : topo.gPrime().neighbors(instance.sender)) {
       if (!topo.g().hasEdge(instance.sender, j)) {
         plan.deliveries.push_back({j, gpAt});
@@ -37,7 +37,7 @@ DeliveryPlan FastScheduler::planBcast(const Instance& instance) {
   const Time delay = std::min(options_.delay, p.fprog);
   const Time at = instance.bcastAt + delay;
   return uniformPlan(*engine_, instance, at,
-                     options_.deliverGPrime ? at : Time{-1}, at);
+                     options_.deliverGPrime ? at : kTimeNever, at);
 }
 
 // --- RandomScheduler --------------------------------------------------------
@@ -75,7 +75,7 @@ DeliveryPlan RandomScheduler::planBcast(const Instance& instance) {
 DeliveryPlan SlowAckScheduler::planBcast(const Instance& instance) {
   const MacParams& p = engine_->params();
   return uniformPlan(*engine_, instance, instance.bcastAt + p.fprog,
-                     Time{-1}, instance.bcastAt + p.fack);
+                     kTimeNever, instance.bcastAt + p.fack);
 }
 
 // --- AdversarialScheduler ---------------------------------------------------
@@ -93,7 +93,7 @@ DeliveryPlan AdversarialScheduler::planBcast(const Instance& instance) {
   // will preempt them only when the model leaves the adversary no
   // useless alternative.
   DeliveryPlan plan =
-      uniformPlan(*engine_, instance, ackAt, Time{-1}, ackAt);
+      uniformPlan(*engine_, instance, ackAt, kTimeNever, ackAt);
   if (options_.stuffUnreliable) {
     const auto& topo = engine_->topology();
     for (NodeId j : topo.gPrime().neighbors(instance.sender)) {

@@ -267,7 +267,7 @@ CheckResult checkTrace(const graph::DualGraph& topology,
                        Time horizon) {
   AMMB_REQUIRE(trace.enabled(),
                "checkTrace requires a trace that recorded events");
-  if (horizon < 0) {
+  if (horizon == kTimeNever) {
     horizon = trace.records().empty() ? 0 : trace.records().back().t;
   }
   Checker checker(topology, params, trace, horizon);

@@ -42,9 +42,9 @@ struct CheckResult {
 
 /// Checks `trace` (an execution over `topology` under `params`,
 /// observed up to time `horizon`) against all model axioms.
-/// `horizon` defaults to the last record's timestamp.
+/// `horizon` defaults (kTimeNever) to the last record's timestamp.
 CheckResult checkTrace(const graph::DualGraph& topology,
                        const MacParams& params, const sim::Trace& trace,
-                       Time horizon = -1);
+                       Time horizon = kTimeNever);
 
 }  // namespace ammb::mac

@@ -13,9 +13,9 @@ std::vector<MessageLatency> messageLatencies(const sim::Trace& trace,
     if (record.msg < 0 || record.msg >= k) continue;
     MessageLatency& lat = out[static_cast<std::size_t>(record.msg)];
     if (record.kind == sim::TraceKind::kArrive) {
-      if (lat.arriveAt < 0) lat.arriveAt = record.t;
+      if (lat.arriveAt == kTimeNever) lat.arriveAt = record.t;
     } else if (record.kind == sim::TraceKind::kDeliver) {
-      if (lat.firstDeliver < 0) lat.firstDeliver = record.t;
+      if (lat.firstDeliver == kTimeNever) lat.firstDeliver = record.t;
       lat.lastDeliver = record.t;
       ++lat.deliveries;
     }
@@ -26,13 +26,13 @@ std::vector<MessageLatency> messageLatencies(const sim::Trace& trace,
 std::vector<Time> deliveryTimeline(const sim::Trace& trace, MsgId msg,
                                    NodeId n) {
   AMMB_REQUIRE(n >= 1, "node count must be positive");
-  std::vector<Time> out(static_cast<std::size_t>(n), -1);
+  std::vector<Time> out(static_cast<std::size_t>(n), kTimeNever);
   for (const auto& record : trace.records()) {
     if (record.kind != sim::TraceKind::kDeliver || record.msg != msg) {
       continue;
     }
     if (record.node >= 0 && record.node < n &&
-        out[static_cast<std::size_t>(record.node)] < 0) {
+        out[static_cast<std::size_t>(record.node)] == kTimeNever) {
       out[static_cast<std::size_t>(record.node)] = record.t;
     }
   }

@@ -16,9 +16,9 @@ namespace ammb::mac {
 /// Latency profile of one MMB message.
 struct MessageLatency {
   MsgId msg = kNoMsg;
-  Time arriveAt = -1;       ///< injection time (first arrive event)
-  Time firstDeliver = -1;   ///< earliest deliver anywhere
-  Time lastDeliver = -1;    ///< latest deliver anywhere (completion)
+  Time arriveAt = kTimeNever;      ///< injection time (first arrive event)
+  Time firstDeliver = kTimeNever;  ///< earliest deliver anywhere
+  Time lastDeliver = kTimeNever;   ///< latest deliver anywhere (completion)
   std::size_t deliveries = 0;
 };
 
@@ -41,7 +41,8 @@ std::size_t unreliableDeliveryCount(const graph::DualGraph& topology,
   return count;
 }
 
-/// First-delivery time of `msg` per node (-1 where never delivered).
+/// First-delivery time of `msg` per node (kTimeNever where never
+/// delivered).
 std::vector<Time> deliveryTimeline(const sim::Trace& trace, MsgId msg,
                                    NodeId n);
 

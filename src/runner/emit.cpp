@@ -64,34 +64,44 @@ const char* statusName(sim::RunStatus status) {
 void emitCellsCsv(const SweepResult& result, std::ostream& out) {
   out << "sweep,protocol,workload,topology,scheduler,k,mac,seed_begin,"
          "seed_end,runs,solved,errors,min_solve,median_solve,mean_solve,"
-         "p95_solve,max_solve,mean_end_time,bcasts,rcvs,forced_rcvs,acks,"
+         "p95_solve,max_solve,mean_end_time,messages,mean_latency,"
+         "p50_latency,p95_latency,max_latency,bcasts,rcvs,forced_rcvs,acks,"
          "aborts,delivers,arrives\n";
   for (const CellAggregate& c : result.cells) {
     out << csvEscape(result.name) << ',' << core::toString(result.protocol)
-        << ',' << csvEscape(result.workload) << ',' << csvEscape(c.topology)
+        << ',' << csvEscape(c.workload) << ',' << csvEscape(c.topology)
         << ',' << csvEscape(c.scheduler) << ',' << c.k << ','
         << csvEscape(c.mac) << ',' << result.seedBegin << ','
         << result.seedEnd << ',' << c.runs << ',' << c.solved << ','
         << c.errors << ',' << c.minSolve << ',' << c.medianSolve << ','
         << fixed(c.meanSolve) << ',' << c.p95Solve << ',' << c.maxSolve
-        << ',' << fixed(c.meanEndTime) << ',' << c.stats.bcasts << ','
-        << c.stats.rcvs << ',' << c.stats.forcedRcvs << ',' << c.stats.acks
-        << ',' << c.stats.aborts << ',' << c.stats.delivers << ','
-        << c.stats.arrives << '\n';
+        << ',' << fixed(c.meanEndTime) << ',' << c.messages << ','
+        << fixed(c.meanLatency) << ',' << c.p50Latency << ','
+        << c.p95Latency << ',' << c.maxLatency << ',' << c.stats.bcasts
+        << ',' << c.stats.rcvs << ',' << c.stats.forcedRcvs << ','
+        << c.stats.acks << ',' << c.stats.aborts << ',' << c.stats.delivers
+        << ',' << c.stats.arrives << '\n';
   }
 }
 
 void emitRunsCsv(const SweepResult& result, std::ostream& out) {
-  out << "run_index,cell_index,topology,scheduler,k,mac,seed,solved,"
-         "solve_time,end_time,status,error\n";
+  out << "run_index,cell_index,topology,scheduler,k,mac,workload,seed,solved,"
+         "solve_time,end_time,status,messages,p50_latency,p95_latency,"
+         "max_latency,error\n";
   for (const RunRecord& r : result.runs) {
     const CellAggregate& c = result.cell(r.point.cellIndex);
     out << r.point.runIndex << ',' << r.point.cellIndex << ','
         << csvEscape(c.topology) << ',' << csvEscape(c.scheduler) << ','
-        << c.k << ',' << csvEscape(c.mac) << ',' << r.point.seed << ','
-        << (r.result.solved ? 1 : 0) << ',' << r.result.solveTime << ','
-        << r.result.endTime << ',' << statusName(r.result.status) << ','
-        << csvEscape(r.error) << '\n';
+        << c.k << ',' << csvEscape(c.mac) << ',' << csvEscape(c.workload)
+        << ',' << r.point.seed << ',' << (r.result.solved ? 1 : 0) << ',';
+    // kTimeNever would print as a 19-digit integer; unsolved runs emit
+    // an empty solve-time field instead.
+    if (r.result.solved) out << r.result.solveTime;
+    out << ',' << r.result.endTime << ',' << statusName(r.result.status)
+        << ',' << r.result.messages.completed << ','
+        << r.result.messages.p50Latency << ','
+        << r.result.messages.p95Latency << ','
+        << r.result.messages.maxLatency << ',' << csvEscape(r.error) << '\n';
   }
 }
 
@@ -99,7 +109,6 @@ void emitJson(const SweepResult& result, std::ostream& out) {
   out << "{\n"
       << "  \"sweep\": \"" << jsonEscape(result.name) << "\",\n"
       << "  \"protocol\": \"" << core::toString(result.protocol) << "\",\n"
-      << "  \"workload\": \"" << jsonEscape(result.workload) << "\",\n"
       << "  \"seed_begin\": " << result.seedBegin << ",\n"
       << "  \"seed_end\": " << result.seedEnd << ",\n"
       << "  \"cells\": [\n";
@@ -108,6 +117,7 @@ void emitJson(const SweepResult& result, std::ostream& out) {
     out << "    {\"topology\": \"" << jsonEscape(c.topology)
         << "\", \"scheduler\": \"" << jsonEscape(c.scheduler)
         << "\", \"k\": " << c.k << ", \"mac\": \"" << jsonEscape(c.mac)
+        << "\", \"workload\": \"" << jsonEscape(c.workload)
         << "\", \"runs\": " << c.runs << ", \"solved\": " << c.solved
         << ", \"errors\": " << c.errors << ", \"min_solve\": " << c.minSolve
         << ", \"median_solve\": " << c.medianSolve
@@ -115,6 +125,11 @@ void emitJson(const SweepResult& result, std::ostream& out) {
         << ", \"p95_solve\": " << c.p95Solve
         << ", \"max_solve\": " << c.maxSolve
         << ", \"mean_end_time\": " << fixed(c.meanEndTime)
+        << ", \"messages\": " << c.messages
+        << ", \"mean_latency\": " << fixed(c.meanLatency)
+        << ", \"p50_latency\": " << c.p50Latency
+        << ", \"p95_latency\": " << c.p95Latency
+        << ", \"max_latency\": " << c.maxLatency
         << ", \"stats\": {\"bcasts\": " << c.stats.bcasts
         << ", \"rcvs\": " << c.stats.rcvs
         << ", \"forced_rcvs\": " << c.stats.forcedRcvs

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <memory>
 #include <mutex>
 #include <thread>
 
@@ -10,14 +11,7 @@ namespace ammb::runner {
 
 namespace {
 
-/// Nearest-rank percentile of an ascending vector (integer arithmetic,
-/// so the result is an exact element and trivially deterministic).
-Time percentile(const std::vector<Time>& sorted, std::uint64_t p) {
-  AMMB_ASSERT(!sorted.empty() && p <= 100);
-  const std::size_t idx =
-      static_cast<std::size_t>((p * (sorted.size() - 1)) / 100);
-  return sorted[idx];
-}
+using core::nearestRankPercentile;
 
 void accumulateStats(mac::EngineStats& into, const mac::EngineStats& from) {
   into.bcasts += from.bcasts;
@@ -38,14 +32,13 @@ RunRecord executeRun(const SweepSpec& spec, const RunPoint& point) {
     const graph::DualGraph topology =
         spec.topologies[point.topoIdx].make(point.seed);
     const int k = spec.ks[point.kIdx];
-    const core::MmbWorkload workload =
-        spec.workload.make(k, topology.n(), point.seed);
+    const std::unique_ptr<core::ArrivalProcess> arrivals =
+        spec.workloads[point.wlIdx].make(k, topology.n(), point.seed);
+    AMMB_REQUIRE(arrivals != nullptr, "workload generator returned null");
     const core::RunConfig config = runConfigFor(spec, point);
-    const core::FmmbParams fmmb =
-        spec.fmmbParams ? spec.fmmbParams(topology.n(), k)
-                        : core::FmmbParams{};
-    record.result =
-        core::runProtocol(spec.protocol, topology, workload, fmmb, config);
+    const core::ProtocolSpec protocol =
+        protocolSpecFor(spec, topology.n(), k);
+    record.result = core::runExperiment(topology, protocol, *arrivals, config);
   } catch (const std::exception& e) {
     record.error = e.what();
   }
@@ -112,7 +105,6 @@ SweepResult SweepRunner::run(const SweepSpec& spec) const {
   SweepResult result;
   result.name = spec.name;
   result.protocol = spec.protocol;
-  result.workload = spec.workload.name;
   result.seedBegin = spec.seedBegin;
   result.seedEnd = spec.seedEnd;
   result.threads = threads;
@@ -122,6 +114,8 @@ SweepResult SweepRunner::run(const SweepSpec& spec) const {
   std::vector<std::int64_t> solveSums(result.cells.size(), 0);
   std::vector<std::int64_t> endSums(result.cells.size(), 0);
   std::vector<std::uint64_t> endCounts(result.cells.size(), 0);
+  std::vector<std::vector<Time>> latencies(result.cells.size());
+  std::vector<std::int64_t> latencySums(result.cells.size(), 0);
 
   for (const RunRecord& record : records) {
     CellAggregate& cell = result.cells[record.point.cellIndex];
@@ -131,6 +125,7 @@ SweepResult SweepRunner::run(const SweepSpec& spec) const {
       cell.scheduler = core::toString(spec.schedulers[record.point.schedIdx]);
       cell.k = spec.ks[record.point.kIdx];
       cell.mac = spec.macs[record.point.macIdx].name;
+      cell.workload = spec.workloads[record.point.wlIdx].name;
     }
     ++cell.runs;
     if (record.failed()) {
@@ -145,6 +140,11 @@ SweepResult SweepRunner::run(const SweepSpec& spec) const {
       solveTimes[cell.cellIndex].push_back(record.result.solveTime);
       solveSums[cell.cellIndex] += record.result.solveTime;
     }
+    for (const core::MessageMetric& pm : record.result.messages.perMessage) {
+      if (!pm.completed()) continue;
+      latencies[cell.cellIndex].push_back(pm.latency());
+      latencySums[cell.cellIndex] += pm.latency();
+    }
   }
 
   for (CellAggregate& cell : result.cells) {
@@ -153,14 +153,24 @@ SweepResult SweepRunner::run(const SweepSpec& spec) const {
       std::sort(times.begin(), times.end());
       cell.minSolve = times.front();
       cell.maxSolve = times.back();
-      cell.medianSolve = percentile(times, 50);
-      cell.p95Solve = percentile(times, 95);
+      cell.medianSolve = nearestRankPercentile(times, 50);
+      cell.p95Solve = nearestRankPercentile(times, 95);
       cell.meanSolve = static_cast<double>(solveSums[cell.cellIndex]) /
                        static_cast<double>(times.size());
     }
     if (endCounts[cell.cellIndex] > 0) {
       cell.meanEndTime = static_cast<double>(endSums[cell.cellIndex]) /
                          static_cast<double>(endCounts[cell.cellIndex]);
+    }
+    std::vector<Time>& lats = latencies[cell.cellIndex];
+    cell.messages = lats.size();
+    if (!lats.empty()) {
+      std::sort(lats.begin(), lats.end());
+      cell.p50Latency = nearestRankPercentile(lats, 50);
+      cell.p95Latency = nearestRankPercentile(lats, 95);
+      cell.maxLatency = lats.back();
+      cell.meanLatency = static_cast<double>(latencySums[cell.cellIndex]) /
+                         static_cast<double>(lats.size());
     }
   }
 

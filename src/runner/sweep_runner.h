@@ -29,7 +29,7 @@ struct RunRecord {
 };
 
 /// Deterministic summary of one grid cell (all seeds of one
-/// topology x scheduler x k x mac point).
+/// topology x scheduler x k x mac x workload point).
 struct CellAggregate {
   std::size_t cellIndex = 0;
 
@@ -38,6 +38,7 @@ struct CellAggregate {
   std::string scheduler;
   int k = 0;
   std::string mac;
+  std::string workload;
 
   std::uint64_t runs = 0;
   std::uint64_t solved = 0;
@@ -55,6 +56,15 @@ struct CellAggregate {
   /// Mean simulated end time over all (solved or not) non-error runs.
   double meanEndTime = 0.0;
 
+  // Per-message latency statistics, pooled over every completed
+  // message of every non-error run of the cell (same nearest-rank
+  // rule as the solve times).
+  std::uint64_t messages = 0;  ///< completed messages pooled
+  Time p50Latency = 0;
+  Time p95Latency = 0;
+  Time maxLatency = 0;
+  double meanLatency = 0.0;
+
   /// Engine counters summed over non-error runs.
   mac::EngineStats stats;
 };
@@ -63,7 +73,6 @@ struct CellAggregate {
 struct SweepResult {
   std::string name;
   core::ProtocolKind protocol = core::ProtocolKind::kBmmb;
-  std::string workload;
   std::uint64_t seedBegin = 0;
   std::uint64_t seedEnd = 0;
   int threads = 1;

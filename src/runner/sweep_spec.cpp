@@ -1,5 +1,7 @@
 #include "runner/sweep_spec.h"
 
+#include <cstdio>
+
 #include "graph/generators.h"
 
 namespace ammb::runner {
@@ -9,13 +11,20 @@ void SweepSpec::validate() const {
   AMMB_REQUIRE(!schedulers.empty(), "sweep needs at least one scheduler");
   AMMB_REQUIRE(!ks.empty(), "sweep needs at least one k");
   AMMB_REQUIRE(!macs.empty(), "sweep needs at least one MacParams point");
+  AMMB_REQUIRE(!workloads.empty(), "sweep needs at least one workload");
   AMMB_REQUIRE(seedBegin < seedEnd, "sweep needs a non-empty seed range");
-  AMMB_REQUIRE(workload.make != nullptr, "sweep needs a workload generator");
   for (const TopologySpec& t : topologies) {
     AMMB_REQUIRE(t.make != nullptr,
                  "topology spec '" + t.name + "' has no generator");
   }
-  for (int k : ks) AMMB_REQUIRE(k >= 1, "sweep k values must be >= 1");
+  for (const WorkloadSpec& w : workloads) {
+    AMMB_REQUIRE(w.make != nullptr,
+                 "workload spec '" + w.name + "' has no generator");
+  }
+  for (int k : ks) {
+    AMMB_REQUIRE(k >= 1, "sweep k values must be >= 1 (got " +
+                             std::to_string(k) + ")");
+  }
   for (const MacParamsSpec& m : macs) m.params.validate();
   if (protocol == core::ProtocolKind::kFmmb) {
     AMMB_REQUIRE(fmmbParams != nullptr,
@@ -24,6 +33,10 @@ void SweepSpec::validate() const {
       AMMB_REQUIRE(m.params.variant == mac::ModelVariant::kEnhanced,
                    "FMMB sweeps require enhanced-model MacParams");
     }
+  } else {
+    AMMB_REQUIRE(fmmbParams == nullptr,
+                 "fmmbParams is set but the sweep protocol is BMMB — the "
+                 "factory would be silently ignored");
   }
 }
 
@@ -35,19 +48,22 @@ std::vector<RunPoint> enumerateRuns(const SweepSpec& spec) {
     for (std::size_t s = 0; s < spec.schedulers.size(); ++s) {
       for (std::size_t k = 0; k < spec.ks.size(); ++k) {
         for (std::size_t m = 0; m < spec.macs.size(); ++m) {
-          for (std::uint64_t seed = spec.seedBegin; seed < spec.seedEnd;
-               ++seed) {
-            RunPoint p;
-            p.runIndex = points.size();
-            p.cellIndex = cell;
-            p.topoIdx = t;
-            p.schedIdx = s;
-            p.kIdx = k;
-            p.macIdx = m;
-            p.seed = seed;
-            points.push_back(p);
+          for (std::size_t w = 0; w < spec.workloads.size(); ++w) {
+            for (std::uint64_t seed = spec.seedBegin; seed < spec.seedEnd;
+                 ++seed) {
+              RunPoint p;
+              p.runIndex = points.size();
+              p.cellIndex = cell;
+              p.topoIdx = t;
+              p.schedIdx = s;
+              p.kIdx = k;
+              p.macIdx = m;
+              p.wlIdx = w;
+              p.seed = seed;
+              points.push_back(p);
+            }
+            ++cell;
           }
-          ++cell;
         }
       }
     }
@@ -58,15 +74,23 @@ std::vector<RunPoint> enumerateRuns(const SweepSpec& spec) {
 core::RunConfig runConfigFor(const SweepSpec& spec, const RunPoint& point) {
   core::RunConfig config;
   config.mac = spec.macs[point.macIdx].params;
-  config.scheduler = spec.schedulers[point.schedIdx];
+  config.scheduler.kind = spec.schedulers[point.schedIdx];
+  config.scheduler.lowerBoundLineLength = spec.lowerBoundLineLength;
   config.seed = point.seed;
   config.recordTrace = spec.recordTrace;
-  config.stopOnSolve = spec.stopOnSolve;
-  config.maxTime = spec.maxTime;
-  config.maxEvents = spec.maxEvents;
-  config.discipline = spec.discipline;
-  config.lowerBoundLineLength = spec.lowerBoundLineLength;
+  config.limits.stopOnSolve = spec.stopOnSolve;
+  config.limits.maxTime = spec.maxTime;
+  config.limits.maxEvents = spec.maxEvents;
   return config;
+}
+
+core::ProtocolSpec protocolSpecFor(const SweepSpec& spec, NodeId n, int k) {
+  if (spec.protocol == core::ProtocolKind::kFmmb) {
+    AMMB_REQUIRE(spec.fmmbParams != nullptr,
+                 "FMMB sweeps need an FmmbParamsFactory");
+    return core::fmmbProtocol(spec.fmmbParams(n, k));
+  }
+  return core::bmmbProtocol(spec.discipline);
 }
 
 namespace {
@@ -117,20 +141,59 @@ TopologySpec lowerBoundNetworkCTopology(int D) {
 WorkloadSpec allAtNodeWorkload(NodeId node) {
   return {"all-at-" + std::to_string(node),
           [node](int k, NodeId, std::uint64_t) {
-            return core::workloadAllAtNode(k, node);
+            return core::streamWorkload(core::workloadAllAtNode(k, node));
           }};
 }
 
 WorkloadSpec roundRobinWorkload() {
   return {"round-robin", [](int k, NodeId n, std::uint64_t) {
-            return core::workloadRoundRobin(k, n);
+            return core::streamWorkload(core::workloadRoundRobin(k, n));
           }};
 }
 
 WorkloadSpec randomWorkload() {
   return {"random", [](int k, NodeId n, std::uint64_t seed) {
-            Rng rng = SeedSequence(seed).childRng(rngstream::kWorkload, 0);
-            return core::workloadRandom(k, n, rng);
+            Rng rng = core::workloadRng(seed);
+            return core::streamWorkload(core::workloadRandom(k, n, rng));
+          }};
+}
+
+WorkloadSpec onlineWorkload(Time interval) {
+  return {"online-" + std::to_string(interval),
+          [interval](int k, NodeId n, std::uint64_t seed) {
+            Rng rng = core::workloadRng(seed);
+            return core::streamWorkload(
+                core::workloadOnline(k, n, interval, rng));
+          }};
+}
+
+WorkloadSpec poissonWorkload(double meanGap) {
+  char gap[32];
+  std::snprintf(gap, sizeof(gap), "%g", meanGap);
+  return {"poisson-" + std::string(gap),
+          [meanGap](int k, NodeId n, std::uint64_t seed) {
+            return std::make_unique<core::PoissonArrivalProcess>(k, n, meanGap,
+                                                                 seed);
+          }};
+}
+
+WorkloadSpec burstyWorkload(int batchSize, Time gap) {
+  return {"bursty-" + std::to_string(batchSize) + "x" + std::to_string(gap),
+          [batchSize, gap](int k, NodeId n, std::uint64_t seed) {
+            return std::make_unique<core::BurstyArrivalProcess>(
+                k, n, batchSize, gap, seed);
+          }};
+}
+
+WorkloadSpec staggeredWorkload(int sources, Time interval) {
+  return {"staggered-" + std::to_string(sources) + "x" +
+              std::to_string(interval),
+          [sources, interval](int k, NodeId n, std::uint64_t) {
+            // Clamp sources to the generated network's size so small
+            // topologies stay valid under a shared spec.
+            const int s = sources > n ? static_cast<int>(n) : sources;
+            return std::make_unique<core::StaggeredArrivalProcess>(
+                k, n, s, interval);
           }};
 }
 

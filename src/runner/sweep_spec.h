@@ -2,19 +2,23 @@
 //
 // The paper's results are sweeps: solve time against D, k, r, the
 // scheduler, and the placement of unreliable links (Figure 1, Figure 2,
-// the FMMB ablations).  A SweepSpec captures one such sweep as a grid
+// the FMMB ablations); the online generalization adds the *arrival
+// process* as a dimension of its own.  A SweepSpec captures one such
+// sweep as a grid
 //
-//   topology generator x SchedulerKind x k x MacParams x seed range
+//   topology generator x SchedulerKind x k x MacParams x workload
+//                      x seed range
 //
 // for either protocol (BMMB or FMMB).  Every run of the grid is
-// self-contained and seed-deterministic — the topology, workload and
-// execution are all derived from the spec plus the run's seed — which
-// is what lets runner::SweepRunner execute runs on any number of
+// self-contained and seed-deterministic — the topology, arrival stream
+// and execution are all derived from the spec plus the run's seed —
+// which is what lets runner::SweepRunner execute runs on any number of
 // worker threads and still aggregate bit-identical results.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -30,11 +34,14 @@ struct TopologySpec {
   std::function<graph::DualGraph(std::uint64_t seed)> make;
 };
 
-/// Named workload generator; receives the cell's k, the generated
-/// topology's n, and the run seed.
+/// Named workload-shape axis point: builds a fresh, seed-deterministic
+/// arrival stream from the cell's k, the generated topology's n, and
+/// the run seed.
 struct WorkloadSpec {
   std::string name;
-  std::function<core::MmbWorkload(int k, NodeId n, std::uint64_t seed)> make;
+  std::function<std::unique_ptr<core::ArrivalProcess>(
+      int k, NodeId n, std::uint64_t seed)>
+      make;
 };
 
 /// Named MacParams grid point.
@@ -57,9 +64,7 @@ struct SweepSpec {
   std::vector<core::SchedulerKind> schedulers;
   std::vector<int> ks;
   std::vector<MacParamsSpec> macs;
-
-  /// Workload shape shared by every cell.
-  WorkloadSpec workload;
+  std::vector<WorkloadSpec> workloads;
 
   /// Seed range [seedBegin, seedEnd): one run per seed per cell.
   std::uint64_t seedBegin = 1;
@@ -70,18 +75,20 @@ struct SweepSpec {
   bool recordTrace = false;
   Time maxTime = kTimeNever;
   std::uint64_t maxEvents = 100'000'000;
+  /// BMMB queue discipline (consulted for kBmmb only).
   core::QueueDiscipline discipline = core::QueueDiscipline::kFifo;
   /// Line length hint for SchedulerKind::kLowerBound cells.
   int lowerBoundLineLength = 0;
-  /// Required iff protocol == kFmmb.
+  /// Required iff protocol == kFmmb (rejected otherwise).
   FmmbParamsFactory fmmbParams;
 
   /// Throws ammb::Error on an ill-formed spec (empty axis, missing
-  /// generators, empty seed range, missing FMMB factory, ...).
+  /// generators, empty seed range, missing or stray FMMB factory, ...).
   void validate() const;
 
   std::size_t cellCount() const {
-    return topologies.size() * schedulers.size() * ks.size() * macs.size();
+    return topologies.size() * schedulers.size() * ks.size() * macs.size() *
+           workloads.size();
   }
   std::size_t seedsPerCell() const {
     return static_cast<std::size_t>(seedEnd - seedBegin);
@@ -90,9 +97,9 @@ struct SweepSpec {
 };
 
 /// Dense grid coordinates of one run.  Cells are numbered in
-/// (topology, scheduler, k, mac) lexicographic order; runs in
-/// (cell, seed) order.  enumerateRuns() is the single source of truth
-/// for this order, shared by the runner and the aggregator.
+/// (topology, scheduler, k, mac, workload) lexicographic order; runs
+/// in (cell, seed) order.  enumerateRuns() is the single source of
+/// truth for this order, shared by the runner and the aggregator.
 struct RunPoint {
   std::size_t runIndex = 0;
   std::size_t cellIndex = 0;
@@ -100,6 +107,7 @@ struct RunPoint {
   std::size_t schedIdx = 0;
   std::size_t kIdx = 0;
   std::size_t macIdx = 0;
+  std::size_t wlIdx = 0;
   std::uint64_t seed = 0;
 };
 
@@ -108,6 +116,10 @@ std::vector<RunPoint> enumerateRuns(const SweepSpec& spec);
 
 /// The RunConfig for one grid point (seed + cell axes applied).
 core::RunConfig runConfigFor(const SweepSpec& spec, const RunPoint& point);
+
+/// The ProtocolSpec for one generated network (FMMB params depend on
+/// n and k through the spec's factory).
+core::ProtocolSpec protocolSpecFor(const SweepSpec& spec, NodeId n, int k);
 
 // --- canonical axis builders ------------------------------------------------
 // The common topology/workload families, pre-named for emitter output.
@@ -137,5 +149,20 @@ WorkloadSpec roundRobinWorkload();
 
 /// Each message arrives at an independently random node (seeded).
 WorkloadSpec randomWorkload();
+
+/// Message i arrives at a random node at time i * interval.
+WorkloadSpec onlineWorkload(Time interval);
+
+/// Poisson stream: exponential gaps with mean `meanGap` ticks, each
+/// arrival at an independently random node.
+WorkloadSpec poissonWorkload(double meanGap);
+
+/// Bursty batches of `batchSize` simultaneous arrivals at random
+/// nodes, batches `gap` ticks apart.
+WorkloadSpec burstyWorkload(int batchSize, Time gap);
+
+/// Multi-source staggered stream: `sources` evenly spaced origins,
+/// phase-shifted, one message per source every `interval` ticks.
+WorkloadSpec staggeredWorkload(int sources, Time interval);
 
 }  // namespace ammb::runner

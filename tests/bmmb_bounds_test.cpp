@@ -38,7 +38,8 @@ TEST_P(GgBound, LineRespectsTheorem316) {
   RunConfig config;
   config.mac = stdParams(4, 64);
   config.scheduler = sched;
-  core::BmmbExperiment experiment(topo, workload, config);
+  core::Experiment experiment(topo, core::bmmbProtocol(), workload,
+                              config);
   const auto result = experiment.run();
   ASSERT_TRUE(result.solved);
   const Time bound = core::bmmbRRestrictedBound(D, k, 1, config.mac);
@@ -72,7 +73,8 @@ TEST_P(RRestrictedBound, LineWithRNoiseRespectsTheorem316) {
   RunConfig config;
   config.mac = stdParams(4, 64);
   config.scheduler = sched;
-  core::BmmbExperiment experiment(topo, workload, config);
+  core::Experiment experiment(topo, core::bmmbProtocol(), workload,
+                              config);
   const auto result = experiment.run();
   ASSERT_TRUE(result.solved);
   EXPECT_LE(result.solveTime, core::bmmbRRestrictedBound(D, k, r, config.mac));
@@ -101,7 +103,8 @@ TEST_P(ArbitraryBound, LongRangeNoiseRespectsTheorem31) {
   RunConfig config;
   config.mac = stdParams(4, 64);
   config.scheduler = sched;
-  core::BmmbExperiment experiment(topo, workload, config);
+  core::Experiment experiment(topo, core::bmmbProtocol(), workload,
+                              config);
   const auto result = experiment.run();
   ASSERT_TRUE(result.solved);
   EXPECT_LE(result.solveTime, core::bmmbArbitraryBound(D, k, config.mac));
@@ -126,7 +129,7 @@ TEST(BmmbBounds, GridGgBoundHoldsForAllSchedulers) {
     RunConfig config;
     config.mac = stdParams(3, 48);
     config.scheduler = sched;
-    const auto result = core::runBmmb(topo, workload, config);
+    const auto result = core::runExperiment(topo, core::bmmbProtocol(), workload, config);
     ASSERT_TRUE(result.solved);
     EXPECT_LE(result.solveTime,
               core::bmmbRRestrictedBound(D, k, 1, config.mac))
@@ -153,8 +156,8 @@ TEST(BmmbBounds, StructureOfUnreliabilityGovernsTheDamage) {
   RunConfig cfgC;
   cfgC.mac = stdParams(2, 64);
   cfgC.scheduler = SchedulerKind::kLowerBound;
-  cfgC.lowerBoundLineLength = D;
-  const auto tFar = core::runBmmb(netC, wC, cfgC);
+  cfgC.scheduler.lowerBoundLineLength = D;
+  const auto tFar = core::runExperiment(netC, core::bmmbProtocol(), wC, cfgC);
 
   Rng rng(5);
   const auto local = gen::withRRestrictedNoise(gen::line(D), 2, 1.0, rng);
@@ -162,7 +165,8 @@ TEST(BmmbBounds, StructureOfUnreliabilityGovernsTheDamage) {
   cfgLocal.mac = stdParams(2, 64);
   cfgLocal.scheduler = SchedulerKind::kAdversarialStuffing;
   const auto tLocal =
-      core::runBmmb(local, core::workloadRoundRobin(2, D), cfgLocal);
+      core::runExperiment(local, core::bmmbProtocol(),
+                          core::workloadRoundRobin(2, D), cfgLocal);
 
   ASSERT_TRUE(tFar.solved);
   ASSERT_TRUE(tLocal.solved);

@@ -8,7 +8,7 @@
 namespace ammb {
 namespace {
 
-using core::BmmbExperiment;
+using core::Experiment;
 using core::MmbWorkload;
 using core::RunConfig;
 using core::RunResult;
@@ -25,9 +25,11 @@ mac::MacParams stdParams(Time fprog = 4, Time fack = 32) {
 }
 
 /// Runs BMMB and asserts: solved, MAC axioms hold, MMB axioms hold.
-RunResult runChecked(const DualGraph& topo, const MmbWorkload& workload,
-                     RunConfig config) {
-  BmmbExperiment experiment(topo, workload, config);
+RunResult runChecked(
+    const DualGraph& topo, const MmbWorkload& workload, RunConfig config,
+    core::QueueDiscipline discipline = core::QueueDiscipline::kFifo) {
+  Experiment experiment(topo, core::bmmbProtocol(discipline), workload,
+                        config);
   const RunResult result = experiment.run();
   EXPECT_TRUE(result.solved) << "BMMB failed to solve MMB";
   const auto macCheck = mac::checkTrace(topo, config.mac,
@@ -103,15 +105,15 @@ TEST(Bmmb, DuplicateSuppression) {
   RunConfig config;
   config.mac = stdParams();
   config.scheduler = SchedulerKind::kFast;
-  config.stopOnSolve = false;  // drain all queues before inspecting
-  BmmbExperiment experiment(topo, workload, config);
+  config.limits.stopOnSolve = false;  // drain all queues before inspecting
+  Experiment experiment(topo, core::bmmbProtocol(), workload, config);
   const auto result = experiment.run();
   ASSERT_TRUE(result.solved);
   // Each node broadcasts each message exactly once: 6 nodes * 3 msgs.
   EXPECT_EQ(result.stats.bcasts, 18u);
   for (NodeId v = 0; v < topo.n(); ++v) {
-    EXPECT_EQ(experiment.suite().process(v).received().size(), 3u);
-    EXPECT_EQ(experiment.suite().process(v).sent().size(), 3u);
+    EXPECT_EQ(experiment.bmmbSuite().process(v).received().size(), 3u);
+    EXPECT_EQ(experiment.bmmbSuite().process(v).sent().size(), 3u);
   }
 }
 
@@ -121,7 +123,7 @@ TEST(Bmmb, MultipleMessagesAtOneNodeKeepFifoOrder) {
   RunConfig config;
   config.mac = stdParams();
   config.scheduler = SchedulerKind::kSlowAck;
-  BmmbExperiment experiment(topo, workload, config);
+  Experiment experiment(topo, core::bmmbProtocol(), workload, config);
   ASSERT_TRUE(experiment.run().solved);
   // Messages arrive in id order at node 0, so acks happen in id order:
   // the sent set grows in FIFO order.  Verify via trace deliver order
@@ -145,8 +147,7 @@ TEST(Bmmb, LifoAndRandomDisciplinesStillSolve) {
     RunConfig config;
     config.mac = stdParams();
     config.scheduler = SchedulerKind::kAdversarial;
-    config.discipline = discipline;
-    runChecked(topo, workload, config);
+    runChecked(topo, workload, config, discipline);
   }
 }
 
@@ -158,7 +159,7 @@ TEST(Bmmb, OnlineArrivalsAreDisseminated) {
   RunConfig config;
   config.mac = stdParams();
   config.scheduler = SchedulerKind::kRandom;
-  BmmbExperiment experiment(topo, workload, config);
+  Experiment experiment(topo, core::bmmbProtocol(), workload, config);
   // Two extra messages arrive online (the generalization of Section 2).
   experiment.engine().injectArriveAt(5, 1, 40);  // duplicate id is a no-op
   const auto result = experiment.run();
@@ -173,13 +174,16 @@ TEST(Bmmb, DeterministicGivenSeed) {
   config.mac = stdParams();
   config.scheduler = SchedulerKind::kRandom;
   config.seed = 99;
-  const auto r1 = runBmmb(topo, workload, config);
-  const auto r2 = runBmmb(topo, workload, config);
+  const auto r1 =
+      core::runExperiment(topo, core::bmmbProtocol(), workload, config);
+  const auto r2 =
+      core::runExperiment(topo, core::bmmbProtocol(), workload, config);
   EXPECT_EQ(r1.solveTime, r2.solveTime);
   EXPECT_EQ(r1.stats.bcasts, r2.stats.bcasts);
   EXPECT_EQ(r1.stats.rcvs, r2.stats.rcvs);
   config.seed = 100;
-  const auto r3 = runBmmb(topo, workload, config);
+  const auto r3 =
+      core::runExperiment(topo, core::bmmbProtocol(), workload, config);
   // A different seed virtually always changes the random schedule.
   EXPECT_NE(r1.stats.rcvs, r3.stats.rcvs);
 }

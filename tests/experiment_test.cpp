@@ -1,5 +1,6 @@
 // Tests for the experiment harness: bound formulas, scheduler factory,
-// run control, and the online-arrival MMB generalization end to end.
+// the ProtocolSpec tagged union, run control, and the online-arrival
+// MMB generalization end to end.
 #include <gtest/gtest.h>
 
 #include "core/experiment.h"
@@ -10,6 +11,8 @@
 namespace ammb {
 namespace {
 
+using core::Experiment;
+using core::ProtocolKind;
 using core::RunConfig;
 using core::SchedulerKind;
 namespace gen = graph::gen;
@@ -49,15 +52,50 @@ TEST(SchedulerFactory, ProducesEveryKind) {
   EXPECT_NE(core::makeScheduler(SchedulerKind::kLowerBound, 8), nullptr);
 }
 
+TEST(ProtocolSpec, TaggedUnionCarriesTheRightKnobs) {
+  const core::ProtocolSpec bmmb =
+      core::bmmbProtocol(core::QueueDiscipline::kLifo);
+  EXPECT_EQ(bmmb.kind(), ProtocolKind::kBmmb);
+  EXPECT_EQ(bmmb.bmmb().discipline, core::QueueDiscipline::kLifo);
+  EXPECT_THROW(bmmb.fmmb(), Error);
+
+  const core::ProtocolSpec fmmb =
+      core::fmmbProtocol(core::FmmbParams::make(32));
+  EXPECT_EQ(fmmb.kind(), ProtocolKind::kFmmb);
+  EXPECT_EQ(fmmb.fmmb().params.logn, 5);
+  EXPECT_THROW(fmmb.bmmb(), Error);
+
+  // Default-constructed: BMMB with the paper's FIFO discipline.
+  const core::ProtocolSpec def;
+  EXPECT_EQ(def.kind(), ProtocolKind::kBmmb);
+  EXPECT_EQ(def.bmmb().discipline, core::QueueDiscipline::kFifo);
+
+  EXPECT_EQ(core::toString(ProtocolKind::kBmmb), "bmmb");
+  EXPECT_EQ(core::toString(ProtocolKind::kFmmb), "fmmb");
+}
+
+TEST(ProtocolSpec, ExperimentGuardsSuiteAccessors) {
+  const auto topo = gen::identityDual(gen::line(4));
+  RunConfig config;
+  config.mac = stdParams(4, 32);
+  Experiment experiment(topo, core::bmmbProtocol(),
+                        core::workloadAllAtNode(1, 0), config);
+  EXPECT_EQ(experiment.protocol(), ProtocolKind::kBmmb);
+  EXPECT_NO_THROW(experiment.bmmbSuite());
+  EXPECT_THROW(experiment.fmmbSuite(), Error);
+}
+
 TEST(RunControl, MaxTimeTruncatesUnsolvedRuns) {
   const auto topo = gen::identityDual(gen::line(40));
   RunConfig config;
   config.mac = stdParams(4, 64);
   config.scheduler = SchedulerKind::kSlowAck;
-  config.maxTime = 10;  // far too short
-  const auto result = core::runBmmb(topo, core::workloadAllAtNode(3, 0),
-                                    config);
+  config.limits.maxTime = 10;  // far too short
+  const auto result = core::runExperiment(topo, core::bmmbProtocol(),
+                                          core::workloadAllAtNode(3, 0),
+                                          config);
   EXPECT_FALSE(result.solved);
+  EXPECT_EQ(result.solveTime, kTimeNever);
   EXPECT_EQ(result.status, sim::RunStatus::kTimeLimit);
 }
 
@@ -66,7 +104,18 @@ TEST(RunControl, MacParamsAreValidated) {
   RunConfig config;
   config.mac.fprog = 8;
   config.mac.fack = 4;  // fack < fprog: invalid
-  EXPECT_THROW(core::runBmmb(topo, core::workloadAllAtNode(1, 0), config),
+  EXPECT_THROW(core::runExperiment(topo, core::bmmbProtocol(),
+                                   core::workloadAllAtNode(1, 0), config),
+               Error);
+}
+
+TEST(RunControl, FmmbRequiresEnhancedModel) {
+  const auto topo = gen::identityDual(gen::line(4));
+  RunConfig config;
+  config.mac = stdParams(4, 32);  // standard model: must reject
+  EXPECT_THROW(core::runExperiment(
+                   topo, core::fmmbProtocol(core::FmmbParams::make(topo.n())),
+                   core::workloadAllAtNode(1, 0), config),
                Error);
 }
 
@@ -78,7 +127,7 @@ TEST(OnlineArrivals, BmmbSolvesStaggeredWorkload) {
   RunConfig config;
   config.mac = stdParams(4, 32);
   config.scheduler = SchedulerKind::kRandom;
-  core::BmmbExperiment experiment(topo, workload, config);
+  Experiment experiment(topo, core::bmmbProtocol(), workload, config);
   const auto result = experiment.run();
   ASSERT_TRUE(result.solved);
   // The last message arrives at t=250; solving must come later.
@@ -105,7 +154,7 @@ TEST(OnlineArrivals, FmmbHandlesArrivalsAfterTheMisStage) {
   const Time late =
       (params.misRounds() + 60) * (config.mac.fprog + 1);
   workload.arrivals = {{0, 0, 0}, {5, 1, 0}, {9, 2, late}};
-  core::FmmbExperiment experiment(topo, workload, params, config);
+  Experiment experiment(topo, core::fmmbProtocol(params), workload, config);
   const auto result = experiment.run();
   ASSERT_TRUE(result.solved);
   EXPECT_GE(result.solveTime, late);
@@ -129,15 +178,19 @@ TEST(Experiment, StatsAreConsistent) {
   RunConfig config;
   config.mac = stdParams(4, 32);
   config.scheduler = SchedulerKind::kFast;
-  config.stopOnSolve = false;
-  core::BmmbExperiment experiment(topo, core::workloadAllAtNode(2, 0),
-                                  config);
+  config.limits.stopOnSolve = false;
+  Experiment experiment(topo, core::bmmbProtocol(),
+                        core::workloadAllAtNode(2, 0), config);
   const auto result = experiment.run();
   ASSERT_TRUE(result.solved);
   EXPECT_EQ(result.stats.bcasts, result.stats.acks);  // all terminated
   EXPECT_EQ(result.stats.aborts, 0u);
   EXPECT_EQ(result.stats.arrives, 2u);
   EXPECT_EQ(result.stats.delivers, 16u);  // 8 nodes x 2 messages
+  // Every message arrived and completed; the metrics agree.
+  EXPECT_EQ(result.messages.arrived, 2u);
+  EXPECT_EQ(result.messages.completed, 2u);
+  EXPECT_EQ(result.messages.maxLatency, result.solveTime);
 }
 
 TEST(Experiment, TracerCanBeDisabled) {
@@ -146,12 +199,36 @@ TEST(Experiment, TracerCanBeDisabled) {
   config.mac = stdParams(4, 32);
   config.scheduler = SchedulerKind::kRandom;
   config.recordTrace = false;
-  core::BmmbExperiment experiment(topo, core::workloadAllAtNode(2, 0),
-                                  config);
+  Experiment experiment(topo, core::bmmbProtocol(),
+                        core::workloadAllAtNode(2, 0), config);
   ASSERT_TRUE(experiment.run().solved);
   EXPECT_EQ(experiment.engine().trace().size(), 0u);
   EXPECT_THROW(
       mac::checkTrace(topo, config.mac, experiment.engine().trace()), Error);
+}
+
+TEST(Experiment, SeedSweepIsPerSeedDeterministic) {
+  const auto topo = gen::identityDual(gen::grid(4, 4));
+  RunConfig config;
+  config.mac = stdParams(4, 32);
+  config.scheduler = SchedulerKind::kRandom;
+  config.recordTrace = false;
+  const core::ArrivalFactory factory = [&topo](std::uint64_t seed) {
+    return std::make_unique<core::PoissonArrivalProcess>(4, topo.n(), 20.0,
+                                                         seed);
+  };
+  const auto a = core::runSeedSweep(topo, core::bmmbProtocol(), factory,
+                                    config, 1, 5);
+  const auto b = core::runSeedSweep(topo, core::bmmbProtocol(), factory,
+                                    config, 1, 5);
+  ASSERT_EQ(a.size(), 4u);
+  ASSERT_EQ(b.size(), 4u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_TRUE(a[i].solved);
+    EXPECT_EQ(a[i].solveTime, b[i].solveTime);
+    EXPECT_EQ(a[i].stats.rcvs, b[i].stats.rcvs);
+    EXPECT_EQ(a[i].messages.p95Latency, b[i].messages.p95Latency);
+  }
 }
 
 }  // namespace

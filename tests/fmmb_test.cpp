@@ -11,7 +11,7 @@
 namespace ammb {
 namespace {
 
-using core::FmmbExperiment;
+using core::Experiment;
 using core::FmmbParams;
 using core::RunConfig;
 using core::SchedulerKind;
@@ -29,7 +29,8 @@ core::RunResult runCheckedFmmb(const graph::DualGraph& topo,
                                const core::MmbWorkload& workload,
                                const FmmbParams& params, RunConfig config,
                                bool checkAxioms = true) {
-  FmmbExperiment experiment(topo, workload, params, config);
+  Experiment experiment(topo, core::fmmbProtocol(params), workload,
+                        config);
   const auto result = experiment.run();
   EXPECT_TRUE(result.solved) << "FMMB failed to solve";
   if (checkAxioms && result.solved) {
@@ -50,9 +51,9 @@ TEST(Fmmb, RequiresEnhancedModel) {
   const auto workload = core::workloadAllAtNode(1, 0);
   RunConfig config;
   config.mac = stdParams();  // standard model: constructor must reject
-  EXPECT_THROW(
-      FmmbExperiment(topo, workload, FmmbParams::make(topo.n()), config),
-      Error);
+  EXPECT_THROW(Experiment(topo, core::fmmbProtocol(FmmbParams::make(topo.n())),
+                          workload, config),
+               Error);
 }
 
 TEST(Fmmb, SolvesSingleMessageInterleaved) {
@@ -100,7 +101,7 @@ TEST(Fmmb, SolvesUnderAdversarialScheduler) {
   config.scheduler = SchedulerKind::kAdversarial;
   const auto params = FmmbParams::make(topo.n());
   // Fail fast instead of spinning if dissemination ever stalls.
-  config.maxTime =
+  config.limits.maxTime =
       4 * core::fmmbBoundEnvelope(topo.g().diameter(), 3, params, config.mac);
   runCheckedFmmb(topo, workload, params, config);
 }
@@ -122,13 +123,14 @@ TEST(Fmmb, GatherMovesEveryMessageToAnMisNode) {
   config.mac = enhParams(4, 64);
   config.scheduler = SchedulerKind::kRandom;
   const auto params = FmmbParams::make(topo.n());
-  FmmbExperiment experiment(topo, workload, params, config);
+  Experiment experiment(topo, core::fmmbProtocol(params), workload,
+                        config);
   ASSERT_TRUE(experiment.run().solved);
   // Post-run: every message is owned by at least one MIS node and no
   // non-MIS node still has a pending upload (Lemma 4.6).
   std::set<MsgId> owned;
   for (NodeId v = 0; v < topo.n(); ++v) {
-    const auto& proc = experiment.suite().process(v);
+    const auto& proc = experiment.fmmbSuite().process(v);
     if (proc.shared().isMis) {
       owned.insert(proc.shared().owned.begin(), proc.shared().owned.end());
     } else {
@@ -145,12 +147,13 @@ TEST(Fmmb, MisRolesFormValidMis) {
   RunConfig config;
   config.mac = enhParams(4, 64);
   config.scheduler = SchedulerKind::kRandom;
-  FmmbExperiment experiment(topo, workload, FmmbParams::make(topo.n()),
-                            config);
+  Experiment experiment(topo,
+                        core::fmmbProtocol(FmmbParams::make(topo.n())),
+                        workload, config);
   ASSERT_TRUE(experiment.run().solved);
   std::vector<bool> inMis;
   for (NodeId v = 0; v < topo.n(); ++v) {
-    inMis.push_back(experiment.suite().process(v).mis().inMis());
+    inMis.push_back(experiment.fmmbSuite().process(v).mis().inMis());
   }
   for (const auto& [u, v] : topo.g().edges()) {
     EXPECT_FALSE(inMis[static_cast<std::size_t>(u)] &&
@@ -181,8 +184,10 @@ TEST(Fmmb, SolveTimeIndependentOfFack) {
   a.seed = 3;
   RunConfig b = a;
   b.mac = enhParams(4, 512);
-  const auto ra = core::runFmmb(topo, workload, params, a);
-  const auto rb = core::runFmmb(topo, workload, params, b);
+  const auto ra =
+      core::runExperiment(topo, core::fmmbProtocol(params), workload, a);
+  const auto rb =
+      core::runExperiment(topo, core::fmmbProtocol(params), workload, b);
   ASSERT_TRUE(ra.solved && rb.solved);
   EXPECT_EQ(ra.solveTime, rb.solveTime);
 }
@@ -196,8 +201,10 @@ TEST(Fmmb, DeterministicGivenSeed) {
   config.scheduler = SchedulerKind::kRandom;
   config.seed = 17;
   config.recordTrace = false;
-  const auto r1 = core::runFmmb(topo, workload, params, config);
-  const auto r2 = core::runFmmb(topo, workload, params, config);
+  const auto r1 =
+      core::runExperiment(topo, core::fmmbProtocol(params), workload, config);
+  const auto r2 =
+      core::runExperiment(topo, core::fmmbProtocol(params), workload, config);
   ASSERT_TRUE(r1.solved && r2.solved);
   EXPECT_EQ(r1.solveTime, r2.solveTime);
   EXPECT_EQ(r1.stats.bcasts, r2.stats.bcasts);

@@ -56,8 +56,9 @@ TEST_P(FmmbCSweep, SolvesAtLargerGreyZoneConstants) {
   config.mac = enhParams(4, 64);
   config.scheduler = SchedulerKind::kRandom;
   const auto params = FmmbParams::make(topo.n(), c);
-  const auto result = core::runFmmb(
-      topo, core::workloadRoundRobin(3, topo.n()), params, config);
+  const auto result =
+      core::runExperiment(topo, core::fmmbProtocol(params),
+                          core::workloadRoundRobin(3, topo.n()), config);
   EXPECT_TRUE(result.solved) << "c=" << c;
 }
 
@@ -71,8 +72,9 @@ TEST(FmmbVariants, StrictPaperPhasesStillSolve) {
   RunConfig config;
   config.mac = enhParams(2, 16);  // small constants keep the run short
   config.scheduler = SchedulerKind::kFast;
-  const auto result = core::runFmmb(
-      topo, core::workloadAllAtNode(2, 0), params, config);
+  const auto result =
+      core::runExperiment(topo, core::fmmbProtocol(params),
+                          core::workloadAllAtNode(2, 0), config);
   EXPECT_TRUE(result.solved);
 }
 
@@ -86,7 +88,8 @@ TEST(FmmbVariants, SequentialAndInterleavedAgreeOnCorrectness) {
   config.scheduler = SchedulerKind::kRandom;
   for (const auto& params :
        {FmmbParams::make(topo.n()), FmmbParams::makeSequential(topo.n(), k)}) {
-    core::FmmbExperiment experiment(topo, workload, params, config);
+    core::Experiment experiment(topo, core::fmmbProtocol(params),
+                                workload, config);
     const auto result = experiment.run();
     ASSERT_TRUE(result.solved);
     const auto mmb = core::checkMmbTrace(topo, workload,
@@ -111,9 +114,10 @@ TEST(FmmbVariants, SequentialModeToleratesUnderestimatedK) {
   RunConfig config;
   config.mac = enhParams(4, 64);
   config.scheduler = SchedulerKind::kRandom;
-  config.maxTime = 200'000;
-  const auto result = core::runFmmb(
-      topo, core::workloadAllAtNode(4, 0), params, config);
+  config.limits.maxTime = 200'000;
+  const auto result =
+      core::runExperiment(topo, core::fmmbProtocol(params),
+                          core::workloadAllAtNode(4, 0), config);
   SUCCEED() << "completed without crash; solved=" << result.solved;
 }
 
@@ -124,8 +128,9 @@ TEST(FmmbVariants, MsgCapacityAboveOneIsAccepted) {
   config.mac = enhParams(4, 64);
   config.mac.msgCapacity = 3;  // protocols still send one per packet
   config.scheduler = SchedulerKind::kRandom;
-  const auto result = core::runFmmb(topo, core::workloadAllAtNode(2, 0),
-                                    FmmbParams::make(topo.n()), config);
+  const auto result = core::runExperiment(
+      topo, core::fmmbProtocol(FmmbParams::make(topo.n())),
+      core::workloadAllAtNode(2, 0), config);
   EXPECT_TRUE(result.solved);
 }
 

@@ -64,7 +64,8 @@ TEST_P(BmmbIntegration, SolvesAndSatisfiesEveryAxiom) {
   RunConfig config;
   config.mac = stdParams(4, 48);
   config.scheduler = sched;
-  core::BmmbExperiment experiment(topo, workload, config);
+  core::Experiment experiment(topo, core::bmmbProtocol(), workload,
+                              config);
   const auto result = experiment.run();
   ASSERT_TRUE(result.solved);
   const auto macCheck = mac::checkTrace(topo, config.mac,

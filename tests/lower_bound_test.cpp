@@ -35,8 +35,8 @@ TEST(LowerBound, NetworkCDelaysBmmbByOmegaDFack) {
     RunConfig config;
     config.mac = stdParams(4, 64);
     config.scheduler = SchedulerKind::kLowerBound;
-    config.lowerBoundLineLength = D;
-    core::BmmbExperiment experiment(topo, w, config);
+    config.scheduler.lowerBoundLineLength = D;
+    core::Experiment experiment(topo, core::bmmbProtocol(), w, config);
     const auto result = experiment.run();
     ASSERT_TRUE(result.solved) << "D=" << D;
     // The frontier advances one hop per Fack: (D-1) stages.
@@ -61,8 +61,8 @@ TEST(LowerBound, NetworkCDelayScalesLinearlyWithD) {
     RunConfig config;
     config.mac = stdParams(4, 64);
     config.scheduler = SchedulerKind::kLowerBound;
-    config.lowerBoundLineLength = D;
-    const auto result = core::runBmmb(topo, w, config);
+    config.scheduler.lowerBoundLineLength = D;
+    const auto result = core::runExperiment(topo, core::bmmbProtocol(), w, config);
     EXPECT_TRUE(result.solved);
     return result.solveTime;
   };
@@ -91,7 +91,7 @@ TEST(LowerBound, WithoutCrossEdgesTheSameScheduleIsIllegal) {
   RunConfig config;
   config.mac = stdParams(4, 64);
   config.scheduler = SchedulerKind::kAdversarial;
-  const auto result = core::runBmmb(topo, w, config);
+  const auto result = core::runExperiment(topo, core::bmmbProtocol(), w, config);
   ASSERT_TRUE(result.solved);
   // Far below (D-1) Fack = 960: one Fprog per hop plus one Fack tail.
   EXPECT_LE(result.solveTime,
@@ -110,7 +110,7 @@ TEST(LowerBound, BridgeStarChokesAtKFack) {
     RunConfig config;
     config.mac = stdParams(4, 64);
     config.scheduler = SchedulerKind::kSlowAck;
-    core::BmmbExperiment experiment(topo, w, config);
+    core::Experiment experiment(topo, core::bmmbProtocol(), w, config);
     const auto result = experiment.run();
     ASSERT_TRUE(result.solved) << "k=" << k;
     // The center forwards k messages one Fack at a time.
@@ -132,8 +132,8 @@ TEST(LowerBound, NetworkCExecutionUsesUselessCrossDeliveries) {
   RunConfig config;
   config.mac = stdParams(4, 64);
   config.scheduler = SchedulerKind::kLowerBound;
-  config.lowerBoundLineLength = D;
-  core::BmmbExperiment experiment(topo, w, config);
+  config.scheduler.lowerBoundLineLength = D;
+  core::Experiment experiment(topo, core::bmmbProtocol(), w, config);
   ASSERT_TRUE(experiment.run().solved);
   // Count deliveries over unreliable edges: the schedule lives on them.
   std::size_t cross = 0;
@@ -150,8 +150,10 @@ TEST(LowerBound, SchedulerRequiresMatchingTopology) {
   RunConfig config;
   config.mac = stdParams();
   config.scheduler = SchedulerKind::kLowerBound;
-  config.lowerBoundLineLength = 6;  // wrong D
-  EXPECT_THROW(core::BmmbExperiment(topo, endpointWorkload(), config), Error);
+  config.scheduler.lowerBoundLineLength = 6;  // wrong D
+  EXPECT_THROW(core::Experiment(topo, core::bmmbProtocol(),
+                              endpointWorkload(), config),
+               Error);
 }
 
 }  // namespace

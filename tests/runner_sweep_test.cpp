@@ -1,6 +1,6 @@
 // Tests for the parallel sweep-runner subsystem: spec validation, grid
-// enumeration, execution, aggregation determinism across worker-pool
-// sizes, and the CSV/JSON emitters.
+// enumeration (including the workload axis), execution, aggregation
+// determinism across worker-pool sizes, and the CSV/JSON emitters.
 #include <gtest/gtest.h>
 
 #include <set>
@@ -29,9 +29,24 @@ SweepSpec smallBmmbSpec() {
                      SchedulerKind::kSlowAck, SchedulerKind::kAdversarial};
   spec.ks = {1, 4};
   spec.macs = {{"f4a32", testutil::stdParams(4, 32)}};
-  spec.workload = runner::roundRobinWorkload();
+  spec.workloads = {runner::roundRobinWorkload()};
   spec.seedBegin = 1;
   spec.seedEnd = 5;
+  return spec;
+}
+
+/// The same grid with the workload shape as a second real axis
+/// (eager-at-t0, Poisson stream, bursty batches).
+SweepSpec workloadAxisSpec() {
+  SweepSpec spec = smallBmmbSpec();
+  spec.name = "workload-axis-sweep";
+  spec.topologies = {runner::lineTopology(10)};
+  spec.schedulers = {SchedulerKind::kRandom, SchedulerKind::kAdversarial};
+  spec.workloads = {runner::roundRobinWorkload(),
+                    runner::poissonWorkload(25.0),
+                    runner::burstyWorkload(2, 40)};
+  spec.seedBegin = 1;
+  spec.seedEnd = 7;  // 12 cells x 6 seeds = 72 runs
   return spec;
 }
 
@@ -43,17 +58,36 @@ TEST(SweepSpec, ValidateRejectsIllFormedSpecs) {
   noTopo.topologies.clear();
   EXPECT_THROW(noTopo.validate(), Error);
 
+  SweepSpec noWorkload = spec;
+  noWorkload.workloads.clear();
+  EXPECT_THROW(noWorkload.validate(), Error);
+
   SweepSpec emptySeeds = spec;
   emptySeeds.seedEnd = emptySeeds.seedBegin;
   EXPECT_THROW(emptySeeds.validate(), Error);
 
   SweepSpec badK = spec;
   badK.ks = {0};
-  EXPECT_THROW(badK.validate(), Error);
+  try {
+    badK.validate();
+    FAIL() << "k = 0 must be rejected";
+  } catch (const Error& e) {
+    // The message names the offending value.
+    EXPECT_NE(std::string(e.what()).find("got 0"), std::string::npos)
+        << e.what();
+  }
 
   SweepSpec fmmbNoFactory = spec;
   fmmbNoFactory.protocol = ProtocolKind::kFmmb;
   EXPECT_THROW(fmmbNoFactory.validate(), Error);
+
+  // A stray FMMB factory on a BMMB sweep would be silently ignored;
+  // validate() rejects it instead.
+  SweepSpec strayFactory = spec;
+  strayFactory.fmmbParams = [](NodeId n, int) {
+    return core::FmmbParams::make(n);
+  };
+  EXPECT_THROW(strayFactory.validate(), Error);
 }
 
 TEST(SweepSpec, EnumerationIsDenseAndOrdered) {
@@ -72,6 +106,17 @@ TEST(SweepSpec, EnumerationIsDenseAndOrdered) {
   EXPECT_EQ(cells.size(), spec.cellCount());
 }
 
+TEST(SweepSpec, WorkloadAxisMultipliesTheGrid) {
+  const SweepSpec spec = workloadAxisSpec();
+  // 1 topology x 2 schedulers x 2 ks x 1 mac x 3 workloads.
+  EXPECT_EQ(spec.cellCount(), 12u);
+  const auto points = runner::enumerateRuns(spec);
+  ASSERT_EQ(points.size(), spec.runCount());
+  std::set<std::size_t> wls;
+  for (const auto& p : points) wls.insert(p.wlIdx);
+  EXPECT_EQ(wls.size(), 3u);
+}
+
 TEST(SweepRunner, SolvesEveryRunOfABenignGrid) {
   SweepRunner::Options options;
   options.threads = 2;
@@ -86,6 +131,10 @@ TEST(SweepRunner, SolvesEveryRunOfABenignGrid) {
     EXPECT_LE(cell.medianSolve, cell.p95Solve);
     EXPECT_LE(cell.p95Solve, cell.maxSolve);
     EXPECT_GT(cell.stats.delivers, 0u);
+    // Latency aggregates: every run completed all k messages.
+    EXPECT_EQ(cell.messages, 4u * static_cast<std::uint64_t>(cell.k));
+    EXPECT_LE(cell.p50Latency, cell.p95Latency);
+    EXPECT_LE(cell.p95Latency, cell.maxLatency);
   }
   ASSERT_EQ(result.runs.size(), 64u);
   for (const auto& record : result.runs) {
@@ -94,19 +143,22 @@ TEST(SweepRunner, SolvesEveryRunOfABenignGrid) {
 }
 
 TEST(SweepRunner, AggregatesAreBitIdenticalAcrossThreadCounts) {
-  // The acceptance criterion of the subsystem: a >= 64-run sweep must
-  // aggregate bit-identically at 1, 4 and 8 worker threads.  String
-  // equality of the emitted CSV/JSON (which includes every aggregate
-  // field, floating-point means included) is the strictest observable
-  // form of that.
-  const SweepSpec spec = smallBmmbSpec();
+  // The acceptance criterion of the subsystem: a >= 64-run sweep over
+  // a grid with a real workload axis must aggregate bit-identically at
+  // 1, 4 and 8 worker threads.  String equality of the emitted
+  // CSV/JSON (which includes every aggregate field — floating-point
+  // means and the per-message latency columns included) is the
+  // strictest observable form of that.
+  const SweepSpec spec = workloadAxisSpec();
   ASSERT_GE(spec.runCount(), 64u);
+  ASSERT_GE(spec.workloads.size(), 2u);
 
   SweepRunner::Options one;
   one.threads = 1;
   const auto base = SweepRunner(one).run(spec);
   const std::string baseCsv = runner::cellsCsv(base);
   const std::string baseJson = runner::toJson(base);
+  EXPECT_NE(baseCsv.find("p95_latency"), std::string::npos);
 
   for (int threads : {4, 8}) {
     SweepRunner::Options options;
@@ -122,6 +174,8 @@ TEST(SweepRunner, AggregatesAreBitIdenticalAcrossThreadCounts) {
       EXPECT_EQ(result.runs[i].result.endTime, base.runs[i].result.endTime);
       EXPECT_EQ(result.runs[i].result.stats.rcvs,
                 base.runs[i].result.stats.rcvs);
+      EXPECT_EQ(result.runs[i].result.messages.p95Latency,
+                base.runs[i].result.messages.p95Latency);
     }
   }
 }
@@ -140,18 +194,22 @@ TEST(SweepRunner, MatchesCoreRunSeedSweep) {
   ASSERT_EQ(result.runs.size(), spec.seedsPerCell());
 
   const auto topo = spec.topologies[0].make(0);
-  const auto workload = spec.workload.make(4, topo.n(), 0);
   core::RunConfig config;
   config.mac = spec.macs[0].params;
   config.scheduler = SchedulerKind::kSlowAck;
   config.recordTrace = false;
+  const core::ArrivalFactory arrivals = [&spec, &topo](std::uint64_t seed) {
+    return spec.workloads[0].make(4, topo.n(), seed);
+  };
   const auto sequential =
-      core::runSeedSweep(ProtocolKind::kBmmb, topo, workload, {}, config,
+      core::runSeedSweep(topo, core::bmmbProtocol(), arrivals, config,
                          spec.seedBegin, spec.seedEnd);
   ASSERT_EQ(sequential.size(), result.runs.size());
   for (std::size_t i = 0; i < sequential.size(); ++i) {
     EXPECT_EQ(sequential[i].solveTime, result.runs[i].result.solveTime);
     EXPECT_EQ(sequential[i].stats.bcasts, result.runs[i].result.stats.bcasts);
+    EXPECT_EQ(sequential[i].messages.maxLatency,
+              result.runs[i].result.messages.maxLatency);
   }
 }
 
@@ -163,7 +221,7 @@ TEST(SweepRunner, FmmbGridRuns) {
   spec.schedulers = {SchedulerKind::kFast, SchedulerKind::kRandom};
   spec.ks = {2};
   spec.macs = {{"enh", testutil::enhParams(4, 32)}};
-  spec.workload = runner::roundRobinWorkload();
+  spec.workloads = {runner::roundRobinWorkload()};
   spec.seedBegin = 1;
   spec.seedEnd = 3;
   spec.fmmbParams = [](NodeId n, int) { return core::FmmbParams::make(n); };
@@ -206,17 +264,22 @@ TEST(Emitters, CsvAndJsonCarryTheGrid) {
 
   const std::string csv = runner::cellsCsv(result);
   EXPECT_NE(csv.find("sweep,protocol,workload,topology,"), std::string::npos);
+  EXPECT_NE(csv.find("messages,mean_latency,p50_latency,p95_latency,"
+                     "max_latency"),
+            std::string::npos);
   EXPECT_NE(csv.find("unit-sweep,bmmb,round-robin,line10,fast,2,f4a32"),
             std::string::npos);
 
   const std::string json = runner::toJson(result);
   EXPECT_NE(json.find("\"topology\": \"line10\""), std::string::npos);
+  EXPECT_NE(json.find("\"workload\": \"round-robin\""), std::string::npos);
   EXPECT_NE(json.find("\"runs\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"p95_latency\""), std::string::npos);
 
   std::ostringstream runsCsv;
   runner::emitRunsCsv(result, runsCsv);
   EXPECT_NE(runsCsv.str().find("run_index,cell_index,"), std::string::npos);
-  EXPECT_NE(runsCsv.str().find("line10,fast,2,f4a32,1,1,"),
+  EXPECT_NE(runsCsv.str().find("line10,fast,2,f4a32,round-robin,1,1,"),
             std::string::npos);
 }
 

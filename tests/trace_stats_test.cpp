@@ -27,8 +27,9 @@ TEST(TraceStats, MessageLatenciesOnLine) {
   RunConfig config;
   config.mac = stdParams(4, 32);
   config.scheduler = SchedulerKind::kFast;
-  config.stopOnSolve = false;
-  core::BmmbExperiment experiment(topo, workload, config);
+  config.limits.stopOnSolve = false;
+  core::Experiment experiment(topo, core::bmmbProtocol(), workload,
+                              config);
   ASSERT_TRUE(experiment.run().solved);
 
   const auto lats =
@@ -49,8 +50,8 @@ TEST(TraceStats, DeliveryTimelineIsMonotoneAlongTheLine) {
   RunConfig config;
   config.mac = stdParams(4, 32);
   config.scheduler = SchedulerKind::kSlowAck;
-  core::BmmbExperiment experiment(topo, core::workloadAllAtNode(1, 0),
-                                  config);
+  core::Experiment experiment(topo, core::bmmbProtocol(),
+                              core::workloadAllAtNode(1, 0), config);
   ASSERT_TRUE(experiment.run().solved);
   const auto timeline =
       mac::deliveryTimeline(experiment.engine().trace(), 0, topo.n());
@@ -73,8 +74,8 @@ TEST(TraceStats, UnreliableDeliveryCountOnNetworkC) {
   RunConfig config;
   config.mac = stdParams(4, 64);
   config.scheduler = SchedulerKind::kLowerBound;
-  config.lowerBoundLineLength = D;
-  core::BmmbExperiment experiment(topo, w, config);
+  config.scheduler.lowerBoundLineLength = D;
+  core::Experiment experiment(topo, core::bmmbProtocol(), w, config);
   ASSERT_TRUE(experiment.run().solved);
   auto& engine = experiment.engine();
   const auto crossings = mac::unreliableDeliveryCount(
@@ -84,8 +85,9 @@ TEST(TraceStats, UnreliableDeliveryCountOnNetworkC) {
 
   // A G'=G execution has no unreliable deliveries by definition.
   const auto clean = gen::identityDual(gen::line(6));
-  core::BmmbExperiment cleanRun(clean, core::workloadAllAtNode(1, 0),
-                                randomConfig());
+  core::Experiment cleanRun(clean, core::bmmbProtocol(),
+                            core::workloadAllAtNode(1, 0),
+                            randomConfig());
   ASSERT_TRUE(cleanRun.run().solved);
   auto& cleanEngine = cleanRun.engine();
   EXPECT_EQ(mac::unreliableDeliveryCount(
