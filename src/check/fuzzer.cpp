@@ -1,0 +1,286 @@
+#include "check/fuzzer.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "check/golden.h"
+#include "check/shrink.h"
+#include "graph/generators.h"
+
+namespace ammb::check {
+
+namespace {
+
+namespace gen = graph::gen;
+
+template <typename T>
+const T& pick(Rng& rng, const std::vector<T>& xs) {
+  return xs[static_cast<std::size_t>(
+      rng.uniformInt(0, static_cast<std::int64_t>(xs.size()) - 1))];
+}
+
+/// Topology-generator RNG of a run seed — the same stream the runner's
+/// TopologySpecs use, so a case reproduces its network exactly.
+Rng topologyRng(std::uint64_t seed) {
+  return SeedSequence(seed).childRng(rngstream::kTopology, 0);
+}
+
+}  // namespace
+
+std::string toString(TopologyFamily family) {
+  switch (family) {
+    case TopologyFamily::kLine: return "line";
+    case TopologyFamily::kRing: return "ring";
+    case TopologyFamily::kRandomTree: return "random-tree";
+    case TopologyFamily::kRRestrictedLine: return "r-restricted-line";
+    case TopologyFamily::kArbitraryNoiseLine: return "arbitrary-noise-line";
+    case TopologyFamily::kGreyZoneField: return "grey-zone-field";
+  }
+  return "?";
+}
+
+std::string toString(WorkloadShape shape) {
+  switch (shape) {
+    case WorkloadShape::kAllAtZero: return "all-at-zero";
+    case WorkloadShape::kRoundRobin: return "round-robin";
+    case WorkloadShape::kRandom: return "random";
+    case WorkloadShape::kPoisson: return "poisson";
+    case WorkloadShape::kBursty: return "bursty";
+    case WorkloadShape::kStaggered: return "staggered";
+  }
+  return "?";
+}
+
+std::string toString(const FuzzCase& fuzzCase) {
+  std::ostringstream out;
+  out << core::toString(fuzzCase.protocol) << " " << toString(fuzzCase.topology)
+      << " n=" << fuzzCase.n << " k=" << fuzzCase.k << " workload="
+      << toString(fuzzCase.workload) << " scheduler="
+      << core::toString(fuzzCase.scheduler) << " fprog=" << fuzzCase.mac.fprog
+      << " fack=" << fuzzCase.mac.fack << " epsAbort=" << fuzzCase.mac.epsAbort
+      << " variant="
+      << (fuzzCase.mac.variant == mac::ModelVariant::kEnhanced ? "enhanced"
+                                                               : "standard")
+      << " maxTime=" << fuzzCase.maxTime << " seed=" << fuzzCase.seed;
+  return out.str();
+}
+
+void FuzzSpec::validate() const {
+  AMMB_REQUIRE(iterations >= 1, "fuzz spec needs a positive iteration count");
+  AMMB_REQUIRE(!protocols.empty(), "fuzz spec needs at least one protocol");
+  AMMB_REQUIRE(!topologies.empty(), "fuzz spec needs at least one topology");
+  AMMB_REQUIRE(!workloads.empty(), "fuzz spec needs at least one workload");
+  AMMB_REQUIRE(!schedulers.empty(), "fuzz spec needs at least one scheduler");
+  AMMB_REQUIRE(minN >= 2 && minN <= maxN, "fuzz spec needs 2 <= minN <= maxN");
+  AMMB_REQUIRE(maxK >= 1, "fuzz spec needs maxK >= 1");
+  for (core::SchedulerKind s : schedulers) {
+    AMMB_REQUIRE(s != core::SchedulerKind::kLowerBound,
+                 "the lower-bound adversary needs its network-C topology and "
+                 "is not fuzzable");
+  }
+}
+
+FuzzCase sampleCase(const FuzzSpec& spec, int iteration) {
+  Rng rng = SeedSequence(spec.masterSeed)
+                .childRng(rngstream::kFuzz,
+                          static_cast<std::uint64_t>(iteration));
+  FuzzCase c;
+  c.protocol = pick(rng, spec.protocols);
+  c.topology = pick(rng, spec.topologies);
+  c.workload = pick(rng, spec.workloads);
+  c.scheduler = pick(rng, spec.schedulers);
+  c.n = static_cast<NodeId>(rng.uniformInt(spec.minN, spec.maxN));
+  c.k = static_cast<int>(rng.uniformInt(1, spec.maxK));
+
+  c.mac.fprog = rng.uniformInt(2, 6);
+  c.mac.fack = c.mac.fprog * rng.uniformInt(2, 8);
+  c.mac.epsAbort = rng.uniformInt(0, c.mac.fprog);
+  // A quarter of the BMMB cases run under the enhanced model, so the
+  // enhanced-only code paths (timers armed but unused, epsAbort grace)
+  // get standard-protocol coverage too.
+  c.mac.variant = rng.bernoulli(0.25) ? mac::ModelVariant::kEnhanced
+                                      : mac::ModelVariant::kStandard;
+  const int disciplineDraw = static_cast<int>(rng.uniformInt(0, 2));
+  c.discipline = static_cast<core::QueueDiscipline>(disciplineDraw);
+
+  c.noiseR = static_cast<int>(rng.uniformInt(2, 3));
+  c.noiseEdgeProb = 0.25 * rng.uniformInt(1, 3);
+  c.noiseExtraEdges = static_cast<std::size_t>(rng.uniformInt(1, 6));
+  c.greyP = 0.2 * rng.uniformInt(1, 3);
+
+  if (c.protocol == core::ProtocolKind::kFmmb) {
+    // FMMB assumes the enhanced model on a grey-zone G'; lock-step
+    // rounds make big fields expensive, so cap the size.
+    c.topology = TopologyFamily::kGreyZoneField;
+    c.n = std::min(c.n, spec.maxFmmbN);
+    c.k = std::min(c.k, 3);
+    c.mac.variant = mac::ModelVariant::kEnhanced;
+    const core::FmmbParams fmmb = core::FmmbParams::make(c.n, c.greyC);
+    c.maxTime = 4 * core::fmmbBoundEnvelope(c.n, c.k, fmmb, c.mac);
+  } else {
+    // Theorem 3.1's (D + k) Fack with D <= n, with slack for online
+    // arrival tails and adversarial stuffing.
+    c.maxTime = 8 * static_cast<Time>(c.n + c.k) * c.mac.fack + 4096;
+  }
+  c.seed = rng.randomBits(64);
+  return c;
+}
+
+graph::DualGraph buildTopology(const FuzzCase& c) {
+  AMMB_REQUIRE(c.n >= 2, "fuzz cases need at least two nodes");
+  switch (c.topology) {
+    case TopologyFamily::kLine:
+      return gen::identityDual(gen::line(c.n));
+    case TopologyFamily::kRing:
+      return gen::identityDual(gen::ring(std::max<NodeId>(c.n, 3)));
+    case TopologyFamily::kRandomTree: {
+      Rng rng = topologyRng(c.seed);
+      return gen::identityDual(gen::randomTree(c.n, rng));
+    }
+    case TopologyFamily::kRRestrictedLine: {
+      Rng rng = topologyRng(c.seed);
+      return gen::withRRestrictedNoise(gen::line(c.n), c.noiseR,
+                                       c.noiseEdgeProb, rng);
+    }
+    case TopologyFamily::kArbitraryNoiseLine: {
+      Rng rng = topologyRng(c.seed);
+      // A line of n nodes has (n-1)(n-2)/2 non-adjacent pairs; clamp so
+      // small (and shrunk) cases stay generable.
+      const auto available = static_cast<std::size_t>(
+          (c.n - 1) * (c.n - 2) / 2);
+      return gen::withArbitraryNoise(
+          gen::line(c.n), std::min(c.noiseExtraEdges, available), rng);
+    }
+    case TopologyFamily::kGreyZoneField: {
+      Rng rng = topologyRng(c.seed);
+      return gen::greyZoneField(c.n, c.greyAvgDegree, c.greyC, c.greyP, rng);
+    }
+  }
+  throw Error("unknown topology family");
+}
+
+std::unique_ptr<core::ArrivalProcess> buildArrivals(const FuzzCase& c,
+                                                    NodeId n) {
+  switch (c.workload) {
+    case WorkloadShape::kAllAtZero:
+      return core::streamWorkload(core::workloadAllAtNode(c.k, 0));
+    case WorkloadShape::kRoundRobin:
+      return core::streamWorkload(core::workloadRoundRobin(c.k, n));
+    case WorkloadShape::kRandom: {
+      Rng rng = core::workloadRng(c.seed);
+      return core::streamWorkload(core::workloadRandom(c.k, n, rng));
+    }
+    case WorkloadShape::kPoisson:
+      return std::make_unique<core::PoissonArrivalProcess>(
+          c.k, n, 2.0 * static_cast<double>(c.mac.fprog), c.seed);
+    case WorkloadShape::kBursty:
+      return std::make_unique<core::BurstyArrivalProcess>(
+          c.k, n, 2, c.mac.fack / 2 + 1, c.seed);
+    case WorkloadShape::kStaggered:
+      return std::make_unique<core::StaggeredArrivalProcess>(
+          c.k, n, std::min<int>(3, n), 2 * c.mac.fprog);
+  }
+  throw Error("unknown workload shape");
+}
+
+core::RunConfig runConfigFor(const FuzzCase& c) {
+  core::RunConfig config;
+  config.mac = c.mac;
+  config.scheduler = c.scheduler;
+  config.seed = c.seed;
+  config.recordTrace = true;
+  config.limits.stopOnSolve = c.stopOnSolve;
+  config.limits.maxTime = c.maxTime;
+  config.limits.maxEvents = c.maxEvents;
+  return config;
+}
+
+core::ProtocolSpec protocolSpecFor(const FuzzCase& c, NodeId n) {
+  if (c.protocol == core::ProtocolKind::kFmmb) {
+    return core::fmmbProtocol(core::FmmbParams::make(n, c.greyC));
+  }
+  return core::bmmbProtocol(c.discipline);
+}
+
+ExecutionOutcome runCase(const FuzzCase& fuzzCase, SchedulerMutation mutation,
+                         bool keepCanonicalTrace) {
+  ExecutionOutcome out;
+  try {
+    const graph::DualGraph topology = buildTopology(fuzzCase);
+    const std::unique_ptr<core::ArrivalProcess> arrivals =
+        buildArrivals(fuzzCase, topology.n());
+    const core::MmbWorkload workload = core::materializeWorkload(*arrivals);
+    core::RunConfig config = runConfigFor(fuzzCase);
+    if (mutation != SchedulerMutation::kNone) {
+      applyMutation(config.scheduler, mutation);
+      // Mutants must reach the trace: run to the limits instead of
+      // stopping at the solving delivery (a tiny case can solve before
+      // the first broken ack ever fires).
+      config.limits.stopOnSolve = false;
+    }
+    const core::ProtocolSpec protocol =
+        protocolSpecFor(fuzzCase, topology.n());
+    core::Experiment experiment(topology, protocol, *arrivals, config);
+    out.result = experiment.run();
+    const sim::Trace& trace = experiment.engine().trace();
+    out.report = checkExecution(topology, protocol, config.mac, workload,
+                                trace, out.result);
+    out.traceHash = traceHash(trace);
+    if (keepCanonicalTrace) out.canonicalTrace = canonicalTrace(trace);
+  } catch (const std::exception& e) {
+    out.error = e.what();
+  }
+  return out;
+}
+
+std::string Counterexample::describe() const {
+  std::ostringstream out;
+  out << "counterexample (iteration " << iteration << "):\n";
+  out << "  original: " << toString(original) << "\n";
+  out << "  shrunk:   " << toString(shrunk) << " (" << shrinkWins
+      << " shrink steps, " << shrinkAttempts << " re-executions)\n";
+  if (!error.empty()) out << "  crash: " << error << "\n";
+  for (const std::string& v : report.violations) out << "  " << v << "\n";
+  return out.str();
+}
+
+FuzzResult runFuzz(const FuzzSpec& spec) {
+  spec.validate();
+  FuzzResult result;
+  for (int i = 0; i < spec.iterations; ++i) {
+    const FuzzCase fuzzCase = sampleCase(spec, i);
+    ++result.executions;
+    ++result.coverage["protocol:" + core::toString(fuzzCase.protocol)];
+    ++result.coverage["topology:" + toString(fuzzCase.topology)];
+    ++result.coverage["workload:" + toString(fuzzCase.workload)];
+    ++result.coverage["scheduler:" + core::toString(fuzzCase.scheduler)];
+    const ExecutionOutcome outcome = runCase(fuzzCase, spec.mutation);
+    if (!outcome.failed()) continue;
+    ++result.violations;
+
+    Counterexample ce;
+    ce.iteration = i;
+    ce.original = fuzzCase;
+    // Every accepted shrink step is a failing execution; remember the
+    // latest so the minimal case's report needs no extra re-run.
+    ExecutionOutcome minimal = outcome;
+    const FailPredicate stillFails = [&spec,
+                                      &minimal](const FuzzCase& candidate) {
+      ExecutionOutcome candidateOutcome = runCase(candidate, spec.mutation);
+      const bool failed = candidateOutcome.failed();
+      if (failed) minimal = std::move(candidateOutcome);
+      return failed;
+    };
+    const ShrinkOutcome shrunk =
+        shrinkCase(fuzzCase, stillFails, spec.shrinkBudget);
+    ce.shrunk = shrunk.best;
+    ce.shrinkAttempts = shrunk.attempts;
+    ce.shrinkWins = shrunk.wins;
+    ce.report = std::move(minimal.report);
+    ce.error = std::move(minimal.error);
+    result.counterexamples.push_back(std::move(ce));
+  }
+  return result;
+}
+
+}  // namespace ammb::check

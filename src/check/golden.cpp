@@ -1,0 +1,214 @@
+#include "check/golden.h"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace ammb::check {
+
+namespace {
+
+const char* statusName(sim::RunStatus status) {
+  switch (status) {
+    case sim::RunStatus::kDrained: return "drained";
+    case sim::RunStatus::kStopped: return "stopped";
+    case sim::RunStatus::kTimeLimit: return "time-limit";
+    case sim::RunStatus::kEventLimit: return "event-limit";
+  }
+  return "?";
+}
+
+/// First line on which the two documents differ (1-based), with both
+/// sides' text — enough context to read a golden diff in CI output.
+std::string firstDiff(const std::string& expected, const std::string& actual) {
+  std::istringstream e(expected);
+  std::istringstream a(actual);
+  std::string el, al;
+  int line = 1;
+  while (true) {
+    const bool he = static_cast<bool>(std::getline(e, el));
+    const bool ha = static_cast<bool>(std::getline(a, al));
+    if (!he && !ha) return "contents differ only in trailing bytes";
+    if (!he || !ha || el != al) {
+      std::ostringstream out;
+      out << "first difference at line " << line << ":\n  golden: "
+          << (he ? el : "<end of file>") << "\n  actual: "
+          << (ha ? al : "<end of file>");
+      return out.str();
+    }
+    ++line;
+  }
+}
+
+}  // namespace
+
+std::uint64_t fnv1a(std::string_view data) {
+  std::uint64_t hash = 1469598103934665603ull;
+  for (const char c : data) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+std::string canonicalTrace(const sim::Trace& trace) {
+  std::string out;
+  for (const sim::TraceRecord& record : trace.records()) {
+    out += sim::toString(record);
+    out += '\n';
+  }
+  return out;
+}
+
+std::uint64_t traceHash(const sim::Trace& trace) {
+  std::uint64_t hash = 1469598103934665603ull;
+  const auto mix = [&hash](std::int64_t value) {
+    auto word = static_cast<std::uint64_t>(value);
+    for (int byte = 0; byte < 8; ++byte) {
+      hash ^= (word >> (8 * byte)) & 0xffu;
+      hash *= 1099511628211ull;
+    }
+  };
+  for (const sim::TraceRecord& record : trace.records()) {
+    mix(record.t);
+    mix(static_cast<std::int64_t>(record.kind));
+    mix(record.node);
+    mix(record.instance);
+    mix(record.msg);
+  }
+  return hash;
+}
+
+std::string canonicalRunResult(const core::RunResult& result) {
+  std::ostringstream out;
+  out << "solved=" << (result.solved ? 1 : 0) << '\n';
+  out << "solve_time=";
+  if (result.solveTime == kTimeNever) out << "never";
+  else out << result.solveTime;
+  out << '\n';
+  out << "end_time=" << result.endTime << '\n';
+  out << "status=" << statusName(result.status) << '\n';
+  out << "bcasts=" << result.stats.bcasts << " rcvs=" << result.stats.rcvs
+      << " forced_rcvs=" << result.stats.forcedRcvs
+      << " acks=" << result.stats.acks << " aborts=" << result.stats.aborts
+      << " delivers=" << result.stats.delivers
+      << " arrives=" << result.stats.arrives << '\n';
+  out << "messages_completed=" << result.messages.completed
+      << " p50=" << result.messages.p50Latency
+      << " p95=" << result.messages.p95Latency
+      << " max=" << result.messages.maxLatency << '\n';
+  return out.str();
+}
+
+std::string canonicalExecution(const std::string& header,
+                               const core::RunResult& result,
+                               const sim::Trace& trace) {
+  return canonicalExecution(header, result, canonicalTrace(trace));
+}
+
+std::string canonicalExecution(const std::string& header,
+                               const core::RunResult& result,
+                               const std::string& traceText) {
+  std::string out = "# " + header + "\n";
+  out += canonicalRunResult(result);
+  out += "trace:\n";
+  out += traceText;
+  return out;
+}
+
+GoldenStore::GoldenStore(std::string directory)
+    : directory_(std::move(directory)) {}
+
+std::string GoldenStore::pathFor(const std::string& name) const {
+  return directory_ + "/" + name + ".golden";
+}
+
+GoldenStore::Comparison GoldenStore::check(const std::string& name,
+                                           const std::string& content,
+                                           bool update) {
+  const std::string path = pathFor(name);
+  if (update) {
+    std::filesystem::create_directories(directory_);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    AMMB_REQUIRE(out.good(), "cannot write golden file " + path);
+    out << content;
+    return {Outcome::kWritten, "wrote " + path};
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    return {Outcome::kMissing,
+            "no golden snapshot at " + path +
+                " (re-run in update mode to create it)"};
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string expected = buffer.str();
+  if (expected == content) return {Outcome::kMatch, ""};
+  return {Outcome::kMismatch, path + ": " + firstDiff(expected, content)};
+}
+
+bool updateGoldensRequested() {
+  const char* env = std::getenv("AMMB_UPDATE_GOLDEN");
+  return env != nullptr && env[0] != '\0' && std::string(env) != "0";
+}
+
+std::vector<GoldenCase> goldenCaseSuite() {
+  std::vector<GoldenCase> cases;
+  const auto base = [](core::SchedulerKind scheduler, TopologyFamily topology,
+                       NodeId n, int k, WorkloadShape workload,
+                       std::uint64_t seed) {
+    FuzzCase c;
+    c.scheduler = scheduler;
+    c.topology = topology;
+    c.n = n;
+    c.k = k;
+    c.workload = workload;
+    c.seed = seed;
+    c.mac.fprog = 4;
+    c.mac.fack = 32;
+    c.maxTime = 1'000'000;
+    return c;
+  };
+
+  // RNG-free: deterministic schedulers on deterministic topologies and
+  // workloads — byte-identical on every platform.
+  cases.push_back({"bmmb-line-fast",
+                   base(core::SchedulerKind::kFast, TopologyFamily::kLine, 8,
+                        2, WorkloadShape::kAllAtZero, 11)});
+  cases.push_back({"bmmb-line-slowack",
+                   base(core::SchedulerKind::kSlowAck, TopologyFamily::kLine,
+                        6, 3, WorkloadShape::kRoundRobin, 12)});
+  cases.push_back({"bmmb-ring-staggered",
+                   base(core::SchedulerKind::kFast, TopologyFamily::kRing, 8,
+                        4, WorkloadShape::kStaggered, 13)});
+
+  // RNG-dependent: pin the scheduler / noise / FMMB hot paths too.
+  // (Distribution output is the standard library's; see header note.)
+  cases.push_back({"bmmb-noise-adversarial-rng",
+                   base(core::SchedulerKind::kAdversarial,
+                        TopologyFamily::kArbitraryNoiseLine, 10, 3,
+                        WorkloadShape::kRoundRobin, 14)});
+  cases.push_back({"bmmb-line-random-rng",
+                   base(core::SchedulerKind::kRandom, TopologyFamily::kLine,
+                        10, 3, WorkloadShape::kRandom, 15)});
+  {
+    FuzzCase c = base(core::SchedulerKind::kFast,
+                      TopologyFamily::kGreyZoneField, 10, 2,
+                      WorkloadShape::kAllAtZero, 16);
+    c.protocol = core::ProtocolKind::kFmmb;
+    c.mac.variant = mac::ModelVariant::kEnhanced;
+    c.maxTime = 4 * core::fmmbBoundEnvelope(
+                        c.n, c.k, core::FmmbParams::make(c.n, c.greyC), c.mac);
+    cases.push_back({"fmmb-grey-fast-rng", c});
+  }
+  return cases;
+}
+
+std::string goldenDocument(const GoldenCase& goldenCase,
+                           const ExecutionOutcome& outcome) {
+  return canonicalExecution(goldenCase.name + ": " + toString(goldenCase.fuzzCase),
+                            outcome.result, outcome.canonicalTrace);
+}
+
+}  // namespace ammb::check

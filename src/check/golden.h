@@ -1,0 +1,109 @@
+// Canonical execution serialization + golden snapshot store.
+//
+// Behavioral drift in the engine, scheduler or protocol hot paths must
+// surface as a reviewable diff, not a silent change.  The canonical
+// serialization turns one run — its trace and RunResult — into a
+// stable, platform-independent text document; GoldenStore compares
+// such documents against checked-in `.golden` files and rewrites them
+// in update mode (AMMB_UPDATE_GOLDEN=1 or the fuzz CLI's
+// --update-golden).
+//
+// Snapshots are byte-exact: two runs of the same seed-determined case
+// must serialize identically regardless of thread count or host —
+// modulo the standard library's distribution implementations, which is
+// why the RNG-dependent goldens are pinned to libstdc++ (the CI
+// toolchain) and regenerable with one command.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "check/fuzzer.h"
+#include "core/experiment.h"
+#include "sim/trace.h"
+
+namespace ammb::check {
+
+/// FNV-1a 64-bit hash (stable across platforms and builds).
+std::uint64_t fnv1a(std::string_view data);
+
+/// One line per record, `sim::toString` format, '\n'-terminated.
+std::string canonicalTrace(const sim::Trace& trace);
+
+/// FNV-1a over the raw record fields (t, kind, node, instance, msg as
+/// little-endian words) — a cheap per-run fingerprint that never
+/// materializes text.  NOT comparable to fnv1a(canonicalTrace(...)).
+std::uint64_t traceHash(const sim::Trace& trace);
+
+/// Deterministic fields of a RunResult (status, times, counters,
+/// per-message latency aggregates) as `key=value` lines.
+std::string canonicalRunResult(const core::RunResult& result);
+
+/// Full snapshot document: a header line, the RunResult block, then the
+/// trace block.
+std::string canonicalExecution(const std::string& header,
+                               const core::RunResult& result,
+                               const sim::Trace& trace);
+
+/// Same document from an already-serialized trace (e.g. the canonical
+/// text retained by check::runCase or a CheckMode sweep).
+std::string canonicalExecution(const std::string& header,
+                               const core::RunResult& result,
+                               const std::string& traceText);
+
+/// A directory of named `.golden` snapshot files.
+class GoldenStore {
+ public:
+  enum class Outcome : std::uint8_t {
+    kMatch,    ///< file exists and equals the content
+    kMismatch, ///< file exists and differs
+    kMissing,  ///< no file yet (run in update mode to create it)
+    kWritten,  ///< update mode: file (re)written
+  };
+
+  struct Comparison {
+    Outcome outcome = Outcome::kMatch;
+    /// For kMismatch: the first differing line of each side.
+    std::string message;
+    bool ok() const {
+      return outcome == Outcome::kMatch || outcome == Outcome::kWritten;
+    }
+  };
+
+  explicit GoldenStore(std::string directory);
+
+  /// Compares `content` against `<dir>/<name>.golden`; in update mode
+  /// writes the file instead (creating the directory as needed).
+  Comparison check(const std::string& name, const std::string& content,
+                   bool update);
+
+  std::string pathFor(const std::string& name) const;
+
+ private:
+  std::string directory_;
+};
+
+/// True when AMMB_UPDATE_GOLDEN is set to a non-empty, non-"0" value.
+bool updateGoldensRequested();
+
+/// One named golden scenario.
+struct GoldenCase {
+  std::string name;  ///< snapshot file stem
+  FuzzCase fuzzCase;
+};
+
+/// The canonical snapshot scenarios shared by the golden regression
+/// test and the fuzz CLI's --update-golden mode: engine / scheduler /
+/// protocol hot paths each pinned by at least one execution.  The
+/// first entries are RNG-free (portable everywhere); the ones whose
+/// name ends in "-rng" additionally pin libstdc++'s distributions.
+std::vector<GoldenCase> goldenCaseSuite();
+
+/// The snapshot document of one executed golden case (the outcome must
+/// carry its canonical trace, i.e. runCase(..., keepCanonicalTrace)).
+std::string goldenDocument(const GoldenCase& goldenCase,
+                           const ExecutionOutcome& outcome);
+
+}  // namespace ammb::check

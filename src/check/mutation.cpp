@@ -1,0 +1,88 @@
+#include "check/mutation.h"
+
+namespace ammb::check {
+
+namespace {
+
+using mac::DeliveryPlan;
+using mac::Instance;
+
+/// Delivers to every G-neighbor one tick after the bcast (so the
+/// progress and receive axioms stay clean) but acks Fack/2 + 1 ticks
+/// past the acknowledgment bound — exactly one broken axiom per trace.
+class LateAckScheduler : public mac::Scheduler {
+ public:
+  DeliveryPlan planBcast(const Instance& instance) override {
+    const mac::MacParams& p = engine_->params();
+    const Time t0 = instance.bcastAt;
+    DeliveryPlan plan;
+    plan.ackAt = t0 + p.fack + p.fack / 2 + 1;
+    for (NodeId j : engine_->topology().g().neighbors(instance.sender)) {
+      plan.deliveries.push_back({j, t0 + 1});
+    }
+    return plan;
+  }
+};
+
+/// An honest slow-ack plan plus one delivery to the lowest-id node that
+/// is *not* a G'-neighbor of the sender — a receive off E', the
+/// unreliable-link axiom the model must never grant.
+class OffGPrimeScheduler : public mac::Scheduler {
+ public:
+  DeliveryPlan planBcast(const Instance& instance) override {
+    const mac::MacParams& p = engine_->params();
+    const Time t0 = instance.bcastAt;
+    DeliveryPlan plan;
+    plan.ackAt = t0 + p.fack;
+    const auto& topo = engine_->topology();
+    for (NodeId j : topo.g().neighbors(instance.sender)) {
+      plan.deliveries.push_back({j, t0 + 1});
+    }
+    for (NodeId j = 0; j < topo.n(); ++j) {
+      if (j == instance.sender) continue;
+      if (topo.gPrime().hasEdge(instance.sender, j)) continue;
+      plan.deliveries.push_back({j, t0 + 1});
+      break;
+    }
+    return plan;
+  }
+};
+
+}  // namespace
+
+std::string toString(SchedulerMutation mutation) {
+  switch (mutation) {
+    case SchedulerMutation::kNone: return "none";
+    case SchedulerMutation::kLateAck: return "late-ack";
+    case SchedulerMutation::kOffGPrime: return "off-gprime";
+  }
+  return "?";
+}
+
+SchedulerMutation mutationFromString(const std::string& name) {
+  if (name == "none") return SchedulerMutation::kNone;
+  if (name == "late-ack") return SchedulerMutation::kLateAck;
+  if (name == "off-gprime") return SchedulerMutation::kOffGPrime;
+  throw Error("unknown scheduler mutation '" + name + "'");
+}
+
+std::unique_ptr<mac::Scheduler> makeMutantScheduler(
+    SchedulerMutation mutation) {
+  switch (mutation) {
+    case SchedulerMutation::kLateAck:
+      return std::make_unique<LateAckScheduler>();
+    case SchedulerMutation::kOffGPrime:
+      return std::make_unique<OffGPrimeScheduler>();
+    case SchedulerMutation::kNone: break;
+  }
+  throw Error("makeMutantScheduler requires a real mutation");
+}
+
+void applyMutation(core::SchedulerSpec& scheduler,
+                   SchedulerMutation mutation) {
+  if (mutation == SchedulerMutation::kNone) return;
+  scheduler.factory = [mutation] { return makeMutantScheduler(mutation); };
+  scheduler.validatePlans = false;
+}
+
+}  // namespace ammb::check

@@ -1,0 +1,43 @@
+// Deliberately broken schedulers — mutation fixtures for the oracles.
+//
+// The engine normally rejects illegal delivery plans online
+// (MacEngine::validatePlan), which is exactly why the offline checkers
+// need their own negative tests: if every execution that reaches them
+// is legal by construction, a silently broken oracle looks healthy
+// forever.  A mutation fixture pairs a scheduler that violates one
+// axiom on purpose with plan validation switched off, so the violation
+// survives into the recorded trace — where checkExecution MUST catch
+// it.  A fuzz run with a mutation that reports zero violations is a
+// checker bug.
+#pragma once
+
+#include <string>
+
+#include "core/experiment.h"
+
+namespace ammb::check {
+
+/// Which axiom the broken scheduler violates.
+enum class SchedulerMutation : std::uint8_t {
+  kNone,       ///< honest scheduler (normal fuzzing)
+  kLateAck,    ///< acks Fack/2 + 1 ticks past the acknowledgment bound
+  kOffGPrime,  ///< also delivers to a node outside the sender's G'-hood
+};
+
+/// Human-readable mutation name ("none", "late-ack", "off-gprime").
+std::string toString(SchedulerMutation mutation);
+
+/// Parses a mutation name; throws ammb::Error on an unknown one.
+SchedulerMutation mutationFromString(const std::string& name);
+
+/// The broken scheduler itself (requires mutation != kNone).
+std::unique_ptr<mac::Scheduler> makeMutantScheduler(
+    SchedulerMutation mutation);
+
+/// Rewires `scheduler` to the mutant and switches plan validation off,
+/// so the illegal plans reach the trace instead of throwing.  No-op for
+/// kNone.
+void applyMutation(core::SchedulerSpec& scheduler,
+                   SchedulerMutation mutation);
+
+}  // namespace ammb::check

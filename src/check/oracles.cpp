@@ -1,0 +1,100 @@
+#include "check/oracles.h"
+
+namespace ammb::check {
+
+namespace {
+
+using sim::TraceKind;
+using sim::TraceRecord;
+
+void add(OracleReport& report, const char* family, const std::string& msg) {
+  report.ok = false;
+  report.violations.push_back(std::string(family) + ": " + msg);
+}
+
+}  // namespace
+
+OracleReport checkExecution(const graph::DualGraph& topology,
+                            const core::ProtocolSpec& protocol,
+                            const mac::MacParams& mac,
+                            const core::MmbWorkload& workload,
+                            const sim::Trace& trace,
+                            const core::RunResult& result) {
+  AMMB_REQUIRE(trace.enabled(),
+               "checkExecution requires a trace that recorded events");
+  OracleReport report;
+
+  // 1. MAC-layer axioms, offline, up to the time the run stopped.
+  mac::CheckResult macResult =
+      mac::checkTrace(topology, mac, trace, result.endTime);
+  for (const std::string& v : macResult.violations) add(report, "mac", v);
+  report.macRecords = std::move(macResult.records);
+
+  // 2. MMB deliver-event axioms.  Completeness (every required node
+  // delivered every message) is demanded only of solved runs; a run
+  // truncated by its limits is exempt by definition.
+  const core::MmbCheckResult mmb = core::checkMmbTrace(
+      topology, workload, trace, /*requireSolved=*/result.solved);
+  for (const std::string& v : mmb.violations) add(report, "mmb", v);
+
+  // 3. Liveness: an unsolved run may stop because a limit cut it off —
+  // never because the protocol ran out of things to do.
+  if (!result.solved && result.status == sim::RunStatus::kDrained) {
+    add(report, "liveness",
+        "event queue drained at t=" + std::to_string(result.endTime) +
+            " with the MMB problem unsolved (protocol quiesced early)");
+  }
+
+  // 4. Result bookkeeping against the trace.
+  if (result.solved) {
+    if (result.solveTime == kTimeNever || result.solveTime > result.endTime) {
+      add(report, "result",
+          "solved run reports solve time outside the execution");
+    }
+    if (result.messages.completed !=
+        static_cast<std::uint64_t>(workload.k)) {
+      add(report, "result",
+          "solved run completed " + std::to_string(result.messages.completed) +
+              " of " + std::to_string(workload.k) + " messages");
+    }
+  }
+  std::uint64_t bcasts = 0, rcvs = 0, acks = 0, aborts = 0, delivers = 0,
+                arrives = 0;
+  for (const TraceRecord& r : trace.records()) {
+    switch (r.kind) {
+      case TraceKind::kBcast: ++bcasts; break;
+      case TraceKind::kRcv: ++rcvs; break;
+      case TraceKind::kAck: ++acks; break;
+      case TraceKind::kAbort: ++aborts; break;
+      case TraceKind::kDeliver: ++delivers; break;
+      case TraceKind::kArrive: ++arrives; break;
+      default: break;
+    }
+  }
+  if (bcasts != result.stats.bcasts || rcvs != result.stats.rcvs ||
+      acks != result.stats.acks || aborts != result.stats.aborts ||
+      delivers != result.stats.delivers || arrives != result.stats.arrives) {
+    add(report, "result",
+        "engine counters disagree with the trace record counts");
+  }
+
+  // 5. FMMB lock-step structure: RoundedProcess may bcast/abort only at
+  // round starts, and rounds last exactly Fprog + 1 ticks.
+  if (protocol.kind() == core::ProtocolKind::kFmmb) {
+    const Time roundLen = mac.fprog + 1;
+    for (const TraceRecord& r : trace.records()) {
+      if ((r.kind == TraceKind::kBcast || r.kind == TraceKind::kAbort) &&
+          r.t % roundLen != 0) {
+        add(report, "fmmb",
+            std::string(r.kind == TraceKind::kBcast ? "bcast" : "abort") +
+                " at node " + std::to_string(r.node) + " off the round grid" +
+                " (t=" + std::to_string(r.t) + ", round length " +
+                std::to_string(roundLen) + ")");
+      }
+    }
+  }
+
+  return report;
+}
+
+}  // namespace ammb::check

@@ -1,0 +1,59 @@
+// Protocol-level invariant oracles for recorded executions.
+//
+// mac/trace_checker.h re-validates the Section 3.2.1 MAC-layer axioms;
+// this header stacks every *other* invariant the system promises on top
+// of it, so one call vets a finished run end to end:
+//
+//   * MAC axioms        — checkTrace over the run's trace and horizon;
+//   * MMB delivery      — checkMmbTrace deliver-event axioms, with the
+//                         completeness clause required only for solved
+//                         runs (truncated runs are exempt: "delivered
+//                         everywhere required OR limits hit");
+//   * liveness          — a run that drained its event queue without
+//                         solving means the protocol quiesced early
+//                         (BMMB must keep relaying; FMMB never drains);
+//   * FMMB structure    — lock-step round discipline: every bcast and
+//                         abort sits exactly on the Fprog+1 round grid;
+//   * bookkeeping       — RunResult/EngineStats agree with the trace
+//                         (solve time inside the run, per-kind record
+//                         counts matching the engine counters).
+//
+// The oracles are the ground truth of the fuzzing subsystem
+// (check/fuzzer.h) and of CheckMode sweeps (runner/sweep_spec.h).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "mac/trace_checker.h"
+
+namespace ammb::check {
+
+/// Merged verdict of every oracle over one execution.
+struct OracleReport {
+  bool ok = true;
+  /// Human-readable violations, each prefixed with its oracle family
+  /// ("mac:", "mmb:", "liveness:", "fmmb:", "result:").
+  std::vector<std::string> violations;
+  /// Structured MAC-axiom records (from mac::checkTrace), when any.
+  std::vector<mac::Violation> macRecords;
+
+  /// First violation or "ok".
+  std::string summary() const {
+    if (ok) return "ok";
+    return violations.empty() ? "no violations recorded" : violations.front();
+  }
+};
+
+/// Runs every applicable oracle over one finished execution.  `trace`
+/// must have recorded events; `workload` is the materialized arrival
+/// stream the run consumed (core::materializeWorkload).
+OracleReport checkExecution(const graph::DualGraph& topology,
+                            const core::ProtocolSpec& protocol,
+                            const mac::MacParams& mac,
+                            const core::MmbWorkload& workload,
+                            const sim::Trace& trace,
+                            const core::RunResult& result);
+
+}  // namespace ammb::check

@@ -1,0 +1,81 @@
+#include "check/shrink.h"
+
+namespace ammb::check {
+
+namespace {
+
+/// Candidate simplifications of `c`, most ambitious first.  Later
+/// passes re-derive the list from the improved case, so each generator
+/// only needs the single-step forms.
+std::vector<FuzzCase> proposals(const FuzzCase& c) {
+  std::vector<FuzzCase> out;
+  if (c.topology != TopologyFamily::kLine) {
+    FuzzCase d = c;
+    d.topology = TopologyFamily::kLine;
+    out.push_back(d);
+  }
+  if (c.workload != WorkloadShape::kAllAtZero) {
+    FuzzCase d = c;
+    d.workload = WorkloadShape::kAllAtZero;
+    out.push_back(d);
+  }
+  // Rings need three nodes; proposing n = 2 there would execute the
+  // same 3-node ring and report a size that never ran.
+  const NodeId minN = c.topology == TopologyFamily::kRing ? 3 : 2;
+  const auto tryN = [&](NodeId n) {
+    if (n >= minN && n < c.n) {
+      FuzzCase d = c;
+      d.n = n;
+      out.push_back(d);
+    }
+  };
+  tryN(minN);
+  tryN(c.n / 2);
+  tryN(c.n - 1);
+  const auto tryK = [&](int k) {
+    if (k >= 1 && k < c.k) {
+      FuzzCase d = c;
+      d.k = k;
+      out.push_back(d);
+    }
+  };
+  tryK(1);
+  tryK(c.k / 2);
+  tryK(c.k - 1);
+  if (c.maxTime != kTimeNever) {
+    const Time floor = 4 * c.mac.fack;
+    const Time half = c.maxTime / 2;
+    if (half >= floor && half < c.maxTime) {
+      FuzzCase d = c;
+      d.maxTime = half;
+      out.push_back(d);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+ShrinkOutcome shrinkCase(const FuzzCase& failing,
+                         const FailPredicate& stillFails, int budget) {
+  AMMB_REQUIRE(stillFails != nullptr, "shrinkCase needs a predicate");
+  ShrinkOutcome out;
+  out.best = failing;
+  bool improved = true;
+  while (improved && out.attempts < budget) {
+    improved = false;
+    for (const FuzzCase& candidate : proposals(out.best)) {
+      if (out.attempts >= budget) break;
+      ++out.attempts;
+      if (stillFails(candidate)) {
+        out.best = candidate;
+        ++out.wins;
+        improved = true;
+        break;  // restart the pass from the simpler case
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace ammb::check

@@ -1,0 +1,40 @@
+// Greedy counterexample shrinking.
+//
+// A fuzz failure on a 20-node grey-zone field with 6 Poisson messages
+// is a fact; a failure on a 3-node line with one message at t = 0 is a
+// diagnosis.  The shrinker walks a failing FuzzCase toward the second
+// form: it proposes simplifications in decreasing order of ambition
+// (collapse the topology family to a line, the workload to
+// all-at-zero, halve n / k / the horizon, then step them down one by
+// one), re-executes each candidate through the caller's predicate, and
+// keeps a candidate only when the failure is preserved.  Greedy passes
+// repeat until a fixpoint or the re-execution budget runs out; the
+// result is locally minimal — no single proposed simplification keeps
+// it failing.
+#pragma once
+
+#include <functional>
+
+#include "check/fuzzer.h"
+
+namespace ammb::check {
+
+/// Re-executes a candidate and reports whether it still fails.  The
+/// predicate owns the definition of "fails" (oracle violation, crash,
+/// or a specific axiom — the caller decides).
+using FailPredicate = std::function<bool(const FuzzCase&)>;
+
+/// Shrinking outcome (best is the input when nothing smaller fails).
+struct ShrinkOutcome {
+  FuzzCase best;
+  int attempts = 0;  ///< predicate evaluations spent
+  int wins = 0;      ///< accepted simplification steps
+};
+
+/// Greedily minimizes `failing` under `stillFails`, spending at most
+/// `budget` predicate evaluations.  `failing` itself is not re-checked;
+/// the caller asserts it fails.
+ShrinkOutcome shrinkCase(const FuzzCase& failing,
+                         const FailPredicate& stillFails, int budget = 128);
+
+}  // namespace ammb::check

@@ -80,6 +80,7 @@ inline constexpr std::uint64_t kNode = 1;       ///< per-node protocol bits
 inline constexpr std::uint64_t kScheduler = 2;  ///< MAC scheduler choices
 inline constexpr std::uint64_t kTopology = 3;   ///< graph generators
 inline constexpr std::uint64_t kWorkload = 4;   ///< message assignment
+inline constexpr std::uint64_t kFuzz = 5;       ///< fuzz-case sampling
 }  // namespace rngstream
 
 }  // namespace ammb

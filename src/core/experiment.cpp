@@ -109,11 +109,16 @@ Experiment::Experiment(const graph::DualGraph& topology,
   }
   const mac::MacEngine::ProcessFactory factory =
       std::visit([](auto& suite) { return suite.factory(); }, suite_);
-  engine_ = std::make_unique<mac::MacEngine>(
-      topology_, config_.mac,
-      makeScheduler(config_.scheduler.kind,
-                    config_.scheduler.lowerBoundLineLength),
-      factory, config_.seed, config_.recordTrace);
+  std::unique_ptr<mac::Scheduler> scheduler =
+      config_.scheduler.factory
+          ? config_.scheduler.factory()
+          : makeScheduler(config_.scheduler.kind,
+                          config_.scheduler.lowerBoundLineLength);
+  AMMB_REQUIRE(scheduler != nullptr, "scheduler factory returned null");
+  engine_ = std::make_unique<mac::MacEngine>(topology_, config_.mac,
+                                             std::move(scheduler), factory,
+                                             config_.seed, config_.recordTrace);
+  engine_->setPlanValidation(config_.scheduler.validatePlans);
   if (auto* bmmb = std::get_if<BmmbSuite>(&suite_)) {
     engine_->setOracle(bmmb);
   }

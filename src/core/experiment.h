@@ -98,12 +98,22 @@ ProtocolSpec fmmbProtocol(FmmbParams params);
 /// bare SchedulerKind, so `config.scheduler = SchedulerKind::kRandom`
 /// reads naturally.
 struct SchedulerSpec {
+  using Factory = std::function<std::unique_ptr<mac::Scheduler>()>;
+
   SchedulerSpec() = default;
   /*implicit*/ SchedulerSpec(SchedulerKind k) : kind(k) {}
 
   SchedulerKind kind = SchedulerKind::kRandom;
   /// Line length for SchedulerKind::kLowerBound.
   int lowerBoundLineLength = 0;
+  /// Custom scheduler builder; overrides `kind` when set.  This is how
+  /// the fuzzing subsystem injects its mutation fixtures — hand-built
+  /// schedulers outside the SchedulerKind family.
+  Factory factory;
+  /// Online plan validation (mac::MacEngine::setPlanValidation).  Leave
+  /// on except for mutation fixtures that must reach the offline
+  /// checker with an illegal execution.
+  bool validatePlans = true;
 };
 
 /// When a run stops.

@@ -102,6 +102,18 @@ class MacEngine {
   /// Registers the arrive-input observer (e.g., latency tracking).
   void setArriveHook(ArriveHook hook) { arriveHook_ = std::move(hook); }
 
+  /// Enables/disables online scheduler-plan validation (on by default).
+  /// Only the fuzzing subsystem's mutation fixtures turn this off: a
+  /// deliberately broken scheduler is then allowed to produce an
+  /// axiom-violating execution, which the offline trace checker (and
+  /// the check:: oracles built on it) must catch.  Everything else
+  /// must leave validation on — it is what makes the engine's
+  /// executions trustworthy regardless of the scheduler.
+  void setPlanValidation(bool on) { validatePlans_ = on; }
+
+  /// True while illegal delivery plans are rejected online.
+  bool planValidation() const { return validatePlans_; }
+
   /// Registers the protocol oracle consulted by adversarial schedulers.
   void setOracle(const ProtocolOracle* oracle) { oracle_ = oracle; }
 
@@ -196,6 +208,7 @@ class MacEngine {
   std::vector<Instance> instances_;
   ProgressGuard guard_;
   Rng schedulerRng_;
+  bool validatePlans_ = true;
   const ProtocolOracle* oracle_ = nullptr;
   DeliverHook deliverHook_;
   ArriveHook arriveHook_;

@@ -88,9 +88,12 @@ class Checker {
   }
 
  private:
-  void fail(const std::string& msg) {
+  void fail(std::string axiom, InstanceId instance, NodeId node, Time time,
+            const std::string& msg) {
     result_.ok = false;
     result_.violations.push_back(msg);
+    result_.records.push_back(
+        Violation{std::move(axiom), instance, node, time, msg});
   }
 
   void scan() {
@@ -103,9 +106,10 @@ class Checker {
       switch (r.kind) {
         case TraceKind::kBcast: {
           if (busy.count(r.node) > 0) {
-            fail("well-formedness: node " + std::to_string(r.node) +
-                 " bcast while instance " +
-                 std::to_string(busy[r.node]) + " is outstanding");
+            fail("well-formedness", r.instance, r.node, r.t,
+                 "well-formedness: node " + std::to_string(r.node) +
+                     " bcast while instance " + std::to_string(busy[r.node]) +
+                     " is outstanding");
           }
           busy[r.node] = r.instance;
           InstanceFacts f;
@@ -113,15 +117,17 @@ class Checker {
           f.bcastAt = r.t;
           f.bcastIdx = idx;
           if (!facts_.emplace(r.instance, f).second) {
-            fail("duplicate bcast record for instance " +
-                 std::to_string(r.instance));
+            fail("well-formedness", r.instance, r.node, r.t,
+                 "duplicate bcast record for instance " +
+                     std::to_string(r.instance));
           }
           break;
         }
         case TraceKind::kRcv: {
           auto it = facts_.find(r.instance);
           if (it == facts_.end()) {
-            fail("rcv for unknown instance " + std::to_string(r.instance));
+            fail("rcv-unknown-instance", r.instance, r.node, r.t,
+                 "rcv for unknown instance " + std::to_string(r.instance));
             break;
           }
           it->second.rcvs.emplace_back(r.node, idx);
@@ -132,14 +138,16 @@ class Checker {
         case TraceKind::kAbort: {
           auto it = facts_.find(r.instance);
           if (it == facts_.end()) {
-            fail("termination for unknown instance " +
-                 std::to_string(r.instance));
+            fail("term-unknown-instance", r.instance, r.node, r.t,
+                 "termination for unknown instance " +
+                     std::to_string(r.instance));
             break;
           }
           InstanceFacts& f = it->second;
           if (f.terminated) {
-            fail("instance " + std::to_string(r.instance) +
-                 " terminated twice");
+            fail("term-duplicate", r.instance, r.node, r.t,
+                 "instance " + std::to_string(r.instance) +
+                     " terminated twice");
           }
           f.terminated = true;
           f.aborted = (r.kind == TraceKind::kAbort);
@@ -147,9 +155,10 @@ class Checker {
           f.termIdx = idx;
           auto bit = busy.find(r.node);
           if (bit == busy.end() || bit->second != r.instance) {
-            fail("termination of instance " + std::to_string(r.instance) +
-                 " which is not the outstanding bcast of node " +
-                 std::to_string(r.node));
+            fail("term-not-outstanding", r.instance, r.node, r.t,
+                 "termination of instance " + std::to_string(r.instance) +
+                     " which is not the outstanding bcast of node " +
+                     std::to_string(r.node));
           } else {
             busy.erase(bit);
           }
@@ -169,25 +178,32 @@ class Checker {
         const auto& [receiver, idx] = f.rcvs[i];
         const Time at = f.rcvTimes[i];
         if (receiver == f.sender) {
-          fail("instance " + std::to_string(id) + " delivered to its sender");
+          fail("rcv-at-sender", id, receiver, at,
+               "instance " + std::to_string(id) + " delivered to its sender");
         }
         if (!topo_.gPrime().hasEdge(f.sender, receiver)) {
-          fail("instance " + std::to_string(id) +
-               " delivered outside G' to node " + std::to_string(receiver));
+          fail("rcv-off-gprime", id, receiver, at,
+               "instance " + std::to_string(id) +
+                   " delivered outside G' to node " +
+                   std::to_string(receiver));
         }
         if (!seen.insert(receiver).second) {
-          fail("instance " + std::to_string(id) +
-               " delivered twice to node " + std::to_string(receiver));
+          fail("rcv-duplicate", id, receiver, at,
+               "instance " + std::to_string(id) + " delivered twice to node " +
+                   std::to_string(receiver));
         }
         if (idx < f.bcastIdx) {
-          fail("instance " + std::to_string(id) + " rcv precedes its bcast");
+          fail("rcv-before-bcast", id, receiver, at,
+               "instance " + std::to_string(id) + " rcv precedes its bcast");
         }
         if (f.terminated && !f.aborted && idx > f.termIdx) {
-          fail("instance " + std::to_string(id) + " rcv after its ack");
+          fail("rcv-after-ack", id, receiver, at,
+               "instance " + std::to_string(id) + " rcv after its ack");
         }
         if (f.terminated && f.aborted && at > f.termAt + params_.epsAbort) {
-          fail("instance " + std::to_string(id) +
-               " rcv more than epsAbort after its abort");
+          fail("rcv-after-abort", id, receiver, at,
+               "instance " + std::to_string(id) +
+                   " rcv more than epsAbort after its abort");
         }
       }
       // Acknowledgment correctness + ack bound.
@@ -201,23 +217,26 @@ class Checker {
             }
           }
           if (!found) {
-            fail("instance " + std::to_string(id) +
-                 " acked before G-neighbor " + std::to_string(j) +
-                 " received it");
+            fail("ack-before-rcv", id, j, f.termAt,
+                 "instance " + std::to_string(id) +
+                     " acked before G-neighbor " + std::to_string(j) +
+                     " received it");
           }
         }
         if (f.termAt - f.bcastAt > params_.fack) {
-          fail("instance " + std::to_string(id) + " violated the ack bound (" +
-               std::to_string(f.termAt - f.bcastAt) + " > Fack)");
+          fail("ack-bound", id, f.sender, f.termAt,
+               "instance " + std::to_string(id) + " violated the ack bound (" +
+                   std::to_string(f.termAt - f.bcastAt) + " > Fack)");
         }
       }
       // Termination.  Strict comparison: an instance whose Fack budget
       // expires exactly at the horizon may still ack at that instant
       // (runs stopped mid-tick by solve detection hit this boundary).
       if (!f.terminated && f.bcastAt + params_.fack < horizon_) {
-        fail("instance " + std::to_string(id) +
-             " never terminated although its Fack budget expired before "
-             "the horizon");
+        fail("termination", id, f.sender, f.bcastAt + params_.fack,
+             "instance " + std::to_string(id) +
+                 " never terminated although its Fack budget expired before "
+                 "the horizon");
       }
     }
   }
@@ -245,9 +264,10 @@ class Checker {
       }
       const Time t = firstUncovered(need, cover);
       if (t != kTimeNever) {
-        fail("progress bound violated at receiver " + std::to_string(j) +
-             ": window starting at t=" + std::to_string(t) +
-             " has a broadcasting G-neighbor but no covering rcv");
+        fail("progress-bound", kNoInstance, j, t,
+             "progress bound violated at receiver " + std::to_string(j) +
+                 ": window starting at t=" + std::to_string(t) +
+                 " has a broadcasting G-neighbor but no covering rcv");
       }
     }
   }

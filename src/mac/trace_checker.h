@@ -29,14 +29,31 @@
 
 namespace ammb::mac {
 
+/// One axiom violation, in machine-readable form.  `axiom` is a stable
+/// slug (one per checked axiom family); the ids are kNoInstance /
+/// kNoNode / kTimeNever when the violation has no specific instance,
+/// node or timestamp.
+struct Violation {
+  std::string axiom;                  ///< e.g. "ack-bound", "rcv-off-gprime"
+  InstanceId instance = kNoInstance;  ///< offending broadcast instance
+  NodeId node = kNoNode;              ///< offending node
+  Time time = kTimeNever;             ///< when the violation manifested
+  std::string detail;                 ///< human-readable description
+};
+
 /// Result of checking one execution.
 struct CheckResult {
   bool ok = true;
+  /// Human-readable violation messages (one per structured record).
   std::vector<std::string> violations;
+  /// Structured {axiom, instance, node, time} records, parallel to
+  /// `violations`.
+  std::vector<Violation> records;
 
-  /// Convenience: first violation or "ok".
+  /// Convenience: first violation, or "ok" / "no violations recorded".
   std::string summary() const {
-    return ok ? "ok" : violations.front();
+    if (ok) return "ok";
+    return violations.empty() ? "no violations recorded" : violations.front();
   }
 };
 

@@ -66,7 +66,7 @@ void emitCellsCsv(const SweepResult& result, std::ostream& out) {
          "seed_end,runs,solved,errors,min_solve,median_solve,mean_solve,"
          "p95_solve,max_solve,mean_end_time,messages,mean_latency,"
          "p50_latency,p95_latency,max_latency,bcasts,rcvs,forced_rcvs,acks,"
-         "aborts,delivers,arrives\n";
+         "aborts,delivers,arrives,checked_runs,check_violations\n";
   for (const CellAggregate& c : result.cells) {
     out << csvEscape(result.name) << ',' << core::toString(result.protocol)
         << ',' << csvEscape(c.workload) << ',' << csvEscape(c.topology)
@@ -80,14 +80,15 @@ void emitCellsCsv(const SweepResult& result, std::ostream& out) {
         << c.p95Latency << ',' << c.maxLatency << ',' << c.stats.bcasts
         << ',' << c.stats.rcvs << ',' << c.stats.forcedRcvs << ','
         << c.stats.acks << ',' << c.stats.aborts << ',' << c.stats.delivers
-        << ',' << c.stats.arrives << '\n';
+        << ',' << c.stats.arrives << ',' << c.checkedRuns << ','
+        << c.checkViolations << '\n';
   }
 }
 
 void emitRunsCsv(const SweepResult& result, std::ostream& out) {
   out << "run_index,cell_index,topology,scheduler,k,mac,workload,seed,solved,"
          "solve_time,end_time,status,messages,p50_latency,p95_latency,"
-         "max_latency,error\n";
+         "max_latency,error,checked,check_violations,trace_hash\n";
   for (const RunRecord& r : result.runs) {
     const CellAggregate& c = result.cell(r.point.cellIndex);
     out << r.point.runIndex << ',' << r.point.cellIndex << ','
@@ -101,7 +102,12 @@ void emitRunsCsv(const SweepResult& result, std::ostream& out) {
         << ',' << r.result.messages.completed << ','
         << r.result.messages.p50Latency << ','
         << r.result.messages.p95Latency << ','
-        << r.result.messages.maxLatency << ',' << csvEscape(r.error) << '\n';
+        << r.result.messages.maxLatency << ',' << csvEscape(r.error) << ','
+        << (r.checked ? 1 : 0) << ',' << r.checkViolations.size() << ',';
+    // The hash only means something for checked runs; keep unchecked
+    // rows' columns empty so diffs don't churn on mode changes.
+    if (r.checked) out << r.traceHash;
+    out << '\n';
   }
 }
 
@@ -130,6 +136,8 @@ void emitJson(const SweepResult& result, std::ostream& out) {
         << ", \"p50_latency\": " << c.p50Latency
         << ", \"p95_latency\": " << c.p95Latency
         << ", \"max_latency\": " << c.maxLatency
+        << ", \"checked_runs\": " << c.checkedRuns
+        << ", \"check_violations\": " << c.checkViolations
         << ", \"stats\": {\"bcasts\": " << c.stats.bcasts
         << ", \"rcvs\": " << c.stats.rcvs
         << ", \"forced_rcvs\": " << c.stats.forcedRcvs

@@ -7,6 +7,9 @@
 #include <mutex>
 #include <thread>
 
+#include "check/golden.h"
+#include "check/oracles.h"
+
 namespace ammb::runner {
 
 namespace {
@@ -25,6 +28,21 @@ void accumulateStats(mac::EngineStats& into, const mac::EngineStats& from) {
 
 }  // namespace
 
+namespace {
+
+/// Snapshot header: the run's full grid coordinate, so a golden file is
+/// self-describing and re-runnable by hand.
+std::string runHeader(const SweepSpec& spec, const RunPoint& point) {
+  return spec.name + " topology=" + spec.topologies[point.topoIdx].name +
+         " scheduler=" + core::toString(spec.schedulers[point.schedIdx]) +
+         " k=" + std::to_string(spec.ks[point.kIdx]) +
+         " mac=" + spec.macs[point.macIdx].name +
+         " workload=" + spec.workloads[point.wlIdx].name +
+         " seed=" + std::to_string(point.seed);
+}
+
+}  // namespace
+
 RunRecord executeRun(const SweepSpec& spec, const RunPoint& point) {
   RunRecord record;
   record.point = point;
@@ -38,7 +56,37 @@ RunRecord executeRun(const SweepSpec& spec, const RunPoint& point) {
     const core::RunConfig config = runConfigFor(spec, point);
     const core::ProtocolSpec protocol =
         protocolSpecFor(spec, topology.n(), k);
-    record.result = core::runExperiment(topology, protocol, *arrivals, config);
+    if (spec.check == CheckMode::kOff) {
+      record.result =
+          core::runExperiment(topology, protocol, *arrivals, config);
+      return record;
+    }
+    // Checked run: keep the experiment alive so its trace outlives the
+    // run, and re-validate before the trace drops.  Only the full
+    // oracles consult the workload; materialize it first (the stream
+    // is reset afterwards) and only then.
+    core::MmbWorkload workload;
+    if (spec.check == CheckMode::kFull) {
+      workload = core::materializeWorkload(*arrivals);
+    }
+    core::Experiment experiment(topology, protocol, *arrivals, config);
+    record.result = experiment.run();
+    const sim::Trace& trace = experiment.engine().trace();
+    record.checked = true;
+    record.traceHash = check::traceHash(trace);
+    if (spec.check == CheckMode::kMac) {
+      mac::CheckResult res =
+          mac::checkTrace(topology, config.mac, trace, record.result.endTime);
+      record.checkViolations = std::move(res.violations);
+    } else {
+      check::OracleReport report = check::checkExecution(
+          topology, protocol, config.mac, workload, trace, record.result);
+      record.checkViolations = std::move(report.violations);
+    }
+    if (spec.keepCanonicalTraces) {
+      record.canonicalTrace = check::canonicalExecution(
+          runHeader(spec, point), record.result, trace);
+    }
   } catch (const std::exception& e) {
     record.error = e.what();
   }
@@ -48,6 +96,12 @@ RunRecord executeRun(const SweepSpec& spec, const RunPoint& point) {
 std::uint64_t SweepResult::errorCount() const {
   std::uint64_t total = 0;
   for (const CellAggregate& c : cells) total += c.errors;
+  return total;
+}
+
+std::uint64_t SweepResult::checkViolationCount() const {
+  std::uint64_t total = 0;
+  for (const CellAggregate& c : cells) total += c.checkViolations;
   return total;
 }
 
@@ -131,6 +185,10 @@ SweepResult SweepRunner::run(const SweepSpec& spec) const {
     if (record.failed()) {
       ++cell.errors;
       continue;
+    }
+    if (record.checked) {
+      ++cell.checkedRuns;
+      cell.checkViolations += record.checkViolations.size();
     }
     accumulateStats(cell.stats, record.result.stats);
     endSums[cell.cellIndex] += record.result.endTime;

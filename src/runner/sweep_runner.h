@@ -25,6 +25,17 @@ struct RunRecord {
   core::RunResult result;
   /// Non-empty iff the run threw (spec error, unsolvable cell, ...).
   std::string error;
+
+  // Trace-checking outcome (CheckMode sweeps only).
+  bool checked = false;
+  /// check::traceHash fingerprint of the records — the cheap per-run
+  /// golden (not a hash of the canonical text).
+  std::uint64_t traceHash = 0;
+  /// Oracle violations found in this run's trace.
+  std::vector<std::string> checkViolations;
+  /// Full canonical serialization (iff SweepSpec::keepCanonicalTraces).
+  std::string canonicalTrace;
+
   bool failed() const { return !error.empty(); }
 };
 
@@ -65,6 +76,10 @@ struct CellAggregate {
   Time maxLatency = 0;
   double meanLatency = 0.0;
 
+  // Trace-checking aggregates (CheckMode sweeps only).
+  std::uint64_t checkedRuns = 0;
+  std::uint64_t checkViolations = 0;
+
   /// Engine counters summed over non-error runs.
   mac::EngineStats stats;
 };
@@ -85,6 +100,8 @@ struct SweepResult {
 
   /// Total runs that threw, across all cells.
   std::uint64_t errorCount() const;
+  /// Total oracle violations across all checked runs.
+  std::uint64_t checkViolationCount() const;
   /// The cell for a (topoIdx, schedIdx, kIdx, macIdx) coordinate.
   const CellAggregate& cell(std::size_t cellIndex) const;
 };

@@ -6,6 +6,15 @@
 
 namespace ammb::runner {
 
+std::string toString(CheckMode mode) {
+  switch (mode) {
+    case CheckMode::kOff: return "off";
+    case CheckMode::kMac: return "mac";
+    case CheckMode::kFull: return "full";
+  }
+  return "?";
+}
+
 void SweepSpec::validate() const {
   AMMB_REQUIRE(!topologies.empty(), "sweep needs at least one topology");
   AMMB_REQUIRE(!schedulers.empty(), "sweep needs at least one scheduler");
@@ -26,6 +35,8 @@ void SweepSpec::validate() const {
                              std::to_string(k) + ")");
   }
   for (const MacParamsSpec& m : macs) m.params.validate();
+  AMMB_REQUIRE(!keepCanonicalTraces || check != CheckMode::kOff,
+               "keepCanonicalTraces requires a CheckMode");
   if (protocol == core::ProtocolKind::kFmmb) {
     AMMB_REQUIRE(fmmbParams != nullptr,
                  "FMMB sweeps need an FmmbParamsFactory");
@@ -77,7 +88,7 @@ core::RunConfig runConfigFor(const SweepSpec& spec, const RunPoint& point) {
   config.scheduler.kind = spec.schedulers[point.schedIdx];
   config.scheduler.lowerBoundLineLength = spec.lowerBoundLineLength;
   config.seed = point.seed;
-  config.recordTrace = spec.recordTrace;
+  config.recordTrace = spec.recordTrace || spec.check != CheckMode::kOff;
   config.limits.stopOnSolve = spec.stopOnSolve;
   config.limits.maxTime = spec.maxTime;
   config.limits.maxEvents = spec.maxEvents;

@@ -53,6 +53,20 @@ struct MacParamsSpec {
 /// FMMB constants per generated network (consulted for kFmmb only).
 using FmmbParamsFactory = std::function<core::FmmbParams(NodeId n, int k)>;
 
+/// Per-run trace checking inside sweeps.  Any mode other than kOff
+/// forces trace recording for every run and re-validates the recorded
+/// execution before the trace is dropped; violations are carried on
+/// the RunRecord and aggregated per cell (and into the CSV/JSON
+/// emitters), so a sweep doubles as a model-checking campaign.
+enum class CheckMode : std::uint8_t {
+  kOff,   ///< no checking (default)
+  kMac,   ///< Section 3.2.1 MAC axioms only (mac::checkTrace)
+  kFull,  ///< MAC + MMB + protocol oracles (check::checkExecution)
+};
+
+/// Emitter/debug label ("off", "mac", "full").
+std::string toString(CheckMode mode);
+
 /// One declarative sweep: the full cross product of the axes below,
 /// with `seedsPerCell()` repetitions of every cell.
 struct SweepSpec {
@@ -73,6 +87,12 @@ struct SweepSpec {
   // Per-run execution controls (RunConfig fields not on the grid).
   bool stopOnSolve = true;
   bool recordTrace = false;
+  /// Per-run trace checking (forces trace recording when not kOff).
+  CheckMode check = CheckMode::kOff;
+  /// Retain each checked run's canonical trace serialization on its
+  /// RunRecord (golden-snapshot workflows; requires check != kOff and
+  /// the runner's keepRunRecords).
+  bool keepCanonicalTraces = false;
   Time maxTime = kTimeNever;
   std::uint64_t maxEvents = 100'000'000;
   /// BMMB queue discipline (consulted for kBmmb only).

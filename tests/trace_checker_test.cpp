@@ -206,5 +206,107 @@ TEST(TraceChecker, RcvForUnknownInstance) {
   EXPECT_FALSE(checkTrace(topo, stdParams(), t).ok);
 }
 
+TEST(TraceChecker, RcvExactlyAtTheEpsAbortBoundary) {
+  // The grace period is inclusive: a receive at termAt + epsAbort is
+  // the last legal instant, one tick later is the first illegal one.
+  const auto topo = gen::identityDual(gen::line(2));
+  auto params = stdParams();
+  params.epsAbort = 3;
+  Trace boundary;
+  boundary.add({0, TraceKind::kBcast, 0, 0, kNoMsg});
+  boundary.add({2, TraceKind::kAbort, 0, 0, kNoMsg});
+  boundary.add({5, TraceKind::kRcv, 1, 0, kNoMsg});  // t = termAt + epsAbort
+  const auto ok = checkTrace(topo, params, boundary);
+  EXPECT_TRUE(ok.ok) << ok.summary();
+
+  Trace past;
+  past.add({0, TraceKind::kBcast, 0, 0, kNoMsg});
+  past.add({2, TraceKind::kAbort, 0, 0, kNoMsg});
+  past.add({6, TraceKind::kRcv, 1, 0, kNoMsg});  // one tick beyond
+  const auto bad = checkTrace(topo, params, past);
+  ASSERT_FALSE(bad.ok);
+  ASSERT_EQ(bad.records.size(), 1u);
+  EXPECT_EQ(bad.records[0].axiom, "rcv-after-abort");
+  EXPECT_EQ(bad.records[0].instance, 0);
+  EXPECT_EQ(bad.records[0].node, 1);
+  EXPECT_EQ(bad.records[0].time, 6);
+}
+
+TEST(TraceChecker, InFlightInstanceWithExpiredFackBudgetAtHorizon) {
+  const auto topo = gen::identityDual(gen::line(2));
+  const auto params = stdParams(4, 32);
+  Trace t;
+  t.add({0, TraceKind::kBcast, 0, 0, kNoMsg});
+  t.add({4, TraceKind::kRcv, 1, 0, kNoMsg});  // progress satisfied
+
+  // Budget expires exactly at the horizon: still legal (the ack may
+  // land on the closing tick of the observation window).
+  EXPECT_TRUE(checkTrace(topo, params, t, /*horizon=*/32).ok);
+
+  // One tick past the budget: the instance can no longer terminate in
+  // time — a termination violation with the expiry timestamp.
+  const auto res = checkTrace(topo, params, t, /*horizon=*/33);
+  ASSERT_FALSE(res.ok);
+  ASSERT_EQ(res.records.size(), 1u);
+  EXPECT_EQ(res.records[0].axiom, "termination");
+  EXPECT_EQ(res.records[0].instance, 0);
+  EXPECT_EQ(res.records[0].node, 0);
+  EXPECT_EQ(res.records[0].time, 32);  // bcastAt + Fack
+  EXPECT_NE(res.summary().find("never terminated"), std::string::npos);
+}
+
+TEST(TraceChecker, NeverHorizonOnAnEmptyTrace) {
+  // kTimeNever horizon + no records: the window collapses to t = 0 and
+  // the verdict is a clean pass, not an out-of-range access.
+  const auto topo = gen::identityDual(gen::line(3));
+  const Trace empty;
+  const auto res = checkTrace(topo, stdParams(), empty, kTimeNever);
+  EXPECT_TRUE(res.ok);
+  EXPECT_TRUE(res.violations.empty());
+  EXPECT_TRUE(res.records.empty());
+  EXPECT_EQ(res.summary(), "ok");
+}
+
+TEST(TraceChecker, SummaryIsDefensiveWithoutRecordedViolations) {
+  // A result marked failed with no recorded violations (e.g. built by
+  // an aggregator) must not touch violations.front().
+  CheckResult result;
+  result.ok = false;
+  EXPECT_EQ(result.summary(), "no violations recorded");
+  result.violations.push_back("boom");
+  EXPECT_EQ(result.summary(), "boom");
+  result.ok = true;
+  EXPECT_EQ(result.summary(), "ok");
+}
+
+TEST(TraceChecker, StructuredRecordsParallelTheMessages) {
+  const auto topo = gen::identityDual(gen::line(3));
+  Trace t;
+  t.add({0, TraceKind::kBcast, 0, 0, kNoMsg});
+  t.add({1, TraceKind::kRcv, 2, 0, kNoMsg});  // outside G'
+  t.add({2, TraceKind::kRcv, 1, 0, kNoMsg});
+  t.add({40, TraceKind::kAck, 0, 0, kNoMsg});  // past Fack = 32
+  const auto res = checkTrace(topo, stdParams(), t);
+  ASSERT_FALSE(res.ok);
+  ASSERT_EQ(res.records.size(), res.violations.size());
+  bool sawOffGPrime = false;
+  bool sawAckBound = false;
+  for (std::size_t i = 0; i < res.records.size(); ++i) {
+    EXPECT_EQ(res.records[i].detail, res.violations[i]);
+    if (res.records[i].axiom == "rcv-off-gprime") {
+      sawOffGPrime = true;
+      EXPECT_EQ(res.records[i].node, 2);
+      EXPECT_EQ(res.records[i].time, 1);
+    }
+    if (res.records[i].axiom == "ack-bound") {
+      sawAckBound = true;
+      EXPECT_EQ(res.records[i].node, 0);
+      EXPECT_EQ(res.records[i].time, 40);
+    }
+  }
+  EXPECT_TRUE(sawOffGPrime);
+  EXPECT_TRUE(sawAckBound);
+}
+
 }  // namespace
 }  // namespace ammb::mac

@@ -1,0 +1,161 @@
+// ammb_fuzz — the fuzz campaign / golden snapshot driver.
+//
+//   ammb_fuzz [--iterations N] [--seed S] [--mutation none|late-ack|off-gprime]
+//             [--max-n N] [--bmmb-only] [--json PATH]
+//             [--golden-dir DIR] [--update-golden] [--check-golden]
+//
+// Default: run an honest fuzz campaign and exit non-zero iff any oracle
+// reported a violation (printing every shrunk counterexample).  With a
+// mutation, the exit logic flips: the run fails iff the oracles did
+// NOT catch the broken scheduler.  --json writes a BENCH_fuzz.json
+// summary (executions, violations, coverage) for CI health tracking;
+// the golden flags regenerate or verify the canonical snapshot suite.
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "check/fuzzer.h"
+#include "check/golden.h"
+
+namespace {
+
+using namespace ammb;
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--iterations N] [--seed S] [--mutation NAME] [--max-n N]\n"
+               "       [--bmmb-only] [--json PATH] [--golden-dir DIR]\n"
+               "       [--update-golden] [--check-golden]\n";
+  return 2;
+}
+
+void writeJsonSummary(const std::string& path, const check::FuzzSpec& spec,
+                      const check::FuzzResult& result, double wallSeconds) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.good()) {
+    std::cerr << "cannot write " << path << "\n";
+    return;
+  }
+  out << "{\n"
+      << "  \"bench\": \"fuzz\",\n"
+      << "  \"master_seed\": " << spec.masterSeed << ",\n"
+      << "  \"mutation\": \"" << toString(spec.mutation) << "\",\n"
+      << "  \"executions\": " << result.executions << ",\n"
+      << "  \"violations\": " << result.violations << ",\n"
+      << "  \"counterexamples\": " << result.counterexamples.size() << ",\n"
+      << "  \"wall_seconds\": " << wallSeconds << ",\n"
+      << "  \"coverage\": {";
+  bool first = true;
+  for (const auto& [label, count] : result.coverage) {
+    out << (first ? "\n" : ",\n") << "    \"" << label << "\": " << count;
+    first = false;
+  }
+  out << "\n  }\n}\n";
+  std::cout << "wrote " << path << "\n";
+}
+
+/// Regenerates or verifies the canonical snapshot suite.
+int runGoldens(const std::string& dir, bool update) {
+  check::GoldenStore store(dir);
+  int failures = 0;
+  for (const check::GoldenCase& gc : check::goldenCaseSuite()) {
+    const check::ExecutionOutcome outcome =
+        check::runCase(gc.fuzzCase, check::SchedulerMutation::kNone,
+                       /*keepCanonicalTrace=*/true);
+    if (!outcome.error.empty()) {
+      std::cerr << gc.name << ": run threw: " << outcome.error << "\n";
+      ++failures;
+      continue;
+    }
+    if (!outcome.report.ok) {
+      std::cerr << gc.name << ": oracle violation: "
+                << outcome.report.summary() << "\n";
+      ++failures;
+      continue;
+    }
+    const std::string document = check::goldenDocument(gc, outcome);
+    const auto comparison = store.check(gc.name, document, update);
+    if (comparison.ok()) {
+      std::cout << gc.name << ": "
+                << (update ? comparison.message : "match") << "\n";
+    } else {
+      std::cerr << gc.name << ": " << comparison.message << "\n";
+      ++failures;
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  check::FuzzSpec spec;
+  std::string jsonPath;
+  std::string goldenDir;
+  bool updateGolden = false;
+  bool checkGolden = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << arg << " needs a value\n";
+        std::exit(usage(argv[0]));
+      }
+      return argv[++i];
+    };
+    if (arg == "--iterations") spec.iterations = std::stoi(value());
+    else if (arg == "--seed") spec.masterSeed = std::stoull(value());
+    else if (arg == "--mutation")
+      spec.mutation = check::mutationFromString(value());
+    else if (arg == "--max-n")
+      spec.maxN = static_cast<NodeId>(std::stoi(value()));
+    else if (arg == "--bmmb-only")
+      spec.protocols = {core::ProtocolKind::kBmmb};
+    else if (arg == "--json") jsonPath = value();
+    else if (arg == "--golden-dir") goldenDir = value();
+    else if (arg == "--update-golden") updateGolden = true;
+    else if (arg == "--check-golden") checkGolden = true;
+    else return usage(argv[0]);
+  }
+
+  if (updateGolden || checkGolden) {
+    if (goldenDir.empty()) {
+      std::cerr << "golden modes need --golden-dir\n";
+      return usage(argv[0]);
+    }
+    return runGoldens(goldenDir, updateGolden);
+  }
+
+  const auto started = std::chrono::steady_clock::now();
+  const check::FuzzResult result = check::runFuzz(spec);
+  const double wallSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
+          .count();
+
+  std::cout << "fuzz: " << result.executions << " executions, "
+            << result.violations << " violations ("
+            << toString(spec.mutation) << " mutation) in " << wallSeconds
+            << "s\n";
+  for (const auto& [label, count] : result.coverage) {
+    std::cout << "  " << label << ": " << count << "\n";
+  }
+  for (const check::Counterexample& ce : result.counterexamples) {
+    std::cout << ce.describe();
+  }
+  if (!jsonPath.empty()) {
+    writeJsonSummary(jsonPath, spec, result, wallSeconds);
+  }
+
+  if (spec.mutation == check::SchedulerMutation::kNone) {
+    return result.ok() ? 0 : 1;
+  }
+  // Mutation campaigns are negative tests of the oracles themselves.
+  if (result.violations == 0) {
+    std::cerr << "mutation " << toString(spec.mutation)
+              << " produced zero violations — the oracles missed it\n";
+    return 1;
+  }
+  return 0;
+}
