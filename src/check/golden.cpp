@@ -9,16 +9,6 @@ namespace ammb::check {
 
 namespace {
 
-const char* statusName(sim::RunStatus status) {
-  switch (status) {
-    case sim::RunStatus::kDrained: return "drained";
-    case sim::RunStatus::kStopped: return "stopped";
-    case sim::RunStatus::kTimeLimit: return "time-limit";
-    case sim::RunStatus::kEventLimit: return "event-limit";
-  }
-  return "?";
-}
-
 /// First line on which the two documents differ (1-based), with both
 /// sides' text — enough context to read a golden diff in CI output.
 std::string firstDiff(const std::string& expected, const std::string& actual) {
@@ -88,7 +78,7 @@ std::string canonicalRunResult(const core::RunResult& result) {
   else out << result.solveTime;
   out << '\n';
   out << "end_time=" << result.endTime << '\n';
-  out << "status=" << statusName(result.status) << '\n';
+  out << "status=" << sim::toString(result.status) << '\n';
   out << "bcasts=" << result.stats.bcasts << " rcvs=" << result.stats.rcvs
       << " forced_rcvs=" << result.stats.forcedRcvs
       << " acks=" << result.stats.acks << " aborts=" << result.stats.aborts

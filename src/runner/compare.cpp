@@ -1,0 +1,101 @@
+#include "runner/compare.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ammb::runner {
+
+namespace {
+
+using json::Value;
+
+std::string describe(const Value& v) {
+  if (v.isString()) return "\"" + v.asString() + "\"";
+  return json::dump(v).substr(0, 80);
+}
+
+const char* kindName(const Value& v) {
+  if (v.isNull()) return "null";
+  if (v.isBool()) return "bool";
+  if (v.isNumber()) return "number";
+  if (v.isString()) return "string";
+  if (v.isArray()) return "array";
+  return "object";
+}
+
+void diff(const Value& baseline, const Value& candidate,
+          const CompareOptions& options, const std::string& path,
+          std::vector<Difference>& out) {
+  // Numbers compare numerically (an int baseline may legitimately
+  // become a double within tolerance); every other type must match
+  // kind exactly.
+  if (baseline.isNumber() && candidate.isNumber()) {
+    const double a = baseline.asDouble();
+    const double b = candidate.asDouble();
+    const double slack =
+        options.absTol + options.relTol * std::max(std::fabs(a), std::fabs(b));
+    if (std::fabs(a - b) > slack) {
+      out.push_back({path, "baseline " + describe(baseline) + " vs " +
+                               describe(candidate) + " (|delta| " +
+                               json::numberToString(std::fabs(a - b)) +
+                               " > tolerance " + json::numberToString(slack) +
+                               ")"});
+    }
+    return;
+  }
+  if (std::string(kindName(baseline)) != kindName(candidate)) {
+    out.push_back({path, std::string("baseline is ") + kindName(baseline) +
+                             ", candidate is " + kindName(candidate)});
+    return;
+  }
+  if (baseline.isArray()) {
+    const json::Array& a = baseline.asArray();
+    const json::Array& b = candidate.asArray();
+    if (a.size() != b.size()) {
+      out.push_back({path, "baseline has " + std::to_string(a.size()) +
+                               " elements, candidate has " +
+                               std::to_string(b.size())});
+      return;
+    }
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      diff(a[i], b[i], options, path + "[" + std::to_string(i) + "]", out);
+    }
+    return;
+  }
+  if (baseline.isObject()) {
+    const json::Object& a = baseline.asObject();
+    for (const json::Member& m : a) {
+      const Value* other = candidate.find(m.first);
+      const std::string memberPath =
+          path.empty() ? m.first : path + "." + m.first;
+      if (other == nullptr) {
+        out.push_back({memberPath, "missing from candidate"});
+        continue;
+      }
+      diff(m.second, *other, options, memberPath, out);
+    }
+    for (const json::Member& m : candidate.asObject()) {
+      if (baseline.find(m.first) == nullptr) {
+        out.push_back({path.empty() ? m.first : path + "." + m.first,
+                       "not present in baseline"});
+      }
+    }
+    return;
+  }
+  if (baseline != candidate) {
+    out.push_back({path, "baseline " + describe(baseline) + " vs " +
+                             describe(candidate)});
+  }
+}
+
+}  // namespace
+
+std::vector<Difference> compareResults(const json::Value& baseline,
+                                       const json::Value& candidate,
+                                       const CompareOptions& options) {
+  std::vector<Difference> out;
+  diff(baseline, candidate, options, "", out);
+  return out;
+}
+
+}  // namespace ammb::runner

@@ -1,0 +1,43 @@
+// Result-document comparison with tolerances — the CI gate primitive.
+//
+// `ammb_sweep compare` diffs the JSON document emitJson produced for a
+// fresh sweep against a committed baseline and exits nonzero on any
+// out-of-tolerance difference, which is what lets CI fail a PR that
+// changes simulated behaviour.  The diff is structural, not textual:
+// objects match by key (reordering is not a regression), arrays by
+// index, and numbers within the configured relative/absolute
+// tolerance, so a baseline survives cosmetic emitter changes but not a
+// changed measurement.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "runner/json.h"
+
+namespace ammb::runner {
+
+/// Numeric slack for compareResults.  A pair of numbers a (baseline)
+/// and b (candidate) matches when
+///   |a - b| <= absTol + relTol * max(|a|, |b|).
+/// The defaults demand exact equality — sweeps are deterministic; any
+/// slack is an explicit, visible decision on the CI command line.
+struct CompareOptions {
+  double relTol = 0.0;
+  double absTol = 0.0;
+};
+
+/// One out-of-tolerance difference.
+struct Difference {
+  std::string path;    ///< JSON path, e.g. "cells[3].mean_solve"
+  std::string detail;  ///< human-readable "baseline ... vs ..." message
+};
+
+/// Structural diff of two parsed documents; empty result means the
+/// candidate matches the baseline within tolerance.
+std::vector<Difference> compareResults(const json::Value& baseline,
+                                       const json::Value& candidate,
+                                       const CompareOptions& options = {});
+
+}  // namespace ammb::runner

@@ -27,39 +27,16 @@ std::string csvEscape(const std::string& s) {
   return out;
 }
 
-std::string jsonEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buffer[8];
-          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
-          out += buffer;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
-const char* statusName(sim::RunStatus status) {
-  switch (status) {
-    case sim::RunStatus::kDrained: return "drained";
-    case sim::RunStatus::kStopped: return "stopped";
-    case sim::RunStatus::kTimeLimit: return "time-limit";
-    case sim::RunStatus::kEventLimit: return "event-limit";
-  }
-  return "?";
-}
-
 }  // namespace
+
+sim::RunStatus runStatusFromString(const std::string& name) {
+  for (sim::RunStatus status :
+       {sim::RunStatus::kDrained, sim::RunStatus::kStopped,
+        sim::RunStatus::kTimeLimit, sim::RunStatus::kEventLimit}) {
+    if (name == sim::toString(status)) return status;
+  }
+  throw Error("unknown run status \"" + name + "\"");
+}
 
 void emitCellsCsv(const SweepResult& result, std::ostream& out) {
   out << "sweep,protocol,workload,topology,scheduler,k,mac,seed_begin,"
@@ -98,7 +75,7 @@ void emitRunsCsv(const SweepResult& result, std::ostream& out) {
     // kTimeNever would print as a 19-digit integer; unsolved runs emit
     // an empty solve-time field instead.
     if (r.result.solved) out << r.result.solveTime;
-    out << ',' << r.result.endTime << ',' << statusName(r.result.status)
+    out << ',' << r.result.endTime << ',' << sim::toString(r.result.status)
         << ',' << r.result.messages.completed << ','
         << r.result.messages.p50Latency << ','
         << r.result.messages.p95Latency << ','
@@ -113,17 +90,17 @@ void emitRunsCsv(const SweepResult& result, std::ostream& out) {
 
 void emitJson(const SweepResult& result, std::ostream& out) {
   out << "{\n"
-      << "  \"sweep\": \"" << jsonEscape(result.name) << "\",\n"
+      << "  \"sweep\": \"" << json::escape(result.name) << "\",\n"
       << "  \"protocol\": \"" << core::toString(result.protocol) << "\",\n"
       << "  \"seed_begin\": " << result.seedBegin << ",\n"
       << "  \"seed_end\": " << result.seedEnd << ",\n"
       << "  \"cells\": [\n";
   for (std::size_t i = 0; i < result.cells.size(); ++i) {
     const CellAggregate& c = result.cells[i];
-    out << "    {\"topology\": \"" << jsonEscape(c.topology)
-        << "\", \"scheduler\": \"" << jsonEscape(c.scheduler)
-        << "\", \"k\": " << c.k << ", \"mac\": \"" << jsonEscape(c.mac)
-        << "\", \"workload\": \"" << jsonEscape(c.workload)
+    out << "    {\"topology\": \"" << json::escape(c.topology)
+        << "\", \"scheduler\": \"" << json::escape(c.scheduler)
+        << "\", \"k\": " << c.k << ", \"mac\": \"" << json::escape(c.mac)
+        << "\", \"workload\": \"" << json::escape(c.workload)
         << "\", \"runs\": " << c.runs << ", \"solved\": " << c.solved
         << ", \"errors\": " << c.errors << ", \"min_solve\": " << c.minSolve
         << ", \"median_solve\": " << c.medianSolve
@@ -155,10 +132,374 @@ std::string cellsCsv(const SweepResult& result) {
   return out.str();
 }
 
+std::string runsCsv(const SweepResult& result) {
+  std::ostringstream out;
+  emitRunsCsv(result, out);
+  return out.str();
+}
+
 std::string toJson(const SweepResult& result) {
   std::ostringstream out;
   emitJson(result, out);
   return out.str();
+}
+
+// --- mergeable per-run records ----------------------------------------------
+
+namespace {
+
+using json::Array;
+using json::Object;
+using json::Value;
+
+std::string hexU64(std::uint64_t v) {
+  char buffer[20];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(v));
+  return buffer;
+}
+
+std::uint64_t parseHexU64(const std::string& text,
+                          const std::string& context) {
+  AMMB_REQUIRE(!text.empty() && text.size() <= 16,
+               context + " must be 1-16 hex digits");
+  std::uint64_t v = 0;
+  for (char c : text) {
+    v <<= 4;
+    if (c >= '0' && c <= '9') v |= static_cast<std::uint64_t>(c - '0');
+    else if (c >= 'a' && c <= 'f') v |= static_cast<std::uint64_t>(c - 'a' + 10);
+    else if (c >= 'A' && c <= 'F') v |= static_cast<std::uint64_t>(c - 'A' + 10);
+    else throw Error(context + " must be hex (got \"" + text + "\")");
+  }
+  return v;
+}
+
+const Value& member(const Value& object, const std::string& key,
+                    const std::string& context) {
+  if (!object.isObject()) {
+    throw Error(context + " must be a JSON object");
+  }
+  const Value* v = object.find(key);
+  if (v == nullptr) {
+    throw Error(context + " is missing field \"" + key + "\"");
+  }
+  return *v;
+}
+
+std::size_t memberSize(const Value& object, const std::string& key,
+                       const std::string& context) {
+  const std::int64_t v = member(object, key, context).asInt(context + "." + key);
+  AMMB_REQUIRE(v >= 0, context + "." + key + " must be non-negative");
+  return static_cast<std::size_t>(v);
+}
+
+}  // namespace
+
+json::Value recordToJson(const RunRecord& record) {
+  Object o;
+  o.emplace_back("run_index", record.point.runIndex);
+  o.emplace_back("cell_index", record.point.cellIndex);
+  o.emplace_back("topo_idx", record.point.topoIdx);
+  o.emplace_back("sched_idx", record.point.schedIdx);
+  o.emplace_back("k_idx", record.point.kIdx);
+  o.emplace_back("mac_idx", record.point.macIdx);
+  o.emplace_back("wl_idx", record.point.wlIdx);
+  o.emplace_back("seed", static_cast<std::int64_t>(record.point.seed));
+  o.emplace_back("error", record.error);
+  o.emplace_back("solved", record.result.solved);
+  o.emplace_back("solve_time", record.result.solveTime);
+  o.emplace_back("end_time", record.result.endTime);
+  o.emplace_back("status", sim::toString(record.result.status));
+
+  Object stats;
+  stats.emplace_back("bcasts", static_cast<std::int64_t>(record.result.stats.bcasts));
+  stats.emplace_back("rcvs", static_cast<std::int64_t>(record.result.stats.rcvs));
+  stats.emplace_back("forced_rcvs",
+                     static_cast<std::int64_t>(record.result.stats.forcedRcvs));
+  stats.emplace_back("acks", static_cast<std::int64_t>(record.result.stats.acks));
+  stats.emplace_back("aborts",
+                     static_cast<std::int64_t>(record.result.stats.aborts));
+  stats.emplace_back("delivers",
+                     static_cast<std::int64_t>(record.result.stats.delivers));
+  stats.emplace_back("arrives",
+                     static_cast<std::int64_t>(record.result.stats.arrives));
+  o.emplace_back("stats", std::move(stats));
+
+  const core::MessageMetrics& mm = record.result.messages;
+  Object messages;
+  messages.emplace_back("arrived", static_cast<std::int64_t>(mm.arrived));
+  messages.emplace_back("completed", static_cast<std::int64_t>(mm.completed));
+  messages.emplace_back("p50_latency", mm.p50Latency);
+  messages.emplace_back("p95_latency", mm.p95Latency);
+  messages.emplace_back("max_latency", mm.maxLatency);
+  messages.emplace_back("mean_latency", mm.meanLatency);
+  Array perMessage;
+  for (const core::MessageMetric& pm : mm.perMessage) {
+    Array entry;
+    entry.emplace_back(static_cast<std::int64_t>(pm.msg));
+    entry.emplace_back(pm.arriveAt);
+    entry.emplace_back(pm.completeAt);
+    perMessage.emplace_back(std::move(entry));
+  }
+  messages.emplace_back("per_message", std::move(perMessage));
+  o.emplace_back("messages", std::move(messages));
+
+  o.emplace_back("checked", record.checked);
+  o.emplace_back("trace_hash", hexU64(record.traceHash));
+  Array violations;
+  for (const std::string& v : record.checkViolations) {
+    violations.emplace_back(v);
+  }
+  o.emplace_back("check_violations", std::move(violations));
+  o.emplace_back("canonical_trace", record.canonicalTrace);
+  return Value(std::move(o));
+}
+
+RunRecord recordFromJson(const json::Value& value,
+                         const std::string& context) {
+  RunRecord record;
+  record.point.runIndex = memberSize(value, "run_index", context);
+  record.point.cellIndex = memberSize(value, "cell_index", context);
+  record.point.topoIdx = memberSize(value, "topo_idx", context);
+  record.point.schedIdx = memberSize(value, "sched_idx", context);
+  record.point.kIdx = memberSize(value, "k_idx", context);
+  record.point.macIdx = memberSize(value, "mac_idx", context);
+  record.point.wlIdx = memberSize(value, "wl_idx", context);
+  record.point.seed = static_cast<std::uint64_t>(
+      member(value, "seed", context).asInt(context + ".seed"));
+  record.error = member(value, "error", context).asString(context + ".error");
+  record.result.solved =
+      member(value, "solved", context).asBool(context + ".solved");
+  record.result.solveTime =
+      member(value, "solve_time", context).asInt(context + ".solve_time");
+  record.result.endTime =
+      member(value, "end_time", context).asInt(context + ".end_time");
+  record.result.status = runStatusFromString(
+      member(value, "status", context).asString(context + ".status"));
+
+  const Value& stats = member(value, "stats", context);
+  const std::string statsContext = context + ".stats";
+  record.result.stats.bcasts = static_cast<std::uint64_t>(
+      member(stats, "bcasts", statsContext).asInt(statsContext));
+  record.result.stats.rcvs = static_cast<std::uint64_t>(
+      member(stats, "rcvs", statsContext).asInt(statsContext));
+  record.result.stats.forcedRcvs = static_cast<std::uint64_t>(
+      member(stats, "forced_rcvs", statsContext).asInt(statsContext));
+  record.result.stats.acks = static_cast<std::uint64_t>(
+      member(stats, "acks", statsContext).asInt(statsContext));
+  record.result.stats.aborts = static_cast<std::uint64_t>(
+      member(stats, "aborts", statsContext).asInt(statsContext));
+  record.result.stats.delivers = static_cast<std::uint64_t>(
+      member(stats, "delivers", statsContext).asInt(statsContext));
+  record.result.stats.arrives = static_cast<std::uint64_t>(
+      member(stats, "arrives", statsContext).asInt(statsContext));
+
+  const Value& messages = member(value, "messages", context);
+  const std::string mmContext = context + ".messages";
+  core::MessageMetrics& mm = record.result.messages;
+  mm.arrived = static_cast<std::uint64_t>(
+      member(messages, "arrived", mmContext).asInt(mmContext));
+  mm.completed = static_cast<std::uint64_t>(
+      member(messages, "completed", mmContext).asInt(mmContext));
+  mm.p50Latency =
+      member(messages, "p50_latency", mmContext).asInt(mmContext);
+  mm.p95Latency =
+      member(messages, "p95_latency", mmContext).asInt(mmContext);
+  mm.maxLatency =
+      member(messages, "max_latency", mmContext).asInt(mmContext);
+  mm.meanLatency =
+      member(messages, "mean_latency", mmContext).asDouble(mmContext);
+  for (const Value& entry :
+       member(messages, "per_message", mmContext).asArray(mmContext)) {
+    const Array& triple = entry.asArray(mmContext + ".per_message[]");
+    AMMB_REQUIRE(triple.size() == 3,
+                 mmContext + ".per_message entries must be [msg, arrive_at, "
+                             "complete_at] triples");
+    core::MessageMetric pm;
+    pm.msg = static_cast<MsgId>(triple[0].asInt(mmContext));
+    pm.arriveAt = triple[1].asInt(mmContext);
+    pm.completeAt = triple[2].asInt(mmContext);
+    mm.perMessage.push_back(pm);
+  }
+
+  record.checked =
+      member(value, "checked", context).asBool(context + ".checked");
+  record.traceHash = parseHexU64(
+      member(value, "trace_hash", context).asString(context + ".trace_hash"),
+      context + ".trace_hash");
+  for (const Value& v : member(value, "check_violations", context)
+                            .asArray(context + ".check_violations")) {
+    record.checkViolations.push_back(
+        v.asString(context + ".check_violations[]"));
+  }
+  record.canonicalTrace = member(value, "canonical_trace", context)
+                              .asString(context + ".canonical_trace");
+  return record;
+}
+
+// --- shard documents --------------------------------------------------------
+
+void emitShardJson(const ShardDoc& doc, std::ostream& out) {
+  doc.shard.validate();
+  out << "{\n"
+      << "  \"sweep\": \"" << json::escape(doc.sweep) << "\",\n"
+      << "  \"spec_fingerprint\": \"" << json::escape(doc.specFingerprint)
+      << "\",\n"
+      << "  \"shard_index\": " << doc.shard.index << ",\n"
+      << "  \"shard_count\": " << doc.shard.count << ",\n"
+      << "  \"run_count\": " << doc.runCount << ",\n"
+      << "  \"runs\": [";
+  for (std::size_t i = 0; i < doc.records.size(); ++i) {
+    out << (i == 0 ? "\n    " : ",\n    ");
+    json::dump(recordToJson(doc.records[i]), out);
+  }
+  out << "\n  ]\n}\n";
+}
+
+std::string shardJson(const ShardDoc& doc) {
+  std::ostringstream out;
+  emitShardJson(doc, out);
+  return out.str();
+}
+
+ShardDoc parseShardJson(const std::string& text) {
+  const Value root = json::parse(text);
+  const std::string context = "shard document";
+  ShardDoc doc;
+  doc.sweep = member(root, "sweep", context).asString(context + ".sweep");
+  doc.specFingerprint = member(root, "spec_fingerprint", context)
+                            .asString(context + ".spec_fingerprint");
+  doc.shard.index = memberSize(root, "shard_index", context);
+  doc.shard.count = memberSize(root, "shard_count", context);
+  doc.shard.validate();
+  doc.runCount = memberSize(root, "run_count", context);
+  const Array& runs =
+      member(root, "runs", context).asArray(context + ".runs");
+  doc.records.reserve(runs.size());
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    doc.records.push_back(
+        recordFromJson(runs[i], "runs[" + std::to_string(i) + "]"));
+  }
+  return doc;
+}
+
+std::vector<RunRecord> mergeShardRecords(const SweepSpec& spec,
+                                         const std::string& fingerprint,
+                                         std::vector<ShardDoc> shards) {
+  AMMB_REQUIRE(!shards.empty(), "merge needs at least one shard document");
+  const std::size_t runCount = spec.runCount();
+  const std::size_t shardCount = shards.front().shard.count;
+  AMMB_REQUIRE(shards.size() == shardCount,
+               "merge needs all " + std::to_string(shardCount) +
+                   " shard documents (got " + std::to_string(shards.size()) +
+                   ")");
+
+  std::vector<bool> seenShard(shardCount, false);
+  std::vector<bool> seenRun(runCount, false);
+  std::vector<RunRecord> merged;
+  merged.reserve(runCount);
+  for (ShardDoc& doc : shards) {
+    AMMB_REQUIRE(doc.sweep == spec.name,
+                 "shard document is for sweep \"" + doc.sweep +
+                     "\", expected \"" + spec.name + "\"");
+    AMMB_REQUIRE(doc.specFingerprint == fingerprint,
+                 "shard document spec fingerprint " + doc.specFingerprint +
+                     " does not match the spec (" + fingerprint +
+                     ") — regenerate the shard outputs");
+    AMMB_REQUIRE(doc.shard.count == shardCount,
+                 "shard documents disagree on the shard count");
+    AMMB_REQUIRE(doc.runCount == runCount,
+                 "shard document was produced from a grid of " +
+                     std::to_string(doc.runCount) + " runs, expected " +
+                     std::to_string(runCount));
+    AMMB_REQUIRE(!seenShard[doc.shard.index],
+                 "duplicate shard " + doc.shard.toString());
+    seenShard[doc.shard.index] = true;
+    for (RunRecord& record : doc.records) {
+      const std::size_t i = record.point.runIndex;
+      AMMB_REQUIRE(i < runCount, "shard record run index " +
+                                     std::to_string(i) + " out of range");
+      AMMB_REQUIRE(doc.shard.ownsRun(i),
+                   "run " + std::to_string(i) + " does not belong to shard " +
+                       doc.shard.toString());
+      AMMB_REQUIRE(!seenRun[i],
+                   "run " + std::to_string(i) + " appears twice");
+      seenRun[i] = true;
+      merged.push_back(std::move(record));
+    }
+  }
+  for (std::size_t i = 0; i < runCount; ++i) {
+    AMMB_REQUIRE(seenRun[i], "run " + std::to_string(i) +
+                                 " is missing from the shard outputs");
+  }
+  return merged;
+}
+
+// --- run journal ------------------------------------------------------------
+
+std::string journalHeaderLine(const JournalHeader& header) {
+  Object o;
+  o.emplace_back("journal", header.sweep);
+  o.emplace_back("spec_fingerprint", header.specFingerprint);
+  o.emplace_back("shard_index", header.shard.index);
+  o.emplace_back("shard_count", header.shard.count);
+  o.emplace_back("run_count", header.runCount);
+  return json::dump(Value(std::move(o))) + "\n";
+}
+
+std::string journalRecordLine(const RunRecord& record) {
+  return json::dump(recordToJson(record)) + "\n";
+}
+
+void appendJournalRecord(std::ostream& out, const RunRecord& record) {
+  out << journalRecordLine(record);
+  out.flush();
+}
+
+JournalDoc parseJournal(const std::string& text) {
+  JournalDoc doc;
+  std::size_t pos = 0;
+  std::size_t lineNo = 0;
+  while (pos < text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    const bool terminated = eol != std::string::npos;
+    const std::string line =
+        text.substr(pos, terminated ? eol - pos : std::string::npos);
+    pos = terminated ? eol + 1 : text.size();
+    ++lineNo;
+    if (line.empty()) continue;
+
+    Value value;
+    try {
+      value = json::parse(line);
+    } catch (const std::exception& e) {
+      // Only the final, unterminated line may be damaged — that is the
+      // in-flight append a kill interrupts.  Anything else (including a
+      // broken header) is corruption the caller must know about.
+      if (!terminated && pos == text.size() && lineNo > 1) {
+        doc.truncatedTail = true;
+        break;
+      }
+      throw Error("journal line " + std::to_string(lineNo) +
+                  " is malformed: " + e.what());
+    }
+    const std::string context = "journal line " + std::to_string(lineNo);
+    if (lineNo == 1) {
+      doc.header.sweep =
+          member(value, "journal", context).asString(context + ".journal");
+      doc.header.specFingerprint =
+          member(value, "spec_fingerprint", context)
+              .asString(context + ".spec_fingerprint");
+      doc.header.shard.index = memberSize(value, "shard_index", context);
+      doc.header.shard.count = memberSize(value, "shard_count", context);
+      doc.header.shard.validate();
+      doc.header.runCount = memberSize(value, "run_count", context);
+      continue;
+    }
+    doc.records.push_back(recordFromJson(value, context));
+  }
+  AMMB_REQUIRE(lineNo >= 1, "journal is empty (no header line)");
+  return doc;
 }
 
 }  // namespace ammb::runner

@@ -1,4 +1,4 @@
-// Sweep result emitters.
+// Sweep result emitters and their inverses.
 //
 // One format for everything downstream: benches print these tables,
 // regression tooling diffs the CSV, and the JSON document carries the
@@ -6,11 +6,21 @@
 // deterministic fields (simulated quantities and grid labels) into data
 // rows, so two equal sweeps produce byte-identical output regardless of
 // thread count or wall-clock.
+//
+// The sharded sweep service adds *mergeable* per-run representations:
+// a RunRecord serializes losslessly to JSON (including the per-message
+// latency samples that pooled percentiles are computed from, and the
+// checked_runs/check_violations bookkeeping), so a shard output file or
+// a run journal can be parsed back and re-aggregated through
+// aggregateRecords() bit-identically to a never-serialized run.
 #pragma once
 
 #include <iosfwd>
 #include <string>
+#include <vector>
 
+#include "runner/json.h"
+#include "runner/shard.h"
 #include "runner/sweep_runner.h"
 
 namespace ammb::runner {
@@ -27,7 +37,85 @@ void emitJson(const SweepResult& result, std::ostream& out);
 /// Convenience: emitCellsCsv into a string (test/regression diffing).
 std::string cellsCsv(const SweepResult& result);
 
+/// Convenience: emitRunsCsv into a string.
+std::string runsCsv(const SweepResult& result);
+
 /// Convenience: emitJson into a string.
 std::string toJson(const SweepResult& result);
+
+/// Inverse of sim::toString(RunStatus) for the record codec.
+sim::RunStatus runStatusFromString(const std::string& name);
+
+// --- mergeable per-run records ----------------------------------------------
+
+/// Lossless JSON form of one RunRecord (grid coordinate, outcome,
+/// engine counters, per-message latency samples, checking results).
+json::Value recordToJson(const RunRecord& record);
+
+/// Inverse of recordToJson; throws ammb::Error on schema violations,
+/// naming `context` in the message.
+RunRecord recordFromJson(const json::Value& value,
+                         const std::string& context = "record");
+
+/// One shard's complete output: enough metadata to refuse a merge of
+/// mismatched inputs, plus every record the shard executed.
+struct ShardDoc {
+  std::string sweep;            ///< SweepSpec::name
+  std::string specFingerprint;  ///< specFingerprint() of the spec file
+  Shard shard;
+  std::size_t runCount = 0;  ///< full-grid run count (all shards)
+  std::vector<RunRecord> records;
+};
+
+/// Shard output document (records one-per-line for diffable files).
+void emitShardJson(const ShardDoc& doc, std::ostream& out);
+std::string shardJson(const ShardDoc& doc);
+ShardDoc parseShardJson(const std::string& text);
+
+/// Validates shard outputs against the spec (matching fingerprints and
+/// shard counts, distinct shard indices, every record owned by its
+/// shard, full grid covered exactly once) and returns the union of
+/// their records.  aggregateRecords() over the result is bit-identical
+/// to an unsharded run of the same spec.  Takes the docs by value so
+/// records (per-message samples, canonical traces) move, not copy.
+std::vector<RunRecord> mergeShardRecords(const SweepSpec& spec,
+                                         const std::string& fingerprint,
+                                         std::vector<ShardDoc> shards);
+
+// --- run journal (JSONL) ----------------------------------------------------
+
+/// First line of a journal file: identifies the spec (by fingerprint)
+/// and the shard the journal belongs to.
+struct JournalHeader {
+  std::string sweep;
+  std::string specFingerprint;
+  Shard shard;
+  std::size_t runCount = 0;
+};
+
+/// Parsed journal: header plus every intact record line.  A journal
+/// killed mid-append ends in a partial line; `truncatedTail` reports
+/// (and parseJournal tolerates) exactly one such trailing fragment.
+struct JournalDoc {
+  JournalHeader header;
+  std::vector<RunRecord> records;
+  bool truncatedTail = false;
+};
+
+/// The header line (newline-terminated).
+std::string journalHeaderLine(const JournalHeader& header);
+
+/// One record as a single JSONL line (newline-terminated).  Concurrent
+/// journal writers serialize with this off-lock and append under one.
+std::string journalRecordLine(const RunRecord& record);
+
+/// Appends one record as a single JSONL line and flushes, so a killed
+/// process loses at most the line being written.
+void appendJournalRecord(std::ostream& out, const RunRecord& record);
+
+/// Parses a journal's full text.  Throws on a malformed header or a
+/// malformed line in the middle; a single truncated final line is
+/// dropped (that is the crash the journal exists to survive).
+JournalDoc parseJournal(const std::string& text);
 
 }  // namespace ammb::runner

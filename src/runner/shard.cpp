@@ -1,0 +1,59 @@
+#include "runner/shard.h"
+
+#include <cctype>
+
+namespace ammb::runner {
+
+void Shard::validate() const {
+  AMMB_REQUIRE(count >= 1, "shard count must be at least 1");
+  AMMB_REQUIRE(index < count,
+               "shard index " + std::to_string(index) +
+                   " out of range for shard count " + std::to_string(count));
+}
+
+std::string Shard::toString() const {
+  return std::to_string(index) + "/" + std::to_string(count);
+}
+
+Shard parseShard(const std::string& text) {
+  const std::size_t slash = text.find('/');
+  AMMB_REQUIRE(slash != std::string::npos,
+               "shard must be spelled INDEX/COUNT (got \"" + text + "\")");
+  const std::string left = text.substr(0, slash);
+  const std::string right = text.substr(slash + 1);
+  const auto isNumber = [](const std::string& s) {
+    if (s.empty()) return false;
+    for (char c : s) {
+      if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+    }
+    return true;
+  };
+  AMMB_REQUIRE(isNumber(left) && isNumber(right),
+               "shard must be spelled INDEX/COUNT (got \"" + text + "\")");
+  Shard shard;
+  try {
+    shard.index = static_cast<std::size_t>(std::stoull(left));
+    shard.count = static_cast<std::size_t>(std::stoull(right));
+  } catch (const std::out_of_range&) {
+    throw Error("shard \"" + text + "\" is out of range");
+  }
+  shard.validate();
+  return shard;
+}
+
+std::vector<RunPoint> shardPoints(const std::vector<RunPoint>& points,
+                                  const Shard& shard) {
+  shard.validate();
+  std::vector<RunPoint> owned;
+  owned.reserve(points.size() / shard.count + 1);
+  for (const RunPoint& p : points) {
+    if (shard.ownsRun(p.runIndex)) owned.push_back(p);
+  }
+  return owned;
+}
+
+std::vector<RunPoint> shardRuns(const SweepSpec& spec, const Shard& shard) {
+  return shardPoints(enumerateRuns(spec), shard);
+}
+
+}  // namespace ammb::runner

@@ -1,0 +1,47 @@
+// Deterministic sharding of a SweepSpec's run grid.
+//
+// A shard is one of N equal-footing partitions of the RunPoint list
+// produced by enumerateRuns().  Assignment is by run index modulo the
+// shard count (round-robin), so every shard receives an interleaved
+// slice of every cell and the shards finish in comparable wall time
+// even when cells differ wildly in cost.  The partition is a pure
+// function of (runCount, shardCount): shard outputs can be merged in
+// any order and re-aggregated bit-identically to an unsharded run.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "runner/sweep_spec.h"
+
+namespace ammb::runner {
+
+/// One partition coordinate: shard `index` of `count`.
+struct Shard {
+  std::size_t index = 0;
+  std::size_t count = 1;
+
+  /// Throws ammb::Error unless 0 <= index < count.
+  void validate() const;
+
+  bool ownsRun(std::size_t runIndex) const { return runIndex % count == index; }
+  bool isWholeGrid() const { return count == 1; }
+
+  /// "i/N" (the CLI spelling).
+  std::string toString() const;
+};
+
+/// Parses the CLI spelling "i/N" (e.g. "0/4"); throws ammb::Error on
+/// malformed input or an out-of-range index.
+Shard parseShard(const std::string& text);
+
+/// The subset of `points` owned by `shard`, in run-index order.
+/// Shards over every index in [0, count) partition `points` exactly.
+std::vector<RunPoint> shardPoints(const std::vector<RunPoint>& points,
+                                  const Shard& shard);
+
+/// Convenience: enumerateRuns(spec) filtered to `shard`.
+std::vector<RunPoint> shardRuns(const SweepSpec& spec, const Shard& shard);
+
+}  // namespace ammb::runner

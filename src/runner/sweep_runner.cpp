@@ -110,59 +110,48 @@ const CellAggregate& SweepResult::cell(std::size_t cellIndex) const {
   return cells[cellIndex];
 }
 
-SweepResult SweepRunner::run(const SweepSpec& spec) const {
-  spec.validate();
-  const auto started = std::chrono::steady_clock::now();
-
-  const std::vector<RunPoint> points = enumerateRuns(spec);
-  std::vector<RunRecord> records(points.size());
-
-  int threads = options_.threads;
-  if (threads <= 0) {
-    threads = static_cast<int>(std::thread::hardware_concurrency());
-    if (threads <= 0) threads = 1;
-  }
-  threads = std::min<int>(threads, static_cast<int>(points.size()));
-  threads = std::max(threads, 1);
-
-  // Work-stealing over a single atomic index: runs are share-nothing,
-  // so the only shared mutable state is the claim counter and each
-  // run's private result slot.
-  std::atomic<std::size_t> nextRun{0};
-  std::atomic<std::size_t> doneRuns{0};
-  std::mutex progressMutex;
-  const auto worker = [&] {
-    while (true) {
-      const std::size_t i = nextRun.fetch_add(1, std::memory_order_relaxed);
-      if (i >= points.size()) return;
-      records[i] = executeRun(spec, points[i]);
-      const std::size_t done =
-          doneRuns.fetch_add(1, std::memory_order_relaxed) + 1;
-      if (options_.progress) {
-        std::lock_guard<std::mutex> lock(progressMutex);
-        options_.progress(done, points.size());
-      }
-    }
-  };
-
-  if (threads == 1) {
-    worker();
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(static_cast<std::size_t>(threads));
-    for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
-    for (std::thread& t : pool) t.join();
-  }
-
+SweepResult aggregateRecords(const SweepSpec& spec,
+                             std::vector<RunRecord> records,
+                             const AggregateOptions& options) {
   // Deterministic aggregation: sequential, in run-index order, over the
-  // exact same records no matter how the pool interleaved.
+  // exact same records no matter how the pool interleaved — or which
+  // shard's output file they were parsed back from.
+  std::sort(records.begin(), records.end(),
+            [](const RunRecord& a, const RunRecord& b) {
+              return a.point.runIndex < b.point.runIndex;
+            });
+
   SweepResult result;
   result.name = spec.name;
   result.protocol = spec.protocol;
   result.seedBegin = spec.seedBegin;
   result.seedEnd = spec.seedEnd;
-  result.threads = threads;
+  result.threads = options.threads;
   result.cells.resize(spec.cellCount());
+
+  // Labels come from the spec, not the records, so even a cell whose
+  // runs all live in another shard stays self-describing.  Cells are
+  // numbered in the same (topology, scheduler, k, mac, workload)
+  // lexicographic order as enumerateRuns().
+  std::size_t cellIndex = 0;
+  for (const TopologySpec& topology : spec.topologies) {
+    for (core::SchedulerKind scheduler : spec.schedulers) {
+      for (int k : spec.ks) {
+        for (const MacParamsSpec& mac : spec.macs) {
+          for (const WorkloadSpec& workload : spec.workloads) {
+            CellAggregate& cell = result.cells[cellIndex];
+            cell.cellIndex = cellIndex;
+            cell.topology = topology.name;
+            cell.scheduler = core::toString(scheduler);
+            cell.k = k;
+            cell.mac = mac.name;
+            cell.workload = workload.name;
+            ++cellIndex;
+          }
+        }
+      }
+    }
+  }
 
   std::vector<std::vector<Time>> solveTimes(result.cells.size());
   std::vector<std::int64_t> solveSums(result.cells.size(), 0);
@@ -171,16 +160,28 @@ SweepResult SweepRunner::run(const SweepSpec& spec) const {
   std::vector<std::vector<Time>> latencies(result.cells.size());
   std::vector<std::int64_t> latencySums(result.cells.size(), 0);
 
+  std::vector<bool> seenRun(spec.runCount(), false);
   for (const RunRecord& record : records) {
+    // Records may have round-tripped through a shard file or journal;
+    // never trust a self-reported coordinate that disagrees with the
+    // grid (a corrupt cell_index would silently pollute another cell),
+    // and never count the same run twice (inflated means/percentiles).
+    const RunPoint expected = runPointFor(spec, record.point.runIndex);
+    AMMB_REQUIRE(!seenRun[record.point.runIndex],
+                 "run " + std::to_string(record.point.runIndex) +
+                     " appears twice in the aggregated records");
+    seenRun[record.point.runIndex] = true;
+    AMMB_REQUIRE(record.point.cellIndex == expected.cellIndex &&
+                     record.point.topoIdx == expected.topoIdx &&
+                     record.point.schedIdx == expected.schedIdx &&
+                     record.point.kIdx == expected.kIdx &&
+                     record.point.macIdx == expected.macIdx &&
+                     record.point.wlIdx == expected.wlIdx &&
+                     record.point.seed == expected.seed,
+                 "run record " + std::to_string(record.point.runIndex) +
+                     " carries a grid coordinate inconsistent with this "
+                     "spec — corrupt or mismatched shard/journal input");
     CellAggregate& cell = result.cells[record.point.cellIndex];
-    if (cell.runs == 0) {
-      cell.cellIndex = record.point.cellIndex;
-      cell.topology = spec.topologies[record.point.topoIdx].name;
-      cell.scheduler = core::toString(spec.schedulers[record.point.schedIdx]);
-      cell.k = spec.ks[record.point.kIdx];
-      cell.mac = spec.macs[record.point.macIdx].name;
-      cell.workload = spec.workloads[record.point.wlIdx].name;
-    }
     ++cell.runs;
     if (record.failed()) {
       ++cell.errors;
@@ -232,7 +233,70 @@ SweepResult SweepRunner::run(const SweepSpec& spec) const {
     }
   }
 
-  if (options_.keepRunRecords) result.runs = std::move(records);
+  if (options.keepRunRecords) result.runs = std::move(records);
+  return result;
+}
+
+int effectiveThreads(int requested, std::size_t work) {
+  if (requested <= 0) {
+    requested = static_cast<int>(std::thread::hardware_concurrency());
+    if (requested <= 0) requested = 1;
+  }
+  requested = std::min<int>(requested, static_cast<int>(work));
+  return std::max(requested, 1);
+}
+
+std::vector<RunRecord> SweepRunner::runPoints(
+    const SweepSpec& spec, const std::vector<RunPoint>& points) const {
+  spec.validate();
+  std::vector<RunRecord> records(points.size());
+
+  const int threads = effectiveThreads(options_.threads, points.size());
+
+  // Work-stealing over a single atomic index: runs are share-nothing,
+  // so the only shared mutable state is the claim counter and each
+  // run's private result slot.
+  std::atomic<std::size_t> nextRun{0};
+  std::atomic<std::size_t> doneRuns{0};
+  std::mutex progressMutex;
+  const auto worker = [&] {
+    while (true) {
+      const std::size_t i = nextRun.fetch_add(1, std::memory_order_relaxed);
+      if (i >= points.size()) return;
+      records[i] = executeRun(spec, points[i]);
+      // Unsynchronized by design: the observer serializes the record
+      // in parallel and locks only around its sink.
+      if (options_.onRecord) options_.onRecord(records[i]);
+      const std::size_t done =
+          doneRuns.fetch_add(1, std::memory_order_relaxed) + 1;
+      if (options_.progress) {
+        std::lock_guard<std::mutex> lock(progressMutex);
+        options_.progress(done, points.size());
+      }
+    }
+  };
+
+  if (threads == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+  return records;
+}
+
+SweepResult SweepRunner::run(const SweepSpec& spec) const {
+  spec.validate();
+  const auto started = std::chrono::steady_clock::now();
+
+  std::vector<RunRecord> records = runPoints(spec, enumerateRuns(spec));
+
+  AggregateOptions aggregate;
+  aggregate.threads = effectiveThreads(options_.threads, records.size());
+  aggregate.keepRunRecords = options_.keepRunRecords;
+  SweepResult result = aggregateRecords(spec, std::move(records), aggregate);
   result.wallSeconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
           .count();

@@ -106,6 +106,29 @@ struct SweepResult {
   const CellAggregate& cell(std::size_t cellIndex) const;
 };
 
+/// The worker-pool size actually used for `requested` threads over
+/// `work` runs: 0 means hardware_concurrency, clamped to [1, work].
+int effectiveThreads(int requested, std::size_t work);
+
+/// Aggregation controls for aggregateRecords().
+struct AggregateOptions {
+  /// Recorded on SweepResult::threads (informational; not emitted).
+  int threads = 1;
+  /// Retain per-run records in the result (cells are always kept).
+  bool keepRunRecords = true;
+};
+
+/// Deterministic aggregation of per-run records into a SweepResult:
+/// records are sorted into run-index order and folded sequentially, so
+/// the same records give byte-identical aggregates no matter which
+/// worker pool — or which shard of which machine — produced them.
+/// Records may cover any subset of the grid (a shard aggregates its
+/// slice; `ammb_sweep merge` aggregates the union); cells with no
+/// records keep zeroed counters but carry their axis labels.
+SweepResult aggregateRecords(const SweepSpec& spec,
+                             std::vector<RunRecord> records,
+                             const AggregateOptions& options = {});
+
 /// Executes SweepSpecs over a fixed-size worker pool.
 class SweepRunner {
  public:
@@ -117,6 +140,13 @@ class SweepRunner {
     /// Optional progress observer, called after each completed run with
     /// (completedRuns, totalRuns) under an internal mutex.
     std::function<void(std::size_t, std::size_t)> progress;
+    /// Optional per-record observer, called as each record completes —
+    /// concurrently from worker threads, so the callback must
+    /// synchronize access to any shared sink itself.  (Serialization
+    /// can then run in parallel with only the sink write locked.)
+    /// This is the journaling hook: `ammb_sweep run --journal` appends
+    /// one line per record so an interrupted sweep can `--resume`.
+    std::function<void(const RunRecord&)> onRecord;
   };
 
   SweepRunner() = default;
@@ -125,6 +155,13 @@ class SweepRunner {
   /// Runs the full grid; throws ammb::Error on an invalid spec.
   /// Individual run failures are captured per-run, not thrown.
   SweepResult run(const SweepSpec& spec) const;
+
+  /// Executes an arbitrary subset of the grid (a shard, or the
+  /// not-yet-journaled remainder of a resumed run) on the worker pool.
+  /// Returns one record per point, in `points` order; does not
+  /// aggregate.
+  std::vector<RunRecord> runPoints(const SweepSpec& spec,
+                                   const std::vector<RunPoint>& points) const;
 
  private:
   Options options_;

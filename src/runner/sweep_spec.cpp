@@ -82,6 +82,30 @@ std::vector<RunPoint> enumerateRuns(const SweepSpec& spec) {
   return points;
 }
 
+RunPoint runPointFor(const SweepSpec& spec, std::size_t runIndex) {
+  AMMB_REQUIRE(runIndex < spec.runCount(),
+               "run index " + std::to_string(runIndex) +
+                   " out of range for a grid of " +
+                   std::to_string(spec.runCount()) + " runs");
+  RunPoint p;
+  p.runIndex = runIndex;
+  const std::size_t seedsPerCell = spec.seedsPerCell();
+  p.cellIndex = runIndex / seedsPerCell;
+  p.seed = spec.seedBegin + runIndex % seedsPerCell;
+  // Cells are numbered in (topology, scheduler, k, mac, workload)
+  // lexicographic order; peel the axes off innermost-first.
+  std::size_t cell = p.cellIndex;
+  p.wlIdx = cell % spec.workloads.size();
+  cell /= spec.workloads.size();
+  p.macIdx = cell % spec.macs.size();
+  cell /= spec.macs.size();
+  p.kIdx = cell % spec.ks.size();
+  cell /= spec.ks.size();
+  p.schedIdx = cell % spec.schedulers.size();
+  p.topoIdx = cell / spec.schedulers.size();
+  return p;
+}
+
 core::RunConfig runConfigFor(const SweepSpec& spec, const RunPoint& point) {
   core::RunConfig config;
   config.mac = spec.macs[point.macIdx].params;

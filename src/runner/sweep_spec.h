@@ -134,6 +134,12 @@ struct RunPoint {
 /// Every run of the grid, in deterministic order (runIndex == position).
 std::vector<RunPoint> enumerateRuns(const SweepSpec& spec);
 
+/// The grid coordinate of one run index — the O(1) inverse of
+/// enumerateRuns' ordering.  Deserialized records (shard files,
+/// journals) are validated against this so a corrupt coordinate can
+/// never mis-aggregate a run into the wrong cell.
+RunPoint runPointFor(const SweepSpec& spec, std::size_t runIndex);
+
 /// The RunConfig for one grid point (seed + cell axes applied).
 core::RunConfig runConfigFor(const SweepSpec& spec, const RunPoint& point);
 

@@ -6,6 +6,16 @@
 
 namespace ammb::sim {
 
+const char* toString(RunStatus status) {
+  switch (status) {
+    case RunStatus::kDrained: return "drained";
+    case RunStatus::kStopped: return "stopped";
+    case RunStatus::kTimeLimit: return "time-limit";
+    case RunStatus::kEventLimit: return "event-limit";
+  }
+  return "?";
+}
+
 std::uint32_t EventQueue::acquireSlot() {
   if (!freeSlots_.empty()) {
     const std::uint32_t slot = freeSlots_.back();

@@ -42,6 +42,11 @@ enum class RunStatus {
   kEventLimit,   ///< safety cap on processed events reached
 };
 
+/// The one canonical RunStatus spelling ("drained", "stopped",
+/// "time-limit", "event-limit") shared by golden traces, the sweep
+/// CSV emitters, and the run-record codec that parses it back.
+const char* toString(RunStatus status);
+
 /// A monotone discrete-event executor.
 class EventQueue {
  public:

@@ -1,0 +1,86 @@
+# End-to-end drive of the ammb_sweep CLI, run as a ctest:
+#
+#   run 4 shards (different thread counts) -> merge -> byte-compare
+#   against an unsharded reference run of the same spec; then exercise
+#   the journal --resume path and the compare gate.
+#
+# Invoked with:
+#   cmake -DAMMB_SWEEP=<tool> -DSPEC=<spec.json> -DWORKDIR=<dir>
+#         -P sweep_cli_e2e.cmake
+foreach(var AMMB_SWEEP SPEC WORKDIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "sweep_cli_e2e.cmake needs -D${var}=...")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE "${WORKDIR}")
+file(MAKE_DIRECTORY "${WORKDIR}")
+
+function(run_tool)
+  execute_process(
+    COMMAND ${AMMB_SWEEP} ${ARGN}
+    WORKING_DIRECTORY "${WORKDIR}"
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "ammb_sweep ${ARGN} failed (rc=${rc}):\n${out}\n${err}")
+  endif()
+endfunction()
+
+# Unsharded reference (also the journal source for the resume check).
+run_tool(run "${SPEC}" --threads 3 --json reference.json
+         --journal journal.jsonl)
+
+# Four shards at four different thread counts.
+set(shard_files "")
+foreach(i RANGE 3)
+  math(EXPR threads "${i} + 1")
+  run_tool(run "${SPEC}" --shard ${i}/4 --threads ${threads}
+           --shard-json shard_${i}.json)
+  list(APPEND shard_files shard_${i}.json)
+endforeach()
+
+# Merge must reproduce the reference document byte for byte.
+run_tool(merge "${SPEC}" ${shard_files} --json merged.json)
+file(READ "${WORKDIR}/reference.json" reference)
+file(READ "${WORKDIR}/merged.json" merged)
+if(NOT merged STREQUAL reference)
+  message(FATAL_ERROR "merged shard output differs from the unsharded run")
+endif()
+
+# Kill-and-resume: drop the tail of the journal (losing complete lines
+# AND leaving a torn final line), then --resume must reproduce the
+# reference bytes.
+file(READ "${WORKDIR}/journal.jsonl" journal)
+string(LENGTH "${journal}" journal_len)
+math(EXPR keep "${journal_len} * 2 / 3")
+string(SUBSTRING "${journal}" 0 ${keep} truncated)
+file(WRITE "${WORKDIR}/journal.jsonl" "${truncated}")
+run_tool(run "${SPEC}" --threads 2 --journal journal.jsonl --resume
+         --json resumed.json)
+file(READ "${WORKDIR}/resumed.json" resumed)
+if(NOT resumed STREQUAL reference)
+  message(FATAL_ERROR "resumed run differs from the uninterrupted run")
+endif()
+
+# The compare gate: self-compare passes, a perturbed document fails.
+run_tool(compare merged.json --baseline reference.json)
+string(REPLACE "\"runs\": 2" "\"runs\": 3" perturbed "${reference}")
+if(perturbed STREQUAL reference)
+  # Keep the negative test honest if the spec's per-cell run count
+  # ever changes: a no-op perturbation would misblame the compare gate.
+  message(FATAL_ERROR "perturbation literal no longer matches the spec's "
+                      "per-cell run count; update sweep_cli_e2e.cmake")
+endif()
+file(WRITE "${WORKDIR}/perturbed.json" "${perturbed}")
+execute_process(
+  COMMAND ${AMMB_SWEEP} compare perturbed.json --baseline reference.json
+  WORKING_DIRECTORY "${WORKDIR}"
+  RESULT_VARIABLE rc
+  OUTPUT_QUIET ERROR_QUIET)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "compare accepted a perturbed result document")
+endif()
+
+message(STATUS "sweep CLI e2e: shard/merge/resume/compare all consistent")

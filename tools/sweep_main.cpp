@@ -1,0 +1,460 @@
+// ammb_sweep — the sharded sweep service CLI.
+//
+//   ammb_sweep run SPEC.json [--shard I/N] [--threads T]
+//              [--journal PATH [--resume]] [--shard-json PATH]
+//              [--json PATH] [--csv PATH] [--runs-csv PATH]
+//              [--allow-errors]
+//   ammb_sweep merge SPEC.json SHARD.json... [--json PATH] [--csv PATH]
+//   ammb_sweep compare RESULT.json --baseline BASELINE.json
+//              [--rel-tol R] [--abs-tol A]
+//   ammb_sweep print SPEC.json
+//
+// `run` executes a spec file's grid (or the deterministic 1/N slice
+// selected by --shard) on the SweepRunner worker pool.  With --journal
+// every completed run is appended as one JSONL line and flushed, and
+// --resume skips the already-journaled runs of a killed sweep —
+// reproducing the exact aggregate bytes the uninterrupted run would
+// have written.  `merge` re-aggregates N shard outputs bit-identically
+// to an unsharded run of the same spec; `compare` diffs a result
+// document against a committed baseline with explicit tolerances and
+// exits nonzero on any regression (the CI gate); `print` validates a
+// spec file and writes its canonical form.
+//
+// Exit codes: 0 success, 1 failed runs / merge mismatch / comparison
+// difference, 2 usage or input errors.
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "runner/compare.h"
+#include "runner/emit.h"
+#include "runner/spec_io.h"
+
+namespace {
+
+using namespace ammb;
+
+int usage() {
+  std::cerr
+      << "usage: ammb_sweep run SPEC.json [--shard I/N] [--threads T]\n"
+         "                  [--journal PATH [--resume]] [--shard-json PATH]\n"
+         "                  [--json PATH] [--csv PATH] [--runs-csv PATH]\n"
+         "                  [--allow-errors]\n"
+         "       ammb_sweep merge SPEC.json SHARD.json... [--json PATH] "
+         "[--csv PATH]\n"
+         "       ammb_sweep compare RESULT.json --baseline BASELINE.json\n"
+         "                  [--rel-tol R] [--abs-tol A]\n"
+         "       ammb_sweep print SPEC.json\n";
+  return 2;
+}
+
+std::string readFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  AMMB_REQUIRE(in.good(), "cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void writeFile(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  AMMB_REQUIRE(out.good(), "cannot write " + path);
+  out << text;
+  AMMB_REQUIRE(out.good(), "write to " + path + " failed");
+}
+
+/// Whole-token numeric flag parsing: trailing garbage is an error
+/// naming the flag, not a silently shortened value.
+int parseIntFlag(const std::string& flag, const std::string& value) {
+  std::size_t used = 0;
+  int parsed = 0;
+  try {
+    parsed = std::stoi(value, &used);
+  } catch (const std::exception&) {
+    used = std::string::npos;
+  }
+  AMMB_REQUIRE(used == value.size(),
+               flag + " needs an integer (got \"" + value + "\")");
+  return parsed;
+}
+
+double parseDoubleFlag(const std::string& flag, const std::string& value) {
+  std::size_t used = 0;
+  double parsed = 0.0;
+  try {
+    parsed = std::stod(value, &used);
+  } catch (const std::exception&) {
+    used = std::string::npos;
+  }
+  AMMB_REQUIRE(used == value.size(),
+               flag + " needs a number (got \"" + value + "\")");
+  return parsed;
+}
+
+/// Pull the value of a --flag from an argv-style list.
+struct Args {
+  std::vector<std::string> positional;
+  std::vector<std::pair<std::string, std::string>> flags;
+
+  static Args parse(int argc, char** argv, int start,
+                    const std::vector<std::string>& valueFlags,
+                    const std::vector<std::string>& boolFlags) {
+    Args args;
+    for (int i = start; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        args.positional.push_back(arg);
+        continue;
+      }
+      bool known = false;
+      for (const std::string& flag : boolFlags) {
+        if (arg == flag) {
+          args.flags.emplace_back(arg, "");
+          known = true;
+          break;
+        }
+      }
+      if (known) continue;
+      for (const std::string& flag : valueFlags) {
+        if (arg == flag) {
+          // A following "--..." is a forgotten value, not a value.
+          AMMB_REQUIRE(i + 1 < argc && std::string(argv[i + 1]).rfind(
+                                           "--", 0) != 0,
+                       arg + " needs a value");
+          args.flags.emplace_back(arg, argv[++i]);
+          known = true;
+          break;
+        }
+      }
+      AMMB_REQUIRE(known, "unknown flag " + arg);
+    }
+    return args;
+  }
+
+  const std::string* flag(const std::string& name) const {
+    for (const auto& [key, value] : flags) {
+      if (key == name) return &value;
+    }
+    return nullptr;
+  }
+  bool has(const std::string& name) const { return flag(name) != nullptr; }
+};
+
+// --- run --------------------------------------------------------------------
+
+int cmdRun(int argc, char** argv) {
+  const Args args = Args::parse(
+      argc, argv, 2,
+      {"--shard", "--threads", "--journal", "--shard-json", "--json", "--csv",
+       "--runs-csv"},
+      {"--resume", "--allow-errors"});
+  if (args.positional.size() != 1) return usage();
+  const std::string specPath = args.positional[0];
+
+  const runner::SpecDoc doc = runner::loadSpecFile(specPath);
+  const std::string fingerprint = runner::specFingerprint(doc);
+  const runner::SweepSpec spec = runner::buildSweep(doc);
+
+  runner::Shard shard;
+  if (const std::string* s = args.flag("--shard")) {
+    shard = runner::parseShard(*s);
+  }
+  if (!shard.isWholeGrid()) {
+    AMMB_REQUIRE(!args.has("--json") && !args.has("--csv") &&
+                     !args.has("--runs-csv"),
+                 "a sharded run covers only 1/" + std::to_string(shard.count) +
+                     " of the grid; write --shard-json and use `ammb_sweep "
+                     "merge` for aggregates");
+    // The journal is a checkpoint, not an output format: merge only
+    // reads shard JSON, so --shard-json is the one way a shard's work
+    // reaches the merged result.
+    AMMB_REQUIRE(args.has("--shard-json"),
+                 "a sharded run needs --shard-json so `ammb_sweep merge` "
+                 "can consume its output");
+  }
+  AMMB_REQUIRE(!args.has("--resume") || args.has("--journal"),
+               "--resume needs --journal");
+
+  const std::vector<runner::RunPoint> points =
+      runner::shardRuns(spec, shard);
+
+  // Resume: collect the intact records of an interrupted journal and
+  // drop their points from the work list.  Without --resume an
+  // existing journal is refused, not silently truncated — it is the
+  // checkpoint of an interrupted sweep.
+  std::vector<runner::RunRecord> journaled;
+  if (const std::string* journalPath = args.flag("--journal")) {
+    std::ifstream probe(*journalPath, std::ios::binary);
+    if (probe.good()) {
+      std::ostringstream buffer;
+      buffer << probe.rdbuf();
+      const std::string text = buffer.str();
+      AMMB_REQUIRE(args.has("--resume") || text.empty(),
+                   *journalPath + " already exists; pass --resume to "
+                                  "continue it or delete it to start over");
+      if (args.has("--resume") && !text.empty()) {
+        const runner::JournalDoc journal = runner::parseJournal(text);
+        AMMB_REQUIRE(journal.header.sweep == spec.name &&
+                         journal.header.specFingerprint == fingerprint,
+                     *journalPath + " was written for a different spec; "
+                                   "delete it or drop --resume");
+        AMMB_REQUIRE(journal.header.shard.index == shard.index &&
+                         journal.header.shard.count == shard.count,
+                     *journalPath + " was written for shard " +
+                         journal.header.shard.toString() + ", not " +
+                         shard.toString());
+        std::unordered_set<std::size_t> seen;
+        for (const runner::RunRecord& record : journal.records) {
+          AMMB_REQUIRE(record.point.runIndex < spec.runCount() &&
+                           shard.ownsRun(record.point.runIndex),
+                       *journalPath + " contains run " +
+                           std::to_string(record.point.runIndex) +
+                           " which does not belong to shard " +
+                           shard.toString());
+          if (seen.insert(record.point.runIndex).second) {
+            journaled.push_back(record);
+          }
+        }
+        if (journal.truncatedTail) {
+          std::cerr << "note: dropped a truncated trailing journal line\n";
+        }
+      }
+    }
+  }
+  std::unordered_set<std::size_t> done;
+  for (const runner::RunRecord& record : journaled) {
+    done.insert(record.point.runIndex);
+  }
+  std::vector<runner::RunPoint> remaining;
+  for (const runner::RunPoint& p : points) {
+    if (done.count(p.runIndex) == 0) remaining.push_back(p);
+  }
+
+  // Journal sink: append (and flush) each record as it completes.  The
+  // file is rewritten from the header plus the intact resumed records
+  // first — never appended after a truncated trailing line, which would
+  // corrupt the next record.  The rewrite goes through a temp file and
+  // an atomic rename so a second kill mid-rewrite cannot destroy the
+  // checkpointed progress it is recovering.
+  std::ofstream journalOut;
+  if (const std::string* journalPath = args.flag("--journal")) {
+    const std::string tmpPath = *journalPath + ".tmp";
+    {
+      std::ofstream rewrite(tmpPath, std::ios::binary | std::ios::trunc);
+      AMMB_REQUIRE(rewrite.good(), "cannot write " + tmpPath);
+      runner::JournalHeader header{spec.name, fingerprint, shard,
+                                   spec.runCount()};
+      rewrite << runner::journalHeaderLine(header);
+      for (const runner::RunRecord& record : journaled) {
+        runner::appendJournalRecord(rewrite, record);
+      }
+      AMMB_REQUIRE(rewrite.good(), "write to " + tmpPath + " failed");
+    }
+    AMMB_REQUIRE(std::rename(tmpPath.c_str(), journalPath->c_str()) == 0,
+                 "cannot replace " + *journalPath);
+    journalOut.open(*journalPath, std::ios::binary | std::ios::app);
+    AMMB_REQUIRE(journalOut.good(), "cannot write " + *journalPath);
+  }
+
+  runner::SweepRunner::Options options;
+  if (const std::string* threads = args.flag("--threads")) {
+    options.threads = parseIntFlag("--threads", *threads);
+  }
+  std::mutex journalMutex;
+  if (journalOut.is_open()) {
+    // Serialize off-lock (workers in parallel), write+flush under it.
+    options.onRecord = [&journalOut,
+                        &journalMutex](const runner::RunRecord& record) {
+      const std::string line = runner::journalRecordLine(record);
+      std::lock_guard<std::mutex> lock(journalMutex);
+      journalOut << line;
+      journalOut.flush();
+    };
+  }
+
+  const auto started = std::chrono::steady_clock::now();
+  std::vector<runner::RunRecord> fresh =
+      runner::SweepRunner(options).runPoints(spec, remaining);
+  const double wallSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
+          .count();
+
+  std::vector<runner::RunRecord> records = std::move(journaled);
+  records.insert(records.end(), std::make_move_iterator(fresh.begin()),
+                 std::make_move_iterator(fresh.end()));
+
+  const std::size_t totalRuns = records.size();
+  std::size_t failed = 0;
+  for (const runner::RunRecord& record : records) {
+    if (record.failed()) {
+      ++failed;
+      std::cerr << "run " << record.point.runIndex
+                << " failed: " << record.error << "\n";
+    }
+  }
+
+  if (const std::string* path = args.flag("--shard-json")) {
+    runner::ShardDoc shardDoc{spec.name, fingerprint, shard, spec.runCount(),
+                              {}};
+    // Whole-grid runs still need the records for aggregation below; a
+    // sharded run hands them over (per-message samples and canonical
+    // traces dominate memory on big campaigns).
+    if (shard.isWholeGrid()) shardDoc.records = records;
+    else shardDoc.records = std::move(records);
+    writeFile(*path, runner::shardJson(shardDoc));
+  }
+  if (shard.isWholeGrid()) {
+    runner::AggregateOptions aggregate;
+    aggregate.threads = runner::effectiveThreads(options.threads, totalRuns);
+    const runner::SweepResult result =
+        runner::aggregateRecords(spec, std::move(records), aggregate);
+    if (const std::string* path = args.flag("--json")) {
+      writeFile(*path, runner::toJson(result));
+    }
+    if (const std::string* path = args.flag("--csv")) {
+      writeFile(*path, runner::cellsCsv(result));
+    }
+    if (const std::string* path = args.flag("--runs-csv")) {
+      writeFile(*path, runner::runsCsv(result));
+    }
+  }
+
+  std::cout << "sweep " << spec.name << " [shard " << shard.toString()
+            << "]: " << totalRuns << " runs (" << done.size()
+            << " from journal), " << failed << " failed, " << wallSeconds
+            << "s\n";
+  if (failed > 0 && !args.has("--allow-errors")) {
+    std::cerr << failed << " runs failed (pass --allow-errors to tolerate)\n";
+    return 1;
+  }
+  return 0;
+}
+
+// --- merge ------------------------------------------------------------------
+
+int cmdMerge(int argc, char** argv) {
+  const Args args =
+      Args::parse(argc, argv, 2, {"--json", "--csv"}, {"--allow-errors"});
+  if (args.positional.size() < 2) return usage();
+  const std::string specPath = args.positional[0];
+
+  const runner::SpecDoc doc = runner::loadSpecFile(specPath);
+  const std::string fingerprint = runner::specFingerprint(doc);
+  const runner::SweepSpec spec = runner::buildSweep(doc);
+
+  std::vector<runner::ShardDoc> shards;
+  for (std::size_t i = 1; i < args.positional.size(); ++i) {
+    const std::string& path = args.positional[i];
+    try {
+      shards.push_back(runner::parseShardJson(readFile(path)));
+    } catch (const std::exception& e) {
+      throw Error(path + ": " + e.what());
+    }
+  }
+
+  const std::size_t shardCount = shards.size();
+  std::vector<runner::RunRecord> records =
+      runner::mergeShardRecords(spec, fingerprint, std::move(shards));
+  std::size_t failed = 0;
+  for (const runner::RunRecord& record : records) {
+    if (record.failed()) ++failed;
+  }
+
+  runner::AggregateOptions aggregate;
+  const runner::SweepResult result =
+      runner::aggregateRecords(spec, std::move(records), aggregate);
+  const std::string json = runner::toJson(result);
+  if (const std::string* path = args.flag("--json")) {
+    writeFile(*path, json);
+  } else {
+    std::cout << json;
+  }
+  if (const std::string* path = args.flag("--csv")) {
+    writeFile(*path, runner::cellsCsv(result));
+  }
+  std::cerr << "merged " << shardCount << " shards: " << result.cells.size()
+            << " cells, " << failed << " failed runs\n";
+  if (failed > 0 && !args.has("--allow-errors")) {
+    std::cerr << failed << " runs failed (pass --allow-errors to tolerate)\n";
+    return 1;
+  }
+  return 0;
+}
+
+// --- compare ----------------------------------------------------------------
+
+int cmdCompare(int argc, char** argv) {
+  const Args args = Args::parse(
+      argc, argv, 2, {"--baseline", "--rel-tol", "--abs-tol"}, {});
+  if (args.positional.size() != 1 || !args.has("--baseline")) return usage();
+
+  runner::CompareOptions options;
+  if (const std::string* tol = args.flag("--rel-tol")) {
+    options.relTol = parseDoubleFlag("--rel-tol", *tol);
+  }
+  if (const std::string* tol = args.flag("--abs-tol")) {
+    options.absTol = parseDoubleFlag("--abs-tol", *tol);
+  }
+  // A NaN/inf tolerance would silently disable the gate (every
+  // comparison against NaN slack is false); a negative one would fail
+  // identical documents.
+  AMMB_REQUIRE(std::isfinite(options.relTol) && options.relTol >= 0.0,
+               "--rel-tol must be finite and non-negative");
+  AMMB_REQUIRE(std::isfinite(options.absTol) && options.absTol >= 0.0,
+               "--abs-tol must be finite and non-negative");
+  const runner::json::Value baseline =
+      runner::json::parse(readFile(*args.flag("--baseline")));
+  const runner::json::Value candidate =
+      runner::json::parse(readFile(args.positional[0]));
+
+  const std::vector<runner::Difference> differences =
+      runner::compareResults(baseline, candidate, options);
+  if (differences.empty()) {
+    std::cout << "compare: " << args.positional[0]
+              << " matches the baseline\n";
+    return 0;
+  }
+  std::cerr << "compare: " << differences.size()
+            << " difference(s) vs baseline " << *args.flag("--baseline")
+            << ":\n";
+  for (const runner::Difference& d : differences) {
+    std::cerr << "  " << d.path << ": " << d.detail << "\n";
+  }
+  return 1;
+}
+
+// --- print ------------------------------------------------------------------
+
+int cmdPrint(int argc, char** argv) {
+  const Args args = Args::parse(argc, argv, 2, {}, {});
+  if (args.positional.size() != 1) return usage();
+  const runner::SpecDoc doc = runner::loadSpecFile(args.positional[0]);
+  runner::buildSweep(doc);  // full semantic validation
+  std::cout << runner::writeSpec(doc);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  try {
+    if (command == "run") return cmdRun(argc, argv);
+    if (command == "merge") return cmdMerge(argc, argv);
+    if (command == "compare") return cmdCompare(argc, argv);
+    if (command == "print") return cmdPrint(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "ammb_sweep " << command << ": " << e.what() << "\n";
+    return 2;
+  }
+  std::cerr << "unknown command \"" << command << "\"\n";
+  return usage();
+}
