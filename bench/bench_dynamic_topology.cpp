@@ -1,0 +1,116 @@
+// The dynamic topology engine under load.
+//
+// Three measurements:
+//
+//   1. static hot path — the same grey-zone sweep through the
+//      single-epoch TopologyView fast path (CSR adjacency, no per-call
+//      assertion checks), the wall-clock anchor the dynamic cases are
+//      compared against;
+//   2. crash/recovery churn — the static grid re-run with crash
+//      episodes on the dynamics axis: epoch reconciliation, voided
+//      guarantees and liveNear rebuilds included in the measured cost;
+//   3. grey-zone drift — the E' \ E fringe resampled every period
+//      while E stays fixed.
+//
+// The table reports simulated solve behavior per dynamics point (solve
+// rate and worst solve time), showing the measured price of churn:
+// crash outages stall frontiers (slower, sometimes unsolved within the
+// horizon), drift barely moves the needle — the dynamic version of the
+// paper's "structure of unreliability, not quantity" observation.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace {
+
+using namespace ammb;
+using core::SchedulerKind;
+using runner::SweepSpec;
+
+constexpr Time kFprog = 4;
+constexpr Time kFack = 32;
+
+const std::vector<runner::DynamicsSpecNamed> kDynamicsAxis = {
+    runner::staticDynamics(),
+    runner::crashDynamics(/*crashes=*/2, /*period=*/64, /*downFor=*/24),
+    runner::greyDriftDynamics(/*epochs=*/4, /*period=*/48, /*churn=*/0.35),
+};
+
+SweepSpec churnSpec(const runner::DynamicsSpecNamed& dynamics) {
+  SweepSpec spec;
+  spec.name = "dyn-" + dynamics.name;
+  spec.topologies = {runner::greyZoneFieldTopology(64, 6.0, 1.5, 0.4)};
+  spec.schedulers = {SchedulerKind::kRandom};
+  spec.ks = {4};
+  spec.macs = {{"std", bench::stdParams(kFprog, kFack)}};
+  spec.workloads = {runner::roundRobinWorkload()};
+  spec.dynamics = {dynamics};
+  spec.seedBegin = 1;
+  spec.seedEnd = 9;
+  spec.maxTime = 200'000;
+  return spec;
+}
+
+void BM_DynamicTopology(benchmark::State& state) {
+  const runner::DynamicsSpecNamed& dynamics =
+      kDynamicsAxis[static_cast<std::size_t>(state.range(0))];
+  const SweepSpec spec = churnSpec(dynamics);
+  runner::SweepResult result;
+  for (auto _ : state) {
+    result = bench::mustSweep(spec);
+    benchmark::DoNotOptimize(result.cells.front().runs);
+  }
+  const runner::CellAggregate& cell = result.cells.front();
+  state.SetLabel(dynamics.name);
+  state.counters["solved_of_8"] = static_cast<double>(cell.solved);
+  state.counters["max_solve_ticks"] = static_cast<double>(cell.maxSolve);
+  state.counters["forced_rcvs"] = static_cast<double>(cell.stats.forcedRcvs);
+}
+BENCHMARK(BM_DynamicTopology)->DenseRange(0, 2)->Unit(benchmark::kMillisecond);
+
+// Epoch-boundary overhead in isolation: the same topology and workload
+// with an absurdly fine drift period (a boundary every 8 ticks), so
+// reconciliation runs hundreds of times per run.  The gap to the
+// static row bounds the per-boundary cost.
+void BM_DynamicTopology_FineGrainedBoundaries(benchmark::State& state) {
+  SweepSpec spec = churnSpec(
+      runner::greyDriftDynamics(/*epochs=*/256, /*period=*/8, /*churn=*/0.1));
+  spec.name = "dyn-fine-drift";
+  runner::SweepResult result;
+  for (auto _ : state) {
+    result = bench::mustSweep(spec);
+    benchmark::DoNotOptimize(result.cells.front().runs);
+  }
+  const runner::CellAggregate& cell = result.cells.front();
+  state.counters["solved_of_8"] = static_cast<double>(cell.solved);
+  state.counters["max_solve_ticks"] = static_cast<double>(cell.maxSolve);
+}
+BENCHMARK(BM_DynamicTopology_FineGrainedBoundaries)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+
+  // Paper-style table: the simulated cost of churn per dynamics point.
+  std::vector<ammb::bench::Row> rows;
+  for (const auto& dynamics : kDynamicsAxis) {
+    const auto result = ammb::bench::mustSweep(churnSpec(dynamics));
+    const auto& cell = result.cells.front();
+    ammb::bench::Row row;
+    row.label = "greyfield64 random k=4 dynamics=" + dynamics.name +
+                " solved=" + std::to_string(cell.solved) + "/" +
+                std::to_string(cell.runs);
+    row.measured = cell.maxSolve;
+    // The static Theorem 3.1 envelope; dynamic rows measure how far
+    // churn pushes past it.
+    row.predicted = ammb::core::bmmbArbitraryBound(
+        /*diameter=*/12, /*k=*/4, ammb::bench::stdParams(kFprog, kFack));
+    rows.push_back(row);
+  }
+  ammb::bench::printTable("dynamic topology: solve cost under churn", rows);
+  return 0;
+}

@@ -62,6 +62,11 @@ std::string toString(const FuzzCase& fuzzCase) {
       << (fuzzCase.mac.variant == mac::ModelVariant::kEnhanced ? "enhanced"
                                                                : "standard")
       << " maxTime=" << fuzzCase.maxTime << " seed=" << fuzzCase.seed;
+  // Appended only for dynamic cases, so static descriptions (and the
+  // golden snapshot headers built from them) stay byte-identical.
+  if (!fuzzCase.dynamics.isStatic()) {
+    out << " dynamics=" << fuzzCase.dynamics.label();
+  }
   return out.str();
 }
 
@@ -123,6 +128,45 @@ FuzzCase sampleCase(const FuzzSpec& spec, int iteration) {
     c.maxTime = 8 * static_cast<Time>(c.n + c.k) * c.mac.fack + 4096;
   }
   c.seed = rng.randomBits(64);
+
+  // Topology dynamics, drawn last so every earlier field keeps the
+  // exact value a pre-dynamics sampler produced for the same seed.
+  if (rng.bernoulli(spec.dynamicsFraction)) {
+    // Crash episodes isolate nodes entirely; keep them to BMMB, whose
+    // relaying makes partial progress meaningful.  Grey drift (E'-only
+    // churn) applies to both protocols.
+    const bool crash = c.protocol == core::ProtocolKind::kBmmb &&
+                       rng.bernoulli(0.5);
+    core::DynamicsSpec dyn;
+    if (crash) {
+      dyn.kind = core::DynamicsSpec::Kind::kCrash;
+      dyn.crashes = static_cast<int>(rng.uniformInt(1, 2));
+      dyn.period = c.mac.fack;
+      dyn.downFor = std::max<Time>(1, c.mac.fack / 2);
+    } else {
+      dyn.kind = core::DynamicsSpec::Kind::kGreyDrift;
+      dyn.epochs = static_cast<int>(rng.uniformInt(2, 4));
+      dyn.period = c.mac.fack;
+      dyn.churn = 0.25 * rng.uniformInt(1, 3);
+    }
+    c.dynamics = dyn;
+  }
+
+  // Stale-topology campaigns need a grey zone to drift: pin the family
+  // to the fully-noised r-restricted line (every G^2 pair unreliable)
+  // so each case has base-G' edges for the mutant to keep using after
+  // they churn away.  runCase() forces the drift schedule itself.
+  if (spec.mutation == SchedulerMutation::kStaleTopology) {
+    c.protocol = core::ProtocolKind::kBmmb;
+    c.topology = TopologyFamily::kRRestrictedLine;
+    c.noiseEdgeProb = 1.0;
+    c.n = std::max<NodeId>(c.n, 6);
+    // The pin may override a sampled FMMB case (whose maxTime came
+    // from the FMMB envelope and whose n was capped); re-derive the
+    // BMMB budget for the final protocol and size so the horizon
+    // always spans the forced drift schedule.
+    c.maxTime = 8 * static_cast<Time>(c.n + c.k) * c.mac.fack + 4096;
+  }
   return c;
 }
 
@@ -187,6 +231,7 @@ core::RunConfig runConfigFor(const FuzzCase& c) {
   core::RunConfig config;
   config.mac = c.mac;
   config.scheduler = c.scheduler;
+  config.dynamics = c.dynamics;
   config.seed = c.seed;
   config.recordTrace = true;
   config.limits.stopOnSolve = c.stopOnSolve;
@@ -217,14 +262,29 @@ ExecutionOutcome runCase(const FuzzCase& fuzzCase, SchedulerMutation mutation,
       // stopping at the solving delivery (a tiny case can solve before
       // the first broken ack ever fires).
       config.limits.stopOnSolve = false;
+      // The stale-topology mutant is only wrong when the topology
+      // actually changes under it; force a heavy grey drift on cases
+      // that sampled a static (or crash-only) schedule.  Full churn
+      // over an odd epoch count leaves every base grey edge down for
+      // good after the last boundary, so any late bcast (BMMB relays
+      // arrive one ack apart) delivers over a vanished edge.
+      if (mutation == SchedulerMutation::kStaleTopology &&
+          config.dynamics.kind != core::DynamicsSpec::Kind::kGreyDrift) {
+        core::DynamicsSpec dyn;
+        dyn.kind = core::DynamicsSpec::Kind::kGreyDrift;
+        dyn.epochs = 7;
+        dyn.period = std::max<Time>(2, config.mac.fprog);
+        dyn.churn = 1.0;
+        config.dynamics = dyn;
+      }
     }
     const core::ProtocolSpec protocol =
         protocolSpecFor(fuzzCase, topology.n());
     core::Experiment experiment(topology, protocol, *arrivals, config);
     out.result = experiment.run();
     const sim::Trace& trace = experiment.engine().trace();
-    out.report = checkExecution(topology, protocol, config.mac, workload,
-                                trace, out.result);
+    out.report = checkExecution(experiment.view(), protocol, config.mac,
+                                workload, trace, out.result);
     out.traceHash = traceHash(trace);
     if (keepCanonicalTrace) out.canonicalTrace = canonicalTrace(trace);
   } catch (const std::exception& e) {

@@ -70,6 +70,11 @@ struct FuzzCase {
   double greyC = 1.5;            ///< grey-zone constant
   double greyP = 0.3;            ///< grey-zone edge probability
 
+  /// Topology dynamics of the run (static by default; the sampler
+  /// turns a slice of the campaign into crash / grey-drift runs so the
+  /// epoch-aware engine reconciliation and oracles get fuzz coverage).
+  core::DynamicsSpec dynamics;
+
   // Execution limits.
   bool stopOnSolve = true;
   Time maxTime = kTimeNever;
@@ -107,6 +112,11 @@ struct FuzzSpec {
   /// fields expensive for a smoke budget).
   NodeId maxFmmbN = 12;
   int maxK = 6;
+
+  /// Fraction of cases sampled with non-static topology dynamics
+  /// (crash episodes for BMMB, grey-zone drift for either protocol).
+  /// Set to 0 to restrict a campaign to the classic static model.
+  double dynamicsFraction = 0.3;
 
   /// Broken-scheduler fixture: every case runs under this mutation
   /// (kNone for honest fuzzing).  Mutation campaigns are the negative

@@ -192,6 +192,32 @@ std::vector<GoldenCase> goldenCaseSuite() {
                         c.n, c.k, core::FmmbParams::make(c.n, c.greyC), c.mac);
     cases.push_back({"fmmb-grey-fast-rng", c});
   }
+
+  // Dynamics: pin the epoch-boundary reconciliation paths.  The crash
+  // case is RNG-light but the victim draw uses the seeded dynamics
+  // stream, so both carry the -rng suffix (libstdc++-pinned).
+  {
+    FuzzCase c = base(core::SchedulerKind::kSlowAck, TopologyFamily::kLine, 8,
+                      3, WorkloadShape::kRoundRobin, 17);
+    c.dynamics.kind = core::DynamicsSpec::Kind::kCrash;
+    c.dynamics.crashes = 2;
+    c.dynamics.period = 48;
+    c.dynamics.downFor = 24;
+    cases.push_back({"bmmb-line-crash-rng", c});
+  }
+  {
+    // Slow acks keep instances in flight across several drift
+    // boundaries, so vanished-edge delivery cancellation is pinned.
+    FuzzCase c = base(core::SchedulerKind::kSlowAck,
+                      TopologyFamily::kRRestrictedLine, 10, 3,
+                      WorkloadShape::kRoundRobin, 18);
+    c.noiseEdgeProb = 1.0;
+    c.dynamics.kind = core::DynamicsSpec::Kind::kGreyDrift;
+    c.dynamics.epochs = 6;
+    c.dynamics.period = 24;
+    c.dynamics.churn = 0.5;
+    cases.push_back({"bmmb-grey-drift-rng", c});
+  }
   return cases;
 }
 

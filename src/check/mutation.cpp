@@ -48,6 +48,27 @@ class OffGPrimeScheduler : public mac::Scheduler {
   }
 };
 
+/// Plans every bcast against the base (epoch-0) topology, delivering
+/// same-tick to every base-G'-neighbor — including grey-zone edges the
+/// dynamics have since dropped.  Same-tick deliveries never cross an
+/// epoch boundary, so the engine's boundary reconciliation cannot
+/// rescue them: the illegal receive reaches the trace, and only the
+/// epoch-aware rcv-off-gprime check can flag it.
+class StaleTopologyScheduler : public mac::Scheduler {
+ public:
+  DeliveryPlan planBcast(const Instance& instance) override {
+    const mac::MacParams& p = engine_->params();
+    const Time t0 = instance.bcastAt;
+    const auto& base = engine_->view().base();
+    DeliveryPlan plan;
+    plan.ackAt = t0 + p.fack;
+    for (NodeId j : base.gPrime().neighbors(instance.sender)) {
+      plan.deliveries.push_back({j, t0});
+    }
+    return plan;
+  }
+};
+
 }  // namespace
 
 std::string toString(SchedulerMutation mutation) {
@@ -55,6 +76,7 @@ std::string toString(SchedulerMutation mutation) {
     case SchedulerMutation::kNone: return "none";
     case SchedulerMutation::kLateAck: return "late-ack";
     case SchedulerMutation::kOffGPrime: return "off-gprime";
+    case SchedulerMutation::kStaleTopology: return "stale-topology";
   }
   return "?";
 }
@@ -63,6 +85,7 @@ SchedulerMutation mutationFromString(const std::string& name) {
   if (name == "none") return SchedulerMutation::kNone;
   if (name == "late-ack") return SchedulerMutation::kLateAck;
   if (name == "off-gprime") return SchedulerMutation::kOffGPrime;
+  if (name == "stale-topology") return SchedulerMutation::kStaleTopology;
   throw Error("unknown scheduler mutation '" + name + "'");
 }
 
@@ -73,6 +96,8 @@ std::unique_ptr<mac::Scheduler> makeMutantScheduler(
       return std::make_unique<LateAckScheduler>();
     case SchedulerMutation::kOffGPrime:
       return std::make_unique<OffGPrimeScheduler>();
+    case SchedulerMutation::kStaleTopology:
+      return std::make_unique<StaleTopologyScheduler>();
     case SchedulerMutation::kNone: break;
   }
   throw Error("makeMutantScheduler requires a real mutation");

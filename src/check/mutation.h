@@ -22,9 +22,17 @@ enum class SchedulerMutation : std::uint8_t {
   kNone,       ///< honest scheduler (normal fuzzing)
   kLateAck,    ///< acks Fack/2 + 1 ticks past the acknowledgment bound
   kOffGPrime,  ///< also delivers to a node outside the sender's G'-hood
+  /// The dynamics family: plans against the *base* (epoch-0) topology
+  /// forever, delivering same-tick over grey-zone edges that have
+  /// since drifted away.  Only an epoch-aware checker can tell these
+  /// receives are illegal — a static checker would bless them — so a
+  /// zero-violation stale-topology campaign means the epoch plumbing
+  /// in the oracles is broken.
+  kStaleTopology,
 };
 
-/// Human-readable mutation name ("none", "late-ack", "off-gprime").
+/// Human-readable mutation name ("none", "late-ack", "off-gprime",
+/// "stale-topology").
 std::string toString(SchedulerMutation mutation);
 
 /// Parses a mutation name; throws ammb::Error on an unknown one.

@@ -48,7 +48,21 @@ struct OracleReport {
 
 /// Runs every applicable oracle over one finished execution.  `trace`
 /// must have recorded events; `workload` is the materialized arrival
-/// stream the run consumed (core::materializeWorkload).
+/// stream the run consumed (core::materializeWorkload).  `view` is the
+/// epoch-indexed topology the run executed over (Experiment::view()):
+/// MAC axioms are checked per epoch with guarantees quantified only
+/// over whole-window-live links, and the liveness oracle is suspended
+/// for dynamic views — a topology that churned may legitimately leave
+/// the protocol with nothing left to do before solving (e.g. a message
+/// stranded behind a crash), which is a measurement, not a bug.
+OracleReport checkExecution(const graph::TopologyView& view,
+                            const core::ProtocolSpec& protocol,
+                            const mac::MacParams& mac,
+                            const core::MmbWorkload& workload,
+                            const sim::Trace& trace,
+                            const core::RunResult& result);
+
+/// Static-topology convenience (single-epoch view over `topology`).
 OracleReport checkExecution(const graph::DualGraph& topology,
                             const core::ProtocolSpec& protocol,
                             const mac::MacParams& mac,

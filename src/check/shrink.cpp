@@ -9,6 +9,26 @@ namespace {
 /// only needs the single-step forms.
 std::vector<FuzzCase> proposals(const FuzzCase& c) {
   std::vector<FuzzCase> out;
+  // Dynamics first: a counterexample that still fails on a static
+  // topology is a plain model bug, not a churn bug — by far the
+  // simplest reproduction when it holds.
+  if (!c.dynamics.isStatic()) {
+    FuzzCase d = c;
+    d.dynamics = core::DynamicsSpec{};
+    out.push_back(d);
+    if (c.dynamics.kind == core::DynamicsSpec::Kind::kCrash &&
+        c.dynamics.crashes > 1) {
+      FuzzCase e = c;
+      e.dynamics.crashes = 1;
+      out.push_back(e);
+    }
+    if (c.dynamics.kind == core::DynamicsSpec::Kind::kGreyDrift &&
+        c.dynamics.epochs > 1) {
+      FuzzCase e = c;
+      e.dynamics.epochs = 1;
+      out.push_back(e);
+    }
+  }
   if (c.topology != TopologyFamily::kLine) {
     FuzzCase d = c;
     d.topology = TopologyFamily::kLine;

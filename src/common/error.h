@@ -41,3 +41,15 @@ namespace detail {
       ::ammb::detail::throwAssert(#cond, __FILE__, __LINE__);           \
     }                                                                   \
   } while (false)
+
+/// Debug-only invariant check for hot paths whose inputs are validated
+/// at build time (CSR snapshots, finalized adjacency).  Compiles to
+/// nothing under NDEBUG so per-call adjacency queries stay branch-free
+/// in release builds; debug builds keep the throwing AMMB_ASSERT.
+#ifdef NDEBUG
+#define AMMB_DCHECK(cond) \
+  do {                    \
+  } while (false)
+#else
+#define AMMB_DCHECK(cond) AMMB_ASSERT(cond)
+#endif

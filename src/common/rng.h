@@ -81,6 +81,7 @@ inline constexpr std::uint64_t kScheduler = 2;  ///< MAC scheduler choices
 inline constexpr std::uint64_t kTopology = 3;   ///< graph generators
 inline constexpr std::uint64_t kWorkload = 4;   ///< message assignment
 inline constexpr std::uint64_t kFuzz = 5;       ///< fuzz-case sampling
+inline constexpr std::uint64_t kDynamics = 6;   ///< topology dynamics schedules
 }  // namespace rngstream
 
 }  // namespace ammb

@@ -1,6 +1,7 @@
 #include "core/experiment.h"
 
 #include <cmath>
+#include <cstdio>
 #include <utility>
 
 namespace ammb::core {
@@ -67,6 +68,42 @@ ProtocolSpec fmmbProtocol(FmmbParams params) {
   return ProtocolSpec(FmmbSpec{std::move(params)});
 }
 
+std::string DynamicsSpec::label() const {
+  switch (kind) {
+    case Kind::kStatic:
+      return "static";
+    case Kind::kCrash:
+      return "crash" + std::to_string(crashes) + "p" + std::to_string(period) +
+             "d" + std::to_string(downFor);
+    case Kind::kGreyDrift: {
+      char churnText[32];
+      std::snprintf(churnText, sizeof(churnText), "%g", churn);
+      return "drift" + std::to_string(epochs) + "p" + std::to_string(period) +
+             "c" + churnText;
+    }
+  }
+  return "?";
+}
+
+graph::TopologyDynamics DynamicsSpec::build(const graph::DualGraph& base,
+                                            std::uint64_t seed) const {
+  switch (kind) {
+    case Kind::kStatic:
+      return {};
+    case Kind::kCrash: {
+      Rng rng = SeedSequence(seed).childRng(rngstream::kDynamics, 0);
+      return graph::gen::crashRecoverySchedule(base, crashes, period, downFor,
+                                               rng);
+    }
+    case Kind::kGreyDrift: {
+      Rng rng = SeedSequence(seed).childRng(rngstream::kDynamics, 0);
+      return graph::gen::greyZoneDriftSchedule(base, epochs, period, churn,
+                                               rng);
+    }
+  }
+  throw Error("unknown dynamics kind");
+}
+
 namespace {
 
 std::variant<BmmbSuite, FmmbSuite> makeSuite(const ProtocolSpec& protocol) {
@@ -99,6 +136,7 @@ Experiment::Experiment(const graph::DualGraph& topology,
     : topology_(topology),
       protocol_(protocol),
       config_(config),
+      view_(topology, config.dynamics.build(topology, config.seed)),
       ownedArrivals_(std::move(owned)),
       arrivals_(external != nullptr ? external : ownedArrivals_.get()),
       suite_(makeSuite(protocol)),
@@ -115,7 +153,7 @@ Experiment::Experiment(const graph::DualGraph& topology,
           : makeScheduler(config_.scheduler.kind,
                           config_.scheduler.lowerBoundLineLength);
   AMMB_REQUIRE(scheduler != nullptr, "scheduler factory returned null");
-  engine_ = std::make_unique<mac::MacEngine>(topology_, config_.mac,
+  engine_ = std::make_unique<mac::MacEngine>(view_, config_.mac,
                                              std::move(scheduler), factory,
                                              config_.seed, config_.recordTrace);
   engine_->setPlanValidation(config_.scheduler.validatePlans);

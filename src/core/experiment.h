@@ -23,6 +23,7 @@
 #include "core/fmmb.h"
 #include "core/mmb.h"
 #include "graph/dual_graph.h"
+#include "graph/dynamics.h"
 #include "mac/engine.h"
 #include "mac/lower_bound_scheduler.h"
 #include "mac/schedulers.h"
@@ -123,11 +124,46 @@ struct ExecutionLimits {
   std::uint64_t maxEvents = 100'000'000;
 };
 
+/// Declarative topology-dynamics recipe.  The default (kStatic) keeps
+/// the classic fixed-topology execution; the dynamic kinds derive a
+/// seed-deterministic graph::TopologyDynamics schedule from the run's
+/// base topology via the graph::gen generators, so a run with
+/// dynamics is reproducible from (topology, spec, seed) exactly like
+/// a static one.
+struct DynamicsSpec {
+  enum class Kind : std::uint8_t {
+    kStatic,     ///< no epochs; the topology never changes
+    kCrash,      ///< sequential node crash/recovery episodes
+    kGreyDrift,  ///< the E' \ E fringe churns; E stays untouched
+  };
+  Kind kind = Kind::kStatic;
+
+  /// Ticks between episodes (kCrash) or drift epochs (kGreyDrift).
+  Time period = 64;
+  // kCrash knobs.
+  int crashes = 1;     ///< crash/recovery episodes
+  Time downFor = 24;   ///< outage length (must stay < period)
+  // kGreyDrift knobs.
+  int epochs = 4;      ///< drift epochs
+  double churn = 0.25; ///< per-edge per-epoch toggle probability
+
+  bool isStatic() const { return kind == Kind::kStatic; }
+
+  /// Emitter/debug label ("static", "crash2p64d24", "drift4p64c0.25").
+  std::string label() const;
+
+  /// The materialized schedule for one run (empty when static).  Draws
+  /// from the rngstream::kDynamics child of `seed`.
+  graph::TopologyDynamics build(const graph::DualGraph& base,
+                                std::uint64_t seed) const;
+};
+
 /// Shared, protocol-agnostic run configuration.
 struct RunConfig {
   mac::MacParams mac;
   SchedulerSpec scheduler;
   ExecutionLimits limits;
+  DynamicsSpec dynamics;
   std::uint64_t seed = 1;
   bool recordTrace = true;
 };
@@ -170,6 +206,12 @@ class Experiment {
   const SolveTracker& tracker() const { return tracker_; }
   ProtocolKind protocol() const { return protocol_.kind(); }
 
+  /// The epoch-indexed topology view this run executes over (a single
+  /// epoch unless RunConfig::dynamics says otherwise).  Offline
+  /// checkers take this, not the base DualGraph, so dynamic runs are
+  /// validated against what each delivery's epoch actually looked like.
+  const graph::TopologyView& view() const { return view_; }
+
   /// The BMMB process registry (requires protocol() == kBmmb).
   const BmmbSuite& bmmbSuite() const;
   /// The FMMB process registry (requires protocol() == kFmmb).
@@ -183,6 +225,7 @@ class Experiment {
   const graph::DualGraph& topology_;
   ProtocolSpec protocol_;
   RunConfig config_;
+  graph::TopologyView view_;
   std::unique_ptr<ArrivalProcess> ownedArrivals_;
   ArrivalProcess* arrivals_ = nullptr;
   std::variant<BmmbSuite, FmmbSuite> suite_;

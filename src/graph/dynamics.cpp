@@ -1,0 +1,58 @@
+#include "graph/dynamics.h"
+
+namespace ammb::graph::gen {
+
+TopologyDynamics crashRecoverySchedule(const DualGraph& base, int crashes,
+                                       Time period, Time downFor, Rng& rng) {
+  AMMB_REQUIRE(crashes >= 1, "crash schedule needs at least one episode");
+  AMMB_REQUIRE(downFor >= 1 && downFor < period,
+               "crash schedule needs 0 < downFor < period");
+  AMMB_REQUIRE(base.n() >= 1, "crash schedule needs a non-empty topology");
+  TopologyDynamics dynamics;
+  for (int i = 0; i < crashes; ++i) {
+    const auto victim = static_cast<NodeId>(
+        rng.uniformInt(0, static_cast<std::int64_t>(base.n()) - 1));
+    const Time crashAt = static_cast<Time>(i + 1) * period;
+    dynamics.epochs.push_back(
+        {crashAt, {{TopologyEvent::Kind::kNodeCrash, victim, kNoNode, false}}});
+    dynamics.epochs.push_back(
+        {crashAt + downFor,
+         {{TopologyEvent::Kind::kNodeRecover, victim, kNoNode, false}}});
+  }
+  return dynamics;
+}
+
+TopologyDynamics greyZoneDriftSchedule(const DualGraph& base, int epochs,
+                                       Time period, double churn, Rng& rng) {
+  AMMB_REQUIRE(epochs >= 1, "drift schedule needs at least one epoch");
+  AMMB_REQUIRE(period >= 1, "drift schedule needs a positive period");
+  AMMB_REQUIRE(churn >= 0.0 && churn <= 1.0,
+               "drift churn must be a probability");
+  // The drifting set is the base grey zone; membership flips over time
+  // but the candidate pairs never change, so E ⊆ E′ and G-connectivity
+  // are preserved by construction.
+  std::vector<std::pair<NodeId, NodeId>> greyEdges;
+  for (const auto& [u, v] : base.gPrime().edges()) {
+    if (!base.g().hasEdge(u, v)) greyEdges.emplace_back(u, v);
+  }
+  std::vector<char> present(greyEdges.size(), 1);
+  TopologyDynamics dynamics;
+  for (int e = 1; e <= epochs; ++e) {
+    TopologyEpoch epoch;
+    epoch.start = static_cast<Time>(e) * period;
+    for (std::size_t i = 0; i < greyEdges.size(); ++i) {
+      if (!rng.bernoulli(churn)) continue;
+      const auto& [u, v] = greyEdges[i];
+      if (present[i] != 0) {
+        epoch.events.push_back({TopologyEvent::Kind::kEdgeDown, u, v, false});
+      } else {
+        epoch.events.push_back({TopologyEvent::Kind::kEdgeUp, u, v, false});
+      }
+      present[i] = present[i] == 0 ? 1 : 0;
+    }
+    dynamics.epochs.push_back(std::move(epoch));
+  }
+  return dynamics;
+}
+
+}  // namespace ammb::graph::gen

@@ -1,0 +1,37 @@
+// Seed-deterministic dynamics schedule generators.
+//
+// Ready-made TopologyDynamics recipes for the two churn regimes the
+// dynamics engine targets:
+//
+//   * crash/recovery — nodes drop off the network (all links down, the
+//     link-level crash model of topology_view.h) and come back later;
+//   * grey-zone drift — the unreliable fringe E′ \ E churns from epoch
+//     to epoch while the reliable graph E stays untouched, the dynamic
+//     version of the paper's grey zone.
+//
+// Both draw exclusively from the caller-provided Rng, so a schedule is
+// a pure function of (base topology, parameters, seed) — the property
+// every sweep/fuzz consumer depends on.
+#pragma once
+
+#include "common/rng.h"
+#include "graph/topology_view.h"
+
+namespace ammb::graph::gen {
+
+/// `crashes` sequential crash/recovery episodes: episode i crashes one
+/// uniformly random node at (i+1) * period and recovers it downFor
+/// ticks later.  Requires 0 < downFor < period so episodes never
+/// overlap (at most one node is down at any time, and the network is
+/// whole again before the next crash).
+TopologyDynamics crashRecoverySchedule(const DualGraph& base, int crashes,
+                                       Time period, Time downFor, Rng& rng);
+
+/// `epochs` drift epochs, one every `period` ticks: each epoch toggles
+/// every grey-zone (E′ \ E) edge of the base topology independently
+/// with probability `churn` — present edges drop, absent ones return.
+/// E is never touched, so G keeps whatever connectivity the base had.
+TopologyDynamics greyZoneDriftSchedule(const DualGraph& base, int epochs,
+                                       Time period, double churn, Rng& rng);
+
+}  // namespace ammb::graph::gen

@@ -11,8 +11,8 @@ Graph::Graph(NodeId n) {
 }
 
 void Graph::addEdge(NodeId u, NodeId v) {
-  checkNode(u);
-  checkNode(v);
+  AMMB_REQUIRE(u >= 0 && u < n(), "node id out of range");
+  AMMB_REQUIRE(v >= 0 && v < n(), "node id out of range");
   AMMB_REQUIRE(u != v, "self-loops are not allowed");
   adj_[static_cast<std::size_t>(u)].push_back(v);
   adj_[static_cast<std::size_t>(v)].push_back(u);
@@ -46,7 +46,7 @@ std::vector<int> Graph::bfsDistancesMulti(
   std::vector<int> dist(static_cast<std::size_t>(n()), -1);
   std::deque<NodeId> frontier;
   for (NodeId s : srcs) {
-    checkNode(s);
+    AMMB_REQUIRE(s >= 0 && s < n(), "BFS source id out of range");
     if (dist[static_cast<std::size_t>(s)] == -1) {
       dist[static_cast<std::size_t>(s)] = 0;
       frontier.push_back(s);

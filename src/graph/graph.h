@@ -41,10 +41,14 @@ class Graph {
   /// True after finalize().
   bool finalized() const { return finalized_; }
 
-  /// Sorted neighbors of `u`.
+  /// Sorted neighbors of `u`.  Bounds and finalization are debug-only
+  /// checks (AMMB_DCHECK): every Graph that reaches the delivery hot
+  /// path is validated at construction (generators finalize, CSR
+  /// snapshots re-validate at build time), so release builds pay no
+  /// per-call branch here.
   const std::vector<NodeId>& neighbors(NodeId u) const {
-    checkNode(u);
-    AMMB_REQUIRE(finalized_, "Graph::finalize() must be called first");
+    AMMB_DCHECK(u >= 0 && u < n());
+    AMMB_DCHECK(finalized_);
     return adj_[static_cast<std::size_t>(u)];
   }
 
@@ -81,8 +85,10 @@ class Graph {
   std::vector<std::pair<NodeId, NodeId>> edges() const;
 
  private:
-  void checkNode(NodeId u) const {
-    AMMB_REQUIRE(u >= 0 && u < n(), "node id out of range");
+  /// Debug-only on the query paths; mutation paths (addEdge) validate
+  /// with AMMB_REQUIRE at the call site since they are cold.
+  void checkNode([[maybe_unused]] NodeId u) const {
+    AMMB_DCHECK(u >= 0 && u < n());
   }
 
   std::vector<std::vector<NodeId>> adj_;

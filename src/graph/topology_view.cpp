@@ -1,0 +1,195 @@
+#include "graph/topology_view.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+namespace ammb::graph {
+
+namespace {
+
+using EdgeSet = std::set<std::pair<NodeId, NodeId>>;
+
+std::pair<NodeId, NodeId> orient(NodeId u, NodeId v) {
+  return u < v ? std::make_pair(u, v) : std::make_pair(v, u);
+}
+
+/// Materializes the epoch topology from the underlying edge sets and
+/// the liveness mask: edges with a dead endpoint are physically absent
+/// from the adjacency, so every downstream consumer (scheduler plans,
+/// the guard, the offline checker) agrees on what "live link" means.
+DualGraph materialize(NodeId n, const EdgeSet& e, const EdgeSet& ePrime,
+                      const std::vector<std::uint8_t>& alive,
+                      const std::optional<Embedding>& embedding) {
+  Graph g(n);
+  Graph gp(n);
+  const auto bothAlive = [&alive](const std::pair<NodeId, NodeId>& edge) {
+    return alive[static_cast<std::size_t>(edge.first)] != 0 &&
+           alive[static_cast<std::size_t>(edge.second)] != 0;
+  };
+  for (const auto& edge : e) {
+    if (bothAlive(edge)) g.addEdge(edge.first, edge.second);
+  }
+  for (const auto& edge : ePrime) {
+    if (bothAlive(edge)) gp.addEdge(edge.first, edge.second);
+  }
+  g.finalize();
+  gp.finalize();
+  if (embedding.has_value()) {
+    return DualGraph(std::move(g), std::move(gp), *embedding);
+  }
+  return DualGraph(std::move(g), std::move(gp));
+}
+
+}  // namespace
+
+void TopologyDynamics::validate() const {
+  Time last = 0;
+  for (const TopologyEpoch& epoch : epochs) {
+    AMMB_REQUIRE(epoch.start > last,
+                 "dynamics epochs need strictly increasing positive "
+                 "boundary times");
+    last = epoch.start;
+  }
+}
+
+bool CsrSnapshot::hasGEdge(NodeId u, NodeId v) const {
+  const Span nbrs = gNeighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+bool CsrSnapshot::hasPrimeEdge(NodeId u, NodeId v) const {
+  const Span nbrs = pNeighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+CsrSnapshot CsrSnapshot::build(const DualGraph& dual,
+                               const std::vector<std::uint8_t>& aliveMask) {
+  const NodeId n = dual.n();
+  AMMB_REQUIRE(static_cast<NodeId>(aliveMask.size()) == n,
+               "liveness mask size must match node count");
+  CsrSnapshot csr;
+  csr.alive = aliveMask;
+  csr.gOffsets.resize(static_cast<std::size_t>(n) + 1, 0);
+  csr.pOffsets.resize(static_cast<std::size_t>(n) + 1, 0);
+  csr.gAdj.reserve(2 * dual.g().edgeCount());
+  csr.pAdj.reserve(2 * dual.gPrime().edgeCount());
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v : dual.g().neighbors(u)) csr.gAdj.push_back(v);
+    for (NodeId v : dual.gPrime().neighbors(u)) csr.pAdj.push_back(v);
+    csr.gOffsets[static_cast<std::size_t>(u) + 1] =
+        static_cast<std::uint32_t>(csr.gAdj.size());
+    csr.pOffsets[static_cast<std::size_t>(u) + 1] =
+        static_cast<std::uint32_t>(csr.pAdj.size());
+  }
+  return csr;
+}
+
+TopologyView::TopologyView(const DualGraph& base) : base_(&base) {
+  Epoch epoch;
+  epoch.start = 0;
+  epoch.dual = base_;
+  epoch.csr = CsrSnapshot::build(
+      base, std::vector<std::uint8_t>(static_cast<std::size_t>(base.n()), 1));
+  epochs_.push_back(std::move(epoch));
+}
+
+TopologyView::TopologyView(const DualGraph& base,
+                           const TopologyDynamics& dynamics)
+    : TopologyView(base) {
+  if (dynamics.empty()) return;
+  dynamics.validate();
+
+  const NodeId n = base.n();
+  EdgeSet e;
+  EdgeSet ePrime;
+  for (const auto& [u, v] : base.g().edges()) e.insert(orient(u, v));
+  for (const auto& [u, v] : base.gPrime().edges()) ePrime.insert(orient(u, v));
+  std::vector<std::uint8_t> alive(static_cast<std::size_t>(n), 1);
+
+  const auto checkNode = [n](NodeId u) {
+    AMMB_REQUIRE(u >= 0 && u < n, "dynamics event node id out of range");
+  };
+
+  for (const TopologyEpoch& spec : dynamics.epochs) {
+    for (const TopologyEvent& ev : spec.events) {
+      switch (ev.kind) {
+        case TopologyEvent::Kind::kNodeCrash:
+          checkNode(ev.u);
+          AMMB_REQUIRE(alive[static_cast<std::size_t>(ev.u)] != 0,
+                       "dynamics crash of an already-crashed node");
+          alive[static_cast<std::size_t>(ev.u)] = 0;
+          break;
+        case TopologyEvent::Kind::kNodeRecover:
+          checkNode(ev.u);
+          AMMB_REQUIRE(alive[static_cast<std::size_t>(ev.u)] == 0,
+                       "dynamics recovery of a node that is not down");
+          alive[static_cast<std::size_t>(ev.u)] = 1;
+          break;
+        case TopologyEvent::Kind::kEdgeDown: {
+          checkNode(ev.u);
+          checkNode(ev.v);
+          const auto edge = orient(ev.u, ev.v);
+          AMMB_REQUIRE(ePrime.erase(edge) > 0,
+                       "dynamics drop of an edge that is not in E'");
+          e.erase(edge);
+          break;
+        }
+        case TopologyEvent::Kind::kEdgeUp: {
+          checkNode(ev.u);
+          checkNode(ev.v);
+          AMMB_REQUIRE(ev.u != ev.v, "dynamics edge must not be a self-loop");
+          const auto edge = orient(ev.u, ev.v);
+          if (ev.reliable) {
+            e.insert(edge);
+          } else {
+            AMMB_REQUIRE(e.count(edge) == 0,
+                         "dynamics unreliable edge-up of an edge already "
+                         "in E");
+          }
+          ePrime.insert(edge);
+          break;
+        }
+      }
+    }
+    owned_.push_back(std::make_unique<DualGraph>(
+        materialize(n, e, ePrime, alive, base.embedding())));
+    Epoch epoch;
+    epoch.start = spec.start;
+    epoch.dual = owned_.back().get();
+    epoch.csr = CsrSnapshot::build(*epoch.dual, alive);
+    epochs_.push_back(std::move(epoch));
+  }
+}
+
+int TopologyView::epochAt(Time t) const {
+  AMMB_REQUIRE(t >= 0, "epoch lookup requires a non-negative time");
+  // Epochs are few; the linear scan from the back beats a binary search
+  // on realistic schedules and is trivially correct.
+  for (int e = epochCount() - 1; e > 0; --e) {
+    if (t >= epochs_[static_cast<std::size_t>(e)].start) return e;
+  }
+  return 0;
+}
+
+Time TopologyView::gEdgeLiveSince(int e, NodeId u, NodeId v) const {
+  if (!epoch(e).csr.hasGEdge(u, v)) return kTimeNever;
+  Time since = epoch(e).start;
+  for (int p = e - 1; p >= 0; --p) {
+    if (!epoch(p).csr.hasGEdge(u, v)) break;
+    since = epoch(p).start;
+  }
+  return since;
+}
+
+bool TopologyView::gEdgeLiveThroughout(NodeId u, NodeId v, Time t1,
+                                       Time t2) const {
+  AMMB_REQUIRE(t1 <= t2, "gEdgeLiveThroughout needs an ordered interval");
+  const int last = epochAt(t2);
+  for (int e = epochAt(t1); e <= last; ++e) {
+    if (!epoch(e).csr.hasGEdge(u, v)) return false;
+  }
+  return true;
+}
+
+}  // namespace ammb::graph

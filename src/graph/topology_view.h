@@ -1,0 +1,185 @@
+// Epoch-based topology views.
+//
+// The paper fixes one (G, G′) pair for the whole execution; related
+// abstract-MAC work (Newport 2018, Zhang & Tseng 2024) studies the
+// model's interesting regimes under crashes and topology change.  A
+// TopologyView generalizes the static DualGraph coupling to a sequence
+// of *epochs*: half-open time intervals [start_e, start_{e+1}) during
+// which the topology is fixed.  Epoch 0 is the base DualGraph; each
+// later epoch applies a batch of TopologyEvents (node crashes and
+// recoveries, edge drops and additions) on top of the running state.
+//
+// A crashed node is modeled as total link loss — its radio is down, so
+// the MAC layer sees every incident E/E′ edge vanish until recovery —
+// which keeps the model purely link-level, exactly like the paper's
+// unreliability story.  E ⊆ E′ is re-validated for every epoch.
+//
+// Every epoch also materializes a flat CSR adjacency snapshot
+// (CsrSnapshot).  The engine's delivery hot path iterates those
+// contiguous arrays instead of per-call map/assertion-guarded vector
+// lookups, so the static single-epoch case gets *faster* while dynamic
+// cases become possible at all.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "graph/dual_graph.h"
+
+namespace ammb::graph {
+
+/// One topology change, applied at an epoch boundary.
+struct TopologyEvent {
+  enum class Kind : std::uint8_t {
+    kNodeCrash,    ///< all of u's links go down until recovery
+    kNodeRecover,  ///< u's surviving underlying links come back up
+    kEdgeDown,     ///< removes {u, v} from E and E′
+    kEdgeUp,       ///< (re)adds {u, v}: to E and E′ if reliable, else E′ only
+  };
+  Kind kind = Kind::kEdgeDown;
+  NodeId u = kNoNode;
+  NodeId v = kNoNode;     ///< unused for node events
+  bool reliable = false;  ///< kEdgeUp: into E (and E′) vs E′ \ E only
+};
+
+/// A batch of events taking effect at time `start` (epoch boundary).
+struct TopologyEpoch {
+  Time start = 0;
+  std::vector<TopologyEvent> events;
+};
+
+/// The full dynamics schedule: boundaries in strictly increasing order,
+/// all later than t = 0 (epoch 0 is always the base topology).
+struct TopologyDynamics {
+  std::vector<TopologyEpoch> epochs;
+
+  bool empty() const { return epochs.empty(); }
+
+  /// Throws ammb::Error on unordered or non-positive boundary times.
+  void validate() const;
+};
+
+/// Flat compressed-sparse-row adjacency of one epoch, over both graphs.
+/// Adjacency excludes crashed endpoints entirely, so "has an edge" and
+/// "may communicate right now" coincide.  Built once per epoch; all
+/// queries are branch-free array walks / binary searches.
+struct CsrSnapshot {
+  /// Contiguous neighbor range (C++17 stand-in for std::span).
+  struct Span {
+    const NodeId* ptr = nullptr;
+    std::size_t len = 0;
+    const NodeId* begin() const { return ptr; }
+    const NodeId* end() const { return ptr + len; }
+    std::size_t size() const { return len; }
+    bool empty() const { return len == 0; }
+  };
+
+  std::vector<std::uint32_t> gOffsets;  ///< n + 1
+  std::vector<NodeId> gAdj;             ///< E neighbors, sorted per node
+  std::vector<std::uint32_t> pOffsets;  ///< n + 1
+  std::vector<NodeId> pAdj;             ///< E′ neighbors, sorted per node
+  std::vector<std::uint8_t> alive;      ///< per-node liveness mask
+
+  NodeId n() const { return static_cast<NodeId>(alive.size()); }
+
+  Span gNeighbors(NodeId u) const {
+    AMMB_DCHECK(u >= 0 && u < n());
+    const auto lo = gOffsets[static_cast<std::size_t>(u)];
+    const auto hi = gOffsets[static_cast<std::size_t>(u) + 1];
+    return {gAdj.data() + lo, hi - lo};
+  }
+  Span pNeighbors(NodeId u) const {
+    AMMB_DCHECK(u >= 0 && u < n());
+    const auto lo = pOffsets[static_cast<std::size_t>(u)];
+    const auto hi = pOffsets[static_cast<std::size_t>(u) + 1];
+    return {pAdj.data() + lo, hi - lo};
+  }
+
+  bool hasGEdge(NodeId u, NodeId v) const;
+  bool hasPrimeEdge(NodeId u, NodeId v) const;
+  bool nodeAlive(NodeId u) const {
+    AMMB_DCHECK(u >= 0 && u < n());
+    return alive[static_cast<std::size_t>(u)] != 0;
+  }
+
+  /// Builds the snapshot from a materialized epoch topology (whose
+  /// adjacency must already exclude dead endpoints) plus the mask.
+  static CsrSnapshot build(const DualGraph& dual,
+                           const std::vector<std::uint8_t>& aliveMask);
+};
+
+/// An epoch-indexed view over a (possibly changing) dual-graph
+/// topology.  The base DualGraph is borrowed and must outlive the
+/// view; later epochs are owned materializations.  For the static case
+/// (no dynamics) the view is a single epoch whose DualGraph *is* the
+/// base — `dualAt(0)` returns the exact object passed in.
+class TopologyView {
+ public:
+  /// Static single-epoch view over `base` (borrowed).
+  explicit TopologyView(const DualGraph& base);
+
+  /// Dynamic view: applies `dynamics` to the running edge/liveness
+  /// state, materializing one DualGraph + CsrSnapshot per epoch.
+  TopologyView(const DualGraph& base, const TopologyDynamics& dynamics);
+
+  TopologyView(const TopologyView&) = delete;
+  TopologyView& operator=(const TopologyView&) = delete;
+  TopologyView(TopologyView&&) = default;
+  TopologyView& operator=(TopologyView&&) = default;
+
+  NodeId n() const { return base_->n(); }
+
+  /// The epoch-0 topology (the object this view was built over).
+  const DualGraph& base() const { return *base_; }
+
+  /// True when the view has more than one epoch.
+  bool dynamic() const { return epochs_.size() > 1; }
+
+  int epochCount() const { return static_cast<int>(epochs_.size()); }
+
+  /// Start time of epoch `e` (0 for epoch 0).
+  Time epochStart(int e) const { return epoch(e).start; }
+
+  /// The epoch covering time `t` (epochs are half-open [start, next)).
+  int epochAt(Time t) const;
+
+  /// The materialized topology of epoch `e` (adjacency excludes
+  /// crashed endpoints).
+  const DualGraph& dualAt(int e) const { return *epoch(e).dual; }
+
+  /// The flat-adjacency snapshot of epoch `e`.
+  const CsrSnapshot& csrAt(int e) const { return epoch(e).csr; }
+
+  bool nodeAliveAt(int e, NodeId v) const { return epoch(e).csr.nodeAlive(v); }
+
+  /// Start time of the maximal run of consecutive epochs ending at
+  /// `e` throughout which {u, v} ∈ E (with both endpoints alive).
+  /// Returns kTimeNever when the edge is not live in epoch `e`.  This
+  /// is the "live since" instant the progress guard and the offline
+  /// checker quantify window guarantees over: an edge that appeared or
+  /// reappeared mid-execution only obliges the model from that moment.
+  Time gEdgeLiveSince(int e, NodeId u, NodeId v) const;
+
+  /// True iff {u, v} ∈ E (endpoints alive) in every epoch overlapping
+  /// the closed interval [t1, t2].  The acknowledgment guarantee of an
+  /// instance is quantified over exactly these links.
+  bool gEdgeLiveThroughout(NodeId u, NodeId v, Time t1, Time t2) const;
+
+ private:
+  struct Epoch {
+    Time start = 0;
+    const DualGraph* dual = nullptr;  ///< base_ or an owned_ entry
+    CsrSnapshot csr;
+  };
+
+  const Epoch& epoch(int e) const {
+    AMMB_DCHECK(e >= 0 && e < epochCount());
+    return epochs_[static_cast<std::size_t>(e)];
+  }
+
+  const DualGraph* base_ = nullptr;
+  std::vector<std::unique_ptr<DualGraph>> owned_;
+  std::vector<Epoch> epochs_;
+};
+
+}  // namespace ammb::graph

@@ -75,23 +75,41 @@ void Context::abortBcast() { engine_.apiAbort(node_); }
 // MacEngine
 // ---------------------------------------------------------------------------
 
+MacEngine::MacEngine(const graph::TopologyView& view, MacParams params,
+                     std::unique_ptr<Scheduler> scheduler,
+                     ProcessFactory factory, std::uint64_t seed,
+                     bool traceEnabled)
+    : MacEngine(std::nullopt, &view, params, std::move(scheduler),
+                std::move(factory), seed, traceEnabled) {}
+
 MacEngine::MacEngine(const graph::DualGraph& topology, MacParams params,
                      std::unique_ptr<Scheduler> scheduler,
                      ProcessFactory factory, std::uint64_t seed,
                      bool traceEnabled)
-    : topology_(topology),
+    : MacEngine(graph::TopologyView(topology), nullptr, params,
+                std::move(scheduler), std::move(factory), seed, traceEnabled) {
+}
+
+MacEngine::MacEngine(std::optional<graph::TopologyView> owned,
+                     const graph::TopologyView* view, MacParams params,
+                     std::unique_ptr<Scheduler> scheduler,
+                     ProcessFactory factory, std::uint64_t seed,
+                     bool traceEnabled)
+    : ownedView_(std::move(owned)),
+      view_(view != nullptr ? view : &*ownedView_),
+      csr_(&view_->csrAt(0)),
       params_(params),
       scheduler_(std::move(scheduler)),
       trace_(traceEnabled),
-      guard_(*this, topology.n()),
+      guard_(*this, view_->n()),
       schedulerRng_(SeedSequence(seed).childSeed(rngstream::kScheduler, 0)) {
   params_.validate();
   AMMB_REQUIRE(scheduler_ != nullptr, "a scheduler is required");
   AMMB_REQUIRE(factory != nullptr, "a process factory is required");
 
   const SeedSequence seeds(seed);
-  nodes_.reserve(static_cast<std::size_t>(topology_.n()));
-  for (NodeId v = 0; v < topology_.n(); ++v) {
+  nodes_.reserve(static_cast<std::size_t>(n()));
+  for (NodeId v = 0; v < n(); ++v) {
     NodeState ns{factory(v),
                  seeds.childRng(rngstream::kNode,
                                 static_cast<std::uint64_t>(v)),
@@ -103,8 +121,15 @@ MacEngine::MacEngine(const graph::DualGraph& topology, MacParams params,
   }
   scheduler_->attach(*this);
 
+  // Epoch transitions are scheduled first, so at a boundary tick the
+  // topology switches before any same-tick delivery/timer fires (those
+  // were inserted later and the queue is FIFO within a tick).
+  for (int e = 1; e < view_->epochCount(); ++e) {
+    queue_.schedule(view_->epochStart(e), [this, e] { onEpochBoundary(e); });
+  }
+
   // Wake every node at t = 0, in id order, before any environment event.
-  for (NodeId v = 0; v < topology_.n(); ++v) {
+  for (NodeId v = 0; v < n(); ++v) {
     queue_.schedule(0, [this, v] {
       trace_.add({now(), sim::TraceKind::kWake, v, kNoInstance, kNoMsg});
       Context ctx(*this, v);
@@ -112,6 +137,7 @@ MacEngine::MacEngine(const graph::DualGraph& topology, MacParams params,
     });
   }
 }
+
 
 void MacEngine::injectArriveAt(NodeId node, MsgId msg, Time at) {
   checkNode(node);
@@ -199,8 +225,11 @@ void MacEngine::apiBcast(NodeId node, Packet packet) {
   const DeliveryPlan plan = scheduler_->planBcast(inst);
   if (validatePlans_) validatePlan(inst, plan);
   inst.plannedAck = plan.ackAt;
-  inst.pendingGDeliveries =
-      static_cast<int>(topology_.g().neighbors(node).size());
+  const graph::CsrSnapshot::Span gNbrs = csr_->gNeighbors(node);
+  inst.pendingGDeliveries = static_cast<int>(gNbrs.size());
+  // Static views skip the per-instance set: the countdown plus a
+  // CSR membership probe is equivalent when edges never change.
+  if (view_->dynamic()) inst.requiredG.assign(gNbrs.begin(), gNbrs.end());
 
   for (const PlannedDelivery& d : plan.deliveries) {
     const sim::EventHandle h = queue_.schedule(
@@ -211,11 +240,11 @@ void MacEngine::apiBcast(NodeId node, Packet packet) {
       queue_.schedule(plan.ackAt, [this, id] { onAckEvent(id); });
 
   ns.current = id;
-  for (NodeId j : topology_.gPrime().neighbors(node)) {
+  for (NodeId j : csr_->pNeighbors(node)) {
     state(j).addLive(id);
   }
   // The new instance changes the need set of the sender's G-neighbors.
-  for (NodeId j : topology_.g().neighbors(node)) guard_.recompute(j);
+  for (NodeId j : gNbrs) guard_.recompute(j);
 }
 
 bool MacEngine::apiBusy(NodeId node) const {
@@ -290,20 +319,18 @@ void MacEngine::validatePlan(const Instance& instance,
   const Time t0 = instance.bcastAt;
   AMMB_REQUIRE(plan.ackAt >= t0 && plan.ackAt <= t0 + params_.fack,
                "scheduler plan violates the acknowledgment bound");
-  const auto& gp = topology_.gPrime();
-  const auto& g = topology_.g();
   std::unordered_set<NodeId> seen;
   for (const PlannedDelivery& d : plan.deliveries) {
     AMMB_REQUIRE(d.target != instance.sender,
                  "scheduler plan delivers to the sender itself");
-    AMMB_REQUIRE(gp.hasEdge(instance.sender, d.target),
+    AMMB_REQUIRE(csr_->hasPrimeEdge(instance.sender, d.target),
                  "scheduler plan delivers outside G'");
     AMMB_REQUIRE(seen.insert(d.target).second,
                  "scheduler plan delivers twice to one receiver");
     AMMB_REQUIRE(d.at >= t0 && d.at <= plan.ackAt,
                  "scheduler plan delivery time outside [bcast, ack]");
   }
-  for (NodeId j : g.neighbors(instance.sender)) {
+  for (NodeId j : csr_->gNeighbors(instance.sender)) {
     AMMB_REQUIRE(seen.count(j) > 0,
                  "scheduler plan misses a reliable (G) neighbor");
   }
@@ -321,7 +348,9 @@ void MacEngine::performDelivery(InstanceId id, NodeId receiver, bool forced) {
 
   inst.deliveredTo.push_back(receiver);
   inst.deliveredSet.insert(receiver);
-  if (topology_.g().hasEdge(inst.sender, receiver)) {
+  if (view_->dynamic()) {
+    if (inst.removeRequiredG(receiver)) --inst.pendingGDeliveries;
+  } else if (csr_->hasGEdge(inst.sender, receiver)) {
     --inst.pendingGDeliveries;
     AMMB_ASSERT(inst.pendingGDeliveries >= 0);
   }
@@ -366,12 +395,73 @@ void MacEngine::finishInstance(Instance& inst) {
 
   // The instance no longer contends anywhere; coverage intervals it
   // provided are now capped at termAt, so re-evaluate the neighborhood.
-  for (NodeId j : topology_.gPrime().neighbors(inst.sender)) {
+  // Live-list membership always tracks the *current* epoch's E'
+  // neighborhood (epoch boundaries rebuild it), so the current CSR
+  // span covers exactly the nodes holding this instance.
+  for (NodeId j : csr_->pNeighbors(inst.sender)) {
     state(j).removeLive(inst.id);
   }
-  for (NodeId j : topology_.gPrime().neighbors(inst.sender)) {
+  for (NodeId j : csr_->pNeighbors(inst.sender)) {
     guard_.recompute(j);
   }
+  // Termination also caps this instance's cover intervals at termAt —
+  // including covers held by receivers the sender can no longer reach
+  // (their link dropped, or the sender crashed, since the delivery).
+  // Static topologies never hit this branch: deliveredTo is always a
+  // subset of the sender's E' neighborhood there.
+  for (NodeId j : inst.deliveredTo) {
+    if (!csr_->hasPrimeEdge(inst.sender, j)) guard_.recompute(j);
+  }
+}
+
+void MacEngine::onEpochBoundary(int e) {
+  AMMB_ASSERT(e == epoch_ + 1);
+  epoch_ = e;
+  csr_ = &view_->csrAt(e);
+  trace_.add({now(), sim::TraceKind::kEpoch, kNoNode, kNoInstance,
+              static_cast<MsgId>(e)});
+
+  // Reconcile every in-flight instance with the new topology.  A
+  // vanished E'-link voids its scheduled delivery; a vanished E-link
+  // (or a crashed endpoint — crashed nodes have empty adjacency) also
+  // voids the acknowledgment guarantee for that receiver.  The ack
+  // itself always fires as planned: a crashed sender simply stops
+  // delivering (its radio is down), it does not lose its automaton.
+  for (Instance& inst : instances_) {
+    const NodeId s = inst.sender;
+    // Scrub vanished-link deliveries even for aborted instances: their
+    // epsAbort grace window may still hold scheduled events.
+    for (std::size_t i = inst.pending.size(); i-- > 0;) {
+      const Instance::PendingDelivery pd = inst.pending[i];
+      if (csr_->hasPrimeEdge(s, pd.target)) continue;
+      queue_.cancel(pd.handle);
+      inst.removePending(pd.target);
+    }
+    if (inst.terminated) continue;
+    std::vector<NodeId>& req = inst.requiredG;
+    req.erase(std::remove_if(
+                  req.begin(), req.end(),
+                  [this, s](NodeId j) { return !csr_->hasGEdge(s, j); }),
+              req.end());
+    inst.pendingGDeliveries = static_cast<int>(req.size());
+  }
+
+  // Rebuild the live-instance lists from the new E' neighborhoods: a
+  // live instance contends exactly at its sender's current neighbors.
+  for (NodeState& ns : nodes_) {
+    ns.liveNear.clear();
+    ns.liveIndex.clear();
+  }
+  for (const Instance& inst : instances_) {
+    if (inst.terminated) continue;
+    for (NodeId j : csr_->pNeighbors(inst.sender)) {
+      state(j).addLive(inst.id);
+    }
+  }
+
+  // Need sets may have shrunk (links gone) or gained a later live-since
+  // clip (links appeared); re-arm every receiver's deadline.
+  for (NodeId j = 0; j < n(); ++j) guard_.recompute(j);
 }
 
 void MacEngine::forceProgressDelivery(NodeId receiver) {
@@ -402,7 +492,7 @@ const MacEngine::NodeState& MacEngine::state(NodeId node) const {
 }
 
 void MacEngine::checkNode(NodeId node) const {
-  AMMB_REQUIRE(node >= 0 && node < topology_.n(), "node id out of range");
+  AMMB_REQUIRE(node >= 0 && node < n(), "node id out of range");
 }
 
 }  // namespace ammb::mac

@@ -25,7 +25,7 @@
 
 #include "common/rng.h"
 #include "common/types.h"
-#include "graph/dual_graph.h"
+#include "graph/topology_view.h"
 #include "mac/instance.h"
 #include "mac/oracle.h"
 #include "mac/params.h"
@@ -66,8 +66,15 @@ class MacEngine {
   /// Pull-based arrival stream: nullopt means exhausted.
   using ArrivalSource = std::function<std::optional<ArrivalEvent>()>;
 
-  /// Wires the system together and schedules the wake events at t=0.
-  /// The topology must outlive the engine.
+  /// Wires the system together and schedules the wake events at t=0
+  /// plus one internal transition event per topology epoch.  The view
+  /// must outlive the engine.
+  MacEngine(const graph::TopologyView& view, MacParams params,
+            std::unique_ptr<Scheduler> scheduler, ProcessFactory factory,
+            std::uint64_t seed, bool traceEnabled = true);
+
+  /// Static-topology convenience: wraps `topology` in an owned
+  /// single-epoch view.  The topology must outlive the engine.
   MacEngine(const graph::DualGraph& topology, MacParams params,
             std::unique_ptr<Scheduler> scheduler, ProcessFactory factory,
             std::uint64_t seed, bool traceEnabled = true);
@@ -122,11 +129,25 @@ class MacEngine {
 
   // --- introspection ----------------------------------------------------
   Time now() const { return queue_.now(); }
-  const graph::DualGraph& topology() const { return topology_; }
+  /// The *current epoch's* topology.  Schedulers, processes and the
+  /// guard all read this, so they are epoch-aware for free; on a
+  /// static view it is the exact DualGraph the engine was built over.
+  const graph::DualGraph& topology() const { return view_->dualAt(epoch_); }
+  /// The full epoch-indexed view (offline checkers need every epoch).
+  const graph::TopologyView& view() const { return *view_; }
+  /// The epoch covering now().
+  int currentEpoch() const { return epoch_; }
   const MacParams& params() const { return params_; }
   const sim::Trace& trace() const { return trace_; }
   const EngineStats& stats() const { return stats_; }
-  NodeId n() const { return topology_.n(); }
+  NodeId n() const { return view_->n(); }
+
+  /// Start of the maximal run of epochs ending now throughout which
+  /// {u, v} ∈ E; kTimeNever when the link is not live right now.  The
+  /// progress guard quantifies its need windows from this instant.
+  Time gEdgeLiveSince(NodeId u, NodeId v) const {
+    return view_->gEdgeLiveSince(epoch_, u, v);
+  }
 
   /// All instances ever created, indexed by InstanceId.
   const std::vector<Instance>& instances() const { return instances_; }
@@ -193,12 +214,23 @@ class MacEngine {
   void onAckEvent(InstanceId id);
   void finishInstance(Instance& instance);
   void forceProgressDelivery(NodeId receiver);
+  void onEpochBoundary(int e);
+
+  MacEngine(std::optional<graph::TopologyView> owned,
+            const graph::TopologyView* view, MacParams params,
+            std::unique_ptr<Scheduler> scheduler, ProcessFactory factory,
+            std::uint64_t seed, bool traceEnabled);
 
   NodeState& state(NodeId node);
   const NodeState& state(NodeId node) const;
   void checkNode(NodeId node) const;
 
-  const graph::DualGraph& topology_;
+  /// Owned single-epoch view when constructed from a bare DualGraph.
+  std::optional<graph::TopologyView> ownedView_;
+  const graph::TopologyView* view_ = nullptr;
+  /// The epoch covering now(); csr_ caches its flat adjacency.
+  int epoch_ = 0;
+  const graph::CsrSnapshot* csr_ = nullptr;
   MacParams params_;
   std::unique_ptr<Scheduler> scheduler_;
   sim::EventQueue queue_;

@@ -6,6 +6,7 @@
 // receive a const view when planning.
 #pragma once
 
+#include <algorithm>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -76,8 +77,28 @@ struct Instance {
     return true;
   }
 
-  /// G-neighbors of the sender not yet delivered to (ack gate).
+  /// G-neighbors of the sender not yet delivered to (ack gate).  On a
+  /// static topology this is a plain countdown (membership is just
+  /// "has a G-edge", no per-instance set needed); dynamic views
+  /// additionally materialize `requiredG` below and keep the two in
+  /// sync, because epoch transitions shrink membership per link.
   int pendingGDeliveries = 0;
+
+  /// Dynamic views only: the sender's G-neighbors whose receipt still
+  /// gates the ack — seeded at bcast with the bcast-epoch
+  /// G-neighborhood (sorted), shrunk by deliveries and by epoch
+  /// transitions that take the link down (the acknowledgment guarantee
+  /// is quantified only over links live for the whole [bcast, ack]
+  /// window).  Unused (empty) on static views.
+  std::vector<NodeId> requiredG;
+
+  /// Drops `j` from the required set; false if it was not required.
+  bool removeRequiredG(NodeId j) {
+    const auto it = std::lower_bound(requiredG.begin(), requiredG.end(), j);
+    if (it == requiredG.end() || *it != j) return false;
+    requiredG.erase(it);
+    return true;
+  }
 
   /// Handle of the scheduled ack event (cancelled on abort).
   sim::EventHandle ackEvent = 0;

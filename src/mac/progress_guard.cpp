@@ -52,12 +52,17 @@ Time ProgressGuard::earliestUncovered(NodeId receiver) const {
   const Time fprog = engine_.params().fprog;
 
   // Need set: window starts demanded by live instances of G-neighbors.
+  // Quantified over the link's continuous live span: an E-edge that
+  // appeared (or reappeared) after the bcast only obliges the model
+  // from the epoch it came up, and one that is down right now obliges
+  // nothing (the offline checker applies the same rule per span).
   std::vector<Interval> need;
   for (InstanceId id : engine_.liveInstancesNear(receiver)) {
     const Instance& inst = engine_.instance(id);
     if (inst.terminated) continue;
-    if (!engine_.topology().g().hasEdge(inst.sender, receiver)) continue;
-    const Time lo = inst.bcastAt;
+    const Time liveSince = engine_.gEdgeLiveSince(inst.sender, receiver);
+    if (liveSince == kTimeNever) continue;
+    const Time lo = std::max(inst.bcastAt, liveSince);
     const Time hi = inst.plannedAck - fprog - 1;
     if (hi >= lo) need.push_back({lo, hi});
   }

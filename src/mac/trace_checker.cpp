@@ -76,9 +76,9 @@ struct InstanceFacts {
 
 class Checker {
  public:
-  Checker(const graph::DualGraph& topo, const MacParams& params,
+  Checker(const graph::TopologyView& view, const MacParams& params,
           const sim::Trace& trace, Time horizon)
-      : topo_(topo), params_(params), trace_(trace), horizon_(horizon) {}
+      : view_(view), params_(params), trace_(trace), horizon_(horizon) {}
 
   CheckResult run() {
     scan();
@@ -181,10 +181,17 @@ class Checker {
           fail("rcv-at-sender", id, receiver, at,
                "instance " + std::to_string(id) + " delivered to its sender");
         }
-        if (!topo_.gPrime().hasEdge(f.sender, receiver)) {
+        // Legality is judged in the epoch the delivery happened: a
+        // link that existed at bcast but had vanished by `at` (or a
+        // crashed endpoint — dead nodes have empty adjacency) makes
+        // the rcv illegal, and vice versa for links that appeared.
+        if (!view_.dualAt(view_.epochAt(at))
+                 .gPrime()
+                 .hasEdge(f.sender, receiver)) {
           fail("rcv-off-gprime", id, receiver, at,
                "instance " + std::to_string(id) +
-                   " delivered outside G' to node " +
+                   " delivered outside G' (of the epoch at t=" +
+                   std::to_string(at) + ") to node " +
                    std::to_string(receiver));
         }
         if (!seen.insert(receiver).second) {
@@ -206,9 +213,18 @@ class Checker {
                    " rcv more than epsAbort after its abort");
         }
       }
-      // Acknowledgment correctness + ack bound.
+      // Acknowledgment correctness + ack bound.  The guarantee is
+      // quantified over the bcast-epoch G-neighbors whose link stayed
+      // in E (both endpoints alive) for the whole [bcast, ack] window;
+      // a link that dropped mid-flight voids the obligation even if it
+      // later returned (the engine never re-arms a dropped guarantee).
       if (f.terminated && !f.aborted) {
-        for (NodeId j : topo_.g().neighbors(f.sender)) {
+        const graph::DualGraph& bcastTopo =
+            view_.dualAt(view_.epochAt(f.bcastAt));
+        for (NodeId j : bcastTopo.g().neighbors(f.sender)) {
+          if (!view_.gEdgeLiveThroughout(f.sender, j, f.bcastAt, f.termAt)) {
+            continue;
+          }
           bool found = false;
           for (std::size_t i = 0; i < f.rcvs.size(); ++i) {
             if (f.rcvs[i].first == j && f.rcvs[i].second < f.termIdx) {
@@ -241,23 +257,60 @@ class Checker {
     }
   }
 
+  /// Appends the need intervals of one (instance, receiver) pair: one
+  /// interval per maximal run of epochs throughout which the E-link is
+  /// live, clipped to [bcastAt, termClip].  A window [t, t+Fprog] is
+  /// only owed when it fits inside such a span — the online guard
+  /// stands down at the boundary that takes the link away, and a link
+  /// that (re)appears only obliges from its comeback epoch.
+  void appendNeedSpans(const InstanceFacts& f, NodeId j, Time termClip,
+                       std::vector<Interval>& need) const {
+    const Time fprog = params_.fprog;
+    if (termClip < f.bcastAt) return;
+    const int e2 = view_.epochAt(termClip);
+    int e = view_.epochAt(f.bcastAt);
+    while (e <= e2) {
+      if (!view_.dualAt(e).g().hasEdge(f.sender, j)) {
+        ++e;
+        continue;
+      }
+      int last = e;
+      while (last + 1 <= e2 &&
+             view_.dualAt(last + 1).g().hasEdge(f.sender, j)) {
+        ++last;
+      }
+      const Time lo = std::max(f.bcastAt, view_.epochStart(e));
+      Time hi = termClip;
+      if (last + 1 < view_.epochCount()) {
+        hi = std::min(hi, view_.epochStart(last + 1));
+      }
+      hi -= fprog + 1;
+      if (hi >= lo) need.push_back({lo, hi});
+      e = last + 1;
+    }
+  }
+
   void checkProgress() {
     const Time fprog = params_.fprog;
-    for (NodeId j = 0; j < topo_.n(); ++j) {
+    for (NodeId j = 0; j < view_.n(); ++j) {
       std::vector<Interval> need;
       std::vector<Interval> cover;
       for (const auto& [id, f] : facts_) {
         (void)id;
         const Time term =
             f.terminated ? f.termAt : std::max(horizon_, f.bcastAt);
-        if (topo_.g().hasEdge(f.sender, j)) {
-          const Time hi = std::min(term, horizon_) - fprog - 1;
-          if (hi >= f.bcastAt) need.push_back({f.bcastAt, hi});
-        }
-        if (!topo_.gPrime().hasEdge(f.sender, j)) continue;
+        appendNeedSpans(f, j, std::min(term, horizon_), need);
         for (std::size_t i = 0; i < f.rcvs.size(); ++i) {
           if (f.rcvs[i].first != j) continue;
           const Time d = f.rcvTimes[i];
+          // A receive covers iff it was a contending (E'-link live at
+          // delivery time) instance — the epoch-aware spelling of the
+          // static G'-neighbor filter.
+          if (!view_.dualAt(view_.epochAt(d))
+                   .gPrime()
+                   .hasEdge(f.sender, j)) {
+            continue;
+          }
           const Time hi = f.terminated ? f.termAt - 1 : kTimeNever;
           cover.push_back({d - fprog, hi});
         }
@@ -272,7 +325,7 @@ class Checker {
     }
   }
 
-  const graph::DualGraph& topo_;
+  const graph::TopologyView& view_;
   const MacParams& params_;
   const sim::Trace& trace_;
   Time horizon_;
@@ -282,7 +335,7 @@ class Checker {
 
 }  // namespace
 
-CheckResult checkTrace(const graph::DualGraph& topology,
+CheckResult checkTrace(const graph::TopologyView& view,
                        const MacParams& params, const sim::Trace& trace,
                        Time horizon) {
   AMMB_REQUIRE(trace.enabled(),
@@ -290,8 +343,15 @@ CheckResult checkTrace(const graph::DualGraph& topology,
   if (horizon == kTimeNever) {
     horizon = trace.records().empty() ? 0 : trace.records().back().t;
   }
-  Checker checker(topology, params, trace, horizon);
+  Checker checker(view, params, trace, horizon);
   return checker.run();
+}
+
+CheckResult checkTrace(const graph::DualGraph& topology,
+                       const MacParams& params, const sim::Trace& trace,
+                       Time horizon) {
+  const graph::TopologyView view(topology);
+  return checkTrace(view, params, trace, horizon);
 }
 
 }  // namespace ammb::mac

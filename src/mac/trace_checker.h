@@ -23,7 +23,7 @@
 #include <string>
 #include <vector>
 
-#include "graph/dual_graph.h"
+#include "graph/topology_view.h"
 #include "mac/params.h"
 #include "sim/trace.h"
 
@@ -57,9 +57,22 @@ struct CheckResult {
   }
 };
 
-/// Checks `trace` (an execution over `topology` under `params`,
-/// observed up to time `horizon`) against all model axioms.
+/// Checks `trace` (an execution over the epoch-indexed `view` under
+/// `params`, observed up to time `horizon`) against all model axioms.
 /// `horizon` defaults (kTimeNever) to the last record's timestamp.
+///
+/// Epoch awareness: receive legality is judged against the topology of
+/// the epoch the rcv happened in, and the acknowledgment / progress
+/// guarantees are quantified only over links live for the whole
+/// relevant window — an E-edge that vanished (or appeared) mid-flight
+/// obliges neither a pre-ack receive nor a progress delivery beyond
+/// its continuous live span.  On a single-epoch view this reduces
+/// exactly to the static Section 3.2.1 axioms.
+CheckResult checkTrace(const graph::TopologyView& view,
+                       const MacParams& params, const sim::Trace& trace,
+                       Time horizon = kTimeNever);
+
+/// Static-topology convenience (single-epoch view over `topology`).
 CheckResult checkTrace(const graph::DualGraph& topology,
                        const MacParams& params, const sim::Trace& trace,
                        Time horizon = kTimeNever);

@@ -39,7 +39,8 @@ sim::RunStatus runStatusFromString(const std::string& name) {
 }
 
 void emitCellsCsv(const SweepResult& result, std::ostream& out) {
-  out << "sweep,protocol,workload,topology,scheduler,k,mac,seed_begin,"
+  out << "sweep,protocol,workload,topology,scheduler,k,mac,dynamics,"
+         "seed_begin,"
          "seed_end,runs,solved,errors,min_solve,median_solve,mean_solve,"
          "p95_solve,max_solve,mean_end_time,messages,mean_latency,"
          "p50_latency,p95_latency,max_latency,bcasts,rcvs,forced_rcvs,acks,"
@@ -48,7 +49,8 @@ void emitCellsCsv(const SweepResult& result, std::ostream& out) {
     out << csvEscape(result.name) << ',' << core::toString(result.protocol)
         << ',' << csvEscape(c.workload) << ',' << csvEscape(c.topology)
         << ',' << csvEscape(c.scheduler) << ',' << c.k << ','
-        << csvEscape(c.mac) << ',' << result.seedBegin << ','
+        << csvEscape(c.mac) << ',' << csvEscape(c.dynamics) << ','
+        << result.seedBegin << ','
         << result.seedEnd << ',' << c.runs << ',' << c.solved << ','
         << c.errors << ',' << c.minSolve << ',' << c.medianSolve << ','
         << fixed(c.meanSolve) << ',' << c.p95Solve << ',' << c.maxSolve
@@ -63,7 +65,8 @@ void emitCellsCsv(const SweepResult& result, std::ostream& out) {
 }
 
 void emitRunsCsv(const SweepResult& result, std::ostream& out) {
-  out << "run_index,cell_index,topology,scheduler,k,mac,workload,seed,solved,"
+  out << "run_index,cell_index,topology,scheduler,k,mac,workload,dynamics,"
+         "seed,solved,"
          "solve_time,end_time,status,messages,p50_latency,p95_latency,"
          "max_latency,error,checked,check_violations,trace_hash\n";
   for (const RunRecord& r : result.runs) {
@@ -71,7 +74,8 @@ void emitRunsCsv(const SweepResult& result, std::ostream& out) {
     out << r.point.runIndex << ',' << r.point.cellIndex << ','
         << csvEscape(c.topology) << ',' << csvEscape(c.scheduler) << ','
         << c.k << ',' << csvEscape(c.mac) << ',' << csvEscape(c.workload)
-        << ',' << r.point.seed << ',' << (r.result.solved ? 1 : 0) << ',';
+        << ',' << csvEscape(c.dynamics) << ',' << r.point.seed << ','
+        << (r.result.solved ? 1 : 0) << ',';
     // kTimeNever would print as a 19-digit integer; unsolved runs emit
     // an empty solve-time field instead.
     if (r.result.solved) out << r.result.solveTime;
@@ -101,6 +105,7 @@ void emitJson(const SweepResult& result, std::ostream& out) {
         << "\", \"scheduler\": \"" << json::escape(c.scheduler)
         << "\", \"k\": " << c.k << ", \"mac\": \"" << json::escape(c.mac)
         << "\", \"workload\": \"" << json::escape(c.workload)
+        << "\", \"dynamics\": \"" << json::escape(c.dynamics)
         << "\", \"runs\": " << c.runs << ", \"solved\": " << c.solved
         << ", \"errors\": " << c.errors << ", \"min_solve\": " << c.minSolve
         << ", \"median_solve\": " << c.medianSolve
@@ -204,6 +209,7 @@ json::Value recordToJson(const RunRecord& record) {
   o.emplace_back("k_idx", record.point.kIdx);
   o.emplace_back("mac_idx", record.point.macIdx);
   o.emplace_back("wl_idx", record.point.wlIdx);
+  o.emplace_back("dyn_idx", record.point.dynIdx);
   o.emplace_back("seed", static_cast<std::int64_t>(record.point.seed));
   o.emplace_back("error", record.error);
   o.emplace_back("solved", record.result.solved);
@@ -265,6 +271,7 @@ RunRecord recordFromJson(const json::Value& value,
   record.point.kIdx = memberSize(value, "k_idx", context);
   record.point.macIdx = memberSize(value, "mac_idx", context);
   record.point.wlIdx = memberSize(value, "wl_idx", context);
+  record.point.dynIdx = memberSize(value, "dyn_idx", context);
   record.point.seed = static_cast<std::uint64_t>(
       member(value, "seed", context).asInt(context + ".seed"));
   record.error = member(value, "error", context).asString(context + ".error");

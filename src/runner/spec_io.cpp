@@ -34,6 +34,7 @@ struct WorkloadKindName {
 constexpr WorkloadKindName kWorkloadKinds[] = {
     {WorkloadDoc::Kind::kAllAtNode, "all-at-node"},
     {WorkloadDoc::Kind::kRoundRobin, "round-robin"},
+    {WorkloadDoc::Kind::kSpread, "spread"},
     {WorkloadDoc::Kind::kRandom, "random"},
     {WorkloadDoc::Kind::kOnline, "online"},
     {WorkloadDoc::Kind::kPoisson, "poisson"},
@@ -64,8 +65,8 @@ WorkloadDoc::Kind workloadKindFromString(const std::string& name) {
   }
   throw Error(
       "unknown workload kind \"" + name +
-      "\" (expected all-at-node, round-robin, random, online, poisson, "
-      "bursty, staggered)");
+      "\" (expected all-at-node, round-robin, spread, random, online, "
+      "poisson, bursty, staggered)");
 }
 
 core::ProtocolKind protocolFromString(const std::string& name) {
@@ -248,6 +249,7 @@ WorkloadDoc parseWorkload(const Value& value, const std::string& context) {
       requireNonNegative(doc.node, f.path("node"));
       break;
     case WorkloadDoc::Kind::kRoundRobin:
+    case WorkloadDoc::Kind::kSpread:
     case WorkloadDoc::Kind::kRandom:
       break;
     case WorkloadDoc::Kind::kOnline:
@@ -290,6 +292,56 @@ MacDoc parseMac(const Value& value, const std::string& context) {
   AMMB_REQUIRE(!doc.name.empty(), context + ".name must be non-empty");
   f.rejectUnknown();
   doc.params.validate();
+  return doc;
+}
+
+core::DynamicsSpec::Kind dynamicsKindFromString(const std::string& name) {
+  if (name == "static") return core::DynamicsSpec::Kind::kStatic;
+  if (name == "crash") return core::DynamicsSpec::Kind::kCrash;
+  if (name == "grey-drift") return core::DynamicsSpec::Kind::kGreyDrift;
+  throw Error("unknown dynamics kind \"" + name +
+              "\" (expected static, crash, grey-drift)");
+}
+
+std::string toString(core::DynamicsSpec::Kind kind) {
+  switch (kind) {
+    case core::DynamicsSpec::Kind::kStatic: return "static";
+    case core::DynamicsSpec::Kind::kCrash: return "crash";
+    case core::DynamicsSpec::Kind::kGreyDrift: return "grey-drift";
+  }
+  return "?";
+}
+
+DynamicsDoc parseDynamics(const Value& value, const std::string& context) {
+  Fields f(value, context);
+  DynamicsDoc doc;
+  doc.spec.kind = dynamicsKindFromString(f.requireString("kind"));
+  switch (doc.spec.kind) {
+    case core::DynamicsSpec::Kind::kStatic:
+      break;
+    case core::DynamicsSpec::Kind::kCrash:
+      doc.spec.crashes =
+          toIntField(f.requireInt("crashes"), f.path("crashes"));
+      requirePositive(doc.spec.crashes, f.path("crashes"));
+      doc.spec.period = f.requireInt("period");
+      requirePositive(doc.spec.period, f.path("period"));
+      doc.spec.downFor = f.requireInt("down_for");
+      AMMB_REQUIRE(doc.spec.downFor >= 1 &&
+                       doc.spec.downFor < doc.spec.period,
+                   f.path("down_for") + " must satisfy 0 < down_for < period");
+      break;
+    case core::DynamicsSpec::Kind::kGreyDrift:
+      doc.spec.epochs = toIntField(f.requireInt("epochs"), f.path("epochs"));
+      requirePositive(doc.spec.epochs, f.path("epochs"));
+      doc.spec.period = f.requireInt("period");
+      requirePositive(doc.spec.period, f.path("period"));
+      doc.spec.churn = f.requireDouble("churn");
+      requireProbability(doc.spec.churn, f.path("churn"));
+      break;
+  }
+  doc.name = f.optString("name", doc.spec.label());
+  AMMB_REQUIRE(!doc.name.empty(), context + ".name must be non-empty");
+  f.rejectUnknown();
   return doc;
 }
 
@@ -393,6 +445,16 @@ SpecDoc parseSpec(const std::string& jsonText) {
   for (std::size_t i = 0; i < workloads.size(); ++i) {
     doc.workloads.push_back(parseWorkload(
         workloads[i], "spec.workloads[" + std::to_string(i) + "]"));
+  }
+  if (const Value* dynamics = f.find("dynamics"); dynamics != nullptr) {
+    doc.dynamics.clear();
+    const Array& entries = dynamics->asArray("spec.dynamics");
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      doc.dynamics.push_back(parseDynamics(
+          entries[i], "spec.dynamics[" + std::to_string(i) + "]"));
+    }
+    AMMB_REQUIRE(!doc.dynamics.empty(),
+                 "spec.dynamics must not be an empty array");
   }
 
   const std::int64_t seedBegin = f.requireInt("seed_begin");
@@ -517,6 +579,7 @@ std::string writeSpec(const SpecDoc& doc) {
         o.emplace_back("node", static_cast<std::int64_t>(w.node));
         break;
       case WorkloadDoc::Kind::kRoundRobin:
+      case WorkloadDoc::Kind::kSpread:
       case WorkloadDoc::Kind::kRandom:
         break;
       case WorkloadDoc::Kind::kOnline:
@@ -537,6 +600,29 @@ std::string writeSpec(const SpecDoc& doc) {
     workloads.emplace_back(std::move(o));
   }
   root.emplace_back("workloads", std::move(workloads));
+
+  Array dynamics;
+  for (const DynamicsDoc& d : doc.dynamics) {
+    Object o;
+    o.emplace_back("kind", toString(d.spec.kind));
+    switch (d.spec.kind) {
+      case core::DynamicsSpec::Kind::kStatic:
+        break;
+      case core::DynamicsSpec::Kind::kCrash:
+        o.emplace_back("crashes", d.spec.crashes);
+        o.emplace_back("period", d.spec.period);
+        o.emplace_back("down_for", d.spec.downFor);
+        break;
+      case core::DynamicsSpec::Kind::kGreyDrift:
+        o.emplace_back("epochs", d.spec.epochs);
+        o.emplace_back("period", d.spec.period);
+        o.emplace_back("churn", d.spec.churn);
+        break;
+    }
+    o.emplace_back("name", d.name);
+    dynamics.emplace_back(std::move(o));
+  }
+  root.emplace_back("dynamics", std::move(dynamics));
 
   root.emplace_back("seed_begin", static_cast<std::int64_t>(doc.seedBegin));
   root.emplace_back("seed_end", static_cast<std::int64_t>(doc.seedEnd));
@@ -600,6 +686,9 @@ SweepSpec buildSweep(const SpecDoc& doc) {
       case WorkloadDoc::Kind::kRoundRobin:
         spec.workloads.push_back(roundRobinWorkload());
         break;
+      case WorkloadDoc::Kind::kSpread:
+        spec.workloads.push_back(spreadWorkload());
+        break;
       case WorkloadDoc::Kind::kRandom:
         spec.workloads.push_back(randomWorkload());
         break;
@@ -616,6 +705,10 @@ SweepSpec buildSweep(const SpecDoc& doc) {
         spec.workloads.push_back(staggeredWorkload(w.sources, w.interval));
         break;
     }
+  }
+  spec.dynamics.clear();
+  for (const DynamicsDoc& d : doc.dynamics) {
+    spec.dynamics.push_back({d.name, d.spec});
   }
   spec.seedBegin = doc.seedBegin;
   spec.seedEnd = doc.seedEnd;

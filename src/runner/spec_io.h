@@ -34,11 +34,17 @@
 //     "workloads": [
 //       {"kind": "all-at-node", "node": 0},
 //       {"kind": "round-robin"},
+//       {"kind": "spread"},
 //       {"kind": "random"},
 //       {"kind": "online", "interval": 8},
 //       {"kind": "poisson", "mean_gap": 10.0},
 //       {"kind": "bursty", "batch": 4, "gap": 50},
 //       {"kind": "staggered", "sources": 3, "interval": 20}],
+//     // Optional topology-dynamics axis (defaults to one static point):
+//     "dynamics": [
+//       {"kind": "static"},
+//       {"kind": "crash", "crashes": 2, "period": 64, "down_for": 24},
+//       {"kind": "grey-drift", "epochs": 4, "period": 64, "churn": 0.25}],
 //     "seed_begin": 1, "seed_end": 4,
 //     // Optional (defaults shown):
 //     "stop_on_solve": true, "record_trace": false, "check": "off",
@@ -84,6 +90,7 @@ struct WorkloadDoc {
   enum class Kind : std::uint8_t {
     kAllAtNode,   ///< allAtNodeWorkload(node)
     kRoundRobin,  ///< roundRobinWorkload()
+    kSpread,      ///< spreadWorkload()
     kRandom,      ///< randomWorkload()
     kOnline,      ///< onlineWorkload(interval)
     kPoisson,     ///< poissonWorkload(meanGap)
@@ -105,6 +112,13 @@ struct MacDoc {
   mac::MacParams params;
 };
 
+/// Declarative topology-dynamics axis point; `name` defaults to the
+/// DynamicsSpec label ("static", "crash2p64d24", ...).
+struct DynamicsDoc {
+  std::string name;
+  core::DynamicsSpec spec;
+};
+
 /// Declarative FmmbParamsFactory: FmmbParams::make /
 /// FmmbParams::makeSequential per generated network.
 struct FmmbDoc {
@@ -122,6 +136,8 @@ struct SpecDoc {
   std::vector<int> ks;
   std::vector<MacDoc> macs;
   std::vector<WorkloadDoc> workloads;
+  /// Defaults to one static point when the spec file omits the key.
+  std::vector<DynamicsDoc> dynamics = {DynamicsDoc{"static", {}}};
   std::uint64_t seedBegin = 1;
   std::uint64_t seedEnd = 2;
   bool stopOnSolve = true;

@@ -38,6 +38,7 @@ std::string runHeader(const SweepSpec& spec, const RunPoint& point) {
          " k=" + std::to_string(spec.ks[point.kIdx]) +
          " mac=" + spec.macs[point.macIdx].name +
          " workload=" + spec.workloads[point.wlIdx].name +
+         " dynamics=" + spec.dynamics[point.dynIdx].name +
          " seed=" + std::to_string(point.seed);
 }
 
@@ -75,12 +76,13 @@ RunRecord executeRun(const SweepSpec& spec, const RunPoint& point) {
     record.checked = true;
     record.traceHash = check::traceHash(trace);
     if (spec.check == CheckMode::kMac) {
-      mac::CheckResult res =
-          mac::checkTrace(topology, config.mac, trace, record.result.endTime);
+      mac::CheckResult res = mac::checkTrace(experiment.view(), config.mac,
+                                             trace, record.result.endTime);
       record.checkViolations = std::move(res.violations);
     } else {
-      check::OracleReport report = check::checkExecution(
-          topology, protocol, config.mac, workload, trace, record.result);
+      check::OracleReport report =
+          check::checkExecution(experiment.view(), protocol, config.mac,
+                                workload, trace, record.result);
       record.checkViolations = std::move(report.violations);
     }
     if (spec.keepCanonicalTraces) {
@@ -131,22 +133,25 @@ SweepResult aggregateRecords(const SweepSpec& spec,
 
   // Labels come from the spec, not the records, so even a cell whose
   // runs all live in another shard stays self-describing.  Cells are
-  // numbered in the same (topology, scheduler, k, mac, workload)
-  // lexicographic order as enumerateRuns().
+  // numbered in the same (topology, scheduler, k, mac, workload,
+  // dynamics) lexicographic order as enumerateRuns().
   std::size_t cellIndex = 0;
   for (const TopologySpec& topology : spec.topologies) {
     for (core::SchedulerKind scheduler : spec.schedulers) {
       for (int k : spec.ks) {
         for (const MacParamsSpec& mac : spec.macs) {
           for (const WorkloadSpec& workload : spec.workloads) {
-            CellAggregate& cell = result.cells[cellIndex];
-            cell.cellIndex = cellIndex;
-            cell.topology = topology.name;
-            cell.scheduler = core::toString(scheduler);
-            cell.k = k;
-            cell.mac = mac.name;
-            cell.workload = workload.name;
-            ++cellIndex;
+            for (const DynamicsSpecNamed& dynamics : spec.dynamics) {
+              CellAggregate& cell = result.cells[cellIndex];
+              cell.cellIndex = cellIndex;
+              cell.topology = topology.name;
+              cell.scheduler = core::toString(scheduler);
+              cell.k = k;
+              cell.mac = mac.name;
+              cell.workload = workload.name;
+              cell.dynamics = dynamics.name;
+              ++cellIndex;
+            }
           }
         }
       }
@@ -177,6 +182,7 @@ SweepResult aggregateRecords(const SweepSpec& spec,
                      record.point.kIdx == expected.kIdx &&
                      record.point.macIdx == expected.macIdx &&
                      record.point.wlIdx == expected.wlIdx &&
+                     record.point.dynIdx == expected.dynIdx &&
                      record.point.seed == expected.seed,
                  "run record " + std::to_string(record.point.runIndex) +
                      " carries a grid coordinate inconsistent with this "

@@ -40,7 +40,7 @@ struct RunRecord {
 };
 
 /// Deterministic summary of one grid cell (all seeds of one
-/// topology x scheduler x k x mac x workload point).
+/// topology x scheduler x k x mac x workload x dynamics point).
 struct CellAggregate {
   std::size_t cellIndex = 0;
 
@@ -50,6 +50,7 @@ struct CellAggregate {
   int k = 0;
   std::string mac;
   std::string workload;
+  std::string dynamics;
 
   std::uint64_t runs = 0;
   std::uint64_t solved = 0;

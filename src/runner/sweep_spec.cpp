@@ -21,7 +21,13 @@ void SweepSpec::validate() const {
   AMMB_REQUIRE(!ks.empty(), "sweep needs at least one k");
   AMMB_REQUIRE(!macs.empty(), "sweep needs at least one MacParams point");
   AMMB_REQUIRE(!workloads.empty(), "sweep needs at least one workload");
+  AMMB_REQUIRE(!dynamics.empty(),
+               "sweep needs at least one dynamics point (use the default "
+               "static entry)");
   AMMB_REQUIRE(seedBegin < seedEnd, "sweep needs a non-empty seed range");
+  for (const DynamicsSpecNamed& d : dynamics) {
+    AMMB_REQUIRE(!d.name.empty(), "dynamics spec needs a non-empty name");
+  }
   for (const TopologySpec& t : topologies) {
     AMMB_REQUIRE(t.make != nullptr,
                  "topology spec '" + t.name + "' has no generator");
@@ -60,20 +66,23 @@ std::vector<RunPoint> enumerateRuns(const SweepSpec& spec) {
       for (std::size_t k = 0; k < spec.ks.size(); ++k) {
         for (std::size_t m = 0; m < spec.macs.size(); ++m) {
           for (std::size_t w = 0; w < spec.workloads.size(); ++w) {
-            for (std::uint64_t seed = spec.seedBegin; seed < spec.seedEnd;
-                 ++seed) {
-              RunPoint p;
-              p.runIndex = points.size();
-              p.cellIndex = cell;
-              p.topoIdx = t;
-              p.schedIdx = s;
-              p.kIdx = k;
-              p.macIdx = m;
-              p.wlIdx = w;
-              p.seed = seed;
-              points.push_back(p);
+            for (std::size_t d = 0; d < spec.dynamics.size(); ++d) {
+              for (std::uint64_t seed = spec.seedBegin; seed < spec.seedEnd;
+                   ++seed) {
+                RunPoint p;
+                p.runIndex = points.size();
+                p.cellIndex = cell;
+                p.topoIdx = t;
+                p.schedIdx = s;
+                p.kIdx = k;
+                p.macIdx = m;
+                p.wlIdx = w;
+                p.dynIdx = d;
+                p.seed = seed;
+                points.push_back(p);
+              }
+              ++cell;
             }
-            ++cell;
           }
         }
       }
@@ -92,9 +101,11 @@ RunPoint runPointFor(const SweepSpec& spec, std::size_t runIndex) {
   const std::size_t seedsPerCell = spec.seedsPerCell();
   p.cellIndex = runIndex / seedsPerCell;
   p.seed = spec.seedBegin + runIndex % seedsPerCell;
-  // Cells are numbered in (topology, scheduler, k, mac, workload)
-  // lexicographic order; peel the axes off innermost-first.
+  // Cells are numbered in (topology, scheduler, k, mac, workload,
+  // dynamics) lexicographic order; peel the axes off innermost-first.
   std::size_t cell = p.cellIndex;
+  p.dynIdx = cell % spec.dynamics.size();
+  cell /= spec.dynamics.size();
   p.wlIdx = cell % spec.workloads.size();
   cell /= spec.workloads.size();
   p.macIdx = cell % spec.macs.size();
@@ -110,7 +121,10 @@ core::RunConfig runConfigFor(const SweepSpec& spec, const RunPoint& point) {
   core::RunConfig config;
   config.mac = spec.macs[point.macIdx].params;
   config.scheduler.kind = spec.schedulers[point.schedIdx];
-  config.scheduler.lowerBoundLineLength = spec.lowerBoundLineLength;
+  const int topoD = spec.topologies[point.topoIdx].lowerBoundD;
+  config.scheduler.lowerBoundLineLength =
+      topoD > 0 ? topoD : spec.lowerBoundLineLength;
+  config.dynamics = spec.dynamics[point.dynIdx].spec;
   config.seed = point.seed;
   config.recordTrace = spec.recordTrace || spec.check != CheckMode::kOff;
   config.limits.stopOnSolve = spec.stopOnSolve;
@@ -170,7 +184,27 @@ TopologySpec greyZoneFieldTopology(NodeId n, double avgDegree, double c,
 
 TopologySpec lowerBoundNetworkCTopology(int D) {
   return {"networkC-D" + std::to_string(D),
-          [D](std::uint64_t) { return gen::lowerBoundNetworkC(D); }};
+          [D](std::uint64_t) { return gen::lowerBoundNetworkC(D); }, D};
+}
+
+DynamicsSpecNamed staticDynamics() { return DynamicsSpecNamed{}; }
+
+DynamicsSpecNamed crashDynamics(int crashes, Time period, Time downFor) {
+  core::DynamicsSpec spec;
+  spec.kind = core::DynamicsSpec::Kind::kCrash;
+  spec.crashes = crashes;
+  spec.period = period;
+  spec.downFor = downFor;
+  return {spec.label(), spec};
+}
+
+DynamicsSpecNamed greyDriftDynamics(int epochs, Time period, double churn) {
+  core::DynamicsSpec spec;
+  spec.kind = core::DynamicsSpec::Kind::kGreyDrift;
+  spec.epochs = epochs;
+  spec.period = period;
+  spec.churn = churn;
+  return {spec.label(), spec};
 }
 
 WorkloadSpec allAtNodeWorkload(NodeId node) {
@@ -183,6 +217,20 @@ WorkloadSpec allAtNodeWorkload(NodeId node) {
 WorkloadSpec roundRobinWorkload() {
   return {"round-robin", [](int k, NodeId n, std::uint64_t) {
             return core::streamWorkload(core::workloadRoundRobin(k, n));
+          }};
+}
+
+WorkloadSpec spreadWorkload() {
+  return {"spread", [](int k, NodeId n, std::uint64_t) {
+            core::MmbWorkload w;
+            w.k = k;
+            for (MsgId m = 0; m < k; ++m) {
+              const auto node = static_cast<NodeId>(
+                  (static_cast<std::int64_t>(m) * n) / k);
+              w.arrivals.push_back(
+                  {node < n ? node : static_cast<NodeId>(n - 1), m, 0});
+            }
+            return core::streamWorkload(std::move(w));
           }};
 }
 

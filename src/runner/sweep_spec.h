@@ -32,6 +32,12 @@ namespace ammb::runner {
 struct TopologySpec {
   std::string name;
   std::function<graph::DualGraph(std::uint64_t seed)> make;
+  /// Per-line length D of a lower-bound network-C topology (0 for
+  /// every other family).  SchedulerKind::kLowerBound cells read this
+  /// before the spec-level lowerBoundLineLength, so one sweep can put
+  /// several network sizes on the topology axis — the Figure-2
+  /// line-length sweep as a plain declarative grid.
+  int lowerBoundD = 0;
 };
 
 /// Named workload-shape axis point: builds a fresh, seed-deterministic
@@ -48,6 +54,15 @@ struct WorkloadSpec {
 struct MacParamsSpec {
   std::string name;
   mac::MacParams params;
+};
+
+/// Named topology-dynamics grid point.  The default axis is a single
+/// static entry, so classic sweeps are one-epoch and byte-identical to
+/// the pre-dynamics runner; churn campaigns put crash / grey-drift
+/// recipes here and sweep them like any other dimension.
+struct DynamicsSpecNamed {
+  std::string name = "static";
+  core::DynamicsSpec spec;
 };
 
 /// FMMB constants per generated network (consulted for kFmmb only).
@@ -79,6 +94,8 @@ struct SweepSpec {
   std::vector<int> ks;
   std::vector<MacParamsSpec> macs;
   std::vector<WorkloadSpec> workloads;
+  /// Topology-dynamics axis (innermost); defaults to one static point.
+  std::vector<DynamicsSpecNamed> dynamics = {DynamicsSpecNamed{}};
 
   /// Seed range [seedBegin, seedEnd): one run per seed per cell.
   std::uint64_t seedBegin = 1;
@@ -108,7 +125,7 @@ struct SweepSpec {
 
   std::size_t cellCount() const {
     return topologies.size() * schedulers.size() * ks.size() * macs.size() *
-           workloads.size();
+           workloads.size() * dynamics.size();
   }
   std::size_t seedsPerCell() const {
     return static_cast<std::size_t>(seedEnd - seedBegin);
@@ -117,9 +134,10 @@ struct SweepSpec {
 };
 
 /// Dense grid coordinates of one run.  Cells are numbered in
-/// (topology, scheduler, k, mac, workload) lexicographic order; runs
-/// in (cell, seed) order.  enumerateRuns() is the single source of
-/// truth for this order, shared by the runner and the aggregator.
+/// (topology, scheduler, k, mac, workload, dynamics) lexicographic
+/// order; runs in (cell, seed) order.  enumerateRuns() is the single
+/// source of truth for this order, shared by the runner and the
+/// aggregator.
 struct RunPoint {
   std::size_t runIndex = 0;
   std::size_t cellIndex = 0;
@@ -128,6 +146,7 @@ struct RunPoint {
   std::size_t kIdx = 0;
   std::size_t macIdx = 0;
   std::size_t wlIdx = 0;
+  std::size_t dynIdx = 0;
   std::uint64_t seed = 0;
 };
 
@@ -164,14 +183,26 @@ TopologySpec arbitraryNoiseLineTopology(NodeId n, std::size_t extraEdges);
 TopologySpec greyZoneFieldTopology(NodeId n, double avgDegree, double c,
                                    double pGrey);
 
-/// The Figure-2 lower-bound network C with per-line length D.
+/// The Figure-2 lower-bound network C with per-line length D (carries
+/// D on TopologySpec::lowerBoundD for the kLowerBound scheduler).
 TopologySpec lowerBoundNetworkCTopology(int D);
+
+/// Dynamics axis points (named for emitter output).
+DynamicsSpecNamed staticDynamics();
+DynamicsSpecNamed crashDynamics(int crashes, Time period, Time downFor);
+DynamicsSpecNamed greyDriftDynamics(int epochs, Time period, double churn);
 
 /// All k messages arrive at `node` at t = 0.
 WorkloadSpec allAtNodeWorkload(NodeId node = 0);
 
 /// Message i arrives at node (origin + i) mod n at t = 0.
 WorkloadSpec roundRobinWorkload();
+
+/// Message i arrives at node floor(i * n / k) at t = 0 — sources
+/// spread evenly across the id space.  On the Figure-2 network C
+/// (ids: line A then line B) with k = 2 this is exactly one message
+/// per line head, the placement of the Lemma 3.19/3.20 adversary.
+WorkloadSpec spreadWorkload();
 
 /// Each message arrives at an independently random node (seeded).
 WorkloadSpec randomWorkload();

@@ -14,6 +14,7 @@ const char* kindName(TraceKind kind) {
     case TraceKind::kAck: return "ack";
     case TraceKind::kAbort: return "abort";
     case TraceKind::kDeliver: return "deliver";
+    case TraceKind::kEpoch: return "epoch";
   }
   return "?";
 }

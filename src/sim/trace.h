@@ -25,6 +25,7 @@ enum class TraceKind : std::uint8_t {
   kAck,      ///< instance `instance` acknowledged at its sender `node`
   kAbort,    ///< instance `instance` aborted by its sender `node`
   kDeliver,  ///< protocol performed deliver(msg) output at `node`
+  kEpoch,    ///< topology epoch `msg` took effect (dynamic runs only)
 };
 
 /// One observable event.

@@ -66,6 +66,52 @@ TEST(Graph, MultiSourceBfs) {
   EXPECT_EQ(dist[7], 1);
 }
 
+// The dynamics engine materializes disconnected graphs routinely (a
+// crashed node is an isolated vertex; a dropped bridge splits G), so
+// the BFS and power primitives must be exact there, not just on the
+// connected families the generators produce.
+TEST(Graph, MultiSourceBfsOnDisconnectedGraph) {
+  // Components {0,1,2}, {3,4}, {5}.
+  Graph g(6);
+  g.addEdge(0, 1);
+  g.addEdge(1, 2);
+  g.addEdge(3, 4);
+  g.finalize();
+  const auto dist = g.bfsDistancesMulti({0, 3});
+  EXPECT_EQ(dist[2], 2);
+  EXPECT_EQ(dist[4], 1);
+  EXPECT_EQ(dist[5], -1);  // no source in the singleton component
+  // Sources covering no component leave it unreached; duplicate
+  // sources are idempotent.
+  const auto dup = g.bfsDistancesMulti({5, 5});
+  EXPECT_EQ(dup[5], 0);
+  EXPECT_EQ(dup[0], -1);
+  EXPECT_EQ(dup[3], -1);
+  // An empty source set reaches nothing.
+  const auto none = g.bfsDistancesMulti({});
+  for (int d : none) EXPECT_EQ(d, -1);
+}
+
+TEST(Graph, PowerOfDisconnectedGraphStaysWithinComponents) {
+  // Two 3-node paths: 0-1-2 and 3-4-5.
+  Graph g(6);
+  g.addEdge(0, 1);
+  g.addEdge(1, 2);
+  g.addEdge(3, 4);
+  g.addEdge(4, 5);
+  g.finalize();
+  const Graph g2 = g.power(2);
+  EXPECT_TRUE(g2.hasEdge(0, 2));
+  EXPECT_TRUE(g2.hasEdge(3, 5));
+  // No power ever bridges components, and labels are preserved.
+  EXPECT_FALSE(g2.hasEdge(2, 3));
+  EXPECT_EQ(g2.componentCount(), 2);
+  const Graph g9 = g.power(9);  // r beyond any diameter: per-component clique
+  EXPECT_EQ(g9.edgeCount(), 6u);
+  EXPECT_EQ(g9.componentCount(), 2);
+  EXPECT_EQ(g.componentLabels(), g9.componentLabels());
+}
+
 TEST(Graph, PowerGraph) {
   const Graph g = gen::line(6);
   const Graph g2 = g.power(2);
@@ -81,7 +127,12 @@ TEST(Graph, RejectsBadInput) {
   Graph g(3);
   EXPECT_THROW(g.addEdge(0, 0), Error);
   EXPECT_THROW(g.addEdge(0, 5), Error);
+#ifndef NDEBUG
+  // Query-path bounds/finalization checks are AMMB_DCHECK: they throw
+  // in debug builds and compile out of release hot paths (the CSR
+  // snapshots and generators validate adjacency at build time).
   EXPECT_THROW(g.neighbors(0), Error);  // not finalized
+#endif
   g.finalize();
   EXPECT_THROW(g.power(0), Error);
 }

@@ -393,5 +393,48 @@ TEST(MacEngine, UnreliableDeliveryReachesGPrimeOnlyNeighbors) {
             topo.gPrime().neighbors(0).size());
 }
 
+// Regression: an instance whose link vanishes mid-flight must still
+// ack on schedule.  The edge {0, 1} drops before the slow-ack
+// scheduler's planned delivery, so the delivery is cancelled and the
+// acknowledgment guarantee for node 1 is voided — but the ack event
+// itself survives the boundary, the sender's automaton continues
+// (here: bcasts its second packet), and the epoch-aware checker
+// accepts the trace that a static checker would reject.
+TEST(MacEngine, AckInFlightAcrossEpochBoundary) {
+  const auto base = gen::identityDual(gen::line(2));
+  graph::TopologyDynamics dynamics;
+  dynamics.epochs.push_back(
+      {2, {{graph::TopologyEvent::Kind::kEdgeDown, 0, 1, false}}});
+  const graph::TopologyView view(base, dynamics);
+
+  // slow-ack: delivery at bcast+fprog (4), ack at bcast+fack (32);
+  // the boundary at t=2 lands squarely between bcast and both.
+  MacEngine engine(view, stdParams(), std::make_unique<SlowAckScheduler>(),
+                   [](NodeId node) -> std::unique_ptr<Process> {
+                     if (node == 0) return std::make_unique<ChainSender>(2);
+                     return std::make_unique<Idle>();
+                   },
+                   1);
+  EXPECT_EQ(engine.run(), sim::RunStatus::kDrained);
+
+  // Both bcasts acked; the first delivered to nobody (link gone before
+  // its delivery), the second planned against the empty neighborhood.
+  EXPECT_EQ(engine.stats().bcasts, 2u);
+  EXPECT_EQ(engine.stats().acks, 2u);
+  EXPECT_EQ(engine.stats().rcvs, 0u);
+  EXPECT_EQ(engine.instance(0).termAt, 32);
+
+  // The epoch transition is on the trace, and the epoch-aware checker
+  // is green while the static base-topology checker demands the rcv
+  // node 1 never got.
+  bool sawEpoch = false;
+  for (const auto& record : engine.trace().records()) {
+    sawEpoch = sawEpoch || record.kind == sim::TraceKind::kEpoch;
+  }
+  EXPECT_TRUE(sawEpoch);
+  EXPECT_TRUE(checkTrace(view, engine.params(), engine.trace()).ok);
+  EXPECT_FALSE(checkTrace(base, engine.params(), engine.trace()).ok);
+}
+
 }  // namespace
 }  // namespace ammb::mac

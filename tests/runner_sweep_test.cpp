@@ -267,8 +267,9 @@ TEST(Emitters, CsvAndJsonCarryTheGrid) {
   EXPECT_NE(csv.find("messages,mean_latency,p50_latency,p95_latency,"
                      "max_latency"),
             std::string::npos);
-  EXPECT_NE(csv.find("unit-sweep,bmmb,round-robin,line10,fast,2,f4a32"),
-            std::string::npos);
+  EXPECT_NE(
+      csv.find("unit-sweep,bmmb,round-robin,line10,fast,2,f4a32,static"),
+      std::string::npos);
 
   const std::string json = runner::toJson(result);
   EXPECT_NE(json.find("\"topology\": \"line10\""), std::string::npos);
@@ -279,7 +280,7 @@ TEST(Emitters, CsvAndJsonCarryTheGrid) {
   std::ostringstream runsCsv;
   runner::emitRunsCsv(result, runsCsv);
   EXPECT_NE(runsCsv.str().find("run_index,cell_index,"), std::string::npos);
-  EXPECT_NE(runsCsv.str().find("line10,fast,2,f4a32,round-robin,1,1,"),
+  EXPECT_NE(runsCsv.str().find("line10,fast,2,f4a32,round-robin,static,1,1,"),
             std::string::npos);
 }
 

@@ -1,0 +1,30 @@
+# Runs a sweep spec and gates its aggregate against the committed
+# baseline: the ctest-level form of the CI "run + compare" pipeline,
+# one test per baselined campaign.
+#
+#   cmake -DAMMB_SWEEP=... -DSPEC=... -DBASELINE=... -DWORKDIR=...
+#         -P sweep_compare.cmake
+foreach(var AMMB_SWEEP SPEC BASELINE WORKDIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "${var} is required")
+  endif()
+endforeach()
+
+file(MAKE_DIRECTORY "${WORKDIR}")
+get_filename_component(stem "${SPEC}" NAME_WE)
+set(result "${WORKDIR}/${stem}.json")
+
+execute_process(
+  COMMAND "${AMMB_SWEEP}" run "${SPEC}" --threads 2 --json "${result}"
+  RESULT_VARIABLE run_rc)
+if(NOT run_rc EQUAL 0)
+  message(FATAL_ERROR "ammb_sweep run ${SPEC} failed (rc=${run_rc})")
+endif()
+
+execute_process(
+  COMMAND "${AMMB_SWEEP}" compare "${result}" --baseline "${BASELINE}"
+  RESULT_VARIABLE compare_rc)
+if(NOT compare_rc EQUAL 0)
+  message(FATAL_ERROR
+          "ammb_sweep compare against ${BASELINE} failed (rc=${compare_rc})")
+endif()

@@ -1,6 +1,7 @@
 // ammb_fuzz — the fuzz campaign / golden snapshot driver.
 //
-//   ammb_fuzz [--iterations N] [--seed S] [--mutation none|late-ack|off-gprime]
+//   ammb_fuzz [--iterations N] [--seed S]
+//             [--mutation none|late-ack|off-gprime|stale-topology]
 //             [--max-n N] [--bmmb-only] [--json PATH]
 //             [--golden-dir DIR] [--update-golden] [--check-golden]
 //

@@ -3,7 +3,7 @@
 //   ammb_sweep run SPEC.json [--shard I/N] [--threads T]
 //              [--journal PATH [--resume]] [--shard-json PATH]
 //              [--json PATH] [--csv PATH] [--runs-csv PATH]
-//              [--allow-errors]
+//              [--allow-errors] [--allow-violations]
 //   ammb_sweep merge SPEC.json SHARD.json... [--json PATH] [--csv PATH]
 //   ammb_sweep compare RESULT.json --baseline BASELINE.json
 //              [--rel-tol R] [--abs-tol A]
@@ -46,7 +46,7 @@ int usage() {
       << "usage: ammb_sweep run SPEC.json [--shard I/N] [--threads T]\n"
          "                  [--journal PATH [--resume]] [--shard-json PATH]\n"
          "                  [--json PATH] [--csv PATH] [--runs-csv PATH]\n"
-         "                  [--allow-errors]\n"
+         "                  [--allow-errors] [--allow-violations]\n"
          "       ammb_sweep merge SPEC.json SHARD.json... [--json PATH] "
          "[--csv PATH]\n"
          "       ammb_sweep compare RESULT.json --baseline BASELINE.json\n"
@@ -154,7 +154,7 @@ int cmdRun(int argc, char** argv) {
       argc, argv, 2,
       {"--shard", "--threads", "--journal", "--shard-json", "--json", "--csv",
        "--runs-csv"},
-      {"--resume", "--allow-errors"});
+      {"--resume", "--allow-errors", "--allow-violations"});
   if (args.positional.size() != 1) return usage();
   const std::string specPath = args.positional[0];
 
@@ -292,11 +292,17 @@ int cmdRun(int argc, char** argv) {
 
   const std::size_t totalRuns = records.size();
   std::size_t failed = 0;
+  std::size_t violations = 0;
   for (const runner::RunRecord& record : records) {
     if (record.failed()) {
       ++failed;
       std::cerr << "run " << record.point.runIndex
                 << " failed: " << record.error << "\n";
+    }
+    for (const std::string& v : record.checkViolations) {
+      ++violations;
+      std::cerr << "run " << record.point.runIndex
+                << " oracle violation: " << v << "\n";
     }
   }
 
@@ -328,10 +334,18 @@ int cmdRun(int argc, char** argv) {
 
   std::cout << "sweep " << spec.name << " [shard " << shard.toString()
             << "]: " << totalRuns << " runs (" << done.size()
-            << " from journal), " << failed << " failed, " << wallSeconds
-            << "s\n";
+            << " from journal), " << failed << " failed, " << violations
+            << " oracle violations, " << wallSeconds << "s\n";
   if (failed > 0 && !args.has("--allow-errors")) {
     std::cerr << failed << " runs failed (pass --allow-errors to tolerate)\n";
+    return 1;
+  }
+  // CheckMode sweeps double as model-checking campaigns: a trace that
+  // fails an oracle must fail the CLI (and therefore CI), exactly like
+  // a thrown run.
+  if (violations > 0 && !args.has("--allow-violations")) {
+    std::cerr << violations
+              << " oracle violations (pass --allow-violations to tolerate)\n";
     return 1;
   }
   return 0;
