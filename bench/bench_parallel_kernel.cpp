@@ -1,0 +1,411 @@
+// The intra-run parallel kernel against the serial oracle.
+//
+// Self-timed (plain chrono, no google-benchmark): the quantities of
+// interest are whole-run wall clocks per kernel, bit-identity of the
+// simulated execution across kernels, and steady-state allocation
+// behavior of the flattened per-broadcast containers — none of which
+// fit the microbenchmark loop shape.
+//
+// Modes:
+//
+//   bench_parallel_kernel [--quick] [--reps N] [--out BENCH.json]
+//       Timing mode.  Grey-zone fields (static and drifting) run under
+//       serial and parallel:{2,4,8}; the table and --out JSON report
+//       wall clocks, speedups, the hardware core count they were
+//       measured on (speedups are honest for that host only), and
+//       run-phase allocation counts.  --quick skips the n = 1e5 field.
+//
+//   bench_parallel_kernel --check OUT.json
+//       Gate mode.  Re-runs the n = 1e4 scenarios with trace recording
+//       on under serial / parallel:4 / parallel:8 and writes a fully
+//       deterministic document (trace hashes, engine stats, solve
+//       times, identity and allocation-bound booleans — no wall
+//       clocks), exit-coded on any cross-kernel divergence.  The test
+//       suite diffs that document against
+//       sweeps/baselines/BENCH_parallel_check.json via
+//       `ammb_sweep compare` at zero tolerance.
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <new>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "check/golden.h"
+#include "common/rng.h"
+#include "core/experiment.h"
+#include "graph/generators.h"
+#include "runner/json.h"
+#include "sim/parallel_kernel.h"
+
+// --- run-phase allocation counting ------------------------------------------
+// Satellite evidence for the pooled/flattened engine containers: with
+// scratch vectors at their high-water mark, the run phase should
+// allocate far less than once per delivery.  Relaxed atomics keep the
+// counters exact (totals, not orderings) under the worker pool.
+
+namespace {
+std::atomic<std::uint64_t> g_allocOps{0};
+std::atomic<std::uint64_t> g_allocBytes{0};
+
+void* countedAlloc(std::size_t size) {
+  g_allocOps.fetch_add(1, std::memory_order_relaxed);
+  g_allocBytes.fetch_add(size, std::memory_order_relaxed);
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc();
+}
+}  // namespace
+
+void* operator new(std::size_t size) { return countedAlloc(size); }
+void* operator new[](std::size_t size) { return countedAlloc(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+using namespace ammb;
+namespace json = runner::json;
+
+constexpr Time kFprog = 4;
+constexpr Time kFack = 32;
+
+struct Scenario {
+  std::string name;
+  NodeId n = 0;
+  double avgDegree = 8.0;
+  int k = 8;
+  core::DynamicsSpec dynamics;
+  Time maxTime = 200'000;
+  bool fullOnly = false;  ///< skipped under --quick and --check
+};
+
+std::vector<Scenario> scenarios() {
+  // Drift periods sit well inside the fields' solve times (a couple
+  // hundred ticks at these densities), so every epoch boundary — and
+  // with it the batched guard reconciliation — fires mid-run.
+  core::DynamicsSpec drift1e4;
+  drift1e4.kind = core::DynamicsSpec::Kind::kGreyDrift;
+  drift1e4.epochs = 3;
+  drift1e4.period = 48;
+  drift1e4.churn = 0.2;
+
+  core::DynamicsSpec drift1e5;
+  drift1e5.kind = core::DynamicsSpec::Kind::kGreyDrift;
+  drift1e5.epochs = 2;
+  drift1e5.period = 96;
+  drift1e5.churn = 0.1;
+
+  // Average G-degree targets sit above the ln(n) connectivity
+  // threshold of a random unit-disk field, so greyZoneField finds a
+  // connected embedding within its resampling budget.
+  std::vector<Scenario> out;
+  out.push_back({"grey1e4-static", 10'000, 13.0, 8, {}, 200'000, false});
+  out.push_back({"grey1e4-drift", 10'000, 13.0, 8, drift1e4, 200'000, false});
+  out.push_back(
+      {"grey1e5-drift", 100'000, 16.0, 8, drift1e5, 1'000'000, true});
+  return out;
+}
+
+/// Scenario topologies are deterministic in (n, avgDegree) alone, so
+/// the static and drifting 1e4 scenarios share one build.
+graph::DualGraph buildField(const Scenario& s) {
+  Rng rng(1234 + static_cast<std::uint64_t>(s.n));
+  return graph::gen::greyZoneField(s.n, s.avgDegree, /*c=*/1.5,
+                                   /*pGrey=*/0.3, rng);
+}
+
+core::MmbWorkload workloadFor(const Scenario& s) {
+  core::MmbWorkload w;
+  w.k = s.k;
+  const NodeId stride = s.n / static_cast<NodeId>(s.k);
+  for (int i = 0; i < s.k; ++i) {
+    w.arrivals.push_back(
+        {static_cast<NodeId>((static_cast<NodeId>(i) * stride) % s.n),
+         static_cast<MsgId>(i), 0});
+  }
+  return w;
+}
+
+struct Measure {
+  core::RunResult result;
+  std::uint64_t traceHash = 0;  ///< only when traced
+  double wallMs = 0.0;
+  std::uint64_t runAllocs = 0;
+  std::uint64_t runAllocBytes = 0;
+};
+
+Measure runOnce(const graph::DualGraph& topology, const Scenario& s,
+                const sim::KernelSpec& kernel, bool recordTrace) {
+  core::RunConfig config;
+  config.mac.fprog = kFprog;
+  config.mac.fack = kFack;
+  config.mac.variant = mac::ModelVariant::kStandard;
+  config.scheduler = core::SchedulerKind::kRandom;
+  config.limits.maxTime = s.maxTime;
+  config.dynamics = s.dynamics;
+  config.seed = 1;
+  config.recordTrace = recordTrace;
+  config.kernel = kernel;
+
+  const core::MmbWorkload workload = workloadFor(s);
+  core::Experiment experiment(topology, core::bmmbProtocol(), workload,
+                              config);
+  Measure m;
+  const std::uint64_t ops0 = g_allocOps.load(std::memory_order_relaxed);
+  const std::uint64_t bytes0 = g_allocBytes.load(std::memory_order_relaxed);
+  const auto t0 = std::chrono::steady_clock::now();
+  m.result = experiment.run();
+  const auto t1 = std::chrono::steady_clock::now();
+  m.runAllocs = g_allocOps.load(std::memory_order_relaxed) - ops0;
+  m.runAllocBytes = g_allocBytes.load(std::memory_order_relaxed) - bytes0;
+  m.wallMs = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  if (recordTrace) m.traceHash = check::traceHash(experiment.engine().trace());
+  return m;
+}
+
+bool sameExecution(const Measure& a, const Measure& b) {
+  const mac::EngineStats& x = a.result.stats;
+  const mac::EngineStats& y = b.result.stats;
+  return a.result.solved == b.result.solved &&
+         a.result.solveTime == b.result.solveTime &&
+         a.result.endTime == b.result.endTime &&
+         a.result.status == b.result.status && a.traceHash == b.traceHash &&
+         x.bcasts == y.bcasts && x.rcvs == y.rcvs &&
+         x.forcedRcvs == y.forcedRcvs && x.acks == y.acks &&
+         x.aborts == y.aborts && x.delivers == y.delivers &&
+         x.arrives == y.arrives;
+}
+
+json::Object statsJson(const mac::EngineStats& s) {
+  json::Object o;
+  o.emplace_back("bcasts", static_cast<std::int64_t>(s.bcasts));
+  o.emplace_back("rcvs", static_cast<std::int64_t>(s.rcvs));
+  o.emplace_back("forced_rcvs", static_cast<std::int64_t>(s.forcedRcvs));
+  o.emplace_back("acks", static_cast<std::int64_t>(s.acks));
+  o.emplace_back("aborts", static_cast<std::int64_t>(s.aborts));
+  o.emplace_back("delivers", static_cast<std::int64_t>(s.delivers));
+  o.emplace_back("arrives", static_cast<std::int64_t>(s.arrives));
+  return o;
+}
+
+std::string hashHex(std::uint64_t h) {
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(h));
+  return std::string("0x") + buf;
+}
+
+void writeJson(const std::string& path, const json::Value& doc) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    std::exit(2);
+  }
+  out << json::dump(doc, 2) << "\n";
+}
+
+// --- gate mode ---------------------------------------------------------------
+
+int runCheck(const std::string& outPath) {
+  json::Array scenarioDocs;
+  bool allIdentical = true;
+  for (const Scenario& s : scenarios()) {
+    if (s.fullOnly) continue;
+    const graph::DualGraph topology = buildField(s);
+    // The allocation metric comes from an untraced serial run: trace
+    // recording allocates per event and would swamp the engine's own
+    // behavior.  The traced runs below provide the trace hashes.
+    const Measure untraced = runOnce(topology, s, sim::KernelSpec::serial(),
+                                     /*recordTrace=*/false);
+    const Measure serial = runOnce(topology, s, sim::KernelSpec::serial(),
+                                   /*recordTrace=*/true);
+    const Measure par4 = runOnce(topology, s, sim::KernelSpec::parallelWith(4),
+                                 /*recordTrace=*/true);
+    const Measure par8 = runOnce(topology, s, sim::KernelSpec::parallelWith(8),
+                                 /*recordTrace=*/true);
+    const bool same4 = sameExecution(serial, par4);
+    const bool same8 = sameExecution(serial, par8);
+    allIdentical = allIdentical && same4 && same8;
+    const double allocsPerRcv =
+        untraced.result.stats.rcvs == 0
+            ? 0.0
+            : static_cast<double>(untraced.runAllocs) /
+                  static_cast<double>(untraced.result.stats.rcvs);
+
+    json::Object doc;
+    doc.emplace_back("name", s.name);
+    doc.emplace_back("n", static_cast<std::int64_t>(s.n));
+    doc.emplace_back("k", s.k);
+    doc.emplace_back("dynamics", s.dynamics.label());
+    doc.emplace_back("solved", serial.result.solved);
+    doc.emplace_back("solve_time",
+                     static_cast<std::int64_t>(serial.result.solveTime));
+    doc.emplace_back("end_time",
+                     static_cast<std::int64_t>(serial.result.endTime));
+    doc.emplace_back("trace_hash", hashHex(serial.traceHash));
+    doc.emplace_back("stats", statsJson(serial.result.stats));
+    doc.emplace_back("parallel4_identical", same4);
+    doc.emplace_back("parallel8_identical", same8);
+    // Flat-container satellite evidence, stated as a wide-margin bound
+    // rather than an exact count so the gate is not hostage to
+    // allocator-library growth policies: pooled scratch + reserved
+    // fanout vectors put the run phase under ~1 allocation per
+    // delivery (measured 0.87-0.98 here), while the per-broadcast hash
+    // tables and per-evaluate interval vectors they replaced cost ~10.
+    doc.emplace_back("run_allocs_per_rcv_lt_2", allocsPerRcv < 2.0);
+    scenarioDocs.push_back(std::move(doc));
+
+    std::printf("%-16s trace=%s par4=%s par8=%s allocs/rcv=%.4f\n",
+                s.name.c_str(), hashHex(serial.traceHash).c_str(),
+                same4 ? "identical" : "DIVERGED",
+                same8 ? "identical" : "DIVERGED", allocsPerRcv);
+  }
+  json::Object doc;
+  doc.emplace_back("bench", "parallel_kernel_check");
+  doc.emplace_back("protocol", "bmmb");
+  doc.emplace_back("scenarios", std::move(scenarioDocs));
+  writeJson(outPath, doc);
+  if (!allIdentical) {
+    std::fprintf(stderr,
+                 "FAIL: parallel kernel diverged from the serial oracle\n");
+    return 1;
+  }
+  return 0;
+}
+
+// --- timing mode -------------------------------------------------------------
+
+int runTiming(bool quick, int reps, const std::string& outPath) {
+  const std::vector<sim::KernelSpec> kernels = {
+      sim::KernelSpec::serial(), sim::KernelSpec::parallelWith(2),
+      sim::KernelSpec::parallelWith(4), sim::KernelSpec::parallelWith(8)};
+  const unsigned hw = std::thread::hardware_concurrency();
+
+  std::printf("parallel kernel bench: %u hardware core(s); speedups are "
+              "honest for this host only\n",
+              hw);
+  json::Array scenarioDocs;
+  bool allIdentical = true;
+  for (const Scenario& s : scenarios()) {
+    if (quick && s.fullOnly) continue;
+    const graph::DualGraph topology = buildField(s);
+    const int scenarioReps = s.fullOnly ? 1 : reps;
+
+    std::printf("\n%s (n=%d k=%d dynamics=%s, best of %d)\n", s.name.c_str(),
+                s.n, s.k, s.dynamics.label().c_str(), scenarioReps);
+    json::Array kernelDocs;
+    double serialMs = 0.0;
+    Measure serialBest;
+    for (const sim::KernelSpec& kernel : kernels) {
+      Measure best;
+      for (int r = 0; r < scenarioReps; ++r) {
+        Measure m = runOnce(topology, s, kernel, /*recordTrace=*/false);
+        if (r == 0 || m.wallMs < best.wallMs) best = m;
+      }
+      if (kernel == sim::KernelSpec::serial()) {
+        serialMs = best.wallMs;
+        serialBest = best;
+      }
+      const bool identical = sameExecution(serialBest, best);
+      allIdentical = allIdentical && identical;
+      const double speedup = best.wallMs > 0.0 ? serialMs / best.wallMs : 0.0;
+      const double allocsPerRcv =
+          best.result.stats.rcvs == 0
+              ? 0.0
+              : static_cast<double>(best.runAllocs) /
+                    static_cast<double>(best.result.stats.rcvs);
+      std::printf(
+          "  %-12s %10.1f ms  speedup %5.2fx  rcvs %9llu  run allocs %8llu "
+          "(%.4f/rcv, %.1f MiB)  %s\n",
+          kernel.label().c_str(), best.wallMs, speedup,
+          static_cast<unsigned long long>(best.result.stats.rcvs),
+          static_cast<unsigned long long>(best.runAllocs), allocsPerRcv,
+          static_cast<double>(best.runAllocBytes) / (1024.0 * 1024.0),
+          identical ? "identical" : "DIVERGED");
+
+      json::Object kd;
+      kd.emplace_back("kernel", kernel.label());
+      kd.emplace_back("wall_ms", best.wallMs);
+      kd.emplace_back("speedup_vs_serial", speedup);
+      kd.emplace_back("identical_to_serial", identical);
+      kd.emplace_back("solved", best.result.solved);
+      kd.emplace_back("solve_time",
+                      static_cast<std::int64_t>(best.result.solveTime));
+      kd.emplace_back("run_allocs", static_cast<std::int64_t>(best.runAllocs));
+      kd.emplace_back("run_alloc_bytes",
+                      static_cast<std::int64_t>(best.runAllocBytes));
+      kd.emplace_back("allocs_per_rcv", allocsPerRcv);
+      kd.emplace_back("stats", statsJson(best.result.stats));
+      kernelDocs.push_back(std::move(kd));
+    }
+    json::Object sd;
+    sd.emplace_back("name", s.name);
+    sd.emplace_back("n", static_cast<std::int64_t>(s.n));
+    sd.emplace_back("k", s.k);
+    sd.emplace_back("dynamics", s.dynamics.label());
+    sd.emplace_back("reps", scenarioReps);
+    sd.emplace_back("kernels", std::move(kernelDocs));
+    scenarioDocs.push_back(std::move(sd));
+  }
+
+  if (!outPath.empty()) {
+    json::Object doc;
+    doc.emplace_back("bench", "parallel_kernel");
+    doc.emplace_back("hw_cores", static_cast<std::int64_t>(hw));
+    doc.emplace_back("quick", quick);
+    doc.emplace_back(
+        "note",
+        "wall clocks and speedups were measured on hw_cores hardware "
+        "core(s); bit-identity holds at any worker count");
+    doc.emplace_back("scenarios", std::move(scenarioDocs));
+    writeJson(outPath, doc);
+    std::printf("\nwrote %s\n", outPath.c_str());
+  }
+  if (!allIdentical) {
+    std::fprintf(stderr,
+                 "FAIL: parallel kernel diverged from the serial oracle\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  int reps = 3;
+  std::string outPath;
+  std::string checkPath;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      quick = true;
+    } else if (arg == "--reps" && i + 1 < argc) {
+      reps = std::atoi(argv[++i]);
+      if (reps < 1) reps = 1;
+    } else if (arg == "--out" && i + 1 < argc) {
+      outPath = argv[++i];
+    } else if (arg == "--check" && i + 1 < argc) {
+      checkPath = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_parallel_kernel [--quick] [--reps N] "
+                   "[--out BENCH.json] | --check OUT.json\n");
+      return 2;
+    }
+  }
+  try {
+    if (!checkPath.empty()) return runCheck(checkPath);
+    return runTiming(quick, reps, outPath);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_parallel_kernel: %s\n", e.what());
+    return 2;
+  }
+}

@@ -67,6 +67,11 @@ std::string toString(const FuzzCase& fuzzCase) {
   if (!fuzzCase.dynamics.isStatic()) {
     out << " dynamics=" << fuzzCase.dynamics.label();
   }
+  // Same default-omission rule for the kernel (serial cases print as
+  // they always did; parallel is a pure wall-clock knob anyway).
+  if (fuzzCase.kernel.parallel()) {
+    out << " kernel=" << fuzzCase.kernel.label();
+  }
   return out.str();
 }
 
@@ -150,6 +155,15 @@ FuzzCase sampleCase(const FuzzSpec& spec, int iteration) {
       dyn.churn = 0.25 * rng.uniformInt(1, 3);
     }
     c.dynamics = dyn;
+  }
+
+  // Kernel rotation: a pure function of the iteration index, drawing
+  // nothing from the case RNG — so every other sampled field keeps the
+  // exact value the pre-kernel sampler produced for the same seed, and
+  // the golden-case suite (all serial) is untouched.  A quarter of the
+  // campaign runs on parallel kernels with 2..4 workers.
+  if (iteration % 4 == 3) {
+    c.kernel = sim::KernelSpec::parallelWith(2 + iteration % 3);
   }
 
   // Stale-topology campaigns need a grey zone to drift: pin the family
@@ -237,6 +251,7 @@ core::RunConfig runConfigFor(const FuzzCase& c) {
   config.limits.stopOnSolve = c.stopOnSolve;
   config.limits.maxTime = c.maxTime;
   config.limits.maxEvents = c.maxEvents;
+  config.kernel = c.kernel;
   return config;
 }
 
@@ -314,6 +329,7 @@ FuzzResult runFuzz(const FuzzSpec& spec) {
     ++result.coverage["topology:" + toString(fuzzCase.topology)];
     ++result.coverage["workload:" + toString(fuzzCase.workload)];
     ++result.coverage["scheduler:" + core::toString(fuzzCase.scheduler)];
+    ++result.coverage["kernel:" + fuzzCase.kernel.label()];
     const ExecutionOutcome outcome = runCase(fuzzCase, spec.mutation);
     if (!outcome.failed()) continue;
     ++result.violations;

@@ -153,9 +153,9 @@ Experiment::Experiment(const graph::DualGraph& topology,
           : makeScheduler(config_.scheduler.kind,
                           config_.scheduler.lowerBoundLineLength);
   AMMB_REQUIRE(scheduler != nullptr, "scheduler factory returned null");
-  engine_ = std::make_unique<mac::MacEngine>(view_, config_.mac,
-                                             std::move(scheduler), factory,
-                                             config_.seed, config_.recordTrace);
+  engine_ = std::make_unique<mac::MacEngine>(
+      view_, config_.mac, std::move(scheduler), factory, config_.seed,
+      config_.recordTrace, config_.kernel);
   engine_->setPlanValidation(config_.scheduler.validatePlans);
   if (auto* bmmb = std::get_if<BmmbSuite>(&suite_)) {
     engine_->setOracle(bmmb);

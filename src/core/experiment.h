@@ -166,6 +166,10 @@ struct RunConfig {
   DynamicsSpec dynamics;
   std::uint64_t seed = 1;
   bool recordTrace = true;
+  /// Intra-run execution kernel (serial by default).  Parallel kernels
+  /// are bit-identical to serial — same traces, stats and RNG draws at
+  /// any worker count — so this is purely a wall-clock knob.
+  sim::KernelSpec kernel;
 };
 
 /// Outcome of one run.

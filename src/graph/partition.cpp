@@ -1,0 +1,50 @@
+#include "graph/partition.h"
+
+#include "common/error.h"
+
+namespace ammb::graph {
+
+std::vector<std::size_t> balancedBoundaries(
+    const std::vector<std::uint64_t>& weights, int parts) {
+  AMMB_REQUIRE(parts >= 1, "balancedBoundaries needs parts >= 1");
+  const std::size_t n = weights.size();
+  std::uint64_t total = 0;
+  for (std::uint64_t w : weights) total += w;
+
+  std::vector<std::size_t> bounds;
+  bounds.reserve(static_cast<std::size_t>(parts) + 1);
+  bounds.push_back(0);
+  if (n == 0) return bounds;
+
+  // Cut after the first index whose cumulative weight reaches the next
+  // quantile.  Integer quantile targets (i * total / parts) keep the
+  // cut exact and platform-independent — no floating point.
+  std::uint64_t cum = 0;
+  std::size_t index = 0;
+  for (int cut = 1; cut < parts && index < n; ++cut) {
+    const std::uint64_t target =
+        total * static_cast<std::uint64_t>(cut) /
+        static_cast<std::uint64_t>(parts);
+    while (index < n && (cum < target || cum == 0)) {
+      cum += weights[index];
+      ++index;
+    }
+    if (index == n) break;
+    if (index > bounds.back()) bounds.push_back(index);
+  }
+  bounds.push_back(n);
+  return bounds;
+}
+
+Partitioning partitionCsr(const CsrSnapshot& csr, int parts) {
+  const auto n = static_cast<std::size_t>(csr.n());
+  std::vector<std::uint64_t> weights(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    weights[v] = csr.pNeighbors(static_cast<NodeId>(v)).size() + 1;
+  }
+  Partitioning p;
+  p.nodeBounds = balancedBoundaries(weights, parts);
+  return p;
+}
+
+}  // namespace ammb::graph

@@ -1,0 +1,48 @@
+// Deterministic weighted partitioning for the parallel kernel.
+//
+// The parallel kernel (sim/parallel_kernel.h) fans per-node
+// evaluations out over contiguous index ranges.  Uniform ranges are a
+// poor fit for skewed topologies — a grey-zone field's hub nodes cost
+// many times a fringe node's guard evaluation — so the engine balances
+// ranges by weight instead: per-node work estimates (degree, live-list
+// length) feed balancedBoundaries(), and partitionCsr() wraps the same
+// cut for whole CSR snapshots.  Both are pure functions of their
+// inputs, so every run — any worker count, any platform — sees the
+// same partitions; only *which thread* executes a range varies, which
+// the sequenced-commit design makes unobservable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "graph/topology_view.h"
+
+namespace ammb::graph {
+
+/// Greedy contiguous cut of [0, weights.size()) into at most `parts`
+/// ranges of roughly equal total weight.  Returns ascending boundaries
+/// b with b.front() == 0 and b.back() == weights.size(); range i is
+/// [b[i], b[i+1]).  Boundaries advance past each index whose
+/// cumulative weight crosses the next i/parts quantile, so no range is
+/// empty while fewer items than parts exist and no single range can
+/// absorb two quantiles' worth of spill.
+std::vector<std::size_t> balancedBoundaries(
+    const std::vector<std::uint64_t>& weights, int parts);
+
+/// A contiguous node-range partition of one CSR snapshot.
+struct Partitioning {
+  /// Ascending node-id boundaries; partition i owns ids
+  /// [nodeBounds[i], nodeBounds[i+1]).
+  std::vector<std::size_t> nodeBounds;
+
+  int parts() const { return static_cast<int>(nodeBounds.size()) - 1; }
+};
+
+/// Degree-balanced contiguous partition of `csr`'s node set into at
+/// most `parts` ranges, weighting each node by its E' degree + 1 (the
+/// +1 keeps crashed / isolated stretches from collapsing into one
+/// giant range).  Deterministic in (csr, parts).
+Partitioning partitionCsr(const CsrSnapshot& csr, int parts);
+
+}  // namespace ammb::graph

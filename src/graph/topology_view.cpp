@@ -112,6 +112,13 @@ TopologyView::TopologyView(const DualGraph& base,
   };
 
   for (const TopologyEpoch& spec : dynamics.epochs) {
+    // Touched-node bookkeeping for touchedAt(): a crash voids the
+    // *previous* epoch's adjacency (read it before the events apply),
+    // a recovery creates the *new* epoch's adjacency (resolved after
+    // the CSR below is built).
+    std::vector<NodeId> touched;
+    std::vector<NodeId> recovered;
+    const CsrSnapshot& prevCsr = epochs_.back().csr;
     for (const TopologyEvent& ev : spec.events) {
       switch (ev.kind) {
         case TopologyEvent::Kind::kNodeCrash:
@@ -119,12 +126,16 @@ TopologyView::TopologyView(const DualGraph& base,
           AMMB_REQUIRE(alive[static_cast<std::size_t>(ev.u)] != 0,
                        "dynamics crash of an already-crashed node");
           alive[static_cast<std::size_t>(ev.u)] = 0;
+          touched.push_back(ev.u);
+          for (NodeId j : prevCsr.pNeighbors(ev.u)) touched.push_back(j);
           break;
         case TopologyEvent::Kind::kNodeRecover:
           checkNode(ev.u);
           AMMB_REQUIRE(alive[static_cast<std::size_t>(ev.u)] == 0,
                        "dynamics recovery of a node that is not down");
           alive[static_cast<std::size_t>(ev.u)] = 1;
+          touched.push_back(ev.u);
+          recovered.push_back(ev.u);
           break;
         case TopologyEvent::Kind::kEdgeDown: {
           checkNode(ev.u);
@@ -133,6 +144,8 @@ TopologyView::TopologyView(const DualGraph& base,
           AMMB_REQUIRE(ePrime.erase(edge) > 0,
                        "dynamics drop of an edge that is not in E'");
           e.erase(edge);
+          touched.push_back(ev.u);
+          touched.push_back(ev.v);
           break;
         }
         case TopologyEvent::Kind::kEdgeUp: {
@@ -148,6 +161,8 @@ TopologyView::TopologyView(const DualGraph& base,
                          "in E");
           }
           ePrime.insert(edge);
+          touched.push_back(ev.u);
+          touched.push_back(ev.v);
           break;
         }
       }
@@ -158,6 +173,12 @@ TopologyView::TopologyView(const DualGraph& base,
     epoch.start = spec.start;
     epoch.dual = owned_.back().get();
     epoch.csr = CsrSnapshot::build(*epoch.dual, alive);
+    for (NodeId u : recovered) {
+      for (NodeId j : epoch.csr.pNeighbors(u)) touched.push_back(j);
+    }
+    std::sort(touched.begin(), touched.end());
+    touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+    epoch.touched = std::move(touched);
     epochs_.push_back(std::move(epoch));
   }
 }

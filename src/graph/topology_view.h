@@ -165,11 +165,25 @@ class TopologyView {
   /// instance is quantified over exactly these links.
   bool gEdgeLiveThroughout(NodeId u, NodeId v, Time t1, Time t2) const;
 
+  /// Sorted, duplicate-free ids of every node whose adjacency (in
+  /// either graph) may differ between epoch e-1 and epoch e: endpoints
+  /// of edge events, plus crashed/recovered nodes and their E'
+  /// neighbors in the adjacent epoch.  A conservative superset — a
+  /// listed node may end up unchanged — but completeness is exact:
+  /// any node absent from the set has identical neighborhoods, edge
+  /// live-since instants and liveness in both epochs.  The engine's
+  /// epoch-boundary guard pass re-examines exactly these receivers
+  /// instead of all n.  Empty for e == 0.
+  const std::vector<NodeId>& touchedAt(int e) const {
+    return epoch(e).touched;
+  }
+
  private:
   struct Epoch {
     Time start = 0;
     const DualGraph* dual = nullptr;  ///< base_ or an owned_ entry
     CsrSnapshot csr;
+    std::vector<NodeId> touched;  ///< see touchedAt()
   };
 
   const Epoch& epoch(int e) const {

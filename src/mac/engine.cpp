@@ -1,10 +1,19 @@
 #include "mac/engine.h"
 
 #include <algorithm>
-#include <unordered_set>
 #include <utility>
 
+#include "graph/partition.h"
+
 namespace ammb::mac {
+
+namespace {
+
+/// Below this many receivers a guard batch runs inline: dispatching to
+/// the pool costs more than the interval scans it would spread.
+constexpr std::size_t kGuardGrain = 32;
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // Scheduler default behaviour
@@ -78,23 +87,23 @@ void Context::abortBcast() { engine_.apiAbort(node_); }
 MacEngine::MacEngine(const graph::TopologyView& view, MacParams params,
                      std::unique_ptr<Scheduler> scheduler,
                      ProcessFactory factory, std::uint64_t seed,
-                     bool traceEnabled)
+                     bool traceEnabled, sim::KernelSpec kernel)
     : MacEngine(std::nullopt, &view, params, std::move(scheduler),
-                std::move(factory), seed, traceEnabled) {}
+                std::move(factory), seed, traceEnabled, kernel) {}
 
 MacEngine::MacEngine(const graph::DualGraph& topology, MacParams params,
                      std::unique_ptr<Scheduler> scheduler,
                      ProcessFactory factory, std::uint64_t seed,
-                     bool traceEnabled)
+                     bool traceEnabled, sim::KernelSpec kernel)
     : MacEngine(graph::TopologyView(topology), nullptr, params,
-                std::move(scheduler), std::move(factory), seed, traceEnabled) {
-}
+                std::move(scheduler), std::move(factory), seed, traceEnabled,
+                kernel) {}
 
 MacEngine::MacEngine(std::optional<graph::TopologyView> owned,
                      const graph::TopologyView* view, MacParams params,
                      std::unique_ptr<Scheduler> scheduler,
                      ProcessFactory factory, std::uint64_t seed,
-                     bool traceEnabled)
+                     bool traceEnabled, sim::KernelSpec kernel)
     : ownedView_(std::move(owned)),
       view_(view != nullptr ? view : &*ownedView_),
       csr_(&view_->csrAt(0)),
@@ -102,10 +111,16 @@ MacEngine::MacEngine(std::optional<graph::TopologyView> owned,
       scheduler_(std::move(scheduler)),
       trace_(traceEnabled),
       guard_(*this, view_->n()),
-      schedulerRng_(SeedSequence(seed).childSeed(rngstream::kScheduler, 0)) {
+      schedulerRng_(SeedSequence(seed).childSeed(rngstream::kScheduler, 0)),
+      kernel_(kernel) {
   params_.validate();
   AMMB_REQUIRE(scheduler_ != nullptr, "a scheduler is required");
   AMMB_REQUIRE(factory != nullptr, "a process factory is required");
+  // parallel:1 degenerates to the serial loops; skip the pool and its
+  // dispatch latching entirely.
+  if (kernel_.parallel() && kernel_.resolvedWorkers() > 1) {
+    pool_ = std::make_unique<sim::ParallelKernel>(kernel_.resolvedWorkers());
+  }
 
   const SeedSequence seeds(seed);
   nodes_.reserve(static_cast<std::size_t>(n()));
@@ -114,7 +129,6 @@ MacEngine::MacEngine(std::optional<graph::TopologyView> owned,
                  seeds.childRng(rngstream::kNode,
                                 static_cast<std::uint64_t>(v)),
                  kNoInstance,
-                 {},
                  {}};
     AMMB_REQUIRE(ns.process != nullptr, "process factory returned null");
     nodes_.push_back(std::move(ns));
@@ -231,6 +245,7 @@ void MacEngine::apiBcast(NodeId node, Packet packet) {
   // CSR membership probe is equivalent when edges never change.
   if (view_->dynamic()) inst.requiredG.assign(gNbrs.begin(), gNbrs.end());
 
+  inst.reserveFanout(plan.deliveries.size());
   for (const PlannedDelivery& d : plan.deliveries) {
     const sim::EventHandle h = queue_.schedule(
         d.at, [this, id, target = d.target] { onDeliveryEvent(id, target); });
@@ -244,7 +259,7 @@ void MacEngine::apiBcast(NodeId node, Packet packet) {
     state(j).addLive(id);
   }
   // The new instance changes the need set of the sender's G-neighbors.
-  for (NodeId j : gNbrs) guard_.recompute(j);
+  guardRecomputeBatch(gNbrs.begin(), gNbrs.size());
 }
 
 bool MacEngine::apiBusy(NodeId node) const {
@@ -319,20 +334,25 @@ void MacEngine::validatePlan(const Instance& instance,
   const Time t0 = instance.bcastAt;
   AMMB_REQUIRE(plan.ackAt >= t0 && plan.ackAt <= t0 + params_.fack,
                "scheduler plan violates the acknowledgment bound");
-  std::unordered_set<NodeId> seen;
+  planScratch_.clear();
+  planScratch_.reserve(plan.deliveries.size());
   for (const PlannedDelivery& d : plan.deliveries) {
     AMMB_REQUIRE(d.target != instance.sender,
                  "scheduler plan delivers to the sender itself");
     AMMB_REQUIRE(csr_->hasPrimeEdge(instance.sender, d.target),
                  "scheduler plan delivers outside G'");
-    AMMB_REQUIRE(seen.insert(d.target).second,
-                 "scheduler plan delivers twice to one receiver");
     AMMB_REQUIRE(d.at >= t0 && d.at <= plan.ackAt,
                  "scheduler plan delivery time outside [bcast, ack]");
+    planScratch_.push_back(d.target);
   }
+  std::sort(planScratch_.begin(), planScratch_.end());
+  AMMB_REQUIRE(std::adjacent_find(planScratch_.begin(), planScratch_.end()) ==
+                   planScratch_.end(),
+               "scheduler plan delivers twice to one receiver");
   for (NodeId j : csr_->gNeighbors(instance.sender)) {
-    AMMB_REQUIRE(seen.count(j) > 0,
-                 "scheduler plan misses a reliable (G) neighbor");
+    AMMB_REQUIRE(
+        std::binary_search(planScratch_.begin(), planScratch_.end(), j),
+        "scheduler plan misses a reliable (G) neighbor");
   }
 }
 
@@ -346,8 +366,7 @@ void MacEngine::performDelivery(InstanceId id, NodeId receiver, bool forced) {
     inst.removePending(receiver);
   }
 
-  inst.deliveredTo.push_back(receiver);
-  inst.deliveredSet.insert(receiver);
+  inst.markDelivered(receiver);
   if (view_->dynamic()) {
     if (inst.removeRequiredG(receiver)) --inst.pendingGDeliveries;
   } else if (csr_->hasGEdge(inst.sender, receiver)) {
@@ -398,20 +417,22 @@ void MacEngine::finishInstance(Instance& inst) {
   // Live-list membership always tracks the *current* epoch's E'
   // neighborhood (epoch boundaries rebuild it), so the current CSR
   // span covers exactly the nodes holding this instance.
-  for (NodeId j : csr_->pNeighbors(inst.sender)) {
+  const graph::CsrSnapshot::Span pNbrs = csr_->pNeighbors(inst.sender);
+  for (NodeId j : pNbrs) {
     state(j).removeLive(inst.id);
-  }
-  for (NodeId j : csr_->pNeighbors(inst.sender)) {
-    guard_.recompute(j);
   }
   // Termination also caps this instance's cover intervals at termAt —
   // including covers held by receivers the sender can no longer reach
   // (their link dropped, or the sender crashed, since the delivery).
-  // Static topologies never hit this branch: deliveredTo is always a
-  // subset of the sender's E' neighborhood there.
+  // Static topologies never add such extras: deliveredTo is always a
+  // subset of the sender's E' neighborhood there.  The extras are
+  // disjoint from pNbrs, so one batch recomputes each receiver once,
+  // in the same order the two original loops did.
+  batchScratch_.assign(pNbrs.begin(), pNbrs.end());
   for (NodeId j : inst.deliveredTo) {
-    if (!csr_->hasPrimeEdge(inst.sender, j)) guard_.recompute(j);
+    if (!csr_->hasPrimeEdge(inst.sender, j)) batchScratch_.push_back(j);
   }
+  guardRecomputeBatch(batchScratch_.data(), batchScratch_.size());
 }
 
 void MacEngine::onEpochBoundary(int e) {
@@ -427,30 +448,55 @@ void MacEngine::onEpochBoundary(int e) {
   // voids the acknowledgment guarantee for that receiver.  The ack
   // itself always fires as planned: a crashed sender simply stops
   // delivering (its radio is down), it does not lose its automaton.
-  for (Instance& inst : instances_) {
-    const NodeId s = inst.sender;
-    // Scrub vanished-link deliveries even for aborted instances: their
-    // epsAbort grace window may still hold scheduled events.
-    for (std::size_t i = inst.pending.size(); i-- > 0;) {
-      const Instance::PendingDelivery pd = inst.pending[i];
-      if (csr_->hasPrimeEdge(s, pd.target)) continue;
-      queue_.cancel(pd.handle);
-      inst.removePending(pd.target);
+  //
+  // The scan splits into a per-instance evaluate phase (pure adjacency
+  // probes + instance-local shrinks, fanned out to the kernel pool)
+  // and a serial commit phase that cancels the voided events in
+  // instance order.  Dropping pending entries in reverse-index order
+  // reproduces the layout history of the original single in-place
+  // reverse scan, because a swap-remove during a reverse scan only
+  // ever moves already-visited elements.
+  if (scrubDrops_.size() < instances_.size()) {
+    scrubDrops_.resize(instances_.size());
+  }
+  const auto scrubEvaluate = [this](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      Instance& inst = instances_[i];
+      std::vector<Instance::PendingDelivery>& drops = scrubDrops_[i];
+      drops.clear();
+      const NodeId s = inst.sender;
+      // Scrub vanished-link deliveries even for aborted instances:
+      // their epsAbort grace window may still hold scheduled events.
+      for (std::size_t p = inst.pending.size(); p-- > 0;) {
+        if (!csr_->hasPrimeEdge(s, inst.pending[p].target)) {
+          drops.push_back(inst.pending[p]);
+        }
+      }
+      if (inst.terminated) continue;
+      std::vector<NodeId>& req = inst.requiredG;
+      req.erase(std::remove_if(
+                    req.begin(), req.end(),
+                    [this, s](NodeId j) { return !csr_->hasGEdge(s, j); }),
+                req.end());
+      inst.pendingGDeliveries = static_cast<int>(req.size());
     }
-    if (inst.terminated) continue;
-    std::vector<NodeId>& req = inst.requiredG;
-    req.erase(std::remove_if(
-                  req.begin(), req.end(),
-                  [this, s](NodeId j) { return !csr_->hasGEdge(s, j); }),
-              req.end());
-    inst.pendingGDeliveries = static_cast<int>(req.size());
+  };
+  if (pool_ != nullptr && instances_.size() >= 2 * kGuardGrain) {
+    pool_->forEachRange(instances_.size(), kGuardGrain, scrubEvaluate);
+  } else {
+    scrubEvaluate(0, instances_.size());
+  }
+  for (std::size_t i = 0; i < instances_.size(); ++i) {
+    for (const Instance::PendingDelivery& pd : scrubDrops_[i]) {
+      queue_.cancel(pd.handle);
+      instances_[i].removePending(pd.target);
+    }
   }
 
   // Rebuild the live-instance lists from the new E' neighborhoods: a
   // live instance contends exactly at its sender's current neighbors.
   for (NodeState& ns : nodes_) {
     ns.liveNear.clear();
-    ns.liveIndex.clear();
   }
   for (const Instance& inst : instances_) {
     if (inst.terminated) continue;
@@ -460,8 +506,66 @@ void MacEngine::onEpochBoundary(int e) {
   }
 
   // Need sets may have shrunk (links gone) or gained a later live-since
-  // clip (links appeared); re-arm every receiver's deadline.
-  for (NodeId j = 0; j < n(); ++j) guard_.recompute(j);
+  // clip (links appeared); re-arm the affected receivers' deadlines.
+  // Nodes outside touchedAt(e) keep identical neighborhoods, liveness
+  // and live-since instants across the boundary, so their recompute
+  // would re-derive the deadline they already hold — a no-op consuming
+  // no event sequence numbers.  Skipping them is therefore
+  // trace-identical to the full-n pass (the committed golden traces
+  // and the churn_grid sweep baseline pin this down).
+  guardRecomputeWeighted(view_->touchedAt(e));
+}
+
+void MacEngine::guardRecomputeBatch(const NodeId* nodes, std::size_t count) {
+  if (pool_ == nullptr || count < 2 * kGuardGrain) {
+    for (std::size_t i = 0; i < count; ++i) guard_.recompute(nodes[i]);
+    return;
+  }
+  // Evaluate in parallel (receiver-local cover pruning + read-only
+  // interval scans), then commit serially in batch order.  A commit
+  // only changes the committing receiver's armed state and the event
+  // queue, neither of which evaluate() reads — so evaluate(j) before
+  // commit(i) equals evaluate(j) after it, and the serial commit loop
+  // consumes event sequence numbers exactly as the plain recompute
+  // loop would.
+  guardEval_.resize(count);
+  pool_->forEachRange(
+      count, kGuardGrain, [this, nodes](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          guardEval_[i] = guard_.evaluate(nodes[i]);
+        }
+      });
+  for (std::size_t i = 0; i < count; ++i) {
+    guard_.commit(nodes[i], guardEval_[i]);
+  }
+}
+
+void MacEngine::guardRecomputeWeighted(const std::vector<NodeId>& nodes) {
+  if (pool_ == nullptr || nodes.size() < 2 * kGuardGrain) {
+    for (NodeId j : nodes) guard_.recompute(j);
+    return;
+  }
+  // Epoch boundaries hand us receivers with wildly uneven live sets;
+  // cut the batch at the live-weight quantiles instead of uniform
+  // ranges so no worker inherits all the hub nodes.
+  guardWeights_.clear();
+  guardWeights_.reserve(nodes.size());
+  for (NodeId j : nodes) {
+    guardWeights_.push_back(
+        static_cast<std::uint64_t>(state(j).liveNear.size()) + 1);
+  }
+  const std::vector<std::size_t> bounds = graph::balancedBoundaries(
+      guardWeights_, pool_->workers() * 2);
+  guardEval_.resize(nodes.size());
+  pool_->forBoundaries(
+      bounds, [this, &nodes](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          guardEval_[i] = guard_.evaluate(nodes[i]);
+        }
+      });
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    guard_.commit(nodes[i], guardEval_[i]);
+  }
 }
 
 void MacEngine::forceProgressDelivery(NodeId receiver) {

@@ -33,6 +33,7 @@
 #include "mac/progress_guard.h"
 #include "mac/scheduler.h"
 #include "sim/event_queue.h"
+#include "sim/parallel_kernel.h"
 #include "sim/trace.h"
 
 namespace ammb::mac {
@@ -68,16 +69,21 @@ class MacEngine {
 
   /// Wires the system together and schedules the wake events at t=0
   /// plus one internal transition event per topology epoch.  The view
-  /// must outlive the engine.
+  /// must outlive the engine.  `kernel` selects the intra-run
+  /// execution kernel; parallel kernels produce bit-identical traces,
+  /// stats and RNG streams at any worker count (evaluations fan out,
+  /// commits stay in serial order).
   MacEngine(const graph::TopologyView& view, MacParams params,
             std::unique_ptr<Scheduler> scheduler, ProcessFactory factory,
-            std::uint64_t seed, bool traceEnabled = true);
+            std::uint64_t seed, bool traceEnabled = true,
+            sim::KernelSpec kernel = {});
 
   /// Static-topology convenience: wraps `topology` in an owned
   /// single-epoch view.  The topology must outlive the engine.
   MacEngine(const graph::DualGraph& topology, MacParams params,
             std::unique_ptr<Scheduler> scheduler, ProcessFactory factory,
-            std::uint64_t seed, bool traceEnabled = true);
+            std::uint64_t seed, bool traceEnabled = true,
+            sim::KernelSpec kernel = {});
 
   MacEngine(const MacEngine&) = delete;
   MacEngine& operator=(const MacEngine&) = delete;
@@ -160,6 +166,13 @@ class MacEngine {
   /// RNG stream reserved for the scheduler.
   Rng& schedulerRng() { return schedulerRng_; }
 
+  /// The kernel this engine executes on.
+  const sim::KernelSpec& kernel() const { return kernel_; }
+
+  /// Workers actually running batch evaluations (1 on the serial
+  /// kernel or a one-worker parallel kernel).
+  int kernelWorkers() const { return pool_ != nullptr ? pool_->workers() : 1; }
+
   /// Live instances whose sender is a G'-neighbor of `node` (i.e., the
   /// instances that may legally deliver to `node` right now).
   const std::vector<InstanceId>& liveInstancesNear(NodeId node) const;
@@ -173,25 +186,20 @@ class MacEngine {
     Rng rng;
     InstanceId current = kNoInstance;  ///< outstanding bcast, if any
     std::vector<InstanceId> liveNear;  ///< live instances from E' nbrs
-    /// Position of each live instance inside liveNear, so termination
-    /// is an O(1) swap-remove instead of a scan-erase over every
-    /// G'-neighbor's live list.
-    std::unordered_map<InstanceId, std::size_t> liveIndex;
 
-    void addLive(InstanceId id) {
-      liveIndex.emplace(id, liveNear.size());
-      liveNear.push_back(id);
-    }
+    void addLive(InstanceId id) { liveNear.push_back(id); }
+    /// Swap-removes `id` (live lists hold at most the node's E' degree
+    /// in instances; the scan beats the per-node hash index it
+    /// replaced, and frees its allocation).  The swap target position
+    /// is the deterministic insertion position, so the list's order
+    /// history is identical to the old index-based removal.
     void removeLive(InstanceId id) {
-      const auto it = liveIndex.find(id);
-      if (it == liveIndex.end()) return;
-      const std::size_t pos = it->second;
-      liveIndex.erase(it);
-      if (pos + 1 != liveNear.size()) {
-        liveNear[pos] = liveNear.back();
-        liveIndex[liveNear[pos]] = pos;
+      for (std::size_t pos = 0; pos < liveNear.size(); ++pos) {
+        if (liveNear[pos] != id) continue;
+        if (pos + 1 != liveNear.size()) liveNear[pos] = liveNear.back();
+        liveNear.pop_back();
+        return;
       }
-      liveNear.pop_back();
     }
   };
 
@@ -216,10 +224,20 @@ class MacEngine {
   void forceProgressDelivery(NodeId receiver);
   void onEpochBoundary(int e);
 
+  /// Recomputes the progress guard for `nodes` in order.  Above a
+  /// small batch the parallel kernel evaluates concurrently (read-only
+  /// per-receiver interval scans) and commits serially in the same
+  /// order the serial loop would — so event sequence numbers, traces
+  /// and RNG streams are identical at any worker count.
+  void guardRecomputeBatch(const NodeId* nodes, std::size_t count);
+  /// Same, but partitions by per-receiver liveNear weight (epoch
+  /// boundaries touch receivers with wildly uneven live sets).
+  void guardRecomputeWeighted(const std::vector<NodeId>& nodes);
+
   MacEngine(std::optional<graph::TopologyView> owned,
             const graph::TopologyView* view, MacParams params,
             std::unique_ptr<Scheduler> scheduler, ProcessFactory factory,
-            std::uint64_t seed, bool traceEnabled);
+            std::uint64_t seed, bool traceEnabled, sim::KernelSpec kernel);
 
   NodeState& state(NodeId node);
   const NodeState& state(NodeId node) const;
@@ -247,6 +265,26 @@ class MacEngine {
   ArrivalSource arrivalSource_;
   std::unordered_map<TimerId, sim::EventHandle> timers_;
   TimerId nextTimer_ = 1;
+
+  // Intra-run kernel ------------------------------------------------------
+  sim::KernelSpec kernel_;
+  /// Worker pool; null on the serial kernel (and on parallel:1, where
+  /// the pool would add latching overhead for nothing).
+  std::unique_ptr<sim::ParallelKernel> pool_;
+  /// Scratch: per-receiver evaluate() results of a parallel batch,
+  /// consumed by the serial commit loop.
+  std::vector<Time> guardEval_;
+  /// Scratch: partition weights for guardRecomputeWeighted.
+  std::vector<std::uint64_t> guardWeights_;
+  /// Scratch: receiver batch assembled by finishInstance.
+  std::vector<NodeId> batchScratch_;
+  /// Scratch: per-instance voided pending deliveries collected by the
+  /// epoch-boundary scrub's evaluate phase (slot i belongs exclusively
+  /// to instance i, so the parallel phase writes race-free).
+  std::vector<std::vector<Instance::PendingDelivery>> scrubDrops_;
+  /// Scratch: sorted receiver ids for validatePlan (replaces a
+  /// per-call unordered_set).
+  mutable std::vector<NodeId> planScratch_;
 };
 
 }  // namespace ammb::mac

@@ -4,11 +4,16 @@
 // and the terminating ack/abort the cause function maps back to it.
 // The engine materializes instances as the records below; schedulers
 // receive a const view when planning.
+//
+// All bookkeeping is flat vectors: per-broadcast hash containers
+// (delivered-set, pending-index) used to dominate allocation in
+// delivery-heavy runs (one rehashing table per bcast), and neighborhood
+// fan-outs are small enough that a linear scan / binary search beats a
+// hash probe anyway.  Capacities are reserved from the sender's degree
+// at bcast time, so steady state performs no per-delivery allocation.
 #pragma once
 
 #include <algorithm>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "common/error.h"
@@ -37,12 +42,12 @@ struct Instance {
 
   /// Receivers in delivery order (the cause-function image).
   std::vector<NodeId> deliveredTo;
-  std::unordered_set<NodeId> deliveredSet;
 
   /// Scheduled-but-not-yet-executed delivery events.  Kept as a flat
-  /// array with a receiver -> position index so removal is a swap-remove
-  /// instead of an ordered-container erase; iteration order is the
-  /// deterministic insertion/removal history, never hash order.
+  /// array; removal is a swap-remove, so iteration order is the
+  /// deterministic insertion/removal history.  Lookups are linear:
+  /// the array holds at most the sender's E' degree and is usually
+  /// near-empty by the time anything probes it.
   struct PendingDelivery {
     NodeId target = kNoNode;
     Time at = 0;
@@ -52,29 +57,27 @@ struct Instance {
 
   /// Appends a pending delivery (receiver must not already be pending).
   void addPending(NodeId target, Time at, sim::EventHandle handle) {
-    AMMB_ASSERT(pendingIndex_.count(target) == 0);
-    pendingIndex_.emplace(target, pending.size());
+    AMMB_DCHECK(findPending(target) == nullptr);
     pending.push_back(PendingDelivery{target, at, handle});
   }
 
   /// The pending delivery for `target`, or nullptr.
   const PendingDelivery* findPending(NodeId target) const {
-    const auto it = pendingIndex_.find(target);
-    return it == pendingIndex_.end() ? nullptr : &pending[it->second];
+    for (const PendingDelivery& pd : pending) {
+      if (pd.target == target) return &pd;
+    }
+    return nullptr;
   }
 
   /// Swap-removes `target`'s pending delivery; false if none existed.
   bool removePending(NodeId target) {
-    const auto it = pendingIndex_.find(target);
-    if (it == pendingIndex_.end()) return false;
-    const std::size_t pos = it->second;
-    pendingIndex_.erase(it);
-    if (pos + 1 != pending.size()) {
-      pending[pos] = pending.back();
-      pendingIndex_[pending[pos].target] = pos;
+    for (std::size_t pos = 0; pos < pending.size(); ++pos) {
+      if (pending[pos].target != target) continue;
+      if (pos + 1 != pending.size()) pending[pos] = pending.back();
+      pending.pop_back();
+      return true;
     }
-    pending.pop_back();
-    return true;
+    return false;
   }
 
   /// G-neighbors of the sender not yet delivered to (ack gate).  On a
@@ -103,14 +106,34 @@ struct Instance {
   /// Handle of the scheduled ack event (cancelled on abort).
   sim::EventHandle ackEvent = 0;
 
+  /// Records a delivery to `j` (in both the ordered image and the
+  /// sorted membership index).
+  void markDelivered(NodeId j) {
+    deliveredTo.push_back(j);
+    deliveredSorted_.insert(
+        std::upper_bound(deliveredSorted_.begin(), deliveredSorted_.end(), j),
+        j);
+  }
+
   /// True if this instance already delivered to `j`.
-  bool hasDeliveredTo(NodeId j) const { return deliveredSet.count(j) > 0; }
+  bool hasDeliveredTo(NodeId j) const {
+    return std::binary_search(deliveredSorted_.begin(), deliveredSorted_.end(),
+                              j);
+  }
+
+  /// Pre-sizes the per-instance vectors for an expected fan-out.
+  void reserveFanout(std::size_t planned) {
+    pending.reserve(planned);
+    deliveredTo.reserve(planned);
+    deliveredSorted_.reserve(planned);
+  }
 
   /// Current best knowledge of when the instance terminates.
   Time plannedTermination() const { return terminated ? termAt : plannedAck; }
 
  private:
-  std::unordered_map<NodeId, std::size_t> pendingIndex_;
+  /// deliveredTo, kept sorted for O(log) membership.
+  std::vector<NodeId> deliveredSorted_;
 };
 
 }  // namespace ammb::mac

@@ -45,6 +45,20 @@ ProgressGuard::ProgressGuard(MacEngine& engine, NodeId n)
 void ProgressGuard::onReceive(NodeId receiver, InstanceId instance, Time at) {
   states_[static_cast<std::size_t>(receiver)].covers.push_back(
       Cover{at, instance});
+  if (!engine_.instance(instance).terminated) {
+    // Fast path: the new cover is [at - fprog, +inf) while `instance`
+    // is live, and the guard invariant keeps every uncovered window
+    // start >= now - fprog (an older uncovered start would have had
+    // its deadline fire — and force a covering delivery — already).
+    // The whole need set is therefore covered: stand down without the
+    // interval scan.  pruneCovers runs as recompute() would have, so
+    // the covers vector evolves identically on both paths.
+    pruneCovers(receiver);
+    commit(receiver, kTimeNever);
+    return;
+  }
+  // Terminated instance (epsAbort grace delivery): the cover is capped
+  // at termAt - 1, no shortcut applies.
   recompute(receiver);
 }
 
@@ -56,7 +70,14 @@ Time ProgressGuard::earliestUncovered(NodeId receiver) const {
   // appeared (or reappeared) after the bcast only obliges the model
   // from the epoch it came up, and one that is down right now obliges
   // nothing (the offline checker applies the same rule per span).
-  std::vector<Interval> need;
+  //
+  // thread_local scratch: evaluate() is the hot inner loop (once per
+  // G-neighbor per broadcast) and runs concurrently on kernel workers,
+  // so the scratch is per-thread rather than per-guard.  The set is
+  // rebuilt from scratch each call; only the capacity persists, which
+  // is unobservable in results.
+  thread_local std::vector<Interval> need;
+  need.clear();
   for (InstanceId id : engine_.liveInstancesNear(receiver)) {
     const Instance& inst = engine_.instance(id);
     if (inst.terminated) continue;
@@ -90,10 +111,17 @@ Time ProgressGuard::earliestUncovered(NodeId receiver) const {
   return kTimeNever;
 }
 
-void ProgressGuard::recompute(NodeId receiver) {
-  State& st = states_[static_cast<std::size_t>(receiver)];
+Time ProgressGuard::evaluate(NodeId receiver) {
   pruneCovers(receiver);
-  const Time t = earliestUncovered(receiver);
+  return earliestUncovered(receiver);
+}
+
+void ProgressGuard::recompute(NodeId receiver) {
+  commit(receiver, evaluate(receiver));
+}
+
+void ProgressGuard::commit(NodeId receiver, Time t) {
+  State& st = states_[static_cast<std::size_t>(receiver)];
   if (t == kTimeNever) {
     if (st.armedEvent != 0) {
       // No obligation left; stand down.
@@ -139,14 +167,15 @@ void ProgressGuard::pruneCovers(NodeId receiver) {
   // No live or future instance can demand window starts earlier than
   // now - fack, so finite covers that end before that are dead weight.
   const Time floor = engine_.now() - engine_.params().fack;
-  std::vector<Cover> kept;
-  kept.reserve(st.covers.size());
+  // In-place compaction (order-preserving, allocation-free); the
+  // retained capacity is unobservable in results.
+  std::size_t out = 0;
   for (const Cover& c : st.covers) {
     const Instance& inst = engine_.instance(c.instance);
     if (inst.terminated && inst.termAt - 1 < floor) continue;
-    kept.push_back(c);
+    st.covers[out++] = c;
   }
-  st.covers = std::move(kept);
+  st.covers.resize(out);
 }
 
 }  // namespace ammb::mac

@@ -43,7 +43,23 @@ class ProgressGuard {
 
   /// Re-evaluates the deadline for `receiver` (called after instance
   /// birth, termination, or a receive affecting `receiver`).
+  /// Equivalent to commit(receiver, evaluate(receiver)).
   void recompute(NodeId receiver);
+
+  /// The read half of recompute(): prunes `receiver`'s dead covers and
+  /// returns its earliest uncovered window start (kTimeNever if none).
+  /// Touches only receiver-local guard state plus engine state that no
+  /// commit mutates, so evaluations for *distinct* receivers may run
+  /// concurrently — this is the surface MacEngine's batched guard
+  /// passes fan out over the parallel kernel.
+  Time evaluate(NodeId receiver);
+
+  /// The write half: arms / re-arms / stands down `receiver`'s
+  /// deadline for an evaluate() result.  Schedules queue events, so it
+  /// must run on the event thread, in the same receiver order the
+  /// serial recompute loop would use — that order is what keeps event
+  /// insertion sequences (and hence traces) bit-identical.
+  void commit(NodeId receiver, Time earliestUncovered);
 
  private:
   struct Cover {

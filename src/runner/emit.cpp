@@ -211,6 +211,7 @@ json::Value recordToJson(const RunRecord& record) {
   o.emplace_back("wl_idx", record.point.wlIdx);
   o.emplace_back("dyn_idx", record.point.dynIdx);
   o.emplace_back("seed", static_cast<std::int64_t>(record.point.seed));
+  o.emplace_back("kernel", record.kernel);
   o.emplace_back("error", record.error);
   o.emplace_back("solved", record.result.solved);
   o.emplace_back("solve_time", record.result.solveTime);
@@ -274,6 +275,11 @@ RunRecord recordFromJson(const json::Value& value,
   record.point.dynIdx = memberSize(value, "dyn_idx", context);
   record.point.seed = static_cast<std::uint64_t>(
       member(value, "seed", context).asInt(context + ".seed"));
+  // Optional for compatibility with record files written before the
+  // kernel field existed (those were always serial).
+  if (const Value* kernel = value.find("kernel"); kernel != nullptr) {
+    record.kernel = kernel->asString(context + ".kernel");
+  }
   record.error = member(value, "error", context).asString(context + ".error");
   record.result.solved =
       member(value, "solved", context).asBool(context + ".solved");

@@ -480,6 +480,11 @@ SpecDoc parseSpec(const std::string& jsonText) {
   doc.lowerBoundLineLength =
       toIntField(f.optInt("lower_bound_line_length", 0),
                  "spec.lower_bound_line_length");
+  try {
+    doc.kernel = sim::KernelSpec::fromLabel(f.optString("kernel", "serial"));
+  } catch (const std::exception& e) {
+    throw Error(std::string("spec.kernel: ") + e.what());
+  }
 
   if (const Value* fmmb = f.find("fmmb"); fmmb != nullptr) {
     doc.hasFmmb = true;
@@ -635,6 +640,11 @@ std::string writeSpec(const SpecDoc& doc) {
   root.emplace_back("max_events", static_cast<std::int64_t>(doc.maxEvents));
   root.emplace_back("discipline", toString(doc.discipline));
   root.emplace_back("lower_bound_line_length", doc.lowerBoundLineLength);
+  // Emitted only when non-serial: the default's omission keeps every
+  // existing spec's canonical serialization (and fingerprint) stable.
+  if (doc.kernel.parallel()) {
+    root.emplace_back("kernel", doc.kernel.label());
+  }
   if (doc.hasFmmb) {
     Object fmmb;
     fmmb.emplace_back("c", doc.fmmb.c);
@@ -719,6 +729,7 @@ SweepSpec buildSweep(const SpecDoc& doc) {
   spec.maxEvents = doc.maxEvents;
   spec.discipline = doc.discipline;
   spec.lowerBoundLineLength = doc.lowerBoundLineLength;
+  spec.kernel = doc.kernel;
   if (doc.hasFmmb) {
     const FmmbDoc fmmb = doc.fmmb;
     spec.fmmbParams = [fmmb](NodeId n, int k) {

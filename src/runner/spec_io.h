@@ -50,6 +50,7 @@
 //     "stop_on_solve": true, "record_trace": false, "check": "off",
 //     "max_time": null, "max_events": 100000000,
 //     "discipline": "fifo", "lower_bound_line_length": 0,
+//     "kernel": "serial" | "parallel" | "parallel:N",
 //     // Required iff protocol == "fmmb":
 //     "fmmb": {"c": 1.5, "mode": "interleaved" | "sequential",
 //              "strict_paper_phases": false}
@@ -149,6 +150,12 @@ struct SpecDoc {
   int lowerBoundLineLength = 0;
   bool hasFmmb = false;  ///< required iff protocol == kFmmb
   FmmbDoc fmmb;
+  /// Intra-run execution kernel ("serial" when the file omits the
+  /// key).  Serialized by writeSpec only when non-serial, so every
+  /// pre-existing spec's canonical form — and hence its fingerprint —
+  /// is unchanged, and shards run with a `--kernel` override still
+  /// merge against serially-produced shards byte-identically.
+  sim::KernelSpec kernel;
 };
 
 /// Parses and validates a spec document.  Throws ammb::Error naming

@@ -47,6 +47,7 @@ std::string runHeader(const SweepSpec& spec, const RunPoint& point) {
 RunRecord executeRun(const SweepSpec& spec, const RunPoint& point) {
   RunRecord record;
   record.point = point;
+  record.kernel = spec.kernel.label();
   try {
     const graph::DualGraph topology =
         spec.topologies[point.topoIdx].make(point.seed);

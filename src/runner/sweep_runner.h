@@ -25,6 +25,9 @@ struct RunRecord {
   core::RunResult result;
   /// Non-empty iff the run threw (spec error, unsolvable cell, ...).
   std::string error;
+  /// Kernel label the run executed on ("serial", "parallel:N") — pure
+  /// provenance; results never depend on it.
+  std::string kernel = "serial";
 
   // Trace-checking outcome (CheckMode sweeps only).
   bool checked = false;

@@ -130,6 +130,7 @@ core::RunConfig runConfigFor(const SweepSpec& spec, const RunPoint& point) {
   config.limits.stopOnSolve = spec.stopOnSolve;
   config.limits.maxTime = spec.maxTime;
   config.limits.maxEvents = spec.maxEvents;
+  config.kernel = spec.kernel;
   return config;
 }
 

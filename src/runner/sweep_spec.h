@@ -118,6 +118,10 @@ struct SweepSpec {
   int lowerBoundLineLength = 0;
   /// Required iff protocol == kFmmb (rejected otherwise).
   FmmbParamsFactory fmmbParams;
+  /// Intra-run execution kernel for every run of the sweep.  Parallel
+  /// kernels are bit-identical to serial, so results (and the sweep's
+  /// fingerprint, which covers only the grid) do not depend on this.
+  sim::KernelSpec kernel;
 
   /// Throws ammb::Error on an ill-formed spec (empty axis, missing
   /// generators, empty seed range, missing or stray FMMB factory, ...).

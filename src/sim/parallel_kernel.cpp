@@ -1,0 +1,146 @@
+#include "sim/parallel_kernel.h"
+
+#include <algorithm>
+
+namespace ammb::sim {
+
+int KernelSpec::resolvedWorkers() const {
+  if (!parallel()) return 1;
+  if (workers > 0) return workers;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+std::string KernelSpec::label() const {
+  if (!parallel()) return "serial";
+  if (workers == 0) return "parallel:auto";
+  return "parallel:" + std::to_string(workers);
+}
+
+KernelSpec KernelSpec::fromLabel(const std::string& label) {
+  if (label == "serial") return serial();
+  if (label == "parallel" || label == "parallel:auto") return parallelWith(0);
+  const std::string prefix = "parallel:";
+  if (label.rfind(prefix, 0) == 0) {
+    const std::string digits = label.substr(prefix.size());
+    AMMB_REQUIRE(!digits.empty() &&
+                     digits.find_first_not_of("0123456789") ==
+                         std::string::npos,
+                 "bad kernel worker count in \"" + label + "\"");
+    const long workers = std::stol(digits);
+    AMMB_REQUIRE(workers >= 1 && workers <= 4096,
+                 "kernel worker count out of range in \"" + label + "\"");
+    return parallelWith(static_cast<int>(workers));
+  }
+  throw Error("unknown kernel \"" + label +
+              "\" (expected serial, parallel, or parallel:N)");
+}
+
+ParallelKernel::ParallelKernel(int workers) {
+  AMMB_REQUIRE(workers >= 1, "a kernel pool needs at least one worker");
+  threads_.reserve(static_cast<std::size_t>(workers - 1));
+  for (int i = 1; i < workers; ++i) {
+    threads_.emplace_back([this] { workerLoop(); });
+  }
+}
+
+ParallelKernel::~ParallelKernel() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  workCv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ParallelKernel::runChunks() {
+  // Chunks are claimed by atomic counter, so which *thread* runs a
+  // chunk is racy — but chunk contents are pure evaluations into
+  // disjoint slots, so results are identical either way.
+  while (true) {
+    const std::size_t i = nextChunk_.fetch_add(1, std::memory_order_relaxed);
+    std::size_t begin;
+    std::size_t end;
+    if (bounds_ != nullptr) {
+      if (i + 1 >= bounds_->size()) return;
+      begin = (*bounds_)[i];
+      end = (*bounds_)[i + 1];
+    } else {
+      begin = i * chunk_;
+      if (begin >= count_) return;
+      end = std::min(begin + chunk_, count_);
+    }
+    if (begin < end) (*fn_)(begin, end);
+  }
+}
+
+void ParallelKernel::workerLoop() {
+  std::uint64_t seen = 0;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      workCv_.wait(lock, [&] { return stopping_ || jobId_ != seen; });
+      if (stopping_) return;
+      seen = jobId_;
+    }
+    runChunks();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --working_;
+    }
+    doneCv_.notify_one();
+  }
+}
+
+void ParallelKernel::dispatch(const RangeFn& fn) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    fn_ = &fn;
+    nextChunk_.store(0, std::memory_order_relaxed);
+    working_ = static_cast<int>(threads_.size());
+    ++jobId_;
+  }
+  workCv_.notify_all();
+  runChunks();
+  {
+    // The barrier: workers decrement working_ under the mutex after
+    // their last chunk, so once it hits zero every evaluation result
+    // happens-before the caller's return — commits may read freely.
+    std::unique_lock<std::mutex> lock(mutex_);
+    doneCv_.wait(lock, [this] { return working_ == 0; });
+    fn_ = nullptr;
+    bounds_ = nullptr;
+  }
+}
+
+void ParallelKernel::forEachRange(std::size_t count, std::size_t grain,
+                                  const RangeFn& fn) {
+  if (count == 0) return;
+  if (threads_.empty() || count <= std::max<std::size_t>(grain, 1)) {
+    fn(0, count);
+    return;
+  }
+  // ~2 chunks per worker: coarse enough to amortize the claim, fine
+  // enough that a straggler chunk cannot idle the rest of the pool.
+  const auto parts = static_cast<std::size_t>(workers()) * 2;
+  chunk_ = std::max<std::size_t>(1, (count + parts - 1) / parts);
+  count_ = count;
+  bounds_ = nullptr;
+  dispatch(fn);
+}
+
+void ParallelKernel::forBoundaries(const std::vector<std::size_t>& bounds,
+                                   const RangeFn& fn) {
+  AMMB_REQUIRE(!bounds.empty() && bounds.front() == 0,
+               "chunk boundaries must start at 0");
+  const std::size_t count = bounds.back();
+  if (count == 0) return;
+  if (threads_.empty() || bounds.size() <= 2) {
+    fn(0, count);
+    return;
+  }
+  bounds_ = &bounds;
+  dispatch(fn);
+}
+
+}  // namespace ammb::sim

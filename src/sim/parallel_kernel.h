@@ -1,0 +1,148 @@
+// Intra-run parallel execution kernel.
+//
+// A single run today is bounded by one core: the event loop, the
+// scheduler RNG and the trace are all strictly ordered, and that order
+// *is* the determinism contract (trace hashes, golden cases, sweep
+// merges).  Classic PDES partitioning — per-partition event queues
+// exchanging mailboxes at conservative barriers — cannot keep that
+// contract bit-exact here, because the engine consumes one global
+// scheduler RNG stream and the canonical trace encodes the global
+// (time, insertion-seq) execution order of the serial queue.
+//
+// The kernel therefore parallelizes the *evaluation* half of the
+// engine's heavy fan-outs while keeping every state commit (queue
+// mutation, RNG draw, trace append) on the event thread in exact
+// serial order:
+//
+//   * the MAC timing bounds make the fan-outs wide: a bcast obliges
+//     every G-neighbor within Fprog, a termination re-arms every
+//     E'-neighbor's deadline, and an epoch boundary re-examines every
+//     affected receiver — each an independent pure evaluation over
+//     state that is immutable for the duration of the batch (the
+//     Fprog/Fack interval algebra of ProgressGuard::evaluate);
+//   * evaluations fan out across a persistent worker pool over
+//     deterministic contiguous index ranges (see graph/partition.h for
+//     the degree-balanced chunking), then commit serially in the exact
+//     order the serial kernel would have used — so event insertion
+//     sequences, RNG draws and traces are bit-identical to the serial
+//     kernel at any worker count.
+//
+// KernelSpec is the seam: RunConfig carries one, MacEngine builds a
+// ParallelKernel only for kParallel, and every call site degrades to
+// the inline serial loop when the pool is absent or the batch is small.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.h"
+
+namespace ammb::sim {
+
+/// Which intra-run kernel executes a run.  Value-semantic and cheap to
+/// copy: RunConfig, SweepSpec and FuzzCase all embed one.
+struct KernelSpec {
+  enum class Kind : std::uint8_t {
+    kSerial,    ///< classic single-threaded kernel (the oracle)
+    kParallel,  ///< partitioned-evaluate / sequenced-commit kernel
+  };
+
+  Kind kind = Kind::kSerial;
+  /// Worker threads for kParallel (including the event thread);
+  /// 0 means hardware concurrency.
+  int workers = 0;
+
+  bool parallel() const { return kind == Kind::kParallel; }
+
+  /// Worker count after resolving 0 to the hardware (always >= 1).
+  int resolvedWorkers() const;
+
+  /// Canonical spelling: "serial", "parallel:auto" or "parallel:N".
+  /// Shared by the sweep-spec codec, the run-record codec, the CLI
+  /// --kernel flag and the fuzzer's case descriptions.
+  std::string label() const;
+
+  /// Inverse of label(); throws ammb::Error on unknown spellings.
+  static KernelSpec fromLabel(const std::string& label);
+
+  static KernelSpec serial() { return {}; }
+  static KernelSpec parallelWith(int workers) {
+    AMMB_REQUIRE(workers >= 0, "kernel worker count must be non-negative");
+    return {Kind::kParallel, workers};
+  }
+
+  friend bool operator==(const KernelSpec& a, const KernelSpec& b) {
+    return a.kind == b.kind && a.workers == b.workers;
+  }
+  friend bool operator!=(const KernelSpec& a, const KernelSpec& b) {
+    return !(a == b);
+  }
+};
+
+/// A persistent fork-join worker pool for deterministic batch
+/// evaluation.  One pool lives for a whole run (MacEngine owns it), so
+/// the hot path pays two condvar signals per batch, never a thread
+/// spawn.  The pool executes *ranges* of an index space; it never
+/// decides result order — callers commit results by index afterwards,
+/// which is what keeps parallel runs bit-identical to serial ones.
+class ParallelKernel {
+ public:
+  using RangeFn = std::function<void(std::size_t begin, std::size_t end)>;
+
+  /// Spawns `workers - 1` threads (the caller participates in every
+  /// batch).  `workers` must be >= 1; 1 means a no-thread pool whose
+  /// dispatch is a plain inline loop.
+  explicit ParallelKernel(int workers);
+  ~ParallelKernel();
+
+  ParallelKernel(const ParallelKernel&) = delete;
+  ParallelKernel& operator=(const ParallelKernel&) = delete;
+
+  /// Total workers including the calling thread.
+  int workers() const { return static_cast<int>(threads_.size()) + 1; }
+
+  /// Runs fn over [0, count) split into contiguous chunks claimed
+  /// atomically by the pool.  Blocks until every index is done; the
+  /// caller executes chunks too.  Batches of at most `grain` indices
+  /// run inline on the caller (fork-join costs more than it buys).
+  /// `fn` must be safe to invoke concurrently on disjoint ranges.
+  void forEachRange(std::size_t count, std::size_t grain, const RangeFn& fn);
+
+  /// Like forEachRange, but over caller-supplied chunk boundaries
+  /// (`bounds` ascending, bounds.front() == 0): chunk i is
+  /// [bounds[i], bounds[i+1]).  This is how the engine feeds
+  /// degree-balanced partitions (graph::balancedBoundaries) to the
+  /// pool.  `bounds` must stay alive for the duration of the call.
+  void forBoundaries(const std::vector<std::size_t>& bounds,
+                     const RangeFn& fn);
+
+ private:
+  void workerLoop();
+  void runChunks();
+  void dispatch(const RangeFn& fn);
+
+  std::vector<std::thread> threads_;
+
+  std::mutex mutex_;
+  std::condition_variable workCv_;
+  std::condition_variable doneCv_;
+  // Job state below is written under mutex_ before workers are woken,
+  // so the acquire on wake orders it; only nextChunk_ is contended
+  // inside a job.
+  std::uint64_t jobId_ = 0;
+  int working_ = 0;
+  bool stopping_ = false;
+  const RangeFn* fn_ = nullptr;
+  const std::vector<std::size_t>* bounds_ = nullptr;
+  std::size_t count_ = 0;
+  std::size_t chunk_ = 1;
+  std::atomic<std::size_t> nextChunk_{0};
+};
+
+}  // namespace ammb::sim

@@ -1,0 +1,31 @@
+# Runs the parallel-kernel bench in gate mode and diffs its
+# deterministic check document (trace hashes, stats, identity booleans
+# — no wall clocks) against the committed baseline at zero tolerance.
+#
+#   cmake -DBENCH=... -DAMMB_SWEEP=... -DBASELINE=... -DWORKDIR=...
+#         -P bench_parallel_check.cmake
+foreach(var BENCH AMMB_SWEEP BASELINE WORKDIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "${var} is required")
+  endif()
+endforeach()
+
+file(MAKE_DIRECTORY "${WORKDIR}")
+set(result "${WORKDIR}/BENCH_parallel_check.json")
+
+execute_process(
+  COMMAND "${BENCH}" --check "${result}"
+  RESULT_VARIABLE bench_rc)
+if(NOT bench_rc EQUAL 0)
+  message(FATAL_ERROR
+          "bench_parallel_kernel --check failed (rc=${bench_rc}): the "
+          "parallel kernel diverged from the serial oracle")
+endif()
+
+execute_process(
+  COMMAND "${AMMB_SWEEP}" compare "${result}" --baseline "${BASELINE}"
+  RESULT_VARIABLE compare_rc)
+if(NOT compare_rc EQUAL 0)
+  message(FATAL_ERROR
+          "ammb_sweep compare against ${BASELINE} failed (rc=${compare_rc})")
+endif()

@@ -1,0 +1,313 @@
+// The parallel kernel's determinism contract, bottom to top: the pool
+// primitive covers every index exactly once; the partitioner is a pure
+// function of its inputs; and whole executions — every committed
+// golden case plus dynamics-heavy grids — are bit-identical to the
+// serial oracle at 1, 4 and 8 workers (canonical trace text, trace
+// hash, and run result alike).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "check/golden.h"
+#include "graph/generators.h"
+#include "graph/partition.h"
+#include "runner/sweep_runner.h"
+#include "sim/parallel_kernel.h"
+#include "test_util.h"
+
+namespace ammb {
+namespace {
+
+using check::ExecutionOutcome;
+using check::FuzzCase;
+using check::GoldenCase;
+using check::SchedulerMutation;
+using check::TopologyFamily;
+using check::WorkloadShape;
+using sim::KernelSpec;
+using sim::ParallelKernel;
+
+// --- KernelSpec --------------------------------------------------------------
+
+TEST(KernelSpecUnit, LabelsAndRoundTrips) {
+  EXPECT_EQ(KernelSpec::serial().label(), "serial");
+  EXPECT_EQ(KernelSpec::parallelWith(4).label(), "parallel:4");
+  EXPECT_EQ(KernelSpec::parallelWith(0).label(), "parallel:auto");
+
+  for (const std::string label :
+       {"serial", "parallel:1", "parallel:4", "parallel:auto"}) {
+    EXPECT_EQ(KernelSpec::fromLabel(label).label(), label) << label;
+  }
+  // "parallel" is accepted shorthand for auto.
+  EXPECT_EQ(KernelSpec::fromLabel("parallel").label(), "parallel:auto");
+
+  EXPECT_THROW(KernelSpec::fromLabel(""), Error);
+  EXPECT_THROW(KernelSpec::fromLabel("Serial"), Error);
+  EXPECT_THROW(KernelSpec::fromLabel("parallel:"), Error);
+  EXPECT_THROW(KernelSpec::fromLabel("parallel:0"), Error);
+  EXPECT_THROW(KernelSpec::fromLabel("parallel:-2"), Error);
+  EXPECT_THROW(KernelSpec::fromLabel("parallel:9999999"), Error);
+  EXPECT_THROW(KernelSpec::fromLabel("threads:4"), Error);
+}
+
+TEST(KernelSpecUnit, ResolutionAndEquality) {
+  EXPECT_FALSE(KernelSpec::serial().parallel());
+  EXPECT_TRUE(KernelSpec::parallelWith(2).parallel());
+  EXPECT_EQ(KernelSpec::parallelWith(3).resolvedWorkers(), 3);
+  EXPECT_GE(KernelSpec::parallelWith(0).resolvedWorkers(), 1);
+  EXPECT_EQ(KernelSpec::serial(), KernelSpec{});
+  EXPECT_NE(KernelSpec::serial(), KernelSpec::parallelWith(2));
+  EXPECT_NE(KernelSpec::parallelWith(2), KernelSpec::parallelWith(3));
+}
+
+// --- ParallelKernel ----------------------------------------------------------
+
+TEST(ParallelKernelUnit, ForEachRangeCoversEveryIndexExactlyOnce) {
+  ParallelKernel pool(4);
+  EXPECT_EQ(pool.workers(), 4);
+  for (const std::size_t count : {0ul, 1ul, 7ul, 64ul, 1000ul}) {
+    for (const std::size_t grain : {1ul, 8ul, 1000ul}) {
+      std::vector<std::atomic<int>> hits(count);
+      pool.forEachRange(count, grain, [&](std::size_t begin, std::size_t end) {
+        ASSERT_LE(begin, end);
+        ASSERT_LE(end, count);
+        for (std::size_t i = begin; i < end; ++i) {
+          hits[i].fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+      for (std::size_t i = 0; i < count; ++i) {
+        EXPECT_EQ(hits[i].load(), 1) << "count=" << count << " grain=" << grain
+                                     << " index=" << i;
+      }
+    }
+  }
+}
+
+TEST(ParallelKernelUnit, PoolIsReusableAcrossManyBatches) {
+  ParallelKernel pool(3);
+  std::atomic<std::int64_t> sum{0};
+  for (int batch = 0; batch < 200; ++batch) {
+    pool.forEachRange(97, 8, [&](std::size_t begin, std::size_t end) {
+      std::int64_t local = 0;
+      for (std::size_t i = begin; i < end; ++i) {
+        local += static_cast<std::int64_t>(i);
+      }
+      sum.fetch_add(local, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(sum.load(), 200 * (96 * 97 / 2));
+}
+
+TEST(ParallelKernelUnit, SingleWorkerPoolRunsInline) {
+  ParallelKernel pool(1);
+  EXPECT_EQ(pool.workers(), 1);
+  std::vector<int> hits(50, 0);  // non-atomic: inline execution only
+  pool.forEachRange(50, 4, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) ++hits[i];
+  });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 50);
+}
+
+TEST(ParallelKernelUnit, ForBoundariesHonorsCallerChunks) {
+  ParallelKernel pool(4);
+  const std::vector<std::size_t> bounds = {0, 5, 5, 12, 40};
+  std::vector<std::atomic<int>> hits(40);
+  std::atomic<int> chunks{0};
+  pool.forBoundaries(bounds, [&](std::size_t begin, std::size_t end) {
+    chunks.fetch_add(1, std::memory_order_relaxed);
+    // Every invoked range must be exactly one caller-supplied chunk.
+    bool known = false;
+    for (std::size_t b = 0; b + 1 < bounds.size(); ++b) {
+      known = known || (begin == bounds[b] && end == bounds[b + 1]);
+    }
+    EXPECT_TRUE(known) << "[" << begin << ", " << end << ")";
+    for (std::size_t i = begin; i < end; ++i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  EXPECT_LE(chunks.load(), 4);  // the empty chunk may be skipped
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+// --- partitioning ------------------------------------------------------------
+
+TEST(PartitionUnit, BalancedBoundariesShape) {
+  const std::vector<std::uint64_t> weights = {5, 1, 1, 1, 8, 1, 1, 5};
+  const std::vector<std::size_t> bounds = graph::balancedBoundaries(weights, 3);
+  ASSERT_GE(bounds.size(), 2u);
+  EXPECT_EQ(bounds.front(), 0u);
+  EXPECT_EQ(bounds.back(), weights.size());
+  for (std::size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LT(bounds[i - 1], bounds[i]);  // strictly ascending: no empties
+  }
+  EXPECT_LE(bounds.size(), 4u);  // at most `parts` ranges
+
+  // Pure function: identical inputs, identical cut.
+  EXPECT_EQ(graph::balancedBoundaries(weights, 3), bounds);
+}
+
+TEST(PartitionUnit, BalancedBoundariesDegenerateInputs) {
+  EXPECT_EQ(graph::balancedBoundaries({}, 4),
+            (std::vector<std::size_t>{0}));
+  // Fewer items than parts: one singleton range per item.
+  EXPECT_EQ(graph::balancedBoundaries({7, 7}, 8),
+            (std::vector<std::size_t>{0, 1, 2}));
+  // One part swallows everything.
+  EXPECT_EQ(graph::balancedBoundaries({1, 2, 3}, 1),
+            (std::vector<std::size_t>{0, 3}));
+}
+
+TEST(PartitionUnit, BalancedBoundariesBalancesSkewedWeights) {
+  // One hub dominating a long fringe: the cut must isolate the hub's
+  // quantile instead of splitting the index space uniformly.
+  std::vector<std::uint64_t> weights(100, 1);
+  weights[0] = 100;
+  const auto bounds = graph::balancedBoundaries(weights, 2);
+  ASSERT_EQ(bounds.size(), 3u);
+  // Half the total weight (200) is 100; the hub alone crosses it.
+  EXPECT_EQ(bounds[1], 1u);
+}
+
+TEST(PartitionUnit, PartitionCsrIsDeterministicAndCovers) {
+  Rng rng(99);
+  const graph::DualGraph dual =
+      graph::gen::greyZoneField(64, 6.0, 1.5, 0.4, rng);
+  const graph::CsrSnapshot csr = graph::CsrSnapshot::build(
+      dual, std::vector<std::uint8_t>(static_cast<std::size_t>(dual.n()), 1));
+  const graph::Partitioning p4 = graph::partitionCsr(csr, 4);
+  EXPECT_LE(p4.parts(), 4);
+  EXPECT_GE(p4.parts(), 1);
+  EXPECT_EQ(p4.nodeBounds.front(), 0u);
+  EXPECT_EQ(p4.nodeBounds.back(), static_cast<std::size_t>(csr.n()));
+  EXPECT_EQ(graph::partitionCsr(csr, 4).nodeBounds, p4.nodeBounds);
+}
+
+// --- whole-execution bit-identity --------------------------------------------
+
+void expectIdentical(const ExecutionOutcome& serial,
+                     const ExecutionOutcome& parallel,
+                     const std::string& what) {
+  ASSERT_TRUE(parallel.error.empty()) << what << ": " << parallel.error;
+  EXPECT_EQ(parallel.canonicalTrace, serial.canonicalTrace) << what;
+  EXPECT_EQ(parallel.traceHash, serial.traceHash) << what;
+  EXPECT_EQ(parallel.result.solved, serial.result.solved) << what;
+  EXPECT_EQ(parallel.result.solveTime, serial.result.solveTime) << what;
+  EXPECT_EQ(parallel.result.endTime, serial.result.endTime) << what;
+  EXPECT_EQ(check::canonicalRunResult(parallel.result),
+            check::canonicalRunResult(serial.result))
+      << what;
+}
+
+// The acceptance bar of the kernel seam: every committed golden case
+// replays bit-identically under the parallel kernel at 1, 4 and 8
+// workers.  (The .golden files themselves are pinned by the golden
+// regression test; equality against the serial outcome here is
+// equality against those snapshots.)
+TEST(ParallelKernelBitIdentity, GoldenSuiteAtOneFourEightWorkers) {
+  for (const GoldenCase& gc : check::goldenCaseSuite()) {
+    const ExecutionOutcome serial = check::runCase(
+        gc.fuzzCase, SchedulerMutation::kNone, /*keepCanonicalTrace=*/true);
+    ASSERT_TRUE(serial.error.empty()) << gc.name << ": " << serial.error;
+    ASSERT_FALSE(serial.canonicalTrace.empty()) << gc.name;
+    for (const int workers : {1, 4, 8}) {
+      FuzzCase c = gc.fuzzCase;
+      c.kernel = KernelSpec::parallelWith(workers);
+      const ExecutionOutcome parallel =
+          check::runCase(c, SchedulerMutation::kNone,
+                         /*keepCanonicalTrace=*/true);
+      expectIdentical(serial, parallel,
+                      gc.name + " @ " + c.kernel.label());
+      EXPECT_TRUE(parallel.report.ok)
+          << gc.name << ": " << parallel.report.summary();
+    }
+  }
+}
+
+// Dynamics-heavy executions drive the epoch-boundary reconciliation
+// (the batched scrub + affected-receiver guard pass) through the pool;
+// a partition-count grid catches any chunking-dependent divergence.
+TEST(ParallelKernelBitIdentity, DynamicTopologyGridAcrossWorkerCounts) {
+  std::vector<std::pair<std::string, FuzzCase>> cases;
+  {
+    FuzzCase crash;
+    crash.topology = TopologyFamily::kGreyZoneField;
+    crash.n = 18;
+    crash.k = 4;
+    crash.workload = WorkloadShape::kRoundRobin;
+    crash.scheduler = core::SchedulerKind::kRandom;
+    crash.mac = testutil::stdParams(4, 32);
+    crash.dynamics.kind = core::DynamicsSpec::Kind::kCrash;
+    crash.dynamics.crashes = 2;
+    crash.dynamics.period = 64;
+    crash.dynamics.downFor = 24;
+    crash.maxTime = 100'000;
+    crash.seed = 41;
+    cases.emplace_back("crash", crash);
+
+    FuzzCase drift = crash;
+    drift.dynamics = {};
+    drift.dynamics.kind = core::DynamicsSpec::Kind::kGreyDrift;
+    drift.dynamics.epochs = 4;
+    drift.dynamics.period = 32;
+    drift.dynamics.churn = 0.4;
+    drift.scheduler = core::SchedulerKind::kAdversarialStuffing;
+    drift.seed = 42;
+    cases.emplace_back("drift", drift);
+  }
+  for (const auto& [name, fuzzCase] : cases) {
+    const ExecutionOutcome serial = check::runCase(
+        fuzzCase, SchedulerMutation::kNone, /*keepCanonicalTrace=*/true);
+    ASSERT_TRUE(serial.error.empty()) << name << ": " << serial.error;
+    for (const int workers : {2, 3, 4, 8}) {
+      FuzzCase c = fuzzCase;
+      c.kernel = KernelSpec::parallelWith(workers);
+      const ExecutionOutcome parallel =
+          check::runCase(c, SchedulerMutation::kNone,
+                         /*keepCanonicalTrace=*/true);
+      expectIdentical(serial, parallel,
+                      name + " @ " + c.kernel.label());
+    }
+  }
+}
+
+// --- sweep-layer provenance --------------------------------------------------
+
+TEST(ParallelKernelSweep, RecordsCarryKernelAndMatchSerialHashes) {
+  runner::SweepSpec spec;
+  spec.name = "kernel-provenance";
+  spec.topologies = {runner::greyZoneFieldTopology(16, 5.0, 1.5, 0.4)};
+  spec.schedulers = {core::SchedulerKind::kRandom};
+  spec.ks = {3};
+  spec.macs = {{"f4a32", testutil::stdParams(4, 32)}};
+  spec.workloads = {runner::roundRobinWorkload()};
+  spec.seedBegin = 1;
+  spec.seedEnd = 3;
+  spec.check = runner::CheckMode::kFull;
+
+  const std::vector<runner::RunPoint> points = runner::enumerateRuns(spec);
+  ASSERT_FALSE(points.empty());
+
+  runner::SweepSpec parallelSpec = spec;
+  parallelSpec.kernel = KernelSpec::parallelWith(4);
+  for (const runner::RunPoint& point : points) {
+    const runner::RunRecord serial = runner::executeRun(spec, point);
+    const runner::RunRecord parallel =
+        runner::executeRun(parallelSpec, point);
+    ASSERT_TRUE(serial.error.empty()) << serial.error;
+    ASSERT_TRUE(parallel.error.empty()) << parallel.error;
+    EXPECT_EQ(serial.kernel, "serial");
+    EXPECT_EQ(parallel.kernel, "parallel:4");
+    // Same execution, different kernel label: the label is provenance,
+    // never an input to results.
+    EXPECT_EQ(parallel.traceHash, serial.traceHash)
+        << "run " << point.runIndex;
+    EXPECT_TRUE(parallel.checkViolations.empty());
+  }
+}
+
+}  // namespace
+}  // namespace ammb

@@ -1,6 +1,7 @@
 // ammb_sweep — the sharded sweep service CLI.
 //
 //   ammb_sweep run SPEC.json [--shard I/N] [--threads T]
+//              [--kernel serial|parallel[:N]]
 //              [--journal PATH [--resume]] [--shard-json PATH]
 //              [--json PATH] [--csv PATH] [--runs-csv PATH]
 //              [--allow-errors] [--allow-violations]
@@ -44,6 +45,7 @@ using namespace ammb;
 int usage() {
   std::cerr
       << "usage: ammb_sweep run SPEC.json [--shard I/N] [--threads T]\n"
+         "                  [--kernel serial|parallel[:N]]\n"
          "                  [--journal PATH [--resume]] [--shard-json PATH]\n"
          "                  [--json PATH] [--csv PATH] [--runs-csv PATH]\n"
          "                  [--allow-errors] [--allow-violations]\n"
@@ -152,15 +154,22 @@ struct Args {
 int cmdRun(int argc, char** argv) {
   const Args args = Args::parse(
       argc, argv, 2,
-      {"--shard", "--threads", "--journal", "--shard-json", "--json", "--csv",
-       "--runs-csv"},
+      {"--shard", "--threads", "--kernel", "--journal", "--shard-json",
+       "--json", "--csv", "--runs-csv"},
       {"--resume", "--allow-errors", "--allow-violations"});
   if (args.positional.size() != 1) return usage();
   const std::string specPath = args.positional[0];
 
   const runner::SpecDoc doc = runner::loadSpecFile(specPath);
   const std::string fingerprint = runner::specFingerprint(doc);
-  const runner::SweepSpec spec = runner::buildSweep(doc);
+  runner::SweepSpec spec = runner::buildSweep(doc);
+  // Applied after the fingerprint is taken: the kernel is a pure
+  // wall-clock knob (parallel runs are bit-identical to serial), so a
+  // shard run with an override still journals/merges against shards
+  // produced with any other kernel.
+  if (const std::string* kernel = args.flag("--kernel")) {
+    spec.kernel = sim::KernelSpec::fromLabel(*kernel);
+  }
 
   runner::Shard shard;
   if (const std::string* s = args.flag("--shard")) {
