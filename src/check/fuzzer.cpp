@@ -6,6 +6,7 @@
 #include "check/golden.h"
 #include "check/shrink.h"
 #include "graph/generators.h"
+#include "phys/csma.h"
 
 namespace ammb::check {
 
@@ -71,6 +72,11 @@ std::string toString(const FuzzCase& fuzzCase) {
   // they always did; parallel is a pure wall-clock knob anyway).
   if (fuzzCase.kernel.parallel()) {
     out << " kernel=" << fuzzCase.kernel.label();
+  }
+  // And for the MAC realization: abstract cases print as they always
+  // did, realized cases name the full CSMA parameter vector.
+  if (!fuzzCase.realization.abstract()) {
+    out << " mac=" << fuzzCase.realization.label();
   }
   return out.str();
 }
@@ -166,6 +172,26 @@ FuzzCase sampleCase(const FuzzSpec& spec, int iteration) {
     c.kernel = sim::KernelSpec::parallelWith(2 + iteration % 3);
   }
 
+  // MAC-realization rotation: also a pure function of the iteration
+  // index (no case-RNG draws), so every other field keeps its
+  // pre-phys value.  A fifth of the BMMB campaign runs over the
+  // CSMA/CA contention layer with a rotating window/retry budget; the
+  // time budget is re-derived from the envelope the engine will
+  // actually enforce (which dwarfs the sampled cell's Fack).
+  // Mutation campaigns are excluded: their injected scheduler factory
+  // overrides the realization anyway, and mutants run to their limits,
+  // which the envelope-sized budget would inflate for nothing.
+  if (iteration % 5 == 2 && c.protocol == core::ProtocolKind::kBmmb &&
+      spec.mutation == SchedulerMutation::kNone) {
+    mac::CsmaParams csma;
+    csma.cwMax = 8 << (iteration % 3);
+    csma.maxRetries = 4 + iteration % 3;
+    c.realization = mac::MacRealization::csmaWith(csma);
+    c.maxTime = 8 * static_cast<Time>(c.n + c.k) *
+                    phys::csmaEnvelopeParams(csma, c.mac).fack +
+                4096;
+  }
+
   // Stale-topology campaigns need a grey zone to drift: pin the family
   // to the fully-noised r-restricted line (every G^2 pair unreliable)
   // so each case has base-G' edges for the mutant to keep using after
@@ -252,6 +278,7 @@ core::RunConfig runConfigFor(const FuzzCase& c) {
   config.limits.maxTime = c.maxTime;
   config.limits.maxEvents = c.maxEvents;
   config.kernel = c.kernel;
+  config.realization = c.realization;
   return config;
 }
 
@@ -298,8 +325,12 @@ ExecutionOutcome runCase(const FuzzCase& fuzzCase, SchedulerMutation mutation,
     core::Experiment experiment(topology, protocol, *arrivals, config);
     out.result = experiment.run();
     const sim::Trace& trace = experiment.engine().trace();
-    out.report = checkExecution(experiment.view(), protocol, config.mac,
-                                workload, trace, out.result);
+    // Check under the params the engine enforced: the cell's for
+    // abstract (or mutated — the injected factory overrides the
+    // realization) cases, the CSMA envelope for realized ones.
+    out.report = checkExecution(experiment.view(), protocol,
+                                core::effectiveMacParams(config), workload,
+                                trace, out.result);
     out.traceHash = traceHash(trace);
     if (keepCanonicalTrace) out.canonicalTrace = canonicalTrace(trace);
   } catch (const std::exception& e) {
@@ -330,6 +361,7 @@ FuzzResult runFuzz(const FuzzSpec& spec) {
     ++result.coverage["workload:" + toString(fuzzCase.workload)];
     ++result.coverage["scheduler:" + core::toString(fuzzCase.scheduler)];
     ++result.coverage["kernel:" + fuzzCase.kernel.label()];
+    ++result.coverage["mac:" + fuzzCase.realization.label()];
     const ExecutionOutcome outcome = runCase(fuzzCase, spec.mutation);
     if (!outcome.failed()) continue;
     ++result.violations;

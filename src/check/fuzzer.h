@@ -24,6 +24,7 @@
 
 #include "check/mutation.h"
 #include "check/oracles.h"
+#include "mac/realization.h"
 
 namespace ammb::check {
 
@@ -80,6 +81,13 @@ struct FuzzCase {
   /// bit-identical to serial, every oracle, trace hash, and golden
   /// comparison doubles as a determinism check of the kernel seam.
   sim::KernelSpec kernel;
+
+  /// MAC realization.  The sampler rotates a slice of the BMMB campaign
+  /// onto the physical CSMA/CA layer, so the contention scheduler and
+  /// its analytic envelope get adversarial-workload coverage; the
+  /// oracles then check those runs under the envelope params the
+  /// engine actually enforced.
+  mac::MacRealization realization;
 
   // Execution limits.
   bool stopOnSolve = true;

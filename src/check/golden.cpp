@@ -218,6 +218,25 @@ std::vector<GoldenCase> goldenCaseSuite() {
     c.dynamics.churn = 0.5;
     cases.push_back({"bmmb-grey-drift-rng", c});
   }
+
+  // Physical MAC realization: pin the CSMA/CA contention scheduler's
+  // backoff/collision draws (all from the seeded scheduler stream, so
+  // RNG-dependent) on a reliable line and on a grey-zone field whose
+  // G'-only links exercise the capture gate.  The time budget covers
+  // the analytic envelope the engine enforces.
+  {
+    FuzzCase c = base(core::SchedulerKind::kFast, TopologyFamily::kLine, 8, 2,
+                      WorkloadShape::kAllAtZero, 19);
+    c.realization = mac::MacRealization::csmaWith(mac::CsmaParams{});
+    cases.push_back({"csma-line", c});
+  }
+  {
+    FuzzCase c = base(core::SchedulerKind::kFast,
+                      TopologyFamily::kGreyZoneField, 10, 3,
+                      WorkloadShape::kRoundRobin, 20);
+    c.realization = mac::MacRealization::csmaWith(mac::CsmaParams{});
+    cases.push_back({"csma-grey-field", c});
+  }
   return cases;
 }
 

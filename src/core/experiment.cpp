@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <utility>
 
+#include "phys/csma.h"
+
 namespace ammb::core {
 
 std::string toString(SchedulerKind kind) {
@@ -66,6 +68,13 @@ ProtocolSpec bmmbProtocol(QueueDiscipline discipline) {
 
 ProtocolSpec fmmbProtocol(FmmbParams params) {
   return ProtocolSpec(FmmbSpec{std::move(params)});
+}
+
+mac::MacParams effectiveMacParams(const RunConfig& config) {
+  if (config.realization.abstract() || config.scheduler.factory) {
+    return config.mac;
+  }
+  return phys::csmaEnvelopeParams(config.realization.csma, config.mac);
 }
 
 std::string DynamicsSpec::label() const {
@@ -147,11 +156,22 @@ Experiment::Experiment(const graph::DualGraph& topology,
   }
   const mac::MacEngine::ProcessFactory factory =
       std::visit([](auto& suite) { return suite.factory(); }, suite_);
-  std::unique_ptr<mac::Scheduler> scheduler =
-      config_.scheduler.factory
-          ? config_.scheduler.factory()
-          : makeScheduler(config_.scheduler.kind,
-                          config_.scheduler.lowerBoundLineLength);
+  // A physical realization replaces the scheduler axis: contention
+  // rounds, not a SchedulerKind, decide the timing.  The engine runs
+  // under the realization's analytic envelope so every
+  // physically-derived plan is accepted online.  Custom factories
+  // (mutation fixtures) win over the realization — they are the
+  // scheduler under test.
+  config_.mac = effectiveMacParams(config_);
+  std::unique_ptr<mac::Scheduler> scheduler;
+  if (!config_.realization.abstract() && !config_.scheduler.factory) {
+    scheduler = std::make_unique<phys::PhysScheduler>(config_.realization.csma);
+  } else if (config_.scheduler.factory) {
+    scheduler = config_.scheduler.factory();
+  } else {
+    scheduler = makeScheduler(config_.scheduler.kind,
+                              config_.scheduler.lowerBoundLineLength);
+  }
   AMMB_REQUIRE(scheduler != nullptr, "scheduler factory returned null");
   engine_ = std::make_unique<mac::MacEngine>(
       view_, config_.mac, std::move(scheduler), factory, config_.seed,

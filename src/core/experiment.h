@@ -26,6 +26,7 @@
 #include "graph/dynamics.h"
 #include "mac/engine.h"
 #include "mac/lower_bound_scheduler.h"
+#include "mac/realization.h"
 #include "mac/schedulers.h"
 
 namespace ammb::core {
@@ -170,7 +171,23 @@ struct RunConfig {
   /// are bit-identical to serial — same traces, stats and RNG draws at
   /// any worker count — so this is purely a wall-clock knob.
   sim::KernelSpec kernel;
+  /// Physical MAC realization (abstract by default).  A non-abstract
+  /// realization replaces the scheduler axis — phys::PhysScheduler
+  /// derives delivery/ack timing from simulated contention instead of
+  /// drawing it from the `mac` windows — and the engine runs under
+  /// effectiveMacParams() (the realization's analytic envelope) so
+  /// every physically-derived plan passes online validation.  A custom
+  /// scheduler factory (mutation fixtures) takes precedence: those
+  /// fixtures *are* the scheduler under test.
+  mac::MacRealization realization;
 };
+
+/// The MacParams the engine actually runs under: `config.mac` as
+/// given, raised to the realization's analytic plan envelope when a
+/// physical MAC is active.  Offline checkers of realized runs must
+/// check against these (or against measured fitted bounds), never
+/// against the raw cell params.
+mac::MacParams effectiveMacParams(const RunConfig& config);
 
 /// Outcome of one run.
 struct RunResult {

@@ -331,28 +331,55 @@ Rng& MacEngine::nodeRng(NodeId node) { return state(node).rng; }
 
 void MacEngine::validatePlan(const Instance& instance,
                              const DeliveryPlan& plan) const {
+  // Rejections carry the instance id, the offending node and the
+  // violated constraint's actual values: plan bring-up for hand-built
+  // or physically-derived schedulers is debugged from these messages.
   const Time t0 = instance.bcastAt;
+  const auto who = [&instance, t0] {
+    return "instance " + std::to_string(instance.id) + " (sender " +
+           std::to_string(instance.sender) + ", bcast at " +
+           std::to_string(t0) + ")";
+  };
   AMMB_REQUIRE(plan.ackAt >= t0 && plan.ackAt <= t0 + params_.fack,
-               "scheduler plan violates the acknowledgment bound");
+               "scheduler plan for " + who() +
+                   " violates the acknowledgment bound: ackAt " +
+                   std::to_string(plan.ackAt) + " outside [" +
+                   std::to_string(t0) + ", " +
+                   std::to_string(t0 + params_.fack) + "] (Fack " +
+                   std::to_string(params_.fack) + ")");
   planScratch_.clear();
   planScratch_.reserve(plan.deliveries.size());
   for (const PlannedDelivery& d : plan.deliveries) {
     AMMB_REQUIRE(d.target != instance.sender,
-                 "scheduler plan delivers to the sender itself");
+                 "scheduler plan for " + who() +
+                     " delivers to the sender itself (node " +
+                     std::to_string(d.target) + ")");
     AMMB_REQUIRE(csr_->hasPrimeEdge(instance.sender, d.target),
-                 "scheduler plan delivers outside G'");
+                 "scheduler plan for " + who() + " delivers to node " +
+                     std::to_string(d.target) +
+                     ", which is not a G'-neighbor of the sender in epoch " +
+                     std::to_string(epoch_));
     AMMB_REQUIRE(d.at >= t0 && d.at <= plan.ackAt,
-                 "scheduler plan delivery time outside [bcast, ack]");
+                 "scheduler plan for " + who() + " delivers to node " +
+                     std::to_string(d.target) + " at " + std::to_string(d.at) +
+                     ", outside [bcast, ack] = [" + std::to_string(t0) + ", " +
+                     std::to_string(plan.ackAt) + "]");
     planScratch_.push_back(d.target);
   }
   std::sort(planScratch_.begin(), planScratch_.end());
-  AMMB_REQUIRE(std::adjacent_find(planScratch_.begin(), planScratch_.end()) ==
-                   planScratch_.end(),
-               "scheduler plan delivers twice to one receiver");
+  const auto dup =
+      std::adjacent_find(planScratch_.begin(), planScratch_.end());
+  AMMB_REQUIRE(dup == planScratch_.end(),
+               "scheduler plan for " + who() +
+                   " delivers twice to one receiver (node " +
+                   (dup == planScratch_.end() ? std::string("?")
+                                              : std::to_string(*dup)) +
+                   ")");
   for (NodeId j : csr_->gNeighbors(instance.sender)) {
     AMMB_REQUIRE(
         std::binary_search(planScratch_.begin(), planScratch_.end(), j),
-        "scheduler plan misses a reliable (G) neighbor");
+        "scheduler plan for " + who() +
+            " misses reliable (G) neighbor node " + std::to_string(j));
   }
 }
 

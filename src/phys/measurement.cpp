@@ -1,0 +1,132 @@
+#include "phys/measurement.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "common/error.h"
+#include "mac/trace_checker.h"
+
+namespace ammb::phys {
+
+namespace {
+
+/// Nearest-rank percentile over a sorted sample vector.
+Time nearestRank(const std::vector<Time>& sorted, double pct) {
+  if (sorted.empty()) return 0;
+  const auto rank = static_cast<std::size_t>(
+      pct / 100.0 * static_cast<double>(sorted.size()) + 0.5);
+  const std::size_t index = rank == 0 ? 0 : rank - 1;
+  return sorted[std::min(index, sorted.size() - 1)];
+}
+
+}  // namespace
+
+RealizedBounds measureRealized(const graph::TopologyView& view,
+                               const mac::MacParams& envelope,
+                               const sim::Trace& trace, Time horizon) {
+  AMMB_REQUIRE(trace.enabled(), "realized-bound measurement needs a trace");
+  if (horizon == kTimeNever && !trace.records().empty()) {
+    horizon = trace.records().back().t;
+  }
+
+  // One pass: instance birth/termination spans and per-receiver
+  // progress gaps.
+  std::unordered_map<InstanceId, Time> bcastAt;
+  std::unordered_map<NodeId, Time> lastRcvAt;
+  std::vector<Time> ackGaps;
+  std::vector<Time> progGaps;
+  for (const sim::TraceRecord& r : trace.records()) {
+    switch (r.kind) {
+      case sim::TraceKind::kBcast:
+        bcastAt.emplace(r.instance, r.t);
+        break;
+      case sim::TraceKind::kAck:
+      case sim::TraceKind::kAbort: {
+        const auto born = bcastAt.find(r.instance);
+        if (born != bcastAt.end()) {
+          ackGaps.push_back(r.t - born->second);
+          bcastAt.erase(born);
+        }
+        break;
+      }
+      case sim::TraceKind::kRcv: {
+        const auto born = bcastAt.find(r.instance);
+        if (born == bcastAt.end()) break;  // rcv past its termination
+        Time since = born->second;
+        const auto last = lastRcvAt.find(r.node);
+        if (last != lastRcvAt.end()) since = std::max(since, last->second);
+        progGaps.push_back(r.t - since);
+        lastRcvAt[r.node] = r.t;
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  RealizedBounds bounds;
+  bounds.ackSamples = ackGaps.size();
+  bounds.progSamples = progGaps.size();
+  // Instances still in flight at the horizon censor the fitted Fack:
+  // the checker's termination axiom flags any unterminated instance
+  // whose bcastAt + fack precedes the horizon.
+  Time censored = 0;
+  for (const auto& [id, born] : bcastAt) {
+    (void)id;
+    censored = std::max(censored, horizon - born);
+  }
+  if (!bounds.measured() && censored == 0) return bounds;
+
+  std::sort(ackGaps.begin(), ackGaps.end());
+  std::sort(progGaps.begin(), progGaps.end());
+  bounds.fackP50 = nearestRank(ackGaps, 50.0);
+  bounds.fackP95 = nearestRank(ackGaps, 95.0);
+  bounds.fackMax = ackGaps.empty() ? 0 : ackGaps.back();
+  bounds.fprogP50 = nearestRank(progGaps, 50.0);
+  bounds.fprogP95 = nearestRank(progGaps, 95.0);
+  bounds.fprogMax = progGaps.empty() ? 0 : progGaps.back();
+
+  bounds.fittedFack = std::max<Time>(std::max(bounds.fackMax, censored), 1);
+
+  // Fit Fprog by bisection over the checker itself.  The progress
+  // verdict is monotone in fprog (larger constants shorten need
+  // windows and widen cover intervals), and the run executed under the
+  // envelope's guard, so the upper bracket is always accepted.
+  const auto accepted = [&](Time fprog) {
+    mac::MacParams candidate = envelope;
+    candidate.fprog = fprog;
+    candidate.fack = std::max(bounds.fittedFack, fprog);
+    return mac::checkTrace(view, candidate, trace, horizon).ok;
+  };
+  Time lo = 1;
+  Time hi = std::max<Time>(envelope.fprog, 1);
+  if (accepted(lo)) {
+    hi = lo;
+  } else {
+    // Invariant: accepted(hi), !accepted(lo).
+    while (lo + 1 < hi) {
+      const Time mid = lo + (hi - lo) / 2;
+      if (accepted(mid)) {
+        hi = mid;
+      } else {
+        lo = mid;
+      }
+    }
+  }
+  bounds.fittedFprog = hi;
+  bounds.fittedFack = std::max(bounds.fittedFack, bounds.fittedFprog);
+  return bounds;
+}
+
+mac::MacParams fittedParams(const RealizedBounds& bounds,
+                            const mac::MacParams& envelope) {
+  if (bounds.fittedFack == 0) return envelope;  // nothing was measured
+  mac::MacParams fitted = envelope;
+  fitted.fack = bounds.fittedFack;
+  fitted.fprog = bounds.fittedFprog;
+  fitted.validate();
+  return fitted;
+}
+
+}  // namespace ammb::phys

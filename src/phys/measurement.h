@@ -1,0 +1,78 @@
+// Empirical Fprog/Fack realization harness.
+//
+// A physical MAC (phys/csma.h) does not *assume* the abstract layer's
+// timing constants — it induces them.  MacMeasurement recovers the
+// induced constants from a recorded execution trace:
+//
+//   * Fack samples — one per terminated broadcast instance: the span
+//     from its bcast to its ack/abort.  Instances still in flight when
+//     the observation window closes contribute a censored lower bound
+//     (horizon − bcastAt) to the fitted constant, so the checker's
+//     termination axiom stays satisfiable.
+//   * Fprog samples — one per receive: the gap a receiver sat waiting
+//     since the later of the delivering instance's bcast and the
+//     receiver's previous receive.  These feed the p50/p95/max
+//     distribution columns of the sweep emitters.
+//   * fitted bounds — the smallest MacParams under which
+//     mac::checkTrace accepts the trace: fack is the sample/censor
+//     max, fprog is found by bisection over the checker itself (its
+//     progress verdict is monotone in fprog), so feeding fittedParams
+//     back into checkTrace / check::checkExecution is *guaranteed*
+//     green exactly when the execution really satisfies the axioms
+//     under the measured constants.
+//
+// This closes the loop the abstract-MAC literature argues informally:
+// BMMB/FMMB ran unchanged over a contention MAC, and here are the
+// Fprog/Fack constants that MAC actually realized.
+#pragma once
+
+#include "graph/topology_view.h"
+#include "mac/params.h"
+#include "sim/trace.h"
+
+namespace ammb::phys {
+
+/// Realized Fprog/Fack distribution and fitted checker bounds of one
+/// execution.  All times are 0 (and measured() false) when the trace
+/// held no broadcast instance.
+struct RealizedBounds {
+  Time fprogP50 = 0;
+  Time fprogP95 = 0;
+  Time fprogMax = 0;
+  Time fackP50 = 0;
+  Time fackP95 = 0;
+  Time fackMax = 0;
+  /// Smallest constants under which mac::checkTrace accepts the trace.
+  Time fittedFprog = 0;
+  Time fittedFack = 0;
+  std::uint64_t ackSamples = 0;   ///< terminated instances measured
+  std::uint64_t progSamples = 0;  ///< receives measured
+
+  bool measured() const { return ackSamples > 0 || progSamples > 0; }
+
+  friend bool operator==(const RealizedBounds& a, const RealizedBounds& b) {
+    return a.fprogP50 == b.fprogP50 && a.fprogP95 == b.fprogP95 &&
+           a.fprogMax == b.fprogMax && a.fackP50 == b.fackP50 &&
+           a.fackP95 == b.fackP95 && a.fackMax == b.fackMax &&
+           a.fittedFprog == b.fittedFprog && a.fittedFack == b.fittedFack &&
+           a.ackSamples == b.ackSamples && a.progSamples == b.progSamples;
+  }
+};
+
+/// Measures the realized bounds of `trace`, an execution over `view`
+/// that ran under `envelope` (the engine's MacParams — the analytic
+/// worst case, and the bisection's upper bracket).  `horizon` is the
+/// observation window (kTimeNever: the last record's timestamp).
+RealizedBounds measureRealized(const graph::TopologyView& view,
+                               const mac::MacParams& envelope,
+                               const sim::Trace& trace,
+                               Time horizon = kTimeNever);
+
+/// `envelope` with fack/fprog replaced by the fitted realized bounds —
+/// the params to hand mac::checkTrace / check::checkExecution to
+/// verify the abstract axioms under the *measured* constants.  Falls
+/// back to `envelope` unchanged for unmeasured (instance-free) runs.
+mac::MacParams fittedParams(const RealizedBounds& bounds,
+                            const mac::MacParams& envelope);
+
+}  // namespace ammb::phys

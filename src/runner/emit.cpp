@@ -38,13 +38,34 @@ sim::RunStatus runStatusFromString(const std::string& name) {
   throw Error("unknown run status \"" + name + "\"");
 }
 
+namespace {
+
+/// Realized-bound CSV cells: nine comma-prefixed fields, empty when the
+/// bounds were never measured so abstract rows don't print zeros that
+/// look like data.
+void emitRealizedCsv(std::uint64_t measuredRuns,
+                     const phys::RealizedBounds& r, std::ostream& out) {
+  if (measuredRuns == 0 && !r.measured()) {
+    out << ",,,,,,,,,";
+    return;
+  }
+  out << ',' << measuredRuns << ',' << r.fprogP50 << ',' << r.fprogP95 << ','
+      << r.fprogMax << ',' << r.fackP50 << ',' << r.fackP95 << ','
+      << r.fackMax << ',' << r.fittedFprog << ',' << r.fittedFack;
+}
+
+}  // namespace
+
 void emitCellsCsv(const SweepResult& result, std::ostream& out) {
   out << "sweep,protocol,workload,topology,scheduler,k,mac,dynamics,"
          "seed_begin,"
          "seed_end,runs,solved,errors,min_solve,median_solve,mean_solve,"
          "p95_solve,max_solve,mean_end_time,messages,mean_latency,"
          "p50_latency,p95_latency,max_latency,bcasts,rcvs,forced_rcvs,acks,"
-         "aborts,delivers,arrives,checked_runs,check_violations\n";
+         "aborts,delivers,arrives,checked_runs,check_violations,"
+         "realization,measured_runs,realized_fprog_p50,realized_fprog_p95,"
+         "realized_fprog_max,realized_fack_p50,realized_fack_p95,"
+         "realized_fack_max,fitted_fprog,fitted_fack\n";
   for (const CellAggregate& c : result.cells) {
     out << csvEscape(result.name) << ',' << core::toString(result.protocol)
         << ',' << csvEscape(c.workload) << ',' << csvEscape(c.topology)
@@ -60,7 +81,9 @@ void emitCellsCsv(const SweepResult& result, std::ostream& out) {
         << ',' << c.stats.rcvs << ',' << c.stats.forcedRcvs << ','
         << c.stats.acks << ',' << c.stats.aborts << ',' << c.stats.delivers
         << ',' << c.stats.arrives << ',' << c.checkedRuns << ','
-        << c.checkViolations << '\n';
+        << c.checkViolations << ',' << csvEscape(result.realization);
+    emitRealizedCsv(c.measuredRuns, c.realized, out);
+    out << '\n';
   }
 }
 
@@ -68,7 +91,10 @@ void emitRunsCsv(const SweepResult& result, std::ostream& out) {
   out << "run_index,cell_index,topology,scheduler,k,mac,workload,dynamics,"
          "seed,solved,"
          "solve_time,end_time,status,messages,p50_latency,p95_latency,"
-         "max_latency,error,checked,check_violations,trace_hash\n";
+         "max_latency,error,checked,check_violations,trace_hash,"
+         "realization,measured_samples,realized_fprog_p50,realized_fprog_p95,"
+         "realized_fprog_max,realized_fack_p50,realized_fack_p95,"
+         "realized_fack_max,fitted_fprog,fitted_fack\n";
   for (const RunRecord& r : result.runs) {
     const CellAggregate& c = result.cell(r.point.cellIndex);
     out << r.point.runIndex << ',' << r.point.cellIndex << ','
@@ -88,6 +114,9 @@ void emitRunsCsv(const SweepResult& result, std::ostream& out) {
     // The hash only means something for checked runs; keep unchecked
     // rows' columns empty so diffs don't churn on mode changes.
     if (r.checked) out << r.traceHash;
+    out << ',' << csvEscape(r.realization);
+    emitRealizedCsv(r.realized.measured() ? r.realized.ackSamples : 0,
+                    r.realized, out);
     out << '\n';
   }
 }
@@ -95,8 +124,14 @@ void emitRunsCsv(const SweepResult& result, std::ostream& out) {
 void emitJson(const SweepResult& result, std::ostream& out) {
   out << "{\n"
       << "  \"sweep\": \"" << json::escape(result.name) << "\",\n"
-      << "  \"protocol\": \"" << core::toString(result.protocol) << "\",\n"
-      << "  \"seed_begin\": " << result.seedBegin << ",\n"
+      << "  \"protocol\": \"" << core::toString(result.protocol) << "\",\n";
+  // Emitted only for realized sweeps so every pre-existing abstract
+  // baseline stays byte-identical.
+  if (result.realization != "abstract") {
+    out << "  \"realization\": \"" << json::escape(result.realization)
+        << "\",\n";
+  }
+  out << "  \"seed_begin\": " << result.seedBegin << ",\n"
       << "  \"seed_end\": " << result.seedEnd << ",\n"
       << "  \"cells\": [\n";
   for (std::size_t i = 0; i < result.cells.size(); ++i) {
@@ -119,8 +154,21 @@ void emitJson(const SweepResult& result, std::ostream& out) {
         << ", \"p95_latency\": " << c.p95Latency
         << ", \"max_latency\": " << c.maxLatency
         << ", \"checked_runs\": " << c.checkedRuns
-        << ", \"check_violations\": " << c.checkViolations
-        << ", \"stats\": {\"bcasts\": " << c.stats.bcasts
+        << ", \"check_violations\": " << c.checkViolations;
+    if (c.measuredRuns > 0) {
+      out << ", \"measured_runs\": " << c.measuredRuns
+          << ", \"realized\": {\"fprog_p50\": " << c.realized.fprogP50
+          << ", \"fprog_p95\": " << c.realized.fprogP95
+          << ", \"fprog_max\": " << c.realized.fprogMax
+          << ", \"fack_p50\": " << c.realized.fackP50
+          << ", \"fack_p95\": " << c.realized.fackP95
+          << ", \"fack_max\": " << c.realized.fackMax
+          << ", \"fitted_fprog\": " << c.realized.fittedFprog
+          << ", \"fitted_fack\": " << c.realized.fittedFack
+          << ", \"ack_samples\": " << c.realized.ackSamples
+          << ", \"prog_samples\": " << c.realized.progSamples << "}";
+    }
+    out << ", \"stats\": {\"bcasts\": " << c.stats.bcasts
         << ", \"rcvs\": " << c.stats.rcvs
         << ", \"forced_rcvs\": " << c.stats.forcedRcvs
         << ", \"acks\": " << c.stats.acks << ", \"aborts\": " << c.stats.aborts
@@ -212,6 +260,28 @@ json::Value recordToJson(const RunRecord& record) {
   o.emplace_back("dyn_idx", record.point.dynIdx);
   o.emplace_back("seed", static_cast<std::int64_t>(record.point.seed));
   o.emplace_back("kernel", record.kernel);
+  // Realization provenance is emitted only when it deviates from the
+  // abstract default, so record files written before the field existed
+  // — and every abstract shard/journal — keep their exact bytes.
+  if (record.realization != "abstract") {
+    o.emplace_back("mac_realization", record.realization);
+  }
+  if (record.realized.measured()) {
+    Object realized;
+    realized.emplace_back("fprog_p50", record.realized.fprogP50);
+    realized.emplace_back("fprog_p95", record.realized.fprogP95);
+    realized.emplace_back("fprog_max", record.realized.fprogMax);
+    realized.emplace_back("fack_p50", record.realized.fackP50);
+    realized.emplace_back("fack_p95", record.realized.fackP95);
+    realized.emplace_back("fack_max", record.realized.fackMax);
+    realized.emplace_back("fitted_fprog", record.realized.fittedFprog);
+    realized.emplace_back("fitted_fack", record.realized.fittedFack);
+    realized.emplace_back("ack_samples",
+                          static_cast<std::int64_t>(record.realized.ackSamples));
+    realized.emplace_back(
+        "prog_samples", static_cast<std::int64_t>(record.realized.progSamples));
+    o.emplace_back("realized", std::move(realized));
+  }
   o.emplace_back("error", record.error);
   o.emplace_back("solved", record.result.solved);
   o.emplace_back("solve_time", record.result.solveTime);
@@ -279,6 +349,28 @@ RunRecord recordFromJson(const json::Value& value,
   // kernel field existed (those were always serial).
   if (const Value* kernel = value.find("kernel"); kernel != nullptr) {
     record.kernel = kernel->asString(context + ".kernel");
+  }
+  // Optional: only realized records carry these (see recordToJson).
+  if (const Value* realization = value.find("mac_realization");
+      realization != nullptr) {
+    record.realization =
+        realization->asString(context + ".mac_realization");
+  }
+  if (const Value* realized = value.find("realized"); realized != nullptr) {
+    const std::string rc = context + ".realized";
+    phys::RealizedBounds& r = record.realized;
+    r.fprogP50 = member(*realized, "fprog_p50", rc).asInt(rc);
+    r.fprogP95 = member(*realized, "fprog_p95", rc).asInt(rc);
+    r.fprogMax = member(*realized, "fprog_max", rc).asInt(rc);
+    r.fackP50 = member(*realized, "fack_p50", rc).asInt(rc);
+    r.fackP95 = member(*realized, "fack_p95", rc).asInt(rc);
+    r.fackMax = member(*realized, "fack_max", rc).asInt(rc);
+    r.fittedFprog = member(*realized, "fitted_fprog", rc).asInt(rc);
+    r.fittedFack = member(*realized, "fitted_fack", rc).asInt(rc);
+    r.ackSamples = static_cast<std::uint64_t>(
+        member(*realized, "ack_samples", rc).asInt(rc));
+    r.progSamples = static_cast<std::uint64_t>(
+        member(*realized, "prog_samples", rc).asInt(rc));
   }
   record.error = member(value, "error", context).asString(context + ".error");
   record.result.solved =

@@ -485,6 +485,12 @@ SpecDoc parseSpec(const std::string& jsonText) {
   } catch (const std::exception& e) {
     throw Error(std::string("spec.kernel: ") + e.what());
   }
+  try {
+    doc.realization =
+        mac::MacRealization::fromLabel(f.optString("mac", "abstract"));
+  } catch (const std::exception& e) {
+    throw Error(std::string("spec.mac: ") + e.what());
+  }
 
   if (const Value* fmmb = f.find("fmmb"); fmmb != nullptr) {
     doc.hasFmmb = true;
@@ -645,6 +651,12 @@ std::string writeSpec(const SpecDoc& doc) {
   if (doc.kernel.parallel()) {
     root.emplace_back("kernel", doc.kernel.label());
   }
+  // Same omission rule for the MAC realization — but note the
+  // realization, unlike the kernel, changes results, so when present
+  // it *is* part of the fingerprint.
+  if (!doc.realization.abstract()) {
+    root.emplace_back("mac", doc.realization.label());
+  }
   if (doc.hasFmmb) {
     Object fmmb;
     fmmb.emplace_back("c", doc.fmmb.c);
@@ -730,6 +742,7 @@ SweepSpec buildSweep(const SpecDoc& doc) {
   spec.discipline = doc.discipline;
   spec.lowerBoundLineLength = doc.lowerBoundLineLength;
   spec.kernel = doc.kernel;
+  spec.realization = doc.realization;
   if (doc.hasFmmb) {
     const FmmbDoc fmmb = doc.fmmb;
     spec.fmmbParams = [fmmb](NodeId n, int k) {

@@ -51,6 +51,8 @@
 //     "max_time": null, "max_events": 100000000,
 //     "discipline": "fifo", "lower_bound_line_length": 0,
 //     "kernel": "serial" | "parallel" | "parallel:N",
+//     "mac": "abstract" | "csma" |
+//            "csma:<slot>,<cwMin>,<cwMax>,<maxRetries>,<pCapture>",
 //     // Required iff protocol == "fmmb":
 //     "fmmb": {"c": 1.5, "mode": "interleaved" | "sequential",
 //              "strict_paper_phases": false}
@@ -156,6 +158,13 @@ struct SpecDoc {
   /// is unchanged, and shards run with a `--kernel` override still
   /// merge against serially-produced shards byte-identically.
   sim::KernelSpec kernel;
+  /// Physical MAC realization, the "mac" key ("abstract" when the file
+  /// omits it; serialized only when non-abstract, keeping existing
+  /// fingerprints stable).  Unlike the kernel this changes results, so
+  /// the `ammb_sweep --mac` override is applied to the document
+  /// *before* fingerprinting — a realized campaign can never merge or
+  /// resume against abstract shards.
+  mac::MacRealization realization;
 };
 
 /// Parses and validates a spec document.  Throws ammb::Error naming

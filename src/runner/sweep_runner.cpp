@@ -16,6 +16,21 @@ namespace {
 
 using core::nearestRankPercentile;
 
+/// Worst-case fold of one run's realized bounds into the cell's:
+/// bound statistics take the max, sample counters the sum.
+void foldRealized(phys::RealizedBounds& into, const phys::RealizedBounds& from) {
+  into.fprogP50 = std::max(into.fprogP50, from.fprogP50);
+  into.fprogP95 = std::max(into.fprogP95, from.fprogP95);
+  into.fprogMax = std::max(into.fprogMax, from.fprogMax);
+  into.fackP50 = std::max(into.fackP50, from.fackP50);
+  into.fackP95 = std::max(into.fackP95, from.fackP95);
+  into.fackMax = std::max(into.fackMax, from.fackMax);
+  into.fittedFprog = std::max(into.fittedFprog, from.fittedFprog);
+  into.fittedFack = std::max(into.fittedFack, from.fittedFack);
+  into.ackSamples += from.ackSamples;
+  into.progSamples += from.progSamples;
+}
+
 void accumulateStats(mac::EngineStats& into, const mac::EngineStats& from) {
   into.bcasts += from.bcasts;
   into.rcvs += from.rcvs;
@@ -48,6 +63,7 @@ RunRecord executeRun(const SweepSpec& spec, const RunPoint& point) {
   RunRecord record;
   record.point = point;
   record.kernel = spec.kernel.label();
+  record.realization = spec.realization.label();
   try {
     const graph::DualGraph topology =
         spec.topologies[point.topoIdx].make(point.seed);
@@ -76,15 +92,41 @@ RunRecord executeRun(const SweepSpec& spec, const RunPoint& point) {
     const sim::Trace& trace = experiment.engine().trace();
     record.checked = true;
     record.traceHash = check::traceHash(trace);
+    // Check under the params the engine really ran under (for physical
+    // realizations that is the analytic envelope, not the cell's).
+    // Realized runs are additionally measured, and the checker re-runs
+    // under the *fitted* realized bounds — the axioms must hold for
+    // the constants the physical MAC actually induced.
+    const mac::MacParams envelope = core::effectiveMacParams(config);
+    mac::MacParams checkParams = envelope;
+    if (!spec.realization.abstract()) {
+      record.realized = phys::measureRealized(experiment.view(), envelope,
+                                              trace, record.result.endTime);
+      checkParams = phys::fittedParams(record.realized, envelope);
+    }
     if (spec.check == CheckMode::kMac) {
-      mac::CheckResult res = mac::checkTrace(experiment.view(), config.mac,
+      mac::CheckResult res = mac::checkTrace(experiment.view(), checkParams,
                                              trace, record.result.endTime);
       record.checkViolations = std::move(res.violations);
     } else {
-      check::OracleReport report =
-          check::checkExecution(experiment.view(), protocol, config.mac,
-                                workload, trace, record.result);
+      // FMMB's structure oracle validates the round grid the protocol
+      // actually ran on — the envelope — so realized FMMB runs keep
+      // checkExecution on the envelope and re-check the MAC axioms
+      // under the fitted bounds on top.  BMMB has no parameter
+      // coupling and checks everything under the fitted bounds.
+      const bool fmmbRealized = protocol.kind() == core::ProtocolKind::kFmmb &&
+                                !spec.realization.abstract();
+      check::OracleReport report = check::checkExecution(
+          experiment.view(), protocol, fmmbRealized ? envelope : checkParams,
+          workload, trace, record.result);
       record.checkViolations = std::move(report.violations);
+      if (fmmbRealized) {
+        mac::CheckResult res = mac::checkTrace(experiment.view(), checkParams,
+                                               trace, record.result.endTime);
+        for (std::string& v : res.violations) {
+          record.checkViolations.push_back("mac-fitted: " + v);
+        }
+      }
     }
     if (spec.keepCanonicalTraces) {
       record.canonicalTrace = check::canonicalExecution(
@@ -127,6 +169,7 @@ SweepResult aggregateRecords(const SweepSpec& spec,
   SweepResult result;
   result.name = spec.name;
   result.protocol = spec.protocol;
+  result.realization = spec.realization.label();
   result.seedBegin = spec.seedBegin;
   result.seedEnd = spec.seedEnd;
   result.threads = options.threads;
@@ -197,6 +240,10 @@ SweepResult aggregateRecords(const SweepSpec& spec,
     if (record.checked) {
       ++cell.checkedRuns;
       cell.checkViolations += record.checkViolations.size();
+    }
+    if (record.realized.measured()) {
+      ++cell.measuredRuns;
+      foldRealized(cell.realized, record.realized);
     }
     accumulateStats(cell.stats, record.result.stats);
     endSums[cell.cellIndex] += record.result.endTime;

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "phys/measurement.h"
 #include "runner/sweep_spec.h"
 
 namespace ammb::runner {
@@ -28,6 +29,13 @@ struct RunRecord {
   /// Kernel label the run executed on ("serial", "parallel:N") — pure
   /// provenance; results never depend on it.
   std::string kernel = "serial";
+  /// MAC realization label ("abstract", "csma:...").  Unlike the
+  /// kernel this is result-bearing provenance: realized runs derive
+  /// their timing from simulated contention.
+  std::string realization = "abstract";
+  /// Realized Fprog/Fack bounds measured from the trace (physical
+  /// realizations on checked runs only; default-zero otherwise).
+  phys::RealizedBounds realized;
 
   // Trace-checking outcome (CheckMode sweeps only).
   bool checked = false;
@@ -84,6 +92,13 @@ struct CellAggregate {
   std::uint64_t checkedRuns = 0;
   std::uint64_t checkViolations = 0;
 
+  // Realized Fprog/Fack bounds (physical-realization sweeps only;
+  // zero otherwise).  Each field is the max of the corresponding
+  // per-run statistic over the cell's measured runs — a deterministic
+  // worst-case fold, since per-run samples are not retained.
+  std::uint64_t measuredRuns = 0;
+  phys::RealizedBounds realized;
+
   /// Engine counters summed over non-error runs.
   mac::EngineStats stats;
 };
@@ -92,6 +107,9 @@ struct CellAggregate {
 struct SweepResult {
   std::string name;
   core::ProtocolKind protocol = core::ProtocolKind::kBmmb;
+  /// Sweep-level MAC realization label ("abstract" unless the spec —
+  /// or a `--mac` override — selected a physical layer).
+  std::string realization = "abstract";
   std::uint64_t seedBegin = 0;
   std::uint64_t seedEnd = 0;
   int threads = 1;

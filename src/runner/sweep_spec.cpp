@@ -131,6 +131,7 @@ core::RunConfig runConfigFor(const SweepSpec& spec, const RunPoint& point) {
   config.limits.maxTime = spec.maxTime;
   config.limits.maxEvents = spec.maxEvents;
   config.kernel = spec.kernel;
+  config.realization = spec.realization;
   return config;
 }
 

@@ -122,6 +122,11 @@ struct SweepSpec {
   /// kernels are bit-identical to serial, so results (and the sweep's
   /// fingerprint, which covers only the grid) do not depend on this.
   sim::KernelSpec kernel;
+  /// Physical MAC realization for every run of the sweep (abstract by
+  /// default).  Unlike the kernel this *changes results* — a CSMA
+  /// realization replaces the scheduler axis with simulated contention
+  /// — so it is part of the spec's canonical form and fingerprint.
+  mac::MacRealization realization;
 
   /// Throws ammb::Error on an ill-formed spec (empty axis, missing
   /// generators, empty seed range, missing or stray FMMB factory, ...).

@@ -2,6 +2,7 @@
 //
 //   ammb_sweep run SPEC.json [--shard I/N] [--threads T]
 //              [--kernel serial|parallel[:N]]
+//              [--mac abstract|csma[:slot,cwMin,cwMax,maxRetries,pCapture]]
 //              [--journal PATH [--resume]] [--shard-json PATH]
 //              [--json PATH] [--csv PATH] [--runs-csv PATH]
 //              [--allow-errors] [--allow-violations]
@@ -46,6 +47,8 @@ int usage() {
   std::cerr
       << "usage: ammb_sweep run SPEC.json [--shard I/N] [--threads T]\n"
          "                  [--kernel serial|parallel[:N]]\n"
+         "                  [--mac abstract|csma[:slot,cwMin,cwMax,"
+         "maxRetries,pCapture]]\n"
          "                  [--journal PATH [--resume]] [--shard-json PATH]\n"
          "                  [--json PATH] [--csv PATH] [--runs-csv PATH]\n"
          "                  [--allow-errors] [--allow-violations]\n"
@@ -154,13 +157,20 @@ struct Args {
 int cmdRun(int argc, char** argv) {
   const Args args = Args::parse(
       argc, argv, 2,
-      {"--shard", "--threads", "--kernel", "--journal", "--shard-json",
-       "--json", "--csv", "--runs-csv"},
+      {"--shard", "--threads", "--kernel", "--mac", "--journal",
+       "--shard-json", "--json", "--csv", "--runs-csv"},
       {"--resume", "--allow-errors", "--allow-violations"});
   if (args.positional.size() != 1) return usage();
   const std::string specPath = args.positional[0];
 
-  const runner::SpecDoc doc = runner::loadSpecFile(specPath);
+  runner::SpecDoc doc = runner::loadSpecFile(specPath);
+  // Applied before the fingerprint is taken: unlike the kernel, the
+  // MAC realization changes the results, so a run with a --mac
+  // override can only journal/merge against shards of the same
+  // realized campaign — never against the abstract spec's shards.
+  if (const std::string* macLabel = args.flag("--mac")) {
+    doc.realization = mac::MacRealization::fromLabel(*macLabel);
+  }
   const std::string fingerprint = runner::specFingerprint(doc);
   runner::SweepSpec spec = runner::buildSweep(doc);
   // Applied after the fingerprint is taken: the kernel is a pure
