@@ -78,7 +78,27 @@ std::string toString(const FuzzCase& fuzzCase) {
   if (!fuzzCase.realization.abstract()) {
     out << " mac=" << fuzzCase.realization.label();
   }
+  // And for the churn reaction: reaction-free cases (the entire
+  // pre-reaction corpus) keep their historical description.
+  if (!fuzzCase.reaction.none()) {
+    out << " reaction=" << fuzzCase.reaction.label();
+  }
   return out.str();
+}
+
+Time bmmbFuzzTimeBudget(NodeId n, int k, Time fack) {
+  // 8 (n + k) fack + 4096, saturating to kTimeNever on overflow: a
+  // wrapped-negative budget would truncate the run at t=0 and hide
+  // violations behind a kTimeLimit status.
+  Time budget = 0;
+  if (__builtin_mul_overflow(static_cast<Time>(8),
+                             static_cast<Time>(n) + static_cast<Time>(k),
+                             &budget) ||
+      __builtin_mul_overflow(budget, fack, &budget) ||
+      __builtin_add_overflow(budget, static_cast<Time>(4096), &budget)) {
+    return kTimeNever;
+  }
+  return budget;
 }
 
 void FuzzSpec::validate() const {
@@ -136,7 +156,7 @@ FuzzCase sampleCase(const FuzzSpec& spec, int iteration) {
   } else {
     // Theorem 3.1's (D + k) Fack with D <= n, with slack for online
     // arrival tails and adversarial stuffing.
-    c.maxTime = 8 * static_cast<Time>(c.n + c.k) * c.mac.fack + 4096;
+    c.maxTime = bmmbFuzzTimeBudget(c.n, c.k, c.mac.fack);
   }
   c.seed = rng.randomBits(64);
 
@@ -163,6 +183,21 @@ FuzzCase sampleCase(const FuzzSpec& spec, int iteration) {
     c.dynamics = dyn;
   }
 
+  // Reaction rotation: a third of the *dynamic* honest cases arm the
+  // churn-reaction layer (retransmit-on-recovery for BMMB, the remis
+  // schedule rebase for FMMB).  Like the kernel/realization rotations
+  // below this is a pure function of already-sampled fields plus the
+  // iteration index — no case-RNG draws — so every other field keeps
+  // its pre-reaction value.  Static cases stay reaction-free: without
+  // epoch boundaries the layer is dead code and the sampled corpus
+  // (and its golden headers) should not change.
+  if (spec.mutation == SchedulerMutation::kNone && !c.dynamics.isStatic() &&
+      iteration % 3 == 1) {
+    c.reaction.kind = c.protocol == core::ProtocolKind::kFmmb
+                          ? core::ReactionSpec::Kind::kRetransmitRemis
+                          : core::ReactionSpec::Kind::kRetransmit;
+  }
+
   // Kernel rotation: a pure function of the iteration index, drawing
   // nothing from the case RNG — so every other sampled field keeps the
   // exact value the pre-kernel sampler produced for the same seed, and
@@ -187,9 +222,8 @@ FuzzCase sampleCase(const FuzzSpec& spec, int iteration) {
     csma.cwMax = 8 << (iteration % 3);
     csma.maxRetries = 4 + iteration % 3;
     c.realization = mac::MacRealization::csmaWith(csma);
-    c.maxTime = 8 * static_cast<Time>(c.n + c.k) *
-                    phys::csmaEnvelopeParams(csma, c.mac).fack +
-                4096;
+    c.maxTime = bmmbFuzzTimeBudget(c.n, c.k,
+                                   phys::csmaEnvelopeParams(csma, c.mac).fack);
   }
 
   // Stale-topology campaigns need a grey zone to drift: pin the family
@@ -205,7 +239,31 @@ FuzzCase sampleCase(const FuzzSpec& spec, int iteration) {
     // from the FMMB envelope and whose n was capped); re-derive the
     // BMMB budget for the final protocol and size so the horizon
     // always spans the forced drift schedule.
-    c.maxTime = 8 * static_cast<Time>(c.n + c.k) * c.mac.fack + 4096;
+    c.maxTime = bmmbFuzzTimeBudget(c.n, c.k, c.mac.fack);
+  }
+
+  // Drop-on-recovery campaigns need a run that *strands* without the
+  // reaction layer: a directional BMMB flood on a line, all messages
+  // at node 0, with one crash early enough that the flood has not
+  // passed the victim and an outage long enough that the relay
+  // frontier finishes (and is acked) while the victim is down.  The
+  // protocol is armed with retransmit-on-recovery; runCase suppresses
+  // the epoch notifications, so the re-arm never happens and the
+  // scoped liveness oracle must flag the drained unsolved run.
+  if (spec.mutation == SchedulerMutation::kDropOnRecovery) {
+    c.protocol = core::ProtocolKind::kBmmb;
+    c.topology = TopologyFamily::kLine;
+    c.workload = WorkloadShape::kAllAtZero;
+    c.scheduler = core::SchedulerKind::kFast;
+    c.reaction.kind = core::ReactionSpec::Kind::kRetransmit;
+    c.n = std::max<NodeId>(c.n, 8);
+    core::DynamicsSpec dyn;
+    dyn.kind = core::DynamicsSpec::Kind::kCrash;
+    dyn.crashes = 1;
+    dyn.period = 6;
+    dyn.downFor = 5;
+    c.dynamics = dyn;
+    c.maxTime = bmmbFuzzTimeBudget(c.n, c.k, c.mac.fack);
   }
   return c;
 }
@@ -284,9 +342,9 @@ core::RunConfig runConfigFor(const FuzzCase& c) {
 
 core::ProtocolSpec protocolSpecFor(const FuzzCase& c, NodeId n) {
   if (c.protocol == core::ProtocolKind::kFmmb) {
-    return core::fmmbProtocol(core::FmmbParams::make(n, c.greyC));
+    return core::fmmbProtocol(core::FmmbParams::make(n, c.greyC), c.reaction);
   }
-  return core::bmmbProtocol(c.discipline);
+  return core::bmmbProtocol(c.discipline, c.reaction);
 }
 
 ExecutionOutcome runCase(const FuzzCase& fuzzCase, SchedulerMutation mutation,
@@ -362,6 +420,7 @@ FuzzResult runFuzz(const FuzzSpec& spec) {
     ++result.coverage["scheduler:" + core::toString(fuzzCase.scheduler)];
     ++result.coverage["kernel:" + fuzzCase.kernel.label()];
     ++result.coverage["mac:" + fuzzCase.realization.label()];
+    ++result.coverage["reaction:" + fuzzCase.reaction.label()];
     const ExecutionOutcome outcome = runCase(fuzzCase, spec.mutation);
     if (!outcome.failed()) continue;
     ++result.violations;

@@ -89,6 +89,12 @@ struct FuzzCase {
   /// engine actually enforced.
   mac::MacRealization realization;
 
+  /// Churn reaction of the protocol under test (kNone by default; the
+  /// sampler arms it on a slice of the dynamic cases so the
+  /// retransmit-on-recovery and remis layers — and the scoped liveness
+  /// oracle that polices them — get fuzz coverage).
+  core::ReactionSpec reaction;
+
   // Execution limits.
   bool stopOnSolve = true;
   Time maxTime = kTimeNever;
@@ -155,6 +161,15 @@ struct ExecutionOutcome {
   /// A violation or a crash: either way the case is a counterexample.
   bool failed() const { return !error.empty() || !report.ok; }
 };
+
+/// The BMMB fuzz time budget 8 (n + k) Fack + 4096 — Theorem 3.1's
+/// (D + k) Fack with D <= n plus slack — computed with overflow-checked
+/// arithmetic.  Shrinking and hand-run reproductions can feed extreme
+/// (n, k, fack) corners where the naive product wraps Time negative,
+/// which would truncate the run at t=0 and mask real violations; the
+/// budget saturates to kTimeNever (no time limit; maxEvents still
+/// bounds the run) instead.
+Time bmmbFuzzTimeBudget(NodeId n, int k, Time fack);
 
 /// The case sampled for one iteration — a pure function of
 /// (spec.masterSeed, spec axes, iteration).

@@ -79,6 +79,11 @@ std::string canonicalRunResult(const core::RunResult& result) {
   out << '\n';
   out << "end_time=" << result.endTime << '\n';
   out << "status=" << sim::toString(result.status) << '\n';
+  // Reaction-free runs never retransmit; the conditional keeps every
+  // pre-reaction golden byte-identical.
+  if (result.retransmits > 0) {
+    out << "retransmits=" << result.retransmits << '\n';
+  }
   out << "bcasts=" << result.stats.bcasts << " rcvs=" << result.stats.rcvs
       << " forced_rcvs=" << result.stats.forcedRcvs
       << " acks=" << result.stats.acks << " aborts=" << result.stats.aborts
@@ -217,6 +222,25 @@ std::vector<GoldenCase> goldenCaseSuite() {
     c.dynamics.period = 24;
     c.dynamics.churn = 0.5;
     cases.push_back({"bmmb-grey-drift-rng", c});
+  }
+  {
+    // Epoch-aware FMMB: the first drift boundary (t = 24) lands inside
+    // the MIS stage (misRounds * (fprog+1) ≈ 3440 ticks for n = 10),
+    // so the remis rebase — fresh MIS, gather/spread reset, round
+    // re-anchoring — is pinned mid-phase, not between stages.
+    FuzzCase c = base(core::SchedulerKind::kFast,
+                      TopologyFamily::kGreyZoneField, 10, 2,
+                      WorkloadShape::kAllAtZero, 21);
+    c.protocol = core::ProtocolKind::kFmmb;
+    c.mac.variant = mac::ModelVariant::kEnhanced;
+    c.reaction.kind = core::ReactionSpec::Kind::kRetransmitRemis;
+    c.dynamics.kind = core::DynamicsSpec::Kind::kGreyDrift;
+    c.dynamics.epochs = 4;
+    c.dynamics.period = 24;
+    c.dynamics.churn = 0.5;
+    c.maxTime = 4 * core::fmmbBoundEnvelope(
+                        c.n, c.k, core::FmmbParams::make(c.n, c.greyC), c.mac);
+    cases.push_back({"fmmb-drift-remis", c});
   }
 
   // Physical MAC realization: pin the CSMA/CA contention scheduler's

@@ -77,6 +77,7 @@ std::string toString(SchedulerMutation mutation) {
     case SchedulerMutation::kLateAck: return "late-ack";
     case SchedulerMutation::kOffGPrime: return "off-gprime";
     case SchedulerMutation::kStaleTopology: return "stale-topology";
+    case SchedulerMutation::kDropOnRecovery: return "drop-on-recovery";
   }
   return "?";
 }
@@ -86,6 +87,7 @@ SchedulerMutation mutationFromString(const std::string& name) {
   if (name == "late-ack") return SchedulerMutation::kLateAck;
   if (name == "off-gprime") return SchedulerMutation::kOffGPrime;
   if (name == "stale-topology") return SchedulerMutation::kStaleTopology;
+  if (name == "drop-on-recovery") return SchedulerMutation::kDropOnRecovery;
   throw Error("unknown scheduler mutation '" + name + "'");
 }
 
@@ -98,14 +100,23 @@ std::unique_ptr<mac::Scheduler> makeMutantScheduler(
       return std::make_unique<OffGPrimeScheduler>();
     case SchedulerMutation::kStaleTopology:
       return std::make_unique<StaleTopologyScheduler>();
-    case SchedulerMutation::kNone: break;
+    case SchedulerMutation::kNone:
+    case SchedulerMutation::kDropOnRecovery:
+      break;  // no mutant scheduler: honest plans
   }
-  throw Error("makeMutantScheduler requires a real mutation");
+  throw Error("makeMutantScheduler requires a scheduler mutation");
 }
 
 void applyMutation(core::SchedulerSpec& scheduler,
                    SchedulerMutation mutation) {
   if (mutation == SchedulerMutation::kNone) return;
+  if (mutation == SchedulerMutation::kDropOnRecovery) {
+    // The scheduler is honest and every plan stays validated: the bug
+    // lives in the protocol's reaction layer, which never hears about
+    // epoch boundaries and so never re-arms.
+    scheduler.notifyEpochChanges = false;
+    return;
+  }
   scheduler.factory = [mutation] { return makeMutantScheduler(mutation); };
   scheduler.validatePlans = false;
 }

@@ -29,22 +29,35 @@ enum class SchedulerMutation : std::uint8_t {
   /// zero-violation stale-topology campaign means the epoch plumbing
   /// in the oracles is broken.
   kStaleTopology,
+  /// The churn-reaction family: the scheduler stays honest and plan
+  /// validation stays ON — what breaks is the protocol's reaction
+  /// layer.  Epoch-change notifications are suppressed at the engine
+  /// (MacEngine::setEpochNotification(false)), so a protocol
+  /// configured with retransmit-on-recovery never re-arms after a
+  /// boundary and quietly strands messages behind a healed crash.
+  /// Every MAC/MMB axiom holds; only the scoped liveness oracle
+  /// (drained unsolved although the final epoch restored connectivity
+  /// and the protocol claimed reactivity) can flag it.
+  kDropOnRecovery,
 };
 
 /// Human-readable mutation name ("none", "late-ack", "off-gprime",
-/// "stale-topology").
+/// "stale-topology", "drop-on-recovery").
 std::string toString(SchedulerMutation mutation);
 
 /// Parses a mutation name; throws ammb::Error on an unknown one.
 SchedulerMutation mutationFromString(const std::string& name);
 
-/// The broken scheduler itself (requires mutation != kNone).
+/// The broken scheduler itself (requires a mutation with one; throws
+/// for kNone and kDropOnRecovery, which keeps the honest scheduler).
 std::unique_ptr<mac::Scheduler> makeMutantScheduler(
     SchedulerMutation mutation);
 
-/// Rewires `scheduler` to the mutant and switches plan validation off,
-/// so the illegal plans reach the trace instead of throwing.  No-op for
-/// kNone.
+/// Rewires `scheduler` for the mutation.  Scheduler mutations install
+/// the mutant factory and switch plan validation off, so the illegal
+/// plans reach the trace instead of throwing; kDropOnRecovery instead
+/// suppresses epoch-change notifications (honest plans, validation
+/// stays on).  No-op for kNone.
 void applyMutation(core::SchedulerSpec& scheduler,
                    SchedulerMutation mutation);
 

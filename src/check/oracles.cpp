@@ -12,7 +12,39 @@ void add(OracleReport& report, const char* family, const std::string& msg) {
   report.violations.push_back(std::string(family) + ": " + msg);
 }
 
+/// Whether the protocol spec claims to keep making progress across
+/// churn.  BMMB reacts under any non-kNone reaction (retransmit-on-
+/// recovery); FMMB only rebases its schedule under kRetransmitRemis —
+/// plain kRetransmit is a no-op there and claims nothing.
+bool reactsToChurn(const core::ProtocolSpec& protocol) {
+  if (protocol.kind() == core::ProtocolKind::kFmmb) {
+    return protocol.fmmb().reaction.remis();
+  }
+  return !protocol.bmmb().reaction.none();
+}
+
 }  // namespace
+
+bool finalEpochRestoresConnectivity(const graph::TopologyView& view) {
+  if (!view.dynamic()) return true;
+  const graph::CsrSnapshot& base = view.csrAt(0);
+  const graph::CsrSnapshot& last = view.csrAt(view.epochCount() - 1);
+  for (NodeId v = 0; v < view.base().n(); ++v) {
+    if (!last.nodeAlive(v)) return false;
+    // Every base reliable edge must be back: merge-walk the sorted
+    // adjacency spans, requiring base ⊆ last.
+    const auto baseAdj = base.gNeighbors(v);
+    const auto lastAdj = last.gNeighbors(v);
+    const NodeId* b = baseAdj.begin();
+    const NodeId* l = lastAdj.begin();
+    while (b != baseAdj.end()) {
+      while (l != lastAdj.end() && *l < *b) ++l;
+      if (l == lastAdj.end() || *l != *b) return false;
+      ++b;
+    }
+  }
+  return true;
+}
 
 OracleReport checkExecution(const graph::TopologyView& view,
                             const core::ProtocolSpec& protocol,
@@ -42,13 +74,21 @@ OracleReport checkExecution(const graph::TopologyView& view,
   for (const std::string& v : mmb.violations) add(report, "mmb", v);
 
   // 3. Liveness: an unsolved run may stop because a limit cut it off —
-  // never because the protocol ran out of things to do.  Quantified
-  // over static topologies only: under dynamics a message can be
-  // legitimately stranded (e.g. it arrived at a node whose neighbors
-  // finished relaying before a crash healed), so a drained unsolved
-  // run is a finding for the sweep tables, not an axiom violation.
-  if (!view.dynamic() && !result.solved &&
-      result.status == sim::RunStatus::kDrained) {
+  // never because the protocol ran out of things to do.  The oracle's
+  // suspension is scoped, not blanket: it stands down only for dynamic
+  // schedules that *end* degraded, where a message can be legitimately
+  // stranded (it arrived at a node whose neighbors finished relaying
+  // before a crash healed — a finding for the sweep tables, not an
+  // axiom violation).  When the final epoch restores the base reliable
+  // graph with every node alive AND the protocol claims churn
+  // reactivity, stranding is back to being a protocol bug: the
+  // reaction layer exists precisely to re-arm those obligations, so a
+  // drained unsolved run means it silently dropped them.  Non-reactive
+  // protocols under churn stay exempt (the paper's protocols make no
+  // promise across epochs).
+  if (!result.solved && result.status == sim::RunStatus::kDrained &&
+      (!view.dynamic() ||
+       (finalEpochRestoresConnectivity(view) && reactsToChurn(protocol)))) {
     add(report, "liveness",
         "event queue drained at t=" + std::to_string(result.endTime) +
             " with the MMB problem unsolved (protocol quiesced early)");

@@ -46,15 +46,27 @@ struct OracleReport {
   }
 };
 
+/// Whether a dynamic view's final epoch restores the base reliable
+/// graph: every node alive again and every base G-edge present.  True
+/// for static views.  This is the liveness oracle's re-arming switch —
+/// see below.
+bool finalEpochRestoresConnectivity(const graph::TopologyView& view);
+
 /// Runs every applicable oracle over one finished execution.  `trace`
 /// must have recorded events; `workload` is the materialized arrival
 /// stream the run consumed (core::materializeWorkload).  `view` is the
 /// epoch-indexed topology the run executed over (Experiment::view()):
 /// MAC axioms are checked per epoch with guarantees quantified only
-/// over whole-window-live links, and the liveness oracle is suspended
-/// for dynamic views — a topology that churned may legitimately leave
-/// the protocol with nothing left to do before solving (e.g. a message
-/// stranded behind a crash), which is a measurement, not a bug.
+/// over whole-window-live links.  The liveness oracle is suspended
+/// only for dynamic views that END degraded — a topology that churned
+/// and stayed broken may legitimately leave the protocol with nothing
+/// left to do before solving (a message stranded behind a crash),
+/// which is a measurement, not a bug.  For schedules whose final
+/// epoch restores base connectivity (finalEpochRestoresConnectivity)
+/// AND a protocol that claims churn reactivity (a non-default
+/// core::ReactionSpec), draining unsolved is again a violation: the
+/// reaction layer promises to re-arm stranded obligations once links
+/// recover.
 OracleReport checkExecution(const graph::TopologyView& view,
                             const core::ProtocolSpec& protocol,
                             const mac::MacParams& mac,

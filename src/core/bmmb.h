@@ -16,6 +16,12 @@
 // QueueDiscipline::kFifo is the paper's algorithm; kLifo and kRandom
 // are ablation variants used to probe how much the FIFO choice matters
 // under adversarial scheduling.
+// Under topology dynamics (PR 5) the verbatim protocol strands: a
+// message broadcast while a neighbor's radio was down is never offered
+// to it again.  With ReactionSpec::kRetransmit the process re-enqueues
+// its `sent` set — ascending MsgId, budget-capped, dedup'd against the
+// queue — whenever an epoch boundary hands it new G capacity, so the
+// flood resumes exactly where the outage cut it (see core/reaction.h).
 #pragma once
 
 #include <deque>
@@ -23,6 +29,7 @@
 #include <unordered_set>
 
 #include "common/types.h"
+#include "core/reaction.h"
 #include "mac/engine.h"
 #include "mac/oracle.h"
 #include "mac/process.h"
@@ -39,12 +46,15 @@ enum class QueueDiscipline : std::uint8_t {
 /// One BMMB automaton.
 class BmmbProcess : public mac::Process {
  public:
-  explicit BmmbProcess(QueueDiscipline discipline = QueueDiscipline::kFifo)
-      : discipline_(discipline) {}
+  explicit BmmbProcess(QueueDiscipline discipline = QueueDiscipline::kFifo,
+                       ReactionSpec reaction = {})
+      : discipline_(discipline), reaction_(reaction) {}
 
   void onArrive(mac::Context& ctx, MsgId msg) override;
   void onReceive(mac::Context& ctx, const mac::Packet& packet) override;
   void onAck(mac::Context& ctx, const mac::Packet& packet) override;
+  void onEpochChange(mac::Context& ctx,
+                     const mac::EpochChange& change) override;
 
   /// Messages this node has received (the paper's `rcvd` set).
   const std::unordered_set<MsgId>& received() const { return rcvd_; }
@@ -56,14 +66,22 @@ class BmmbProcess : public mac::Process {
   /// `sent` set of Theorem 3.1's analysis).
   const std::unordered_set<MsgId>& sent() const { return sent_; }
 
+  /// Recovery re-enqueues this node performed (0 under kNone).
+  std::uint64_t retransmits() const { return retransmits_; }
+
  private:
   void get(mac::Context& ctx, MsgId msg);
   void maybeSend(mac::Context& ctx);
 
   QueueDiscipline discipline_;
+  ReactionSpec reaction_;
   std::deque<MsgId> queue_;
   std::unordered_set<MsgId> rcvd_;
   std::unordered_set<MsgId> sent_;
+  /// Remaining recovery re-enqueues per message (lazily seeded from
+  /// reaction_.retryBudget on first re-arm).
+  std::unordered_map<MsgId, int> retriesLeft_;
+  std::uint64_t retransmits_ = 0;
 };
 
 /// Creates the per-node processes, remembers them for inspection, and
@@ -71,8 +89,9 @@ class BmmbProcess : public mac::Process {
 /// every message it carries is already in that node's rcvd set).
 class BmmbSuite : public mac::ProtocolOracle {
  public:
-  explicit BmmbSuite(QueueDiscipline discipline = QueueDiscipline::kFifo)
-      : discipline_(discipline) {}
+  explicit BmmbSuite(QueueDiscipline discipline = QueueDiscipline::kFifo,
+                     ReactionSpec reaction = {})
+      : discipline_(discipline), reaction_(reaction) {}
 
   /// Factory to hand to MacEngine; registers each created process.
   mac::MacEngine::ProcessFactory factory();
@@ -80,11 +99,15 @@ class BmmbSuite : public mac::ProtocolOracle {
   /// The process of `node`; valid once the engine was constructed.
   const BmmbProcess& process(NodeId node) const;
 
+  /// Sum of every node's recovery re-enqueues.
+  std::uint64_t totalRetransmits() const;
+
   // ProtocolOracle:
   bool uselessFor(NodeId node, const mac::Packet& packet) const override;
 
  private:
   QueueDiscipline discipline_;
+  ReactionSpec reaction_;
   std::unordered_map<NodeId, const BmmbProcess*> byNode_;
 };
 

@@ -62,12 +62,12 @@ const FmmbSpec& ProtocolSpec::fmmb() const {
   return std::get<FmmbSpec>(spec_);
 }
 
-ProtocolSpec bmmbProtocol(QueueDiscipline discipline) {
-  return ProtocolSpec(BmmbSpec{discipline});
+ProtocolSpec bmmbProtocol(QueueDiscipline discipline, ReactionSpec reaction) {
+  return ProtocolSpec(BmmbSpec{discipline, reaction});
 }
 
-ProtocolSpec fmmbProtocol(FmmbParams params) {
-  return ProtocolSpec(FmmbSpec{std::move(params)});
+ProtocolSpec fmmbProtocol(FmmbParams params, ReactionSpec reaction) {
+  return ProtocolSpec(FmmbSpec{std::move(params), reaction});
 }
 
 mac::MacParams effectiveMacParams(const RunConfig& config) {
@@ -118,11 +118,11 @@ namespace {
 std::variant<BmmbSuite, FmmbSuite> makeSuite(const ProtocolSpec& protocol) {
   using SuiteVariant = std::variant<BmmbSuite, FmmbSuite>;
   if (protocol.kind() == ProtocolKind::kFmmb) {
-    return SuiteVariant(std::in_place_type<FmmbSuite>,
-                        protocol.fmmb().params);
+    return SuiteVariant(std::in_place_type<FmmbSuite>, protocol.fmmb().params,
+                        protocol.fmmb().reaction);
   }
   return SuiteVariant(std::in_place_type<BmmbSuite>,
-                      protocol.bmmb().discipline);
+                      protocol.bmmb().discipline, protocol.bmmb().reaction);
 }
 
 }  // namespace
@@ -177,6 +177,7 @@ Experiment::Experiment(const graph::DualGraph& topology,
       view_, config_.mac, std::move(scheduler), factory, config_.seed,
       config_.recordTrace, config_.kernel);
   engine_->setPlanValidation(config_.scheduler.validatePlans);
+  engine_->setEpochNotification(config_.scheduler.notifyEpochChanges);
   if (auto* bmmb = std::get_if<BmmbSuite>(&suite_)) {
     engine_->setOracle(bmmb);
   }
@@ -206,6 +207,8 @@ RunResult Experiment::run() {
   result.status = status;
   result.stats = engine_->stats();
   result.messages = tracker_.metrics();
+  result.retransmits =
+      std::visit([](auto& s) { return s.totalRetransmits(); }, suite_);
   return result;
 }
 

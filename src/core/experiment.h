@@ -61,11 +61,17 @@ std::string toString(ProtocolKind kind);
 /// BMMB-specific knobs (Section 3).
 struct BmmbSpec {
   QueueDiscipline discipline = QueueDiscipline::kFifo;
+  /// Churn reaction (kNone runs the paper's protocol verbatim; see
+  /// core/reaction.h).  Part of the protocol: it changes results.
+  ReactionSpec reaction;
 };
 
 /// FMMB-specific knobs (Section 4; enhanced model only).
 struct FmmbSpec {
   FmmbParams params;
+  /// Churn reaction; only kRetransmitRemis has FMMB meaning (the
+  /// epoch-aware schedule rebase).
+  ReactionSpec reaction;
 };
 
 /// Tagged union of protocol choice + protocol-specific knobs.  The
@@ -93,8 +99,9 @@ class ProtocolSpec {
 };
 
 /// Convenience factories.
-ProtocolSpec bmmbProtocol(QueueDiscipline discipline = QueueDiscipline::kFifo);
-ProtocolSpec fmmbProtocol(FmmbParams params);
+ProtocolSpec bmmbProtocol(QueueDiscipline discipline = QueueDiscipline::kFifo,
+                          ReactionSpec reaction = {});
+ProtocolSpec fmmbProtocol(FmmbParams params, ReactionSpec reaction = {});
 
 /// Scheduler choice plus its knobs.  Implicitly constructible from a
 /// bare SchedulerKind, so `config.scheduler = SchedulerKind::kRandom`
@@ -116,6 +123,10 @@ struct SchedulerSpec {
   /// on except for mutation fixtures that must reach the offline
   /// checker with an illegal execution.
   bool validatePlans = true;
+  /// Epoch-change notifications (mac::MacEngine::setEpochNotification).
+  /// Leave on; only the kDropOnRecovery mutation fixture turns this
+  /// off, modelling a protocol that silently loses its churn reaction.
+  bool notifyEpochChanges = true;
 };
 
 /// When a run stops.
@@ -199,6 +210,9 @@ struct RunResult {
   /// Per-message arrival-to-last-required-delivery latencies and their
   /// p50/p95/max aggregates, tracked online by SolveTracker.
   MessageMetrics messages;
+  /// Churn-reaction work: BMMB re-arm enqueues / FMMB schedule rebases,
+  /// summed over all nodes.  0 whenever ReactionSpec is kNone.
+  std::uint64_t retransmits = 0;
 };
 
 /// A fully wired execution of either protocol; keeps engine / protocol

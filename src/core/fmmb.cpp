@@ -15,10 +15,24 @@ void FmmbProcess::onArrive(mac::Context& ctx, MsgId msg) {
   learn(ctx, msg);
 }
 
+void FmmbProcess::onEpochChange(mac::Context& ctx,
+                                const mac::EpochChange& change) {
+  (void)ctx;
+  (void)change;
+  // Epoch-aware FMMB: any topology shift invalidates the MIS (its
+  // independence/coverage proof is over the old graph) and hence the
+  // roles the dissemination stages run under.  Mark the schedule for a
+  // rebase; it takes effect at the next lock-step round start, which
+  // every node reaches at the same time, so the rebased rounds stay
+  // globally aligned.  Plain kRetransmit has no FMMB meaning (there is
+  // no per-node obligation queue to re-arm) and is ignored.
+  if (reaction_.remis()) remisPending_ = true;
+}
+
 void FmmbProcess::onReceive(mac::Context& ctx, const mac::Packet& packet) {
   for (MsgId m : packet.msgs) learn(ctx, m);
 
-  const auto r = round();
+  const auto r = logicalRound(round());
   if (r < params_.misRounds()) {
     mis_.onReceive(ctx, packet, static_cast<int>(r));
     return;
@@ -39,12 +53,27 @@ void FmmbProcess::onReceive(mac::Context& ctx, const mac::Packet& packet) {
 }
 
 void FmmbProcess::onRoundStart(mac::Context& ctx, std::int64_t round) {
-  if (round < params_.misRounds()) {
-    mis_.onRoundStart(ctx, static_cast<int>(round));
+  if (remisPending_) {
+    // Rebase: restart the MIS/gather/spread pipeline over the current
+    // epoch's graph.  Shared dissemination state is rebuilt from the
+    // arrivals under the roles the fresh MIS will assign; `known_`
+    // (and the deliver events it witnessed) is monotone and survives.
+    remisPending_ = false;
+    base_ = round;
+    mis_ = MisSubroutine(params_);
+    shared_ = FmmbShared{};
+    gather_.reset();
+    spread_.reset();
+    rolesFixed_ = false;
+    ++retransmits_;
+  }
+  const std::int64_t lr = logicalRound(round);
+  if (lr < params_.misRounds()) {
+    mis_.onRoundStart(ctx, static_cast<int>(lr));
     return;
   }
   if (!rolesFixed_) fixRoles();
-  const auto [isGather, vr] = disseminationSlot(round - params_.misRounds());
+  const auto [isGather, vr] = disseminationSlot(lr - params_.misRounds());
   if (isGather) {
     gather_.onVirtualRound(ctx, vr);
   } else {

@@ -37,6 +37,14 @@ class GatherSubroutine {
   void onReceive(mac::Context& ctx, const mac::Packet& packet,
                  std::int64_t vr);
 
+  /// Clears period-local state (epoch-aware FMMB rebases the schedule
+  /// mid-run; the shared message sets are the owner's to reset).
+  void reset() {
+    activeThisPeriod_ = false;
+    heardPoll_ = false;
+    toAck_ = kNoMsg;
+  }
+
  private:
   static int subRound(std::int64_t vr) { return static_cast<int>(vr % 3); }
 

@@ -1,0 +1,34 @@
+#include "core/reaction.h"
+
+#include "common/error.h"
+
+namespace ammb::core {
+
+std::string toString(ReactionSpec::Kind kind) {
+  switch (kind) {
+    case ReactionSpec::Kind::kNone: return "none";
+    case ReactionSpec::Kind::kRetransmit: return "retransmit";
+    case ReactionSpec::Kind::kRetransmitRemis: return "retransmit+remis";
+  }
+  return "?";
+}
+
+ReactionSpec::Kind reactionKindFromString(const std::string& name) {
+  for (ReactionSpec::Kind kind :
+       {ReactionSpec::Kind::kNone, ReactionSpec::Kind::kRetransmit,
+        ReactionSpec::Kind::kRetransmitRemis}) {
+    if (name == toString(kind)) return kind;
+  }
+  throw Error("unknown reaction \"" + name +
+              "\" (expected none, retransmit, retransmit+remis)");
+}
+
+std::string ReactionSpec::label() const { return toString(kind); }
+
+ReactionSpec ReactionSpec::fromLabel(const std::string& label) {
+  ReactionSpec spec;
+  spec.kind = reactionKindFromString(label);
+  return spec;
+}
+
+}  // namespace ammb::core

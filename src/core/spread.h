@@ -42,6 +42,13 @@ class SpreadSubroutine {
   /// Number of completed procedure phases.
   std::int64_t completedPhases() const { return completedPhases_; }
 
+  /// Clears phase-local state for an epoch-aware schedule rebase; the
+  /// completed-phase counter keeps accumulating across rebases.
+  void reset() {
+    current_ = kNoMsg;
+    relayNext_ = kNoMsg;
+  }
+
  private:
   int phaseLen() const { return 3 * params_.spreadPeriods; }
 

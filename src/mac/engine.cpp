@@ -541,6 +541,46 @@ void MacEngine::onEpochBoundary(int e) {
   // trace-identical to the full-n pass (the committed golden traces
   // and the churn_grid sweep baseline pin this down).
   guardRecomputeWeighted(view_->touchedAt(e));
+
+  // Finally, tell the automatons.  This runs serially in ascending
+  // node order at the very end of the (serial) boundary commit, so a
+  // reaction that broadcasts re-arms through the ordinary apiBcast
+  // path and consumes event sequence numbers identically on every
+  // kernel.  Per-node G gain/loss flags come from merging the two
+  // epochs' sorted adjacency over the touched superset; untouched
+  // nodes have identical neighborhoods by construction.
+  if (!epochNotifications_) return;
+  const graph::CsrSnapshot& prev = view_->csrAt(e - 1);
+  const std::vector<NodeId>& touched = view_->touchedAt(e);
+  std::size_t t = 0;  // touched is sorted and duplicate-free
+  for (NodeId v = 0; v < n(); ++v) {
+    EpochChange change;
+    change.epoch = e;
+    if (t < touched.size() && touched[t] == v) {
+      ++t;
+      change.touched = true;
+      const graph::CsrSnapshot::Span before = prev.gNeighbors(v);
+      const graph::CsrSnapshot::Span after = csr_->gNeighbors(v);
+      const NodeId* b = before.begin();
+      const NodeId* a = after.begin();
+      while (b != before.end() && a != after.end()) {
+        if (*b == *a) {
+          ++b;
+          ++a;
+        } else if (*b < *a) {
+          change.lostG = true;
+          ++b;
+        } else {
+          change.gainedG = true;
+          ++a;
+        }
+      }
+      if (b != before.end()) change.lostG = true;
+      if (a != after.end()) change.gainedG = true;
+    }
+    Context ctx(*this, v);
+    state(v).process->onEpochChange(ctx, change);
+  }
 }
 
 void MacEngine::guardRecomputeBatch(const NodeId* nodes, std::size_t count) {

@@ -127,6 +127,17 @@ class MacEngine {
   /// True while illegal delivery plans are rejected online.
   bool planValidation() const { return validatePlans_; }
 
+  /// Enables/disables the per-node Process::onEpochChange notification
+  /// at epoch boundaries (on by default).  Only the fuzzing
+  /// subsystem's kDropOnRecovery mutation fixture turns this off: it
+  /// models exactly the pre-reaction bug class — a stack that never
+  /// re-arms after a boundary — which the recovery-aware liveness
+  /// oracle must flag.  Honest runs must leave notification on.
+  void setEpochNotification(bool on) { epochNotifications_ = on; }
+
+  /// True while epoch boundaries notify the automatons.
+  bool epochNotification() const { return epochNotifications_; }
+
   /// Registers the protocol oracle consulted by adversarial schedulers.
   void setOracle(const ProtocolOracle* oracle) { oracle_ = oracle; }
 
@@ -259,6 +270,7 @@ class MacEngine {
   ProgressGuard guard_;
   Rng schedulerRng_;
   bool validatePlans_ = true;
+  bool epochNotifications_ = true;
   const ProtocolOracle* oracle_ = nullptr;
   DeliverHook deliverHook_;
   ArriveHook arriveHook_;

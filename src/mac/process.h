@@ -74,6 +74,21 @@ class Context {
   NodeId node_;
 };
 
+/// Topology-shift notification handed to every process when the engine
+/// crosses an epoch boundary, after the engine has reconciled its own
+/// state (voided deliveries cancelled, ack guarantees re-scoped, guard
+/// deadlines re-armed) with the new graph.  Every node is notified at
+/// every boundary — reactive protocols that rebase lock-step structure
+/// (epoch-aware FMMB) need a consistent signal — and the per-node
+/// G-adjacency flags let point reactions (retransmit-on-recovery) fire
+/// only where capacity actually changed.
+struct EpochChange {
+  int epoch = 0;         ///< the epoch now in effect
+  bool touched = false;  ///< node is in the boundary's touched superset
+  bool gainedG = false;  ///< a reliable neighbor appeared (recovery)
+  bool lostG = false;    ///< a reliable neighbor vanished (ack voided)
+};
+
 /// Base class for protocol automata.  Override the callbacks your
 /// protocol needs; defaults ignore the event.
 class Process {
@@ -105,6 +120,14 @@ class Process {
   virtual void onTimer(Context& ctx, TimerId id) {
     (void)ctx;
     (void)id;
+  }
+
+  /// The engine crossed an epoch boundary (dynamic topologies only).
+  /// Fired for every node, serially in ascending node id, so reactions
+  /// that broadcast re-arm deterministically on any kernel.
+  virtual void onEpochChange(Context& ctx, const EpochChange& change) {
+    (void)ctx;
+    (void)change;
   }
 };
 

@@ -58,11 +58,11 @@ void emitRealizedCsv(std::uint64_t measuredRuns,
 
 void emitCellsCsv(const SweepResult& result, std::ostream& out) {
   out << "sweep,protocol,workload,topology,scheduler,k,mac,dynamics,"
-         "seed_begin,"
+         "reaction,seed_begin,"
          "seed_end,runs,solved,errors,min_solve,median_solve,mean_solve,"
          "p95_solve,max_solve,mean_end_time,messages,mean_latency,"
          "p50_latency,p95_latency,max_latency,bcasts,rcvs,forced_rcvs,acks,"
-         "aborts,delivers,arrives,checked_runs,check_violations,"
+         "aborts,delivers,arrives,retransmits,checked_runs,check_violations,"
          "realization,measured_runs,realized_fprog_p50,realized_fprog_p95,"
          "realized_fprog_max,realized_fack_p50,realized_fack_p95,"
          "realized_fack_max,fitted_fprog,fitted_fack\n";
@@ -71,7 +71,7 @@ void emitCellsCsv(const SweepResult& result, std::ostream& out) {
         << ',' << csvEscape(c.workload) << ',' << csvEscape(c.topology)
         << ',' << csvEscape(c.scheduler) << ',' << c.k << ','
         << csvEscape(c.mac) << ',' << csvEscape(c.dynamics) << ','
-        << result.seedBegin << ','
+        << csvEscape(c.reaction) << ',' << result.seedBegin << ','
         << result.seedEnd << ',' << c.runs << ',' << c.solved << ','
         << c.errors << ',' << c.minSolve << ',' << c.medianSolve << ','
         << fixed(c.meanSolve) << ',' << c.p95Solve << ',' << c.maxSolve
@@ -80,7 +80,8 @@ void emitCellsCsv(const SweepResult& result, std::ostream& out) {
         << c.p95Latency << ',' << c.maxLatency << ',' << c.stats.bcasts
         << ',' << c.stats.rcvs << ',' << c.stats.forcedRcvs << ','
         << c.stats.acks << ',' << c.stats.aborts << ',' << c.stats.delivers
-        << ',' << c.stats.arrives << ',' << c.checkedRuns << ','
+        << ',' << c.stats.arrives << ',' << c.retransmits << ','
+        << c.checkedRuns << ','
         << c.checkViolations << ',' << csvEscape(result.realization);
     emitRealizedCsv(c.measuredRuns, c.realized, out);
     out << '\n';
@@ -89,9 +90,9 @@ void emitCellsCsv(const SweepResult& result, std::ostream& out) {
 
 void emitRunsCsv(const SweepResult& result, std::ostream& out) {
   out << "run_index,cell_index,topology,scheduler,k,mac,workload,dynamics,"
-         "seed,solved,"
+         "reaction,seed,solved,"
          "solve_time,end_time,status,messages,p50_latency,p95_latency,"
-         "max_latency,error,checked,check_violations,trace_hash,"
+         "max_latency,retransmits,error,checked,check_violations,trace_hash,"
          "realization,measured_samples,realized_fprog_p50,realized_fprog_p95,"
          "realized_fprog_max,realized_fack_p50,realized_fack_p95,"
          "realized_fack_max,fitted_fprog,fitted_fack\n";
@@ -100,7 +101,8 @@ void emitRunsCsv(const SweepResult& result, std::ostream& out) {
     out << r.point.runIndex << ',' << r.point.cellIndex << ','
         << csvEscape(c.topology) << ',' << csvEscape(c.scheduler) << ','
         << c.k << ',' << csvEscape(c.mac) << ',' << csvEscape(c.workload)
-        << ',' << csvEscape(c.dynamics) << ',' << r.point.seed << ','
+        << ',' << csvEscape(c.dynamics) << ',' << csvEscape(c.reaction)
+        << ',' << r.point.seed << ','
         << (r.result.solved ? 1 : 0) << ',';
     // kTimeNever would print as a 19-digit integer; unsolved runs emit
     // an empty solve-time field instead.
@@ -109,7 +111,8 @@ void emitRunsCsv(const SweepResult& result, std::ostream& out) {
         << ',' << r.result.messages.completed << ','
         << r.result.messages.p50Latency << ','
         << r.result.messages.p95Latency << ','
-        << r.result.messages.maxLatency << ',' << csvEscape(r.error) << ','
+        << r.result.messages.maxLatency << ','
+        << r.result.retransmits << ',' << csvEscape(r.error) << ','
         << (r.checked ? 1 : 0) << ',' << r.checkViolations.size() << ',';
     // The hash only means something for checked runs; keep unchecked
     // rows' columns empty so diffs don't churn on mode changes.
@@ -140,8 +143,15 @@ void emitJson(const SweepResult& result, std::ostream& out) {
         << "\", \"scheduler\": \"" << json::escape(c.scheduler)
         << "\", \"k\": " << c.k << ", \"mac\": \"" << json::escape(c.mac)
         << "\", \"workload\": \"" << json::escape(c.workload)
-        << "\", \"dynamics\": \"" << json::escape(c.dynamics)
-        << "\", \"runs\": " << c.runs << ", \"solved\": " << c.solved
+        << "\", \"dynamics\": \"" << json::escape(c.dynamics) << "\"";
+    // The reaction axis (and its work counter) is emitted only for
+    // reactive cells so every pre-existing reaction-free baseline
+    // stays byte-identical.
+    if (!c.reaction.empty() && c.reaction != "none") {
+      out << ", \"reaction\": \"" << json::escape(c.reaction)
+          << "\", \"retransmits\": " << c.retransmits;
+    }
+    out << ", \"runs\": " << c.runs << ", \"solved\": " << c.solved
         << ", \"errors\": " << c.errors << ", \"min_solve\": " << c.minSolve
         << ", \"median_solve\": " << c.medianSolve
         << ", \"mean_solve\": " << fixed(c.meanSolve)
@@ -258,6 +268,12 @@ json::Value recordToJson(const RunRecord& record) {
   o.emplace_back("mac_idx", record.point.macIdx);
   o.emplace_back("wl_idx", record.point.wlIdx);
   o.emplace_back("dyn_idx", record.point.dynIdx);
+  // The reaction coordinate is emitted only off the axis default, so
+  // record files written before the axis existed keep their exact
+  // bytes (as do all reaction-free shards and journals).
+  if (record.point.reactIdx != 0) {
+    o.emplace_back("react_idx", record.point.reactIdx);
+  }
   o.emplace_back("seed", static_cast<std::int64_t>(record.point.seed));
   o.emplace_back("kernel", record.kernel);
   // Realization provenance is emitted only when it deviates from the
@@ -287,6 +303,13 @@ json::Value recordToJson(const RunRecord& record) {
   o.emplace_back("solve_time", record.result.solveTime);
   o.emplace_back("end_time", record.result.endTime);
   o.emplace_back("status", sim::toString(record.result.status));
+  // Churn-reaction work counter, elided when zero (the universal case
+  // for reaction-free runs) for the same byte-compatibility reason as
+  // react_idx above.
+  if (record.result.retransmits != 0) {
+    o.emplace_back("retransmits",
+                   static_cast<std::int64_t>(record.result.retransmits));
+  }
 
   Object stats;
   stats.emplace_back("bcasts", static_cast<std::int64_t>(record.result.stats.bcasts));
@@ -343,6 +366,11 @@ RunRecord recordFromJson(const json::Value& value,
   record.point.macIdx = memberSize(value, "mac_idx", context);
   record.point.wlIdx = memberSize(value, "wl_idx", context);
   record.point.dynIdx = memberSize(value, "dyn_idx", context);
+  // Optional: records from before the reaction axis existed (and all
+  // reaction-free records) omit the coordinate; it defaults to 0.
+  if (value.find("react_idx") != nullptr) {
+    record.point.reactIdx = memberSize(value, "react_idx", context);
+  }
   record.point.seed = static_cast<std::uint64_t>(
       member(value, "seed", context).asInt(context + ".seed"));
   // Optional for compatibility with record files written before the
@@ -381,6 +409,11 @@ RunRecord recordFromJson(const json::Value& value,
       member(value, "end_time", context).asInt(context + ".end_time");
   record.result.status = runStatusFromString(
       member(value, "status", context).asString(context + ".status"));
+  if (const Value* retransmits = value.find("retransmits");
+      retransmits != nullptr) {
+    record.result.retransmits = static_cast<std::uint64_t>(
+        retransmits->asInt(context + ".retransmits"));
+  }
 
   const Value& stats = member(value, "stats", context);
   const std::string statsContext = context + ".stats";

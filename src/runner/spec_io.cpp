@@ -456,6 +456,21 @@ SpecDoc parseSpec(const std::string& jsonText) {
     AMMB_REQUIRE(!doc.dynamics.empty(),
                  "spec.dynamics must not be an empty array");
   }
+  if (const Value* reactions = f.find("reactions"); reactions != nullptr) {
+    doc.reactions.clear();
+    const Array& entries = reactions->asArray("spec.reactions");
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      const std::string context = "spec.reactions[" + std::to_string(i) + "]";
+      try {
+        doc.reactions.push_back(
+            core::ReactionSpec::fromLabel(entries[i].asString(context)));
+      } catch (const std::exception& e) {
+        throw Error(context + ": " + e.what());
+      }
+    }
+    AMMB_REQUIRE(!doc.reactions.empty(),
+                 "spec.reactions must not be an empty array");
+  }
 
   const std::int64_t seedBegin = f.requireInt("seed_begin");
   const std::int64_t seedEnd = f.requireInt("seed_end");
@@ -635,6 +650,18 @@ std::string writeSpec(const SpecDoc& doc) {
   }
   root.emplace_back("dynamics", std::move(dynamics));
 
+  // The reaction axis is emitted only when non-default, so every
+  // pre-existing spec's canonical form (and fingerprint) is unchanged;
+  // a reactive axis changes results, so when present it is part of
+  // the fingerprint like "mac".
+  if (doc.reactions.size() != 1 || !doc.reactions.front().none()) {
+    Array reactions;
+    for (const core::ReactionSpec& r : doc.reactions) {
+      reactions.emplace_back(r.label());
+    }
+    root.emplace_back("reactions", std::move(reactions));
+  }
+
   root.emplace_back("seed_begin", static_cast<std::int64_t>(doc.seedBegin));
   root.emplace_back("seed_end", static_cast<std::int64_t>(doc.seedEnd));
   root.emplace_back("stop_on_solve", doc.stopOnSolve);
@@ -732,6 +759,7 @@ SweepSpec buildSweep(const SpecDoc& doc) {
   for (const DynamicsDoc& d : doc.dynamics) {
     spec.dynamics.push_back({d.name, d.spec});
   }
+  spec.reactions = doc.reactions;
   spec.seedBegin = doc.seedBegin;
   spec.seedEnd = doc.seedEnd;
   spec.stopOnSolve = doc.stopOnSolve;

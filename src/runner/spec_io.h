@@ -45,6 +45,8 @@
 //       {"kind": "static"},
 //       {"kind": "crash", "crashes": 2, "period": 64, "down_for": 24},
 //       {"kind": "grey-drift", "epochs": 4, "period": 64, "churn": 0.25}],
+//     // Optional churn-reaction axis (defaults to ["none"]):
+//     "reactions": ["none", "retransmit", "retransmit+remis"],
 //     "seed_begin": 1, "seed_end": 4,
 //     // Optional (defaults shown):
 //     "stop_on_solve": true, "record_trace": false, "check": "off",
@@ -141,6 +143,12 @@ struct SpecDoc {
   std::vector<WorkloadDoc> workloads;
   /// Defaults to one static point when the spec file omits the key.
   std::vector<DynamicsDoc> dynamics = {DynamicsDoc{"static", {}}};
+  /// Churn-reaction axis; defaults to one reaction-free point when the
+  /// spec file omits the key.  Serialized only when non-default, so
+  /// pre-existing specs keep their canonical form; like "mac" (and
+  /// unlike "kernel") a reaction changes results, so when present it
+  /// *is* part of the fingerprint.
+  std::vector<core::ReactionSpec> reactions = {core::ReactionSpec{}};
   std::uint64_t seedBegin = 1;
   std::uint64_t seedEnd = 2;
   bool stopOnSolve = true;

@@ -48,13 +48,19 @@ namespace {
 /// Snapshot header: the run's full grid coordinate, so a golden file is
 /// self-describing and re-runnable by hand.
 std::string runHeader(const SweepSpec& spec, const RunPoint& point) {
-  return spec.name + " topology=" + spec.topologies[point.topoIdx].name +
-         " scheduler=" + core::toString(spec.schedulers[point.schedIdx]) +
-         " k=" + std::to_string(spec.ks[point.kIdx]) +
-         " mac=" + spec.macs[point.macIdx].name +
-         " workload=" + spec.workloads[point.wlIdx].name +
-         " dynamics=" + spec.dynamics[point.dynIdx].name +
-         " seed=" + std::to_string(point.seed);
+  std::string header =
+      spec.name + " topology=" + spec.topologies[point.topoIdx].name +
+      " scheduler=" + core::toString(spec.schedulers[point.schedIdx]) +
+      " k=" + std::to_string(spec.ks[point.kIdx]) +
+      " mac=" + spec.macs[point.macIdx].name +
+      " workload=" + spec.workloads[point.wlIdx].name +
+      " dynamics=" + spec.dynamics[point.dynIdx].name;
+  // Appended only for reactive points, so every pre-reaction golden
+  // header stays byte-identical.
+  if (!spec.reactions[point.reactIdx].none()) {
+    header += " reaction=" + spec.reactions[point.reactIdx].label();
+  }
+  return header + " seed=" + std::to_string(point.seed);
 }
 
 }  // namespace
@@ -73,7 +79,7 @@ RunRecord executeRun(const SweepSpec& spec, const RunPoint& point) {
     AMMB_REQUIRE(arrivals != nullptr, "workload generator returned null");
     const core::RunConfig config = runConfigFor(spec, point);
     const core::ProtocolSpec protocol =
-        protocolSpecFor(spec, topology.n(), k);
+        protocolSpecFor(spec, topology.n(), k, point.reactIdx);
     if (spec.check == CheckMode::kOff) {
       record.result =
           core::runExperiment(topology, protocol, *arrivals, config);
@@ -178,7 +184,7 @@ SweepResult aggregateRecords(const SweepSpec& spec,
   // Labels come from the spec, not the records, so even a cell whose
   // runs all live in another shard stays self-describing.  Cells are
   // numbered in the same (topology, scheduler, k, mac, workload,
-  // dynamics) lexicographic order as enumerateRuns().
+  // dynamics, reaction) lexicographic order as enumerateRuns().
   std::size_t cellIndex = 0;
   for (const TopologySpec& topology : spec.topologies) {
     for (core::SchedulerKind scheduler : spec.schedulers) {
@@ -186,15 +192,18 @@ SweepResult aggregateRecords(const SweepSpec& spec,
         for (const MacParamsSpec& mac : spec.macs) {
           for (const WorkloadSpec& workload : spec.workloads) {
             for (const DynamicsSpecNamed& dynamics : spec.dynamics) {
-              CellAggregate& cell = result.cells[cellIndex];
-              cell.cellIndex = cellIndex;
-              cell.topology = topology.name;
-              cell.scheduler = core::toString(scheduler);
-              cell.k = k;
-              cell.mac = mac.name;
-              cell.workload = workload.name;
-              cell.dynamics = dynamics.name;
-              ++cellIndex;
+              for (const core::ReactionSpec& reaction : spec.reactions) {
+                CellAggregate& cell = result.cells[cellIndex];
+                cell.cellIndex = cellIndex;
+                cell.topology = topology.name;
+                cell.scheduler = core::toString(scheduler);
+                cell.k = k;
+                cell.mac = mac.name;
+                cell.workload = workload.name;
+                cell.dynamics = dynamics.name;
+                cell.reaction = reaction.label();
+                ++cellIndex;
+              }
             }
           }
         }
@@ -227,6 +236,7 @@ SweepResult aggregateRecords(const SweepSpec& spec,
                      record.point.macIdx == expected.macIdx &&
                      record.point.wlIdx == expected.wlIdx &&
                      record.point.dynIdx == expected.dynIdx &&
+                     record.point.reactIdx == expected.reactIdx &&
                      record.point.seed == expected.seed,
                  "run record " + std::to_string(record.point.runIndex) +
                      " carries a grid coordinate inconsistent with this "
@@ -246,6 +256,7 @@ SweepResult aggregateRecords(const SweepSpec& spec,
       foldRealized(cell.realized, record.realized);
     }
     accumulateStats(cell.stats, record.result.stats);
+    cell.retransmits += record.result.retransmits;
     endSums[cell.cellIndex] += record.result.endTime;
     ++endCounts[cell.cellIndex];
     if (record.result.solved) {

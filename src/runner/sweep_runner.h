@@ -51,7 +51,8 @@ struct RunRecord {
 };
 
 /// Deterministic summary of one grid cell (all seeds of one
-/// topology x scheduler x k x mac x workload x dynamics point).
+/// topology x scheduler x k x mac x workload x dynamics x reaction
+/// point).
 struct CellAggregate {
   std::size_t cellIndex = 0;
 
@@ -62,6 +63,7 @@ struct CellAggregate {
   std::string mac;
   std::string workload;
   std::string dynamics;
+  std::string reaction;
 
   std::uint64_t runs = 0;
   std::uint64_t solved = 0;
@@ -101,6 +103,10 @@ struct CellAggregate {
 
   /// Engine counters summed over non-error runs.
   mac::EngineStats stats;
+
+  /// Churn-reaction work (BMMB re-arm enqueues / FMMB rebases) summed
+  /// over non-error runs; 0 for reaction-free cells.
+  std::uint64_t retransmits = 0;
 };
 
 /// Everything a sweep produced.

@@ -24,6 +24,9 @@ void SweepSpec::validate() const {
   AMMB_REQUIRE(!dynamics.empty(),
                "sweep needs at least one dynamics point (use the default "
                "static entry)");
+  AMMB_REQUIRE(!reactions.empty(),
+               "sweep needs at least one reaction point (use the default "
+               "kNone entry)");
   AMMB_REQUIRE(seedBegin < seedEnd, "sweep needs a non-empty seed range");
   for (const DynamicsSpecNamed& d : dynamics) {
     AMMB_REQUIRE(!d.name.empty(), "dynamics spec needs a non-empty name");
@@ -67,21 +70,24 @@ std::vector<RunPoint> enumerateRuns(const SweepSpec& spec) {
         for (std::size_t m = 0; m < spec.macs.size(); ++m) {
           for (std::size_t w = 0; w < spec.workloads.size(); ++w) {
             for (std::size_t d = 0; d < spec.dynamics.size(); ++d) {
-              for (std::uint64_t seed = spec.seedBegin; seed < spec.seedEnd;
-                   ++seed) {
-                RunPoint p;
-                p.runIndex = points.size();
-                p.cellIndex = cell;
-                p.topoIdx = t;
-                p.schedIdx = s;
-                p.kIdx = k;
-                p.macIdx = m;
-                p.wlIdx = w;
-                p.dynIdx = d;
-                p.seed = seed;
-                points.push_back(p);
+              for (std::size_t r = 0; r < spec.reactions.size(); ++r) {
+                for (std::uint64_t seed = spec.seedBegin; seed < spec.seedEnd;
+                     ++seed) {
+                  RunPoint p;
+                  p.runIndex = points.size();
+                  p.cellIndex = cell;
+                  p.topoIdx = t;
+                  p.schedIdx = s;
+                  p.kIdx = k;
+                  p.macIdx = m;
+                  p.wlIdx = w;
+                  p.dynIdx = d;
+                  p.reactIdx = r;
+                  p.seed = seed;
+                  points.push_back(p);
+                }
+                ++cell;
               }
-              ++cell;
             }
           }
         }
@@ -102,8 +108,11 @@ RunPoint runPointFor(const SweepSpec& spec, std::size_t runIndex) {
   p.cellIndex = runIndex / seedsPerCell;
   p.seed = spec.seedBegin + runIndex % seedsPerCell;
   // Cells are numbered in (topology, scheduler, k, mac, workload,
-  // dynamics) lexicographic order; peel the axes off innermost-first.
+  // dynamics, reaction) lexicographic order; peel the axes off
+  // innermost-first.
   std::size_t cell = p.cellIndex;
+  p.reactIdx = cell % spec.reactions.size();
+  cell /= spec.reactions.size();
   p.dynIdx = cell % spec.dynamics.size();
   cell /= spec.dynamics.size();
   p.wlIdx = cell % spec.workloads.size();
@@ -135,13 +144,17 @@ core::RunConfig runConfigFor(const SweepSpec& spec, const RunPoint& point) {
   return config;
 }
 
-core::ProtocolSpec protocolSpecFor(const SweepSpec& spec, NodeId n, int k) {
+core::ProtocolSpec protocolSpecFor(const SweepSpec& spec, NodeId n, int k,
+                                   std::size_t reactIdx) {
+  AMMB_REQUIRE(reactIdx < spec.reactions.size(),
+               "reaction index out of range for the sweep's reaction axis");
+  const core::ReactionSpec reaction = spec.reactions[reactIdx];
   if (spec.protocol == core::ProtocolKind::kFmmb) {
     AMMB_REQUIRE(spec.fmmbParams != nullptr,
                  "FMMB sweeps need an FmmbParamsFactory");
-    return core::fmmbProtocol(spec.fmmbParams(n, k));
+    return core::fmmbProtocol(spec.fmmbParams(n, k), reaction);
   }
-  return core::bmmbProtocol(spec.discipline);
+  return core::bmmbProtocol(spec.discipline, reaction);
 }
 
 namespace {

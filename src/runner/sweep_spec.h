@@ -94,8 +94,14 @@ struct SweepSpec {
   std::vector<int> ks;
   std::vector<MacParamsSpec> macs;
   std::vector<WorkloadSpec> workloads;
-  /// Topology-dynamics axis (innermost); defaults to one static point.
+  /// Topology-dynamics axis; defaults to one static point.
   std::vector<DynamicsSpecNamed> dynamics = {DynamicsSpecNamed{}};
+  /// Churn-reaction axis (innermost, inside dynamics); defaults to one
+  /// reaction-free point, so classic sweeps keep their exact grid.
+  /// Unlike the kernel, a reaction *changes results* (the protocol
+  /// re-arms after recoveries), so it is part of the spec's canonical
+  /// form and fingerprint whenever non-default.
+  std::vector<core::ReactionSpec> reactions = {core::ReactionSpec{}};
 
   /// Seed range [seedBegin, seedEnd): one run per seed per cell.
   std::uint64_t seedBegin = 1;
@@ -134,7 +140,7 @@ struct SweepSpec {
 
   std::size_t cellCount() const {
     return topologies.size() * schedulers.size() * ks.size() * macs.size() *
-           workloads.size() * dynamics.size();
+           workloads.size() * dynamics.size() * reactions.size();
   }
   std::size_t seedsPerCell() const {
     return static_cast<std::size_t>(seedEnd - seedBegin);
@@ -143,10 +149,10 @@ struct SweepSpec {
 };
 
 /// Dense grid coordinates of one run.  Cells are numbered in
-/// (topology, scheduler, k, mac, workload, dynamics) lexicographic
-/// order; runs in (cell, seed) order.  enumerateRuns() is the single
-/// source of truth for this order, shared by the runner and the
-/// aggregator.
+/// (topology, scheduler, k, mac, workload, dynamics, reaction)
+/// lexicographic order; runs in (cell, seed) order.  enumerateRuns()
+/// is the single source of truth for this order, shared by the runner
+/// and the aggregator.
 struct RunPoint {
   std::size_t runIndex = 0;
   std::size_t cellIndex = 0;
@@ -156,6 +162,7 @@ struct RunPoint {
   std::size_t macIdx = 0;
   std::size_t wlIdx = 0;
   std::size_t dynIdx = 0;
+  std::size_t reactIdx = 0;
   std::uint64_t seed = 0;
 };
 
@@ -172,8 +179,10 @@ RunPoint runPointFor(const SweepSpec& spec, std::size_t runIndex);
 core::RunConfig runConfigFor(const SweepSpec& spec, const RunPoint& point);
 
 /// The ProtocolSpec for one generated network (FMMB params depend on
-/// n and k through the spec's factory).
-core::ProtocolSpec protocolSpecFor(const SweepSpec& spec, NodeId n, int k);
+/// n and k through the spec's factory; `reactIdx` picks the point on
+/// the churn-reaction axis).
+core::ProtocolSpec protocolSpecFor(const SweepSpec& spec, NodeId n, int k,
+                                   std::size_t reactIdx = 0);
 
 // --- canonical axis builders ------------------------------------------------
 // The common topology/workload families, pre-named for emitter output.

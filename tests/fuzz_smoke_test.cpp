@@ -7,6 +7,7 @@
 
 #include "check/fuzzer.h"
 #include "check/shrink.h"
+#include "phys/csma.h"
 
 namespace ammb::check {
 namespace {
@@ -55,6 +56,32 @@ TEST(FuzzSmoke, TwoHundredRandomExecutionsPassEveryOracle) {
   EXPECT_GE(topologyFamilies, 3);
   EXPECT_GE(schedulerKinds, 3);
   EXPECT_GT(streamingRuns, 0);
+}
+
+TEST(FuzzSmoke, KernelAndCsmaRotationsOverlapAndAreAudited) {
+  // The kernel rotation fires on i % 4 == 3 and the CSMA rotation on
+  // i % 5 == 2, so every i ≡ 7 (mod 20) BMMB case stacks both: a
+  // parallel kernel driving a realized contention MAC.  The per-case
+  // provenance the --json audit records (kernel / mac labels, also
+  // printed by toString) must carry both axes, and the CSMA rotation's
+  // envelope-derived time budget must not be truncated by the sampled
+  // cell's much smaller Fack.
+  const FuzzSpec spec = smokeSpec();
+  int stacked = 0;
+  for (int i = 7; i < spec.iterations; i += 20) {
+    const FuzzCase c = sampleCase(spec, i);
+    EXPECT_TRUE(c.kernel.parallel()) << toString(c);
+    if (c.protocol != ProtocolKind::kBmmb) continue;  // CSMA is BMMB-only
+    ++stacked;
+    EXPECT_FALSE(c.realization.abstract()) << toString(c);
+    const std::string label = toString(c);
+    EXPECT_NE(label.find(" kernel="), std::string::npos) << label;
+    EXPECT_NE(label.find(" mac="), std::string::npos) << label;
+    // The envelope budget dominates the abstract-cell budget (the
+    // engine enforces the envelope's Fack, not the sampled one).
+    EXPECT_GE(c.maxTime, bmmbFuzzTimeBudget(c.n, c.k, c.mac.fack)) << label;
+  }
+  EXPECT_GE(stacked, 1);
 }
 
 TEST(FuzzSmoke, SamplingIsSeedDeterministic) {
@@ -141,6 +168,29 @@ TEST(FuzzMutation, OffGPrimeSchedulerIsCaughtAndShrunk) {
     EXPECT_LE(ce.shrunk.n, ce.original.n);
     EXPECT_GE(ce.shrunk.n, 3) << ce.describe();
     EXPECT_EQ(ce.shrunk.k, 1) << ce.describe();
+  }
+}
+
+TEST(FuzzMutation, DropOnRecoveryQuiescenceIsCaught) {
+  // The negative fixture for the re-scoped dynamic liveness oracle:
+  // the sampler pins a stranding crash schedule with the retransmit
+  // reaction armed, and the mutant scheduler swallows the epoch
+  // notifications an honest engine would deliver.  The protocol never
+  // re-arms, the run drains unsolved with the final epoch connected,
+  // and the oracle must flag it.
+  const FuzzResult result =
+      runFuzz(mutationSpec(SchedulerMutation::kDropOnRecovery));
+  EXPECT_EQ(result.executions, 10);
+  EXPECT_GE(result.violations, 1);
+  ASSERT_FALSE(result.counterexamples.empty());
+  for (const Counterexample& ce : result.counterexamples) {
+    ASSERT_TRUE(ce.error.empty()) << ce.error;
+    bool liveness = false;
+    for (const std::string& v : ce.report.violations) {
+      if (v.find("liveness") != std::string::npos) liveness = true;
+    }
+    EXPECT_TRUE(liveness) << ce.describe();
+    EXPECT_LE(ce.shrunk.n, ce.original.n);
   }
 }
 

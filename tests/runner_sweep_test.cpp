@@ -268,7 +268,7 @@ TEST(Emitters, CsvAndJsonCarryTheGrid) {
                      "max_latency"),
             std::string::npos);
   EXPECT_NE(
-      csv.find("unit-sweep,bmmb,round-robin,line10,fast,2,f4a32,static"),
+      csv.find("unit-sweep,bmmb,round-robin,line10,fast,2,f4a32,static,none"),
       std::string::npos);
 
   const std::string json = runner::toJson(result);
@@ -280,8 +280,9 @@ TEST(Emitters, CsvAndJsonCarryTheGrid) {
   std::ostringstream runsCsv;
   runner::emitRunsCsv(result, runsCsv);
   EXPECT_NE(runsCsv.str().find("run_index,cell_index,"), std::string::npos);
-  EXPECT_NE(runsCsv.str().find("line10,fast,2,f4a32,round-robin,static,1,1,"),
-            std::string::npos);
+  EXPECT_NE(
+      runsCsv.str().find("line10,fast,2,f4a32,round-robin,static,none,1,1,"),
+      std::string::npos);
 }
 
 }  // namespace

@@ -1,7 +1,8 @@
 // ammb_fuzz — the fuzz campaign / golden snapshot driver.
 //
 //   ammb_fuzz [--iterations N] [--seed S]
-//             [--mutation none|late-ack|off-gprime|stale-topology]
+//             [--mutation none|late-ack|off-gprime|stale-topology|
+//                         drop-on-recovery]
 //             [--max-n N] [--bmmb-only] [--json PATH]
 //             [--golden-dir DIR] [--update-golden] [--check-golden]
 //

@@ -3,6 +3,7 @@
 //   ammb_sweep run SPEC.json [--shard I/N] [--threads T]
 //              [--kernel serial|parallel[:N]]
 //              [--mac abstract|csma[:slot,cwMin,cwMax,maxRetries,pCapture]]
+//              [--reaction none|retransmit|retransmit+remis[,...]]
 //              [--journal PATH [--resume]] [--shard-json PATH]
 //              [--json PATH] [--csv PATH] [--runs-csv PATH]
 //              [--allow-errors] [--allow-violations]
@@ -49,6 +50,8 @@ int usage() {
          "                  [--kernel serial|parallel[:N]]\n"
          "                  [--mac abstract|csma[:slot,cwMin,cwMax,"
          "maxRetries,pCapture]]\n"
+         "                  [--reaction none|retransmit|retransmit+remis"
+         "[,...]]\n"
          "                  [--journal PATH [--resume]] [--shard-json PATH]\n"
          "                  [--json PATH] [--csv PATH] [--runs-csv PATH]\n"
          "                  [--allow-errors] [--allow-violations]\n"
@@ -157,8 +160,8 @@ struct Args {
 int cmdRun(int argc, char** argv) {
   const Args args = Args::parse(
       argc, argv, 2,
-      {"--shard", "--threads", "--kernel", "--mac", "--journal",
-       "--shard-json", "--json", "--csv", "--runs-csv"},
+      {"--shard", "--threads", "--kernel", "--mac", "--reaction",
+       "--journal", "--shard-json", "--json", "--csv", "--runs-csv"},
       {"--resume", "--allow-errors", "--allow-violations"});
   if (args.positional.size() != 1) return usage();
   const std::string specPath = args.positional[0];
@@ -170,6 +173,21 @@ int cmdRun(int argc, char** argv) {
   // realized campaign — never against the abstract spec's shards.
   if (const std::string* macLabel = args.flag("--mac")) {
     doc.realization = mac::MacRealization::fromLabel(*macLabel);
+  }
+  // Also pre-fingerprint, for the same reason: a reaction changes the
+  // results, so an overridden run belongs to a different campaign than
+  // the file's.  The value is a comma-separated axis, replacing the
+  // spec's "reactions".
+  if (const std::string* reactions = args.flag("--reaction")) {
+    doc.reactions.clear();
+    std::string remaining = *reactions;
+    while (!remaining.empty()) {
+      const std::size_t comma = remaining.find(',');
+      doc.reactions.push_back(
+          core::ReactionSpec::fromLabel(remaining.substr(0, comma)));
+      remaining = comma == std::string::npos ? ""
+                                             : remaining.substr(comma + 1);
+    }
   }
   const std::string fingerprint = runner::specFingerprint(doc);
   runner::SweepSpec spec = runner::buildSweep(doc);
