@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <utility>
 
+#include "net/engine.h"
 #include "phys/csma.h"
 
 namespace ammb::core {
@@ -156,6 +157,48 @@ Experiment::Experiment(const graph::DualGraph& topology,
   }
   const mac::MacEngine::ProcessFactory factory =
       std::visit([](auto& suite) { return suite.factory(); }, suite_);
+  if (!config_.backend.sim()) {
+    // The net backend runs the same automata over UDP sockets; real
+    // message timing replaces the scheduler axis, and scripted
+    // topology dynamics have no real-time counterpart.
+    AMMB_REQUIRE(config_.dynamics.isStatic(),
+                 "the net backend requires static topology dynamics");
+    AMMB_REQUIRE(config_.realization.abstract(),
+                 "the net backend is itself the MAC realization — combine "
+                 "it only with the abstract realization");
+    AMMB_REQUIRE(!config_.scheduler.factory,
+                 "custom schedulers have no meaning on the net backend");
+    net::NetConfig netConfig;
+    netConfig.basePort = config_.backend.net.basePort;
+    netConfig.loss = config_.backend.net.loss;
+    netConfig.tickUs = config_.backend.net.tickUs;
+    netConfig.gPrimeAttempts = config_.backend.net.gPrimeAttempts;
+    netConfig.ackDelayTicks = config_.backend.net.ackDelayTicks;
+    netConfig.jitterUs = config_.backend.net.jitterUs;
+    netConfig.seed = config_.seed;
+    netConfig.recordTrace = config_.recordTrace;
+    netEngine_ = std::make_unique<net::NetEngine>(view_, config_.mac, factory,
+                                                  netConfig);
+    tracker_.attachStop([this] { netEngine_->requestStop(); },
+                        config_.limits.stopOnSolve);
+    netEngine_->setArriveHook([this](NodeId node, MsgId msg, Time at) {
+      tracker_.onArrive(node, msg, at);
+    });
+    netEngine_->setDeliverHook([this](NodeId node, MsgId msg, Time at) {
+      tracker_.onDeliver(node, msg, at);
+    });
+    netEngine_->setArrivalSource(
+        [this]() -> std::optional<net::NetEngine::ArrivalEvent> {
+          const std::optional<Arrival> arrival = arrivals_->next();
+          if (!arrival.has_value()) {
+            tracker_.markArrivalsComplete(netEngine_->now());
+            return std::nullopt;
+          }
+          return net::NetEngine::ArrivalEvent{arrival->node, arrival->msg,
+                                              arrival->at};
+        });
+    return;
+  }
   // A physical realization replaces the scheduler axis: contention
   // rounds, not a SchedulerKind, decide the timing.  The engine runs
   // under the realization's analytic envelope so every
@@ -197,15 +240,29 @@ Experiment::Experiment(const graph::DualGraph& topology,
       });
 }
 
+Experiment::~Experiment() = default;
+
+net::NetEngine& Experiment::netEngine() {
+  AMMB_REQUIRE(netEngine_ != nullptr,
+               "this experiment runs on the simulator backend");
+  return *netEngine_;
+}
+
+const sim::Trace& Experiment::trace() const {
+  return netEngine_ != nullptr ? netEngine_->trace() : engine_->trace();
+}
+
 RunResult Experiment::run() {
   const sim::RunStatus status =
-      engine_->run(config_.limits.maxTime, config_.limits.maxEvents);
+      netEngine_ != nullptr
+          ? netEngine_->run(config_.limits.maxTime, config_.limits.maxEvents)
+          : engine_->run(config_.limits.maxTime, config_.limits.maxEvents);
   RunResult result;
   result.solved = tracker_.solved();
   result.solveTime = tracker_.solved() ? tracker_.solveTime() : kTimeNever;
-  result.endTime = engine_->now();
+  result.endTime = netEngine_ != nullptr ? netEngine_->now() : engine_->now();
   result.status = status;
-  result.stats = engine_->stats();
+  result.stats = netEngine_ != nullptr ? netEngine_->stats() : engine_->stats();
   result.messages = tracker_.metrics();
   result.retransmits =
       std::visit([](auto& s) { return s.totalRetransmits(); }, suite_);

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "core/arrival.h"
+#include "core/backend.h"
 #include "core/bmmb.h"
 #include "core/fmmb.h"
 #include "core/mmb.h"
@@ -28,6 +29,10 @@
 #include "mac/lower_bound_scheduler.h"
 #include "mac/realization.h"
 #include "mac/schedulers.h"
+
+namespace ammb::net {
+class NetEngine;
+}
 
 namespace ammb::core {
 
@@ -191,6 +196,13 @@ struct RunConfig {
   /// scheduler factory (mutation fixtures) takes precedence: those
   /// fixtures *are* the scheduler under test.
   mac::MacRealization realization;
+  /// Execution backend (the simulator by default).  A net backend runs
+  /// the same protocol code over real UDP sockets and threads
+  /// (net::NetEngine); it requires a static topology and an abstract
+  /// realization, and replaces the scheduler axis — real message
+  /// timing decides.  Check traces of net runs against
+  /// phys::measureRealized fitted bounds, never against `mac`.
+  ExecutionBackend backend;
 };
 
 /// The MacParams the engine actually runs under: `config.mac` as
@@ -233,11 +245,22 @@ class Experiment {
   // arrival stream; the experiment must stay where it was built.
   Experiment(const Experiment&) = delete;
   Experiment& operator=(const Experiment&) = delete;
+  ~Experiment();
 
   /// Runs to completion (or limits) and reports.
   RunResult run();
 
-  mac::MacEngine& engine() { return *engine_; }
+  /// The simulator engine (requires a sim backend).
+  mac::MacEngine& engine() {
+    AMMB_REQUIRE(engine_ != nullptr,
+                 "this experiment runs on the net backend, which has no "
+                 "simulator engine — use trace()/netEngine()");
+    return *engine_;
+  }
+  /// The UDP backend engine (requires a net backend).
+  net::NetEngine& netEngine();
+  /// The recorded execution trace, whichever backend produced it.
+  const sim::Trace& trace() const;
   const SolveTracker& tracker() const { return tracker_; }
   ProtocolKind protocol() const { return protocol_.kind(); }
 
@@ -264,7 +287,9 @@ class Experiment {
   std::unique_ptr<ArrivalProcess> ownedArrivals_;
   ArrivalProcess* arrivals_ = nullptr;
   std::variant<BmmbSuite, FmmbSuite> suite_;
+  /// Exactly one of these is live, per config_.backend.
   std::unique_ptr<mac::MacEngine> engine_;
+  std::unique_ptr<net::NetEngine> netEngine_;
   SolveTracker tracker_;
 };
 

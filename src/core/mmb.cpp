@@ -75,14 +75,19 @@ SolveTracker::SolveTracker(const graph::DualGraph& topology,
 }
 
 void SolveTracker::attach(mac::MacEngine& engine, bool stopOnSolve) {
-  engine_ = &engine;
-  stopOnSolve_ = stopOnSolve;
+  attachStop([&engine] { engine.requestStop(); }, stopOnSolve);
   engine.setArriveHook([this](NodeId node, MsgId msg, Time at) {
     onArrive(node, msg, at);
   });
   engine.setDeliverHook([this](NodeId node, MsgId msg, Time at) {
     onDeliver(node, msg, at);
   });
+}
+
+void SolveTracker::attachStop(std::function<void()> requestStop,
+                              bool stopOnSolve) {
+  stopRequest_ = std::move(requestStop);
+  stopOnSolve_ = stopOnSolve;
 }
 
 Time SolveTracker::solveTime() const {
@@ -153,7 +158,7 @@ void SolveTracker::markArrivalsComplete(Time at) {
 void SolveTracker::maybeSolve(Time at) {
   if (solved() && solveTime_ == kTimeNever) {
     solveTime_ = at;
-    if (stopOnSolve_ && engine_ != nullptr) engine_->requestStop();
+    if (stopOnSolve_ && stopRequest_) stopRequest_();
   }
 }
 

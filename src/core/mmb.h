@@ -9,6 +9,7 @@
 // never before it arrived, and — for required nodes — at least once).
 #pragma once
 
+#include <functional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -113,6 +114,12 @@ class SolveTracker {
   /// solving delivery (protocols like FMMB never quiesce on their own).
   void attach(mac::MacEngine& engine, bool stopOnSolve = true);
 
+  /// Backend-agnostic form: the caller wires its own arrive/deliver
+  /// hooks to onArrive/onDeliver and supplies the stop request invoked
+  /// at the solving event.  This is how the net backend attaches —
+  /// there is no mac::MacEngine to hand over.
+  void attachStop(std::function<void()> requestStop, bool stopOnSolve = true);
+
   /// Observes one arrive event (idempotent per (node, msg)).
   void onArrive(NodeId node, MsgId msg, Time at);
 
@@ -159,7 +166,7 @@ class SolveTracker {
   int arrivedMsgs_ = 0;
   std::int64_t remaining_ = 0;
   Time solveTime_ = kTimeNever;
-  mac::MacEngine* engine_ = nullptr;
+  std::function<void()> stopRequest_;
   bool stopOnSolve_ = true;
 };
 

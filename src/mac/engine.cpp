@@ -30,55 +30,55 @@ InstanceId Scheduler::pickProgressDelivery(
 // Context
 // ---------------------------------------------------------------------------
 
-NodeId Context::n() const { return engine_.n(); }
+NodeId Context::n() const { return layer_.n(); }
 
 const std::vector<NodeId>& Context::gNeighbors() const {
-  return engine_.topology().g().neighbors(node_);
+  return layer_.topology().g().neighbors(node_);
 }
 
 const std::vector<NodeId>& Context::gPrimeNeighbors() const {
-  return engine_.topology().gPrime().neighbors(node_);
+  return layer_.topology().gPrime().neighbors(node_);
 }
 
 bool Context::isGNeighbor(NodeId v) const {
-  return engine_.topology().g().hasEdge(node_, v);
+  return layer_.topology().g().hasEdge(node_, v);
 }
 
-Rng& Context::rng() { return engine_.nodeRng(node_); }
+Rng& Context::rng() { return layer_.nodeRng(node_); }
 
 void Context::bcast(Packet packet) {
-  engine_.apiBcast(node_, std::move(packet));
+  layer_.apiBcast(node_, std::move(packet));
 }
 
-bool Context::busy() const { return engine_.apiBusy(node_); }
+bool Context::busy() const { return layer_.apiBusy(node_); }
 
-void Context::deliver(MsgId msg) { engine_.apiDeliver(node_, msg); }
+void Context::deliver(MsgId msg) { layer_.apiDeliver(node_, msg); }
 
 Time Context::now() const {
-  engine_.requireEnhanced("Context::now");
-  return engine_.now();
+  layer_.requireEnhanced("Context::now");
+  return layer_.now();
 }
 
 Time Context::fack() const {
-  engine_.requireEnhanced("Context::fack");
-  return engine_.params().fack;
+  layer_.requireEnhanced("Context::fack");
+  return layer_.params().fack;
 }
 
 Time Context::fprog() const {
-  engine_.requireEnhanced("Context::fprog");
-  return engine_.params().fprog;
+  layer_.requireEnhanced("Context::fprog");
+  return layer_.params().fprog;
 }
 
-TimerId Context::setTimerAt(Time at) { return engine_.apiSetTimer(node_, at); }
+TimerId Context::setTimerAt(Time at) { return layer_.apiSetTimer(node_, at); }
 
 TimerId Context::setTimerAfter(Time delay) {
   AMMB_REQUIRE(delay >= 0, "timer delay must be non-negative");
-  return engine_.apiSetTimer(node_, engine_.now() + delay);
+  return layer_.apiSetTimer(node_, layer_.now() + delay);
 }
 
-bool Context::cancelTimer(TimerId id) { return engine_.apiCancelTimer(id); }
+bool Context::cancelTimer(TimerId id) { return layer_.apiCancelTimer(id); }
 
-void Context::abortBcast() { engine_.apiAbort(node_); }
+void Context::abortBcast() { layer_.apiAbort(node_); }
 
 // ---------------------------------------------------------------------------
 // MacEngine

@@ -27,6 +27,7 @@
 #include "common/types.h"
 #include "graph/topology_view.h"
 #include "mac/instance.h"
+#include "mac/layer.h"
 #include "mac/oracle.h"
 #include "mac/params.h"
 #include "mac/process.h"
@@ -49,8 +50,10 @@ struct EngineStats {
   std::uint64_t arrives = 0;
 };
 
-/// The simulation engine for one execution.
-class MacEngine {
+/// The simulation engine for one execution.  Implements MacLayer, the
+/// execution seam Context routes through, so protocol automata run
+/// identically over this engine and the real network backend.
+class MacEngine : public MacLayer {
  public:
   using ProcessFactory = std::function<std::unique_ptr<Process>(NodeId)>;
   /// Hook fired on every protocol deliver(m) output.
@@ -145,19 +148,21 @@ class MacEngine {
   const ProtocolOracle* oracle() const { return oracle_; }
 
   // --- introspection ----------------------------------------------------
-  Time now() const { return queue_.now(); }
+  Time now() const override { return queue_.now(); }
   /// The *current epoch's* topology.  Schedulers, processes and the
   /// guard all read this, so they are epoch-aware for free; on a
   /// static view it is the exact DualGraph the engine was built over.
-  const graph::DualGraph& topology() const { return view_->dualAt(epoch_); }
+  const graph::DualGraph& topology() const override {
+    return view_->dualAt(epoch_);
+  }
   /// The full epoch-indexed view (offline checkers need every epoch).
   const graph::TopologyView& view() const { return *view_; }
   /// The epoch covering now().
   int currentEpoch() const { return epoch_; }
-  const MacParams& params() const { return params_; }
+  const MacParams& params() const override { return params_; }
   const sim::Trace& trace() const { return trace_; }
   const EngineStats& stats() const { return stats_; }
-  NodeId n() const { return view_->n(); }
+  NodeId n() const override { return view_->n(); }
 
   /// Start of the maximal run of epochs ending now throughout which
   /// {u, v} ∈ E; kTimeNever when the link is not live right now.  The
@@ -189,7 +194,6 @@ class MacEngine {
   const std::vector<InstanceId>& liveInstancesNear(NodeId node) const;
 
  private:
-  friend class Context;
   friend class ProgressGuard;
 
   struct NodeState {
@@ -214,15 +218,15 @@ class MacEngine {
     }
   };
 
-  // Context services -----------------------------------------------------
-  void apiBcast(NodeId node, Packet packet);
-  bool apiBusy(NodeId node) const;
-  void apiDeliver(NodeId node, MsgId msg);
-  TimerId apiSetTimer(NodeId node, Time at);
-  bool apiCancelTimer(TimerId id);
-  void apiAbort(NodeId node);
-  void requireEnhanced(const char* api) const;
-  Rng& nodeRng(NodeId node);
+  // Context services (MacLayer) -------------------------------------------
+  void apiBcast(NodeId node, Packet packet) override;
+  bool apiBusy(NodeId node) const override;
+  void apiDeliver(NodeId node, MsgId msg) override;
+  TimerId apiSetTimer(NodeId node, Time at) override;
+  bool apiCancelTimer(TimerId id) override;
+  void apiAbort(NodeId node) override;
+  void requireEnhanced(const char* api) const override;
+  Rng& nodeRng(NodeId node) override;
 
   // Internal machinery ----------------------------------------------------
   void fireArrive(NodeId node, MsgId msg);

@@ -11,18 +11,19 @@
 
 #include "common/rng.h"
 #include "common/types.h"
+#include "mac/layer.h"
 #include "mac/packet.h"
 #include "mac/params.h"
 
 namespace ammb::mac {
 
-class MacEngine;
-
 /// Facade through which a process talks to the MAC layer.  A Context is
-/// only valid for the duration of the callback it is passed to.
+/// only valid for the duration of the callback it is passed to.  The
+/// layer behind it may be the simulator engine or a real network
+/// backend — processes cannot tell the difference (mac/layer.h).
 class Context {
  public:
-  Context(MacEngine& engine, NodeId node) : engine_(engine), node_(node) {}
+  Context(MacLayer& layer, NodeId node) : layer_(layer), node_(node) {}
 
   // --- identity & topology knowledge (both models) -------------------
   /// This node's id.
@@ -70,7 +71,7 @@ class Context {
   void abortBcast();
 
  private:
-  MacEngine& engine_;
+  MacLayer& layer_;
   NodeId node_;
 };
 

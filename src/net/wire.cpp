@@ -1,0 +1,129 @@
+#include "net/wire.h"
+
+#include "common/error.h"
+
+namespace ammb::net {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x414d4d42;  // "AMMB"
+
+void put32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+void put64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  put32(out, static_cast<std::uint32_t>(v));
+  put32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+class Reader {
+ public:
+  Reader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return data_[pos_++];
+  }
+
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(data_[pos_ + i]) << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+  }
+
+  std::uint64_t u64() {
+    const std::uint64_t lo = u32();
+    const std::uint64_t hi = u32();
+    return lo | (hi << 32);
+  }
+
+  bool done() const { return pos_ == size_; }
+
+ private:
+  void need(std::size_t bytes) const {
+    AMMB_REQUIRE(pos_ + bytes <= size_, "truncated net datagram");
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> encodeDatagram(const WireDatagram& datagram) {
+  AMMB_REQUIRE(datagram.messages.size() <= kBatchLimit &&
+                   datagram.acks.size() <= kBatchLimit,
+               "net datagram exceeds the per-datagram batch limit");
+  std::vector<std::uint8_t> out;
+  put32(out, kMagic);
+  out.push_back(static_cast<std::uint8_t>(datagram.kind));
+  put32(out, static_cast<std::uint32_t>(datagram.from));
+  if (datagram.kind == WireKind::kAck) {
+    out.push_back(static_cast<std::uint8_t>(datagram.acks.size()));
+    for (std::uint64_t seq : datagram.acks) put64(out, seq);
+    return out;
+  }
+  out.push_back(static_cast<std::uint8_t>(datagram.messages.size()));
+  for (const WireMessage& m : datagram.messages) {
+    put64(out, m.seq);
+    put64(out, static_cast<std::uint64_t>(m.instance));
+    out.push_back(static_cast<std::uint8_t>(m.packet.kind));
+    put32(out, static_cast<std::uint32_t>(m.packet.sender));
+    put32(out, static_cast<std::uint32_t>(m.packet.tag));
+    put64(out, m.packet.bits);
+    put32(out, static_cast<std::uint32_t>(m.packet.msgs.size()));
+    for (MsgId msg : m.packet.msgs) put32(out, static_cast<std::uint32_t>(msg));
+  }
+  return out;
+}
+
+WireDatagram decodeDatagram(const std::uint8_t* data, std::size_t size) {
+  Reader in(data, size);
+  AMMB_REQUIRE(in.u32() == kMagic, "net datagram with bad magic");
+  WireDatagram out;
+  const std::uint8_t kind = in.u8();
+  AMMB_REQUIRE(kind == static_cast<std::uint8_t>(WireKind::kData) ||
+                   kind == static_cast<std::uint8_t>(WireKind::kAck),
+               "net datagram with unknown kind");
+  out.kind = static_cast<WireKind>(kind);
+  out.from = static_cast<NodeId>(in.u32());
+  const std::uint8_t count = in.u8();
+  AMMB_REQUIRE(count <= kBatchLimit,
+               "net datagram exceeds the per-datagram batch limit");
+  if (out.kind == WireKind::kAck) {
+    out.acks.reserve(count);
+    for (std::uint8_t i = 0; i < count; ++i) out.acks.push_back(in.u64());
+  } else {
+    out.messages.reserve(count);
+    for (std::uint8_t i = 0; i < count; ++i) {
+      WireMessage m;
+      m.seq = in.u64();
+      m.instance = static_cast<InstanceId>(in.u64());
+      m.packet.kind = static_cast<mac::PacketKind>(in.u8());
+      m.packet.sender = static_cast<NodeId>(in.u32());
+      m.packet.tag = static_cast<std::int32_t>(in.u32());
+      m.packet.bits = in.u64();
+      const std::uint32_t msgs = in.u32();
+      AMMB_REQUIRE(msgs <= 4096, "net datagram message list too long");
+      m.packet.msgs.reserve(msgs);
+      for (std::uint32_t j = 0; j < msgs; ++j) {
+        m.packet.msgs.push_back(static_cast<MsgId>(in.u32()));
+      }
+      out.messages.push_back(std::move(m));
+    }
+  }
+  AMMB_REQUIRE(in.done(), "net datagram with trailing bytes");
+  return out;
+}
+
+}  // namespace ammb::net

@@ -1,0 +1,58 @@
+// Datagram wire format of the UDP backend.
+//
+// Two datagram kinds travel between node sockets:
+//
+//   DATA — up to kBatchLimit link-layer messages, each a (seq, MAC
+//          packet) pair on one directed link.  Batching amortizes the
+//          per-datagram syscall + header cost: a retransmission sweep
+//          coalesces every due message of a link into one datagram.
+//   ACK  — up to kBatchLimit link-layer sequence numbers being
+//          acknowledged (one per received DATA message; cumulative
+//          acks would hide reordering the fault injector creates on
+//          purpose).
+//
+// Encoding is explicit little-endian with fixed-width fields — two
+// processes on the same loopback agree trivially, and the decoder
+// rejects malformed datagrams instead of trusting lengths.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "mac/packet.h"
+
+namespace ammb::net {
+
+/// Hard cap on messages (DATA) or acked seqs (ACK) per datagram.
+constexpr std::size_t kBatchLimit = 8;
+
+/// Datagram discriminator.
+enum class WireKind : std::uint8_t {
+  kData = 1,
+  kAck = 2,
+};
+
+/// One link-layer message: a MAC packet in flight on a directed link,
+/// identified by that link's sequence number.
+struct WireMessage {
+  std::uint64_t seq = 0;
+  InstanceId instance = kNoInstance;
+  mac::Packet packet;
+};
+
+/// One decoded datagram.
+struct WireDatagram {
+  WireKind kind = WireKind::kData;
+  NodeId from = kNoNode;                ///< sending node id
+  std::vector<WireMessage> messages;    ///< kData payload
+  std::vector<std::uint64_t> acks;      ///< kAck payload
+};
+
+/// Serializes `datagram` (throws if a batch limit is exceeded).
+std::vector<std::uint8_t> encodeDatagram(const WireDatagram& datagram);
+
+/// Parses a received datagram; throws ammb::Error on malformed input.
+WireDatagram decodeDatagram(const std::uint8_t* data, std::size_t size);
+
+}  // namespace ammb::net

@@ -91,8 +91,11 @@ RealizedBounds measureRealized(const graph::TopologyView& view,
 
   // Fit Fprog by bisection over the checker itself.  The progress
   // verdict is monotone in fprog (larger constants shorten need
-  // windows and widen cover intervals), and the run executed under the
-  // envelope's guard, so the upper bracket is always accepted.
+  // windows and widen cover intervals).  Runs driven by the simulator
+  // executed under the envelope's guard, so the envelope fprog starts
+  // accepted; net-backend runs obey no guard at all, so the bracket
+  // first grows (doubling up to the horizon) until a candidate is
+  // accepted, then bisects inside it.
   const auto accepted = [&](Time fprog) {
     mac::MacParams candidate = envelope;
     candidate.fprog = fprog;
@@ -104,15 +107,25 @@ RealizedBounds measureRealized(const graph::TopologyView& view,
   if (accepted(lo)) {
     hi = lo;
   } else {
-    // Invariant: accepted(hi), !accepted(lo).
-    while (lo + 1 < hi) {
-      const Time mid = lo + (hi - lo) / 2;
-      if (accepted(mid)) {
-        hi = mid;
-      } else {
-        lo = mid;
+    const Time cap = std::max<Time>(horizon, hi);
+    while (!accepted(hi) && hi < cap) {
+      lo = hi;
+      hi = std::min(cap, hi * 2);
+    }
+    if (accepted(hi)) {
+      // Invariant: accepted(hi), !accepted(lo).
+      while (lo + 1 < hi) {
+        const Time mid = lo + (hi - lo) / 2;
+        if (accepted(mid)) {
+          hi = mid;
+        } else {
+          lo = mid;
+        }
       }
     }
+    // else: no fprog up to the horizon satisfies the checker — a real
+    // violation (e.g. a rcv-after-ack) that no fitted bound can paper
+    // over; report the cap and let the caller's check fail loudly.
   }
   bounds.fittedFprog = hi;
   bounds.fittedFack = std::max(bounds.fittedFack, bounds.fittedFprog);

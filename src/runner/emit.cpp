@@ -4,6 +4,8 @@
 #include <ostream>
 #include <sstream>
 
+#include "runner/axis_codec.h"
+
 namespace ammb::runner {
 
 namespace {
@@ -65,7 +67,7 @@ void emitCellsCsv(const SweepResult& result, std::ostream& out) {
          "aborts,delivers,arrives,retransmits,checked_runs,check_violations,"
          "realization,measured_runs,realized_fprog_p50,realized_fprog_p95,"
          "realized_fprog_max,realized_fack_p50,realized_fack_p95,"
-         "realized_fack_max,fitted_fprog,fitted_fack\n";
+         "realized_fack_max,fitted_fprog,fitted_fack,backend\n";
   for (const CellAggregate& c : result.cells) {
     out << csvEscape(result.name) << ',' << core::toString(result.protocol)
         << ',' << csvEscape(c.workload) << ',' << csvEscape(c.topology)
@@ -84,7 +86,7 @@ void emitCellsCsv(const SweepResult& result, std::ostream& out) {
         << c.checkedRuns << ','
         << c.checkViolations << ',' << csvEscape(result.realization);
     emitRealizedCsv(c.measuredRuns, c.realized, out);
-    out << '\n';
+    out << ',' << csvEscape(result.backend) << '\n';
   }
 }
 
@@ -95,7 +97,7 @@ void emitRunsCsv(const SweepResult& result, std::ostream& out) {
          "max_latency,retransmits,error,checked,check_violations,trace_hash,"
          "realization,measured_samples,realized_fprog_p50,realized_fprog_p95,"
          "realized_fprog_max,realized_fack_p50,realized_fack_p95,"
-         "realized_fack_max,fitted_fprog,fitted_fack\n";
+         "realized_fack_max,fitted_fprog,fitted_fack,backend\n";
   for (const RunRecord& r : result.runs) {
     const CellAggregate& c = result.cell(r.point.cellIndex);
     out << r.point.runIndex << ',' << r.point.cellIndex << ','
@@ -120,7 +122,7 @@ void emitRunsCsv(const SweepResult& result, std::ostream& out) {
     out << ',' << csvEscape(r.realization);
     emitRealizedCsv(r.realized.measured() ? r.realized.ackSamples : 0,
                     r.realized, out);
-    out << '\n';
+    out << ',' << csvEscape(r.backend) << '\n';
   }
 }
 
@@ -133,6 +135,10 @@ void emitJson(const SweepResult& result, std::ostream& out) {
   if (result.realization != "abstract") {
     out << "  \"realization\": \"" << json::escape(result.realization)
         << "\",\n";
+  }
+  // Likewise only for net-backend sweeps.
+  if (result.backend != "sim") {
+    out << "  \"backend\": \"" << json::escape(result.backend) << "\",\n";
   }
   out << "  \"seed_begin\": " << result.seedBegin << ",\n"
       << "  \"seed_end\": " << result.seedEnd << ",\n"
@@ -275,13 +281,11 @@ json::Value recordToJson(const RunRecord& record) {
     o.emplace_back("react_idx", record.point.reactIdx);
   }
   o.emplace_back("seed", static_cast<std::int64_t>(record.point.seed));
-  o.emplace_back("kernel", record.kernel);
-  // Realization provenance is emitted only when it deviates from the
-  // abstract default, so record files written before the field existed
-  // — and every abstract shard/journal — keep their exact bytes.
-  if (record.realization != "abstract") {
-    o.emplace_back("mac_realization", record.realization);
-  }
+  // Execution-axis provenance (kernel, mac_realization, backend) via
+  // the shared codec table; result-bearing axes are elided at their
+  // defaults so record files written before each field existed — and
+  // every abstract/sim shard or journal — keep their exact bytes.
+  emitRecordAxes(o, record);
   if (record.realized.measured()) {
     Object realized;
     realized.emplace_back("fprog_p50", record.realized.fprogP50);
@@ -373,32 +377,25 @@ RunRecord recordFromJson(const json::Value& value,
   }
   record.point.seed = static_cast<std::uint64_t>(
       member(value, "seed", context).asInt(context + ".seed"));
-  // Optional for compatibility with record files written before the
-  // kernel field existed (those were always serial).
-  if (const Value* kernel = value.find("kernel"); kernel != nullptr) {
-    record.kernel = kernel->asString(context + ".kernel");
-  }
-  // Optional: only realized records carry these (see recordToJson).
-  if (const Value* realization = value.find("mac_realization");
-      realization != nullptr) {
-    record.realization =
-        realization->asString(context + ".mac_realization");
-  }
+  // Every execution-axis key is optional for compatibility with record
+  // files written before that axis existed; absent keys keep the
+  // RunRecord defaults ("serial" / "abstract" / "sim").
+  parseRecordAxes(record, value, context);
   if (const Value* realized = value.find("realized"); realized != nullptr) {
     const std::string rc = context + ".realized";
     phys::RealizedBounds& r = record.realized;
-    r.fprogP50 = member(*realized, "fprog_p50", rc).asInt(rc);
-    r.fprogP95 = member(*realized, "fprog_p95", rc).asInt(rc);
-    r.fprogMax = member(*realized, "fprog_max", rc).asInt(rc);
-    r.fackP50 = member(*realized, "fack_p50", rc).asInt(rc);
-    r.fackP95 = member(*realized, "fack_p95", rc).asInt(rc);
-    r.fackMax = member(*realized, "fack_max", rc).asInt(rc);
-    r.fittedFprog = member(*realized, "fitted_fprog", rc).asInt(rc);
-    r.fittedFack = member(*realized, "fitted_fack", rc).asInt(rc);
+    r.fprogP50 = member(*realized, "fprog_p50", rc).asInt(rc + ".fprog_p50");
+    r.fprogP95 = member(*realized, "fprog_p95", rc).asInt(rc + ".fprog_p95");
+    r.fprogMax = member(*realized, "fprog_max", rc).asInt(rc + ".fprog_max");
+    r.fackP50 = member(*realized, "fack_p50", rc).asInt(rc + ".fack_p50");
+    r.fackP95 = member(*realized, "fack_p95", rc).asInt(rc + ".fack_p95");
+    r.fackMax = member(*realized, "fack_max", rc).asInt(rc + ".fack_max");
+    r.fittedFprog = member(*realized, "fitted_fprog", rc).asInt(rc + ".fitted_fprog");
+    r.fittedFack = member(*realized, "fitted_fack", rc).asInt(rc + ".fitted_fack");
     r.ackSamples = static_cast<std::uint64_t>(
-        member(*realized, "ack_samples", rc).asInt(rc));
+        member(*realized, "ack_samples", rc).asInt(rc + ".ack_samples"));
     r.progSamples = static_cast<std::uint64_t>(
-        member(*realized, "prog_samples", rc).asInt(rc));
+        member(*realized, "prog_samples", rc).asInt(rc + ".prog_samples"));
   }
   record.error = member(value, "error", context).asString(context + ".error");
   record.result.solved =
@@ -418,35 +415,35 @@ RunRecord recordFromJson(const json::Value& value,
   const Value& stats = member(value, "stats", context);
   const std::string statsContext = context + ".stats";
   record.result.stats.bcasts = static_cast<std::uint64_t>(
-      member(stats, "bcasts", statsContext).asInt(statsContext));
+      member(stats, "bcasts", statsContext).asInt(statsContext + ".bcasts"));
   record.result.stats.rcvs = static_cast<std::uint64_t>(
-      member(stats, "rcvs", statsContext).asInt(statsContext));
+      member(stats, "rcvs", statsContext).asInt(statsContext + ".rcvs"));
   record.result.stats.forcedRcvs = static_cast<std::uint64_t>(
-      member(stats, "forced_rcvs", statsContext).asInt(statsContext));
+      member(stats, "forced_rcvs", statsContext).asInt(statsContext + ".forced_rcvs"));
   record.result.stats.acks = static_cast<std::uint64_t>(
-      member(stats, "acks", statsContext).asInt(statsContext));
+      member(stats, "acks", statsContext).asInt(statsContext + ".acks"));
   record.result.stats.aborts = static_cast<std::uint64_t>(
-      member(stats, "aborts", statsContext).asInt(statsContext));
+      member(stats, "aborts", statsContext).asInt(statsContext + ".aborts"));
   record.result.stats.delivers = static_cast<std::uint64_t>(
-      member(stats, "delivers", statsContext).asInt(statsContext));
+      member(stats, "delivers", statsContext).asInt(statsContext + ".delivers"));
   record.result.stats.arrives = static_cast<std::uint64_t>(
-      member(stats, "arrives", statsContext).asInt(statsContext));
+      member(stats, "arrives", statsContext).asInt(statsContext + ".arrives"));
 
   const Value& messages = member(value, "messages", context);
   const std::string mmContext = context + ".messages";
   core::MessageMetrics& mm = record.result.messages;
   mm.arrived = static_cast<std::uint64_t>(
-      member(messages, "arrived", mmContext).asInt(mmContext));
+      member(messages, "arrived", mmContext).asInt(mmContext + ".arrived"));
   mm.completed = static_cast<std::uint64_t>(
-      member(messages, "completed", mmContext).asInt(mmContext));
+      member(messages, "completed", mmContext).asInt(mmContext + ".completed"));
   mm.p50Latency =
-      member(messages, "p50_latency", mmContext).asInt(mmContext);
+      member(messages, "p50_latency", mmContext).asInt(mmContext + ".p50_latency");
   mm.p95Latency =
-      member(messages, "p95_latency", mmContext).asInt(mmContext);
+      member(messages, "p95_latency", mmContext).asInt(mmContext + ".p95_latency");
   mm.maxLatency =
-      member(messages, "max_latency", mmContext).asInt(mmContext);
+      member(messages, "max_latency", mmContext).asInt(mmContext + ".max_latency");
   mm.meanLatency =
-      member(messages, "mean_latency", mmContext).asDouble(mmContext);
+      member(messages, "mean_latency", mmContext).asDouble(mmContext + ".mean_latency");
   for (const Value& entry :
        member(messages, "per_message", mmContext).asArray(mmContext)) {
     const Array& triple = entry.asArray(mmContext + ".per_message[]");

@@ -4,6 +4,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "runner/axis_codec.h"
+
 namespace ammb::runner {
 
 namespace {
@@ -51,34 +53,39 @@ constexpr core::SchedulerKind kAllSchedulers[] = {
     core::SchedulerKind::kLowerBound,
 };
 
-TopologyDoc::Kind topologyKindFromString(const std::string& name) {
+TopologyDoc::Kind topologyKindFromString(const std::string& name,
+                                          const std::string& context) {
   for (const auto& entry : kTopologyKinds) {
     if (name == entry.name) return entry.kind;
   }
-  throw Error("unknown topology kind \"" + name +
+  throw Error(context + ": unknown topology kind \"" + name +
               "\" (expected line, line-r, line-arb, grey-field, network-c)");
 }
 
-WorkloadDoc::Kind workloadKindFromString(const std::string& name) {
+WorkloadDoc::Kind workloadKindFromString(const std::string& name,
+                                          const std::string& context) {
   for (const auto& entry : kWorkloadKinds) {
     if (name == entry.name) return entry.kind;
   }
   throw Error(
-      "unknown workload kind \"" + name +
+      context + ": unknown workload kind \"" + name +
       "\" (expected all-at-node, round-robin, spread, random, online, "
       "poisson, bursty, staggered)");
 }
 
-core::ProtocolKind protocolFromString(const std::string& name) {
+core::ProtocolKind protocolFromString(const std::string& name,
+                                      const std::string& context) {
   if (name == "bmmb") return core::ProtocolKind::kBmmb;
   if (name == "fmmb") return core::ProtocolKind::kFmmb;
-  throw Error("unknown protocol \"" + name + "\" (expected bmmb or fmmb)");
+  throw Error(context + ": unknown protocol \"" + name +
+              "\" (expected bmmb or fmmb)");
 }
 
-mac::ModelVariant variantFromString(const std::string& name) {
+mac::ModelVariant variantFromString(const std::string& name,
+                                    const std::string& context) {
   if (name == "standard") return mac::ModelVariant::kStandard;
   if (name == "enhanced") return mac::ModelVariant::kEnhanced;
-  throw Error("unknown MAC variant \"" + name +
+  throw Error(context + ": unknown MAC variant \"" + name +
               "\" (expected standard or enhanced)");
 }
 
@@ -86,10 +93,11 @@ std::string toString(mac::ModelVariant variant) {
   return variant == mac::ModelVariant::kEnhanced ? "enhanced" : "standard";
 }
 
-core::FmmbParams::Mode fmmbModeFromString(const std::string& name) {
+core::FmmbParams::Mode fmmbModeFromString(const std::string& name,
+                                          const std::string& context) {
   if (name == "interleaved") return core::FmmbParams::Mode::kInterleaved;
   if (name == "sequential") return core::FmmbParams::Mode::kSequential;
-  throw Error("unknown fmmb mode \"" + name +
+  throw Error(context + ": unknown fmmb mode \"" + name +
               "\" (expected interleaved or sequential)");
 }
 
@@ -197,7 +205,7 @@ void requireProbability(double v, const std::string& context) {
 TopologyDoc parseTopology(const Value& value, const std::string& context) {
   Fields f(value, context);
   TopologyDoc doc;
-  doc.kind = topologyKindFromString(f.requireString("kind"));
+  doc.kind = topologyKindFromString(f.requireString("kind"), f.path("kind"));
   // Range checks are eager so a typoed committed spec fails at
   // `ammb_sweep print` / spec-validation time, not per-run mid-sweep.
   switch (doc.kind) {
@@ -242,7 +250,7 @@ TopologyDoc parseTopology(const Value& value, const std::string& context) {
 WorkloadDoc parseWorkload(const Value& value, const std::string& context) {
   Fields f(value, context);
   WorkloadDoc doc;
-  doc.kind = workloadKindFromString(f.requireString("kind"));
+  doc.kind = workloadKindFromString(f.requireString("kind"), f.path("kind"));
   switch (doc.kind) {
     case WorkloadDoc::Kind::kAllAtNode:
       doc.node = toIntField(f.optInt("node", 0), f.path("node"));
@@ -286,7 +294,8 @@ MacDoc parseMac(const Value& value, const std::string& context) {
   doc.params.epsAbort = f.optInt("eps_abort", doc.params.epsAbort);
   doc.params.msgCapacity = toIntField(
       f.optInt("msg_capacity", doc.params.msgCapacity), f.path("msg_capacity"));
-  doc.params.variant = variantFromString(f.optString("variant", "standard"));
+  doc.params.variant =
+      variantFromString(f.optString("variant", "standard"), f.path("variant"));
   doc.name = f.optString("name", "f" + std::to_string(doc.params.fprog) + "a" +
                                      std::to_string(doc.params.fack));
   AMMB_REQUIRE(!doc.name.empty(), context + ".name must be non-empty");
@@ -295,11 +304,12 @@ MacDoc parseMac(const Value& value, const std::string& context) {
   return doc;
 }
 
-core::DynamicsSpec::Kind dynamicsKindFromString(const std::string& name) {
+core::DynamicsSpec::Kind dynamicsKindFromString(const std::string& name,
+                                                const std::string& context) {
   if (name == "static") return core::DynamicsSpec::Kind::kStatic;
   if (name == "crash") return core::DynamicsSpec::Kind::kCrash;
   if (name == "grey-drift") return core::DynamicsSpec::Kind::kGreyDrift;
-  throw Error("unknown dynamics kind \"" + name +
+  throw Error(context + ": unknown dynamics kind \"" + name +
               "\" (expected static, crash, grey-drift)");
 }
 
@@ -315,7 +325,8 @@ std::string toString(core::DynamicsSpec::Kind kind) {
 DynamicsDoc parseDynamics(const Value& value, const std::string& context) {
   Fields f(value, context);
   DynamicsDoc doc;
-  doc.spec.kind = dynamicsKindFromString(f.requireString("kind"));
+  doc.spec.kind =
+      dynamicsKindFromString(f.requireString("kind"), f.path("kind"));
   switch (doc.spec.kind) {
     case core::DynamicsSpec::Kind::kStatic:
       break;
@@ -349,7 +360,8 @@ FmmbDoc parseFmmb(const Value& value, const std::string& context) {
   Fields f(value, context);
   FmmbDoc doc;
   doc.c = f.optDouble("c", doc.c);
-  doc.mode = fmmbModeFromString(f.optString("mode", "interleaved"));
+  doc.mode =
+      fmmbModeFromString(f.optString("mode", "interleaved"), f.path("mode"));
   doc.strictPaperPhases = f.optBool("strict_paper_phases", false);
   f.rejectUnknown();
   AMMB_REQUIRE(doc.c >= 1.0, context + ".c must be >= 1");
@@ -419,7 +431,8 @@ SpecDoc parseSpec(const std::string& jsonText) {
   SpecDoc doc;
   doc.name = f.requireString("name");
   AMMB_REQUIRE(!doc.name.empty(), "spec.name must be non-empty");
-  doc.protocol = protocolFromString(f.requireString("protocol"));
+  doc.protocol =
+      protocolFromString(f.requireString("protocol"), f.path("protocol"));
 
   const Array& topologies = f.require("topologies").asArray("spec.topologies");
   for (std::size_t i = 0; i < topologies.size(); ++i) {
@@ -456,20 +469,34 @@ SpecDoc parseSpec(const std::string& jsonText) {
     AMMB_REQUIRE(!doc.dynamics.empty(),
                  "spec.dynamics must not be an empty array");
   }
-  if (const Value* reactions = f.find("reactions"); reactions != nullptr) {
-    doc.reactions.clear();
-    const Array& entries = reactions->asArray("spec.reactions");
-    for (std::size_t i = 0; i < entries.size(); ++i) {
-      const std::string context = "spec.reactions[" + std::to_string(i) + "]";
-      try {
-        doc.reactions.push_back(
-            core::ReactionSpec::fromLabel(entries[i].asString(context)));
-      } catch (const std::exception& e) {
-        throw Error(context + ": " + e.what());
+  // The tagged-label execution axes (kernel / mac / reactions /
+  // backend) all parse through the axis table: one optional key each,
+  // defaulting, with errors naming the full key path.
+  for (const AxisCodec& codec : axisCodecs()) {
+    if (codec.multi) {
+      const Value* entriesValue = f.find(codec.specKey);
+      if (entriesValue == nullptr) continue;
+      const Array& entries = entriesValue->asArray(f.path(codec.specKey));
+      AMMB_REQUIRE(!entries.empty(), f.path(codec.specKey) +
+                                         " must not be an empty array");
+      for (std::size_t i = 0; i < entries.size(); ++i) {
+        const std::string context =
+            f.path(codec.specKey) + "[" + std::to_string(i) + "]";
+        const std::string label = entries[i].asString(context);
+        try {
+          codec.parseInto(doc, label, i == 0);
+        } catch (const std::exception& e) {
+          throw Error(context + ": " + e.what());
+        }
       }
+      continue;
     }
-    AMMB_REQUIRE(!doc.reactions.empty(),
-                 "spec.reactions must not be an empty array");
+    const std::string label = f.optString(codec.specKey, codec.defaultLabel);
+    try {
+      codec.parseInto(doc, label, true);
+    } catch (const std::exception& e) {
+      throw Error(f.path(codec.specKey) + ": " + e.what());
+    }
   }
 
   const std::int64_t seedBegin = f.requireInt("seed_begin");
@@ -495,18 +522,6 @@ SpecDoc parseSpec(const std::string& jsonText) {
   doc.lowerBoundLineLength =
       toIntField(f.optInt("lower_bound_line_length", 0),
                  "spec.lower_bound_line_length");
-  try {
-    doc.kernel = sim::KernelSpec::fromLabel(f.optString("kernel", "serial"));
-  } catch (const std::exception& e) {
-    throw Error(std::string("spec.kernel: ") + e.what());
-  }
-  try {
-    doc.realization =
-        mac::MacRealization::fromLabel(f.optString("mac", "abstract"));
-  } catch (const std::exception& e) {
-    throw Error(std::string("spec.mac: ") + e.what());
-  }
-
   if (const Value* fmmb = f.find("fmmb"); fmmb != nullptr) {
     doc.hasFmmb = true;
     doc.fmmb = parseFmmb(*fmmb, "spec.fmmb");
@@ -654,13 +669,7 @@ std::string writeSpec(const SpecDoc& doc) {
   // pre-existing spec's canonical form (and fingerprint) is unchanged;
   // a reactive axis changes results, so when present it is part of
   // the fingerprint like "mac".
-  if (doc.reactions.size() != 1 || !doc.reactions.front().none()) {
-    Array reactions;
-    for (const core::ReactionSpec& r : doc.reactions) {
-      reactions.emplace_back(r.label());
-    }
-    root.emplace_back("reactions", std::move(reactions));
-  }
+  emitSpecAxis(root, doc, axisCodec("reaction"));
 
   root.emplace_back("seed_begin", static_cast<std::int64_t>(doc.seedBegin));
   root.emplace_back("seed_end", static_cast<std::int64_t>(doc.seedEnd));
@@ -673,17 +682,13 @@ std::string writeSpec(const SpecDoc& doc) {
   root.emplace_back("max_events", static_cast<std::int64_t>(doc.maxEvents));
   root.emplace_back("discipline", toString(doc.discipline));
   root.emplace_back("lower_bound_line_length", doc.lowerBoundLineLength);
-  // Emitted only when non-serial: the default's omission keeps every
-  // existing spec's canonical serialization (and fingerprint) stable.
-  if (doc.kernel.parallel()) {
-    root.emplace_back("kernel", doc.kernel.label());
-  }
-  // Same omission rule for the MAC realization — but note the
-  // realization, unlike the kernel, changes results, so when present
-  // it *is* part of the fingerprint.
-  if (!doc.realization.abstract()) {
-    root.emplace_back("mac", doc.realization.label());
-  }
+  // Emitted only when non-default, so every existing spec's canonical
+  // serialization (and fingerprint) is stable.  The kernel is a pure
+  // wall-clock knob; "mac" and "backend" change results, so when
+  // present they *are* part of the fingerprint.
+  emitSpecAxis(root, doc, axisCodec("kernel"));
+  emitSpecAxis(root, doc, axisCodec("mac"));
+  emitSpecAxis(root, doc, axisCodec("backend"));
   if (doc.hasFmmb) {
     Object fmmb;
     fmmb.emplace_back("c", doc.fmmb.c);
@@ -771,6 +776,7 @@ SweepSpec buildSweep(const SpecDoc& doc) {
   spec.lowerBoundLineLength = doc.lowerBoundLineLength;
   spec.kernel = doc.kernel;
   spec.realization = doc.realization;
+  spec.backend = doc.backend;
   if (doc.hasFmmb) {
     const FmmbDoc fmmb = doc.fmmb;
     spec.fmmbParams = [fmmb](NodeId n, int k) {

@@ -55,6 +55,8 @@
 //     "kernel": "serial" | "parallel" | "parallel:N",
 //     "mac": "abstract" | "csma" |
 //            "csma:<slot>,<cwMin>,<cwMax>,<maxRetries>,<pCapture>",
+//     "backend": "sim" | "net" | "net:<basePort>,<loss>,<tickUs>,
+//                <gPrimeAttempts>,<ackDelayTicks>,<jitterUs>",
 //     // Required iff protocol == "fmmb":
 //     "fmmb": {"c": 1.5, "mode": "interleaved" | "sequential",
 //              "strict_paper_phases": false}
@@ -173,6 +175,12 @@ struct SpecDoc {
   /// *before* fingerprinting — a realized campaign can never merge or
   /// resume against abstract shards.
   mac::MacRealization realization;
+  /// Execution backend, the "backend" key ("sim" when the file omits
+  /// it; serialized only when non-sim, keeping existing fingerprints
+  /// stable).  Like "mac" it changes results — real UDP executions
+  /// have measured, not scheduled, timing — so the `--backend`
+  /// override is likewise applied before fingerprinting.
+  core::ExecutionBackend backend;
 };
 
 /// Parses and validates a spec document.  Throws ammb::Error naming

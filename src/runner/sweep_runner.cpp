@@ -60,6 +60,9 @@ std::string runHeader(const SweepSpec& spec, const RunPoint& point) {
   if (!spec.reactions[point.reactIdx].none()) {
     header += " reaction=" + spec.reactions[point.reactIdx].label();
   }
+  if (!spec.backend.sim()) {
+    header += " backend=" + spec.backend.label();
+  }
   return header + " seed=" + std::to_string(point.seed);
 }
 
@@ -70,6 +73,7 @@ RunRecord executeRun(const SweepSpec& spec, const RunPoint& point) {
   record.point = point;
   record.kernel = spec.kernel.label();
   record.realization = spec.realization.label();
+  record.backend = spec.backend.label();
   try {
     const graph::DualGraph topology =
         spec.topologies[point.topoIdx].make(point.seed);
@@ -95,7 +99,7 @@ RunRecord executeRun(const SweepSpec& spec, const RunPoint& point) {
     }
     core::Experiment experiment(topology, protocol, *arrivals, config);
     record.result = experiment.run();
-    const sim::Trace& trace = experiment.engine().trace();
+    const sim::Trace& trace = experiment.trace();
     record.checked = true;
     record.traceHash = check::traceHash(trace);
     // Check under the params the engine really ran under (for physical
@@ -105,7 +109,9 @@ RunRecord executeRun(const SweepSpec& spec, const RunPoint& point) {
     // the constants the physical MAC actually induced.
     const mac::MacParams envelope = core::effectiveMacParams(config);
     mac::MacParams checkParams = envelope;
-    if (!spec.realization.abstract()) {
+    // Net-backend runs have measured, not scheduled, timing — fit
+    // bounds from the trace exactly as for a physical realization.
+    if (!spec.realization.abstract() || !spec.backend.sim()) {
       record.realized = phys::measureRealized(experiment.view(), envelope,
                                               trace, record.result.endTime);
       checkParams = phys::fittedParams(record.realized, envelope);
@@ -120,8 +126,9 @@ RunRecord executeRun(const SweepSpec& spec, const RunPoint& point) {
       // checkExecution on the envelope and re-check the MAC axioms
       // under the fitted bounds on top.  BMMB has no parameter
       // coupling and checks everything under the fitted bounds.
-      const bool fmmbRealized = protocol.kind() == core::ProtocolKind::kFmmb &&
-                                !spec.realization.abstract();
+      const bool fmmbRealized =
+          protocol.kind() == core::ProtocolKind::kFmmb &&
+          (!spec.realization.abstract() || !spec.backend.sim());
       check::OracleReport report = check::checkExecution(
           experiment.view(), protocol, fmmbRealized ? envelope : checkParams,
           workload, trace, record.result);
@@ -176,6 +183,7 @@ SweepResult aggregateRecords(const SweepSpec& spec,
   result.name = spec.name;
   result.protocol = spec.protocol;
   result.realization = spec.realization.label();
+  result.backend = spec.backend.label();
   result.seedBegin = spec.seedBegin;
   result.seedEnd = spec.seedEnd;
   result.threads = options.threads;

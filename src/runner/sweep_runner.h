@@ -33,8 +33,12 @@ struct RunRecord {
   /// kernel this is result-bearing provenance: realized runs derive
   /// their timing from simulated contention.
   std::string realization = "abstract";
+  /// Execution backend label ("sim", "net:...").  Result-bearing
+  /// provenance like the realization: net runs carry measured timing.
+  std::string backend = "sim";
   /// Realized Fprog/Fack bounds measured from the trace (physical
-  /// realizations on checked runs only; default-zero otherwise).
+  /// realizations and net-backend checked runs only; default-zero
+  /// otherwise).
   phys::RealizedBounds realized;
 
   // Trace-checking outcome (CheckMode sweeps only).
@@ -116,6 +120,9 @@ struct SweepResult {
   /// Sweep-level MAC realization label ("abstract" unless the spec —
   /// or a `--mac` override — selected a physical layer).
   std::string realization = "abstract";
+  /// Sweep-level execution backend label ("sim" unless the spec — or
+  /// a `--backend` override — selected the net backend).
+  std::string backend = "sim";
   std::uint64_t seedBegin = 0;
   std::uint64_t seedEnd = 0;
   int threads = 1;

@@ -46,6 +46,19 @@ void SweepSpec::validate() const {
   for (const MacParamsSpec& m : macs) m.params.validate();
   AMMB_REQUIRE(!keepCanonicalTraces || check != CheckMode::kOff,
                "keepCanonicalTraces requires a CheckMode");
+  if (!backend.sim()) {
+    // Fail the whole campaign at validation time rather than once per
+    // run: every grid point would hit the same Experiment precondition.
+    AMMB_REQUIRE(realization.abstract(),
+                 "the net backend realizes the MAC layer with real sockets; "
+                 "it cannot be combined with a physical realization (\"mac\" "
+                 "must be abstract)");
+    for (const DynamicsSpecNamed& d : dynamics) {
+      AMMB_REQUIRE(d.spec.isStatic(),
+                   "the net backend requires static topologies; dynamics "
+                   "point '" + d.name + "' is not static");
+    }
+  }
   if (protocol == core::ProtocolKind::kFmmb) {
     AMMB_REQUIRE(fmmbParams != nullptr,
                  "FMMB sweeps need an FmmbParamsFactory");
@@ -141,6 +154,7 @@ core::RunConfig runConfigFor(const SweepSpec& spec, const RunPoint& point) {
   config.limits.maxEvents = spec.maxEvents;
   config.kernel = spec.kernel;
   config.realization = spec.realization;
+  config.backend = spec.backend;
   return config;
 }
 

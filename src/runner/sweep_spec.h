@@ -133,6 +133,14 @@ struct SweepSpec {
   /// realization replaces the scheduler axis with simulated contention
   /// — so it is part of the spec's canonical form and fingerprint.
   mac::MacRealization realization;
+  /// Execution backend for every run of the sweep ("sim" by default).
+  /// The net backend runs each grid point over real UDP sockets on
+  /// loopback; like the realization it changes results (timing is
+  /// measured, not scheduled) and is part of the canonical form and
+  /// fingerprint.  Requires static dynamics and the abstract
+  /// realization; the scheduler axis is not consulted (a real network
+  /// has no adversarial scheduler to pick).
+  core::ExecutionBackend backend;
 
   /// Throws ammb::Error on an ill-formed spec (empty axis, missing
   /// generators, empty seed range, missing or stray FMMB factory, ...).

@@ -5,7 +5,11 @@
 // `ammb_sweep compare`.
 #include <gtest/gtest.h>
 
+#include <sstream>
+
+#include "runner/axis_codec.h"
 #include "runner/compare.h"
+#include "runner/emit.h"
 #include "runner/spec_io.h"
 
 namespace ammb {
@@ -237,6 +241,142 @@ TEST(SpecIo, EveryWorkloadAndTopologyKindRoundTrips) {
   EXPECT_EQ(runner::writeSpec(runner::parseSpec(canonical)), canonical);
   const SweepSpec spec = runner::buildSweep(runner::parseSpec(text));
   EXPECT_EQ(spec.cellCount(), 5u * 6u * 1u * 1u * 7u);
+}
+
+// --- key-path errors & the execution-axis codec -----------------------------
+
+std::string parseErrorOf(const std::string& text) {
+  try {
+    runner::parseSpec(text);
+  } catch (const std::exception& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "expected parseSpec to throw for: " << text;
+  return "";
+}
+
+std::string specWithExtra(const std::string& extra) {
+  return R"({"name": "x", "protocol": "bmmb",
+             "topologies": [{"kind": "line", "n": 8}],
+             "schedulers": ["fast"], "ks": [1], "macs": [{}],
+             "workloads": [{"kind": "round-robin"}],
+             "seed_begin": 1, "seed_end": 2)" +
+         extra + "}";
+}
+
+TEST(SpecIo, ErrorsNameTheFullKeyPath) {
+  // A malformed entry deep in a list must be reported by its exact
+  // position, not just by value — campaign files are long.
+  EXPECT_NE(parseErrorOf(specWithExtra(
+                R"(, "dynamics": [{"kind": "static"}, {"kind": "melt"}])"))
+                .find("spec.dynamics[1].kind"),
+            std::string::npos);
+  EXPECT_NE(parseErrorOf(specWithExtra(R"(, "reactions": ["none", "panic"])"))
+                .find("spec.reactions[1]"),
+            std::string::npos);
+  EXPECT_NE(parseErrorOf(specWithExtra(R"(, "kernel": "quantum")"))
+                .find("spec.kernel"),
+            std::string::npos);
+  EXPECT_NE(parseErrorOf(specWithExtra(R"(, "mac": "tdma")"))
+                .find("spec.mac"),
+            std::string::npos);
+  EXPECT_NE(parseErrorOf(specWithExtra(R"(, "backend": "tcp")"))
+                .find("spec.backend"),
+            std::string::npos);
+  EXPECT_NE(parseErrorOf(R"({"name": "x", "protocol": "smtp",
+      "topologies": [{"kind": "line", "n": 8}],
+      "schedulers": ["fast"], "ks": [1], "macs": [{}],
+      "workloads": [{"kind": "round-robin"}],
+      "seed_begin": 1, "seed_end": 2})")
+                .find("spec.protocol"),
+            std::string::npos);
+  EXPECT_NE(parseErrorOf(R"({"name": "x", "protocol": "bmmb",
+      "topologies": [{"kind": "torus", "n": 8}],
+      "schedulers": ["fast"], "ks": [1], "macs": [{}],
+      "workloads": [{"kind": "round-robin"}],
+      "seed_begin": 1, "seed_end": 2})")
+                .find("spec.topologies[0].kind"),
+            std::string::npos);
+  EXPECT_NE(parseErrorOf(R"({"name": "x", "protocol": "bmmb",
+      "topologies": [{"kind": "line", "n": 8}],
+      "schedulers": ["fast"], "ks": [1], "macs": [{}],
+      "workloads": [{"kind": "round-robin"}, {"kind": "trickle"}],
+      "seed_begin": 1, "seed_end": 2})")
+                .find("spec.workloads[1].kind"),
+            std::string::npos);
+}
+
+TEST(SpecIo, BackendAxisRoundTripsAndFingerprints) {
+  const SpecDoc simDoc = runner::parseSpec(kMinimalSpec);
+  EXPECT_TRUE(simDoc.backend.sim());
+  // Omitted key -> sim -> not serialized: the canonical form (and hence
+  // every pre-existing spec fingerprint) is unchanged.
+  EXPECT_EQ(runner::writeSpec(simDoc).find("\"backend\":"),
+            std::string::npos);
+
+  const std::string netText = specWithExtra(
+      R"(, "backend": "net:19000,0.1,200,3,0,0")");
+  const SpecDoc netDoc = runner::parseSpec(netText);
+  EXPECT_EQ(netDoc.backend.label(), "net:19000,0.1,200,3,0,0");
+  const std::string written = runner::writeSpec(netDoc);
+  EXPECT_NE(written.find("\"backend\": \"net:19000,0.1,200,3,0,0\""),
+            std::string::npos);
+  EXPECT_EQ(runner::parseSpec(written).backend, netDoc.backend);
+  // The backend changes results, so it must change the fingerprint.
+  EXPECT_NE(runner::specFingerprint(runner::parseSpec(specWithExtra(""))),
+            runner::specFingerprint(netDoc));
+  EXPECT_EQ(runner::buildSweep(netDoc).backend, netDoc.backend);
+}
+
+TEST(SpecIo, NetBackendRequiresStaticAbstractSweep) {
+  EXPECT_NO_THROW(runner::buildSweep(
+      runner::parseSpec(specWithExtra(R"(, "backend": "net")"))));
+  // A real network cannot re-wire itself per epoch...
+  EXPECT_THROW(runner::buildSweep(runner::parseSpec(specWithExtra(
+                   R"(, "backend": "net",
+                       "dynamics": [{"kind": "crash", "crashes": 1,
+                                     "period": 64, "down_for": 24}])"))),
+               Error);
+  // ...and already realizes the MAC layer itself.
+  EXPECT_THROW(runner::buildSweep(runner::parseSpec(specWithExtra(
+                   R"(, "backend": "net", "mac": "csma")"))),
+               Error);
+}
+
+TEST(SpecIo, AxisOverridesApplyThroughTheCodecTable) {
+  SpecDoc doc = runner::parseSpec(kMinimalSpec);
+  runner::applyAxisOverride(doc, runner::axisCodec("backend"),
+                            "net:19000,0.1,200,3,0,0");
+  EXPECT_EQ(doc.backend.label(), "net:19000,0.1,200,3,0,0");
+  runner::applyAxisOverride(doc, runner::axisCodec("reaction"),
+                            "retransmit,retransmit+remis");
+  ASSERT_EQ(doc.reactions.size(), 2u);
+  EXPECT_EQ(doc.reactions[1].label(), "retransmit+remis");
+  runner::applyAxisOverride(doc, runner::axisCodec("kernel"), "parallel:2");
+  EXPECT_EQ(doc.kernel.label(), "parallel:2");
+  // Errors name the CLI flag the bad value arrived through.
+  try {
+    runner::applyAxisOverride(doc, runner::axisCodec("backend"), "tcp");
+    FAIL() << "expected an override error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("--backend"), std::string::npos);
+  }
+}
+
+TEST(SpecIo, RecordJsonCarriesBackendOnlyWhenNonDefault) {
+  runner::RunRecord record;
+  record.backend = "net:19000,0.25,200,5,0,0";
+  const runner::RunRecord back =
+      runner::recordFromJson(runner::recordToJson(record), "record");
+  EXPECT_EQ(back.backend, record.backend);
+  EXPECT_EQ(back.kernel, "serial");
+
+  // Sim records keep their pre-backend serialization: no "backend" key,
+  // while "kernel" (which predates elision) is always present.
+  std::ostringstream dumped;
+  runner::json::dump(runner::recordToJson(runner::RunRecord{}), dumped);
+  EXPECT_EQ(dumped.str().find("\"backend\""), std::string::npos);
+  EXPECT_NE(dumped.str().find("\"kernel\""), std::string::npos);
 }
 
 #ifdef AMMB_SWEEPS_DIR

@@ -83,4 +83,19 @@ if(rc EQUAL 0)
   message(FATAL_ERROR "compare accepted a perturbed result document")
 endif()
 
+# A bad execution-axis override must fail fast (before any run starts)
+# with a message naming the flag it arrived through.
+execute_process(
+  COMMAND ${AMMB_SWEEP} run "${SPEC}" --backend tcp
+  WORKING_DIRECTORY "${WORKDIR}"
+  RESULT_VARIABLE rc
+  OUTPUT_QUIET
+  ERROR_VARIABLE err)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "run accepted an unknown --backend value")
+endif()
+if(NOT err MATCHES "--backend")
+  message(FATAL_ERROR "override error does not name --backend:\n${err}")
+endif()
+
 message(STATUS "sweep CLI e2e: shard/merge/resume/compare all consistent")

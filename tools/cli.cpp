@@ -1,0 +1,98 @@
+#include "tools/cli.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace ammb::tools {
+
+std::string readFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  AMMB_REQUIRE(in.good(), "cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void writeFile(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  AMMB_REQUIRE(out.good(), "cannot write " + path);
+  out << text;
+  AMMB_REQUIRE(out.good(), "write to " + path + " failed");
+}
+
+int parseIntFlag(const std::string& flag, const std::string& value) {
+  std::size_t used = 0;
+  int parsed = 0;
+  try {
+    parsed = std::stoi(value, &used);
+  } catch (const std::exception&) {
+    used = std::string::npos;
+  }
+  AMMB_REQUIRE(used == value.size(),
+               flag + " needs an integer (got \"" + value + "\")");
+  return parsed;
+}
+
+double parseDoubleFlag(const std::string& flag, const std::string& value) {
+  std::size_t used = 0;
+  double parsed = 0.0;
+  try {
+    parsed = std::stod(value, &used);
+  } catch (const std::exception&) {
+    used = std::string::npos;
+  }
+  AMMB_REQUIRE(used == value.size(),
+               flag + " needs a number (got \"" + value + "\")");
+  return parsed;
+}
+
+std::uint64_t parseU64Flag(const std::string& flag, const std::string& value) {
+  std::size_t used = 0;
+  unsigned long long parsed = 0;
+  try {
+    parsed = std::stoull(value, &used);
+  } catch (const std::exception&) {
+    used = std::string::npos;
+  }
+  AMMB_REQUIRE(used == value.size() && value[0] != '-',
+               flag + " needs a non-negative integer (got \"" + value +
+                   "\")");
+  return static_cast<std::uint64_t>(parsed);
+}
+
+Args Args::parse(int argc, char** argv, int start,
+                 const std::vector<std::string>& valueFlags,
+                 const std::vector<std::string>& boolFlags) {
+  Args args;
+  for (int i = start; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      args.positional.push_back(arg);
+      continue;
+    }
+    bool known = false;
+    for (const std::string& flag : boolFlags) {
+      if (arg == flag) {
+        args.flags.emplace_back(arg, "");
+        known = true;
+        break;
+      }
+    }
+    if (known) continue;
+    for (const std::string& flag : valueFlags) {
+      if (arg == flag) {
+        // A following "--..." is a forgotten value, not a value.
+        AMMB_REQUIRE(
+            i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0,
+            arg + " needs a value");
+        args.flags.emplace_back(arg, argv[++i]);
+        known = true;
+        break;
+      }
+    }
+    AMMB_REQUIRE(known, "unknown flag " + arg);
+  }
+  return args;
+}
+
+}  // namespace ammb::tools

@@ -1,0 +1,50 @@
+// Shared CLI plumbing for the ammb_* tools.
+//
+// Both binaries want the same few things — whole-file IO that throws
+// ammb::Error naming the path, whole-token numeric flag parsing, and a
+// tiny argv splitter with declared value/bool flags — so they live
+// here once instead of drifting apart per tool.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/error.h"
+
+namespace ammb::tools {
+
+/// The entire file as one string; throws naming the path.
+std::string readFile(const std::string& path);
+
+/// Truncating whole-file write; throws naming the path.
+void writeFile(const std::string& path, const std::string& text);
+
+/// Whole-token numeric flag parsing: trailing garbage is an error
+/// naming the flag, not a silently shortened value.
+int parseIntFlag(const std::string& flag, const std::string& value);
+double parseDoubleFlag(const std::string& flag, const std::string& value);
+std::uint64_t parseU64Flag(const std::string& flag, const std::string& value);
+
+/// Pull the value of a --flag from an argv-style list.  Flags must be
+/// declared up front (value-taking vs boolean); anything else starting
+/// with "--" is an unknown-flag error, the rest are positional.
+struct Args {
+  std::vector<std::string> positional;
+  std::vector<std::pair<std::string, std::string>> flags;
+
+  static Args parse(int argc, char** argv, int start,
+                    const std::vector<std::string>& valueFlags,
+                    const std::vector<std::string>& boolFlags);
+
+  const std::string* flag(const std::string& name) const {
+    for (const auto& [key, value] : flags) {
+      if (key == name) return &value;
+    }
+    return nullptr;
+  }
+  bool has(const std::string& name) const { return flag(name) != nullptr; }
+};
+
+}  // namespace ammb::tools

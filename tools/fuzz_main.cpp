@@ -19,6 +19,7 @@
 
 #include "check/fuzzer.h"
 #include "check/golden.h"
+#include "tools/cli.h"
 
 namespace {
 
@@ -109,39 +110,43 @@ int main(int argc, char** argv) {
   check::FuzzSpec spec;
   std::string jsonPath;
   std::string goldenDir;
-  bool updateGolden = false;
-  bool checkGolden = false;
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    const auto value = [&]() -> std::string {
-      if (i + 1 >= argc) {
-        std::cerr << arg << " needs a value\n";
-        std::exit(usage(argv[0]));
-      }
-      return argv[++i];
-    };
-    if (arg == "--iterations") spec.iterations = std::stoi(value());
-    else if (arg == "--seed") spec.masterSeed = std::stoull(value());
-    else if (arg == "--mutation")
-      spec.mutation = check::mutationFromString(value());
-    else if (arg == "--max-n")
-      spec.maxN = static_cast<NodeId>(std::stoi(value()));
-    else if (arg == "--bmmb-only")
+  tools::Args args;
+  try {
+    args = tools::Args::parse(
+        argc, argv, 1,
+        {"--iterations", "--seed", "--mutation", "--max-n", "--json",
+         "--golden-dir"},
+        {"--bmmb-only", "--update-golden", "--check-golden"});
+    if (!args.positional.empty()) return usage(argv[0]);
+    if (const std::string* v = args.flag("--iterations")) {
+      spec.iterations = tools::parseIntFlag("--iterations", *v);
+    }
+    if (const std::string* v = args.flag("--seed")) {
+      spec.masterSeed = tools::parseU64Flag("--seed", *v);
+    }
+    if (const std::string* v = args.flag("--mutation")) {
+      spec.mutation = check::mutationFromString(*v);
+    }
+    if (const std::string* v = args.flag("--max-n")) {
+      spec.maxN = static_cast<NodeId>(tools::parseIntFlag("--max-n", *v));
+    }
+    if (args.has("--bmmb-only")) {
       spec.protocols = {core::ProtocolKind::kBmmb};
-    else if (arg == "--json") jsonPath = value();
-    else if (arg == "--golden-dir") goldenDir = value();
-    else if (arg == "--update-golden") updateGolden = true;
-    else if (arg == "--check-golden") checkGolden = true;
-    else return usage(argv[0]);
+    }
+    if (const std::string* v = args.flag("--json")) jsonPath = *v;
+    if (const std::string* v = args.flag("--golden-dir")) goldenDir = *v;
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return usage(argv[0]);
   }
 
-  if (updateGolden || checkGolden) {
+  if (args.has("--update-golden") || args.has("--check-golden")) {
     if (goldenDir.empty()) {
       std::cerr << "golden modes need --golden-dir\n";
       return usage(argv[0]);
     }
-    return runGoldens(goldenDir, updateGolden);
+    return runGoldens(goldenDir, args.has("--update-golden"));
   }
 
   const auto started = std::chrono::steady_clock::now();

@@ -36,13 +36,20 @@
 #include <unordered_set>
 #include <vector>
 
+#include "runner/axis_codec.h"
 #include "runner/compare.h"
 #include "runner/emit.h"
 #include "runner/spec_io.h"
+#include "tools/cli.h"
 
 namespace {
 
 using namespace ammb;
+using tools::Args;
+using tools::parseDoubleFlag;
+using tools::parseIntFlag;
+using tools::readFile;
+using tools::writeFile;
 
 int usage() {
   std::cerr
@@ -52,6 +59,8 @@ int usage() {
          "maxRetries,pCapture]]\n"
          "                  [--reaction none|retransmit|retransmit+remis"
          "[,...]]\n"
+         "                  [--backend sim|net[:basePort,loss,tickUs,"
+         "gPrimeAttempts,ackDelayTicks,jitterUs]]\n"
          "                  [--journal PATH [--resume]] [--shard-json PATH]\n"
          "                  [--json PATH] [--csv PATH] [--runs-csv PATH]\n"
          "                  [--allow-errors] [--allow-violations]\n"
@@ -63,141 +72,38 @@ int usage() {
   return 2;
 }
 
-std::string readFile(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  AMMB_REQUIRE(in.good(), "cannot open " + path);
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return buffer.str();
-}
-
-void writeFile(const std::string& path, const std::string& text) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  AMMB_REQUIRE(out.good(), "cannot write " + path);
-  out << text;
-  AMMB_REQUIRE(out.good(), "write to " + path + " failed");
-}
-
-/// Whole-token numeric flag parsing: trailing garbage is an error
-/// naming the flag, not a silently shortened value.
-int parseIntFlag(const std::string& flag, const std::string& value) {
-  std::size_t used = 0;
-  int parsed = 0;
-  try {
-    parsed = std::stoi(value, &used);
-  } catch (const std::exception&) {
-    used = std::string::npos;
-  }
-  AMMB_REQUIRE(used == value.size(),
-               flag + " needs an integer (got \"" + value + "\")");
-  return parsed;
-}
-
-double parseDoubleFlag(const std::string& flag, const std::string& value) {
-  std::size_t used = 0;
-  double parsed = 0.0;
-  try {
-    parsed = std::stod(value, &used);
-  } catch (const std::exception&) {
-    used = std::string::npos;
-  }
-  AMMB_REQUIRE(used == value.size(),
-               flag + " needs a number (got \"" + value + "\")");
-  return parsed;
-}
-
-/// Pull the value of a --flag from an argv-style list.
-struct Args {
-  std::vector<std::string> positional;
-  std::vector<std::pair<std::string, std::string>> flags;
-
-  static Args parse(int argc, char** argv, int start,
-                    const std::vector<std::string>& valueFlags,
-                    const std::vector<std::string>& boolFlags) {
-    Args args;
-    for (int i = start; i < argc; ++i) {
-      const std::string arg = argv[i];
-      if (arg.rfind("--", 0) != 0) {
-        args.positional.push_back(arg);
-        continue;
-      }
-      bool known = false;
-      for (const std::string& flag : boolFlags) {
-        if (arg == flag) {
-          args.flags.emplace_back(arg, "");
-          known = true;
-          break;
-        }
-      }
-      if (known) continue;
-      for (const std::string& flag : valueFlags) {
-        if (arg == flag) {
-          // A following "--..." is a forgotten value, not a value.
-          AMMB_REQUIRE(i + 1 < argc && std::string(argv[i + 1]).rfind(
-                                           "--", 0) != 0,
-                       arg + " needs a value");
-          args.flags.emplace_back(arg, argv[++i]);
-          known = true;
-          break;
-        }
-      }
-      AMMB_REQUIRE(known, "unknown flag " + arg);
-    }
-    return args;
-  }
-
-  const std::string* flag(const std::string& name) const {
-    for (const auto& [key, value] : flags) {
-      if (key == name) return &value;
-    }
-    return nullptr;
-  }
-  bool has(const std::string& name) const { return flag(name) != nullptr; }
-};
-
 // --- run --------------------------------------------------------------------
 
 int cmdRun(int argc, char** argv) {
   const Args args = Args::parse(
       argc, argv, 2,
       {"--shard", "--threads", "--kernel", "--mac", "--reaction",
-       "--journal", "--shard-json", "--json", "--csv", "--runs-csv"},
+       "--backend", "--journal", "--shard-json", "--json", "--csv",
+       "--runs-csv"},
       {"--resume", "--allow-errors", "--allow-violations"});
   if (args.positional.size() != 1) return usage();
   const std::string specPath = args.positional[0];
 
   runner::SpecDoc doc = runner::loadSpecFile(specPath);
-  // Applied before the fingerprint is taken: unlike the kernel, the
-  // MAC realization changes the results, so a run with a --mac
-  // override can only journal/merge against shards of the same
-  // realized campaign — never against the abstract spec's shards.
-  if (const std::string* macLabel = args.flag("--mac")) {
-    doc.realization = mac::MacRealization::fromLabel(*macLabel);
-  }
-  // Also pre-fingerprint, for the same reason: a reaction changes the
-  // results, so an overridden run belongs to a different campaign than
-  // the file's.  The value is a comma-separated axis, replacing the
-  // spec's "reactions".
-  if (const std::string* reactions = args.flag("--reaction")) {
-    doc.reactions.clear();
-    std::string remaining = *reactions;
-    while (!remaining.empty()) {
-      const std::size_t comma = remaining.find(',');
-      doc.reactions.push_back(
-          core::ReactionSpec::fromLabel(remaining.substr(0, comma)));
-      remaining = comma == std::string::npos ? ""
-                                             : remaining.substr(comma + 1);
+  // Result-bearing axis overrides (--mac, --reaction, --backend) apply
+  // before the fingerprint is taken: they change results, so an
+  // overridden run belongs to a different campaign than the file's and
+  // can only journal/merge against shards of that same campaign.
+  for (const runner::AxisCodec& codec : runner::axisCodecs()) {
+    if (!codec.resultBearing) continue;
+    if (const std::string* value = args.flag(codec.cliFlag)) {
+      runner::applyAxisOverride(doc, codec, *value);
     }
   }
   const std::string fingerprint = runner::specFingerprint(doc);
-  runner::SweepSpec spec = runner::buildSweep(doc);
-  // Applied after the fingerprint is taken: the kernel is a pure
+  // The kernel applies after the fingerprint is taken: it is a pure
   // wall-clock knob (parallel runs are bit-identical to serial), so a
   // shard run with an override still journals/merges against shards
   // produced with any other kernel.
   if (const std::string* kernel = args.flag("--kernel")) {
-    spec.kernel = sim::KernelSpec::fromLabel(*kernel);
+    runner::applyAxisOverride(doc, runner::axisCodec("kernel"), *kernel);
   }
+  runner::SweepSpec spec = runner::buildSweep(doc);
 
   runner::Shard shard;
   if (const std::string* s = args.flag("--shard")) {
