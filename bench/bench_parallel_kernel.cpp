@@ -20,55 +20,45 @@
 //       on under serial / parallel:4 / parallel:8 and writes a fully
 //       deterministic document (trace hashes, engine stats, solve
 //       times, identity and allocation-bound booleans — no wall
-//       clocks), exit-coded on any cross-kernel divergence.  The test
-//       suite diffs that document against
+//       clocks) plus the process's machine-dependent peak_rss_mb,
+//       exit-coded on any cross-kernel divergence.  The test suite
+//       diffs that document against
 //       sweeps/baselines/BENCH_parallel_check.json via
-//       `ammb_sweep compare` at zero tolerance.
-#include <atomic>
+//       `ammb_sweep compare --ignore-key peak_rss_mb` at zero
+//       tolerance on everything else.
+//
+//   bench_parallel_kernel --spool-gate OUT.json [--rss-ceiling-mb N]
+//       Out-of-core gate.  One checked n = 1e5 grey-zone-field run with
+//       the trace spooled to disk and every oracle attached as a
+//       streaming consumer (trace hash, full MAC + MMB + protocol
+//       checks) — the peak-RSS point of the trace-pipeline claim.
+//       Exit-codes on an oracle violation or, when a ceiling is given,
+//       on peak RSS above it.
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
-#include <new>
 #include <string>
 #include <thread>
 #include <vector>
 
+#define AMMB_BENCH_COUNT_ALLOCS
+#include "bench_util.h"
+
 #include "check/golden.h"
+#include "check/oracles.h"
 #include "common/rng.h"
 #include "core/experiment.h"
 #include "graph/generators.h"
 #include "runner/json.h"
 #include "sim/parallel_kernel.h"
 
-// --- run-phase allocation counting ------------------------------------------
-// Satellite evidence for the pooled/flattened engine containers: with
-// scratch vectors at their high-water mark, the run phase should
-// allocate far less than once per delivery.  Relaxed atomics keep the
-// counters exact (totals, not orderings) under the worker pool.
-
 namespace {
-std::atomic<std::uint64_t> g_allocOps{0};
-std::atomic<std::uint64_t> g_allocBytes{0};
 
-void* countedAlloc(std::size_t size) {
-  g_allocOps.fetch_add(1, std::memory_order_relaxed);
-  g_allocBytes.fetch_add(size, std::memory_order_relaxed);
-  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
-  throw std::bad_alloc();
-}
-}  // namespace
-
-void* operator new(std::size_t size) { return countedAlloc(size); }
-void* operator new[](std::size_t size) { return countedAlloc(size); }
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete[](void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
-
-namespace {
+using ammb::bench::g_allocBytes;
+using ammb::bench::g_allocOps;
 
 using namespace ammb;
 namespace json = runner::json;
@@ -271,10 +261,101 @@ int runCheck(const std::string& outPath) {
   doc.emplace_back("bench", "parallel_kernel_check");
   doc.emplace_back("protocol", "bmmb");
   doc.emplace_back("scenarios", std::move(scenarioDocs));
+  // Machine measurement, not simulation output: the compare gate
+  // excludes it (--ignore-key peak_rss_mb).
+  doc.emplace_back("peak_rss_mb", bench::peakRssMb());
   writeJson(outPath, doc);
   if (!allIdentical) {
     std::fprintf(stderr,
                  "FAIL: parallel kernel diverged from the serial oracle\n");
+    return 1;
+  }
+  return 0;
+}
+
+// --- spool gate --------------------------------------------------------------
+
+// One checked million-event-class run, out of core: the n = 1e5 field
+// with the trace spooled to disk and the whole checking stack attached
+// as streaming consumers.  Everything the run produces (hash, verdict,
+// stats) is deterministic; peak_rss_mb is the machine-dependent
+// evidence that checked runs no longer hold the event log in memory.
+int runSpoolGate(const std::string& outPath, double rssCeilingMb) {
+  Scenario s;
+  s.name = "grey1e5-spool-checked";
+  s.n = 100'000;
+  s.avgDegree = 16.0;
+  s.k = 8;
+  s.maxTime = 1'000'000;
+  const graph::DualGraph topology = buildField(s);
+  const core::MmbWorkload workload = workloadFor(s);
+  const core::ProtocolSpec protocol = core::bmmbProtocol();
+
+  core::RunConfig config;
+  config.mac.fprog = kFprog;
+  config.mac.fack = kFack;
+  config.mac.variant = mac::ModelVariant::kStandard;
+  config.scheduler = core::SchedulerKind::kRandom;
+  config.limits.maxTime = s.maxTime;
+  config.seed = 1;
+  config.recordTrace = true;
+  config.traceMode = sim::TraceMode::spool();
+
+  core::Experiment experiment(topology, protocol, workload, config);
+  check::TraceHasher hasher;
+  check::ExecutionChecker checker(experiment.view(), protocol, config.mac,
+                                  workload);
+  experiment.mutableTrace().attachConsumer(&hasher);
+  experiment.mutableTrace().attachConsumer(&checker);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const core::RunResult result = experiment.run();
+  const check::OracleReport report = checker.finish(result);
+  const double wallMs = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+  const double peakRss = bench::peakRssMb();
+  const bool withinCeiling = rssCeilingMb <= 0.0 || peakRss <= rssCeilingMb;
+
+  json::Object doc;
+  doc.emplace_back("bench", "trace_spool_gate");
+  doc.emplace_back("protocol", "bmmb");
+  doc.emplace_back("name", s.name);
+  doc.emplace_back("n", static_cast<std::int64_t>(s.n));
+  doc.emplace_back("k", s.k);
+  doc.emplace_back("trace_mode", config.traceMode.label());
+  doc.emplace_back("check", "full");
+  doc.emplace_back("solved", result.solved);
+  doc.emplace_back("solve_time", static_cast<std::int64_t>(result.solveTime));
+  doc.emplace_back("end_time", static_cast<std::int64_t>(result.endTime));
+  doc.emplace_back("trace_hash", hashHex(hasher.hash()));
+  doc.emplace_back("stats", statsJson(result.stats));
+  doc.emplace_back("check_ok", report.ok);
+  doc.emplace_back("check_violations",
+                   static_cast<std::int64_t>(report.violations.size()));
+  // Machine measurement; the compare gate ignores it.
+  doc.emplace_back("peak_rss_mb", peakRss);
+  writeJson(outPath, doc);
+
+  std::printf(
+      "%s: %s, trace=%s, %llu rcvs, %s, peak RSS %.1f MiB%s, %.0f ms\n",
+      s.name.c_str(), result.solved ? "solved" : "UNSOLVED",
+      hashHex(hasher.hash()).c_str(),
+      static_cast<unsigned long long>(result.stats.rcvs),
+      report.ok ? "oracles green" : "ORACLE VIOLATIONS", peakRss,
+      rssCeilingMb > 0.0
+          ? (std::string(" (ceiling ") + std::to_string(rssCeilingMb) + ")")
+                .c_str()
+          : "",
+      wallMs);
+  for (const std::string& v : report.violations) {
+    std::fprintf(stderr, "oracle violation: %s\n", v.c_str());
+  }
+  if (!report.ok) return 1;
+  if (!withinCeiling) {
+    std::fprintf(stderr,
+                 "FAIL: peak RSS %.1f MiB exceeds the %.1f MiB ceiling\n",
+                 peakRss, rssCeilingMb);
     return 1;
   }
   return 0;
@@ -383,6 +464,8 @@ int main(int argc, char** argv) {
   int reps = 3;
   std::string outPath;
   std::string checkPath;
+  std::string spoolGatePath;
+  double rssCeilingMb = 0.0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--quick") {
@@ -394,14 +477,20 @@ int main(int argc, char** argv) {
       outPath = argv[++i];
     } else if (arg == "--check" && i + 1 < argc) {
       checkPath = argv[++i];
+    } else if (arg == "--spool-gate" && i + 1 < argc) {
+      spoolGatePath = argv[++i];
+    } else if (arg == "--rss-ceiling-mb" && i + 1 < argc) {
+      rssCeilingMb = std::atof(argv[++i]);
     } else {
       std::fprintf(stderr,
                    "usage: bench_parallel_kernel [--quick] [--reps N] "
-                   "[--out BENCH.json] | --check OUT.json\n");
+                   "[--out BENCH.json] | --check OUT.json | "
+                   "--spool-gate OUT.json [--rss-ceiling-mb N]\n");
       return 2;
     }
   }
   try {
+    if (!spoolGatePath.empty()) return runSpoolGate(spoolGatePath, rssCeilingMb);
     if (!checkPath.empty()) return runCheck(checkPath);
     return runTiming(quick, reps, outPath);
   } catch (const std::exception& e) {

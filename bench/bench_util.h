@@ -9,16 +9,40 @@
 // output can be compared to Figure 1 / Figure 2 at a glance.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <new>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include <sys/resource.h>
 
 #include "core/experiment.h"
 #include "runner/emit.h"
 #include "runner/sweep_runner.h"
 
 namespace ammb::bench {
+
+/// Peak resident set size of this process in MiB (Linux ru_maxrss is
+/// KiB).  A measurement of the machine, not the simulation: bench
+/// documents that carry it must be compared with
+/// `ammb_sweep compare --ignore-key peak_rss_mb`.
+inline double peakRssMb() {
+  struct rusage usage {};
+  getrusage(RUSAGE_SELF, &usage);
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;
+}
+
+#ifdef AMMB_BENCH_COUNT_ALLOCS
+/// Run-phase allocation counters, fed by the replacement operator new
+/// below.  Relaxed atomics keep the totals exact (orderings don't
+/// matter) under a worker pool.
+inline std::atomic<std::uint64_t> g_allocOps{0};
+inline std::atomic<std::uint64_t> g_allocBytes{0};
+#endif
 
 /// One row of a paper-style results table.
 struct Row {
@@ -101,3 +125,29 @@ inline Time mustSolveCell(const runner::CellAggregate& cell) {
 }
 
 }  // namespace ammb::bench
+
+#ifdef AMMB_BENCH_COUNT_ALLOCS
+// Counted global operator new: satellite evidence for the pooled /
+// flattened engine containers.  A replaceable operator may be defined
+// in exactly one translation unit, so only the binary's main .cpp may
+// define AMMB_BENCH_COUNT_ALLOCS before including this header.
+namespace ammb::bench::detail {
+inline void* countedAlloc(std::size_t size) {
+  g_allocOps.fetch_add(1, std::memory_order_relaxed);
+  g_allocBytes.fetch_add(size, std::memory_order_relaxed);
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc();
+}
+}  // namespace ammb::bench::detail
+
+void* operator new(std::size_t size) {
+  return ammb::bench::detail::countedAlloc(size);
+}
+void* operator new[](std::size_t size) {
+  return ammb::bench::detail::countedAlloc(size);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#endif

@@ -83,6 +83,11 @@ std::string toString(const FuzzCase& fuzzCase) {
   if (!fuzzCase.reaction.none()) {
     out << " reaction=" << fuzzCase.reaction.label();
   }
+  // And for the trace backend: in-memory cases (the entire pre-spool
+  // corpus) keep their historical description.
+  if (fuzzCase.traceMode != sim::TraceMode::mem()) {
+    out << " trace=" << fuzzCase.traceMode.label();
+  }
   return out.str();
 }
 
@@ -226,6 +231,17 @@ FuzzCase sampleCase(const FuzzSpec& spec, int iteration) {
                                    phys::csmaEnvelopeParams(csma, c.mac).fack);
   }
 
+  // Trace-backend rotation: a quarter of the campaign records through
+  // the disk spool (small buffer, so replay/flush seams are exercised
+  // even on short runs).  Like the kernel this is a pure storage knob
+  // — every other field, each oracle verdict, and the trace hash are
+  // unchanged — so the rotation is a spool parity sweep for free.  The
+  // offset keeps it out of phase with the kernel rotation (%4==3), so
+  // spool cases cover serial kernels and parallel cases cover "mem".
+  if (iteration % 4 == 1) {
+    c.traceMode = sim::TraceMode::spool(4096);
+  }
+
   // Stale-topology campaigns need a grey zone to drift: pin the family
   // to the fully-noised r-restricted line (every G^2 pair unreliable)
   // so each case has base-G' edges for the mutant to keep using after
@@ -336,6 +352,7 @@ core::RunConfig runConfigFor(const FuzzCase& c) {
   config.limits.maxTime = c.maxTime;
   config.limits.maxEvents = c.maxEvents;
   config.kernel = c.kernel;
+  config.traceMode = c.traceMode;
   config.realization = c.realization;
   return config;
 }
@@ -421,6 +438,7 @@ FuzzResult runFuzz(const FuzzSpec& spec) {
     ++result.coverage["kernel:" + fuzzCase.kernel.label()];
     ++result.coverage["mac:" + fuzzCase.realization.label()];
     ++result.coverage["reaction:" + fuzzCase.reaction.label()];
+    ++result.coverage["trace:" + fuzzCase.traceMode.label()];
     const ExecutionOutcome outcome = runCase(fuzzCase, spec.mutation);
     if (!outcome.failed()) continue;
     ++result.violations;

@@ -95,6 +95,13 @@ struct FuzzCase {
   /// oracle that polices them — get fuzz coverage).
   core::ReactionSpec reaction;
 
+  /// Trace storage backend.  The sampler rotates a slice of the
+  /// campaign onto the disk spool; since the committed record sequence
+  /// is identical to in-memory recording, every oracle verdict and
+  /// trace hash doubles as a parity check of the spool encode/replay
+  /// path under adversarial workloads.
+  sim::TraceMode traceMode;
+
   // Execution limits.
   bool stopOnSolve = true;
   Time maxTime = kTimeNever;

@@ -44,30 +44,33 @@ std::uint64_t fnv1a(std::string_view data) {
 
 std::string canonicalTrace(const sim::Trace& trace) {
   std::string out;
-  for (const sim::TraceRecord& record : trace.records()) {
+  trace.forEach([&out](const sim::TraceRecord& record) {
     out += sim::toString(record);
     out += '\n';
-  }
+  });
   return out;
 }
 
-std::uint64_t traceHash(const sim::Trace& trace) {
-  std::uint64_t hash = 1469598103934665603ull;
-  const auto mix = [&hash](std::int64_t value) {
+void TraceHasher::onRecord(const sim::TraceRecord& record) {
+  const auto mix = [this](std::int64_t value) {
     auto word = static_cast<std::uint64_t>(value);
     for (int byte = 0; byte < 8; ++byte) {
-      hash ^= (word >> (8 * byte)) & 0xffu;
-      hash *= 1099511628211ull;
+      hash_ ^= (word >> (8 * byte)) & 0xffu;
+      hash_ *= 1099511628211ull;
     }
   };
-  for (const sim::TraceRecord& record : trace.records()) {
-    mix(record.t);
-    mix(static_cast<std::int64_t>(record.kind));
-    mix(record.node);
-    mix(record.instance);
-    mix(record.msg);
-  }
-  return hash;
+  mix(record.t);
+  mix(static_cast<std::int64_t>(record.kind));
+  mix(record.node);
+  mix(record.instance);
+  mix(record.msg);
+}
+
+std::uint64_t traceHash(const sim::Trace& trace) {
+  TraceHasher hasher;
+  trace.forEach(
+      [&hasher](const sim::TraceRecord& record) { hasher.onRecord(record); });
+  return hasher.hash();
 }
 
 std::string canonicalRunResult(const core::RunResult& result) {
@@ -99,7 +102,16 @@ std::string canonicalRunResult(const core::RunResult& result) {
 std::string canonicalExecution(const std::string& header,
                                const core::RunResult& result,
                                const sim::Trace& trace) {
-  return canonicalExecution(header, result, canonicalTrace(trace));
+  // Streams the trace straight into the document — no intermediate
+  // canonicalTrace copy, so the peak is one buffer, not two.
+  std::string out = "# " + header + "\n";
+  out += canonicalRunResult(result);
+  out += "trace:\n";
+  trace.forEach([&out](const sim::TraceRecord& record) {
+    out += sim::toString(record);
+    out += '\n';
+  });
+  return out;
 }
 
 std::string canonicalExecution(const std::string& header,

@@ -37,6 +37,19 @@ std::string canonicalTrace(const sim::Trace& trace);
 /// materializes text.  NOT comparable to fnv1a(canonicalTrace(...)).
 std::uint64_t traceHash(const sim::Trace& trace);
 
+/// Streaming form of traceHash: attach to a live Trace
+/// (sim::Trace::attachConsumer) or feed records directly; hash() after
+/// the last record equals traceHash over the same sequence.  This is
+/// how spooled runs fingerprint without replaying the spool.
+class TraceHasher : public sim::TraceConsumer {
+ public:
+  void onRecord(const sim::TraceRecord& record) override;
+  std::uint64_t hash() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 1469598103934665603ull;
+};
+
 /// Deterministic fields of a RunResult (status, times, counters,
 /// per-message latency aggregates) as `key=value` lines.
 std::string canonicalRunResult(const core::RunResult& result);

@@ -46,21 +46,94 @@ bool finalEpochRestoresConnectivity(const graph::TopologyView& view) {
   return true;
 }
 
-OracleReport checkExecution(const graph::TopologyView& view,
-                            const core::ProtocolSpec& protocol,
-                            const mac::MacParams& mac,
-                            const core::MmbWorkload& workload,
-                            const sim::Trace& trace,
-                            const core::RunResult& result) {
-  AMMB_REQUIRE(trace.enabled(),
-               "checkExecution requires a trace that recorded events");
+struct ExecutionChecker::Impl {
+  Impl(const graph::TopologyView& viewIn, const core::ProtocolSpec& protocolIn,
+       const mac::MacParams& macIn, const core::MmbWorkload& workloadIn,
+       Options optionsIn)
+      : view(viewIn),
+        protocol(protocolIn),
+        macParams(macIn),
+        workload(workloadIn),
+        options(optionsIn),
+        mmb(viewIn.base(), workloadIn),
+        roundLen(macIn.fprog + 1) {
+    if (options.checkMac) {
+      macChecker = std::make_unique<mac::TraceChecker>(
+          view, macParams, options.macHorizonClip);
+    }
+  }
+
+  const graph::TopologyView& view;
+  const core::ProtocolSpec& protocol;
+  const mac::MacParams& macParams;
+  const core::MmbWorkload& workload;
+  Options options;
+
+  std::unique_ptr<mac::TraceChecker> macChecker;
+  core::MmbTraceChecker mmb;
+
+  std::uint64_t bcasts = 0, rcvs = 0, acks = 0, aborts = 0, delivers = 0,
+                arrives = 0;
+
+  Time roundLen;
+  /// FMMB lock-step findings, in stream order (matching the offline
+  /// whole-trace scan).
+  std::vector<std::string> fmmbViolations;
+};
+
+ExecutionChecker::ExecutionChecker(const graph::TopologyView& view,
+                                   const core::ProtocolSpec& protocol,
+                                   const mac::MacParams& mac,
+                                   const core::MmbWorkload& workload,
+                                   Options options)
+    : impl_(std::make_unique<Impl>(view, protocol, mac, workload, options)) {}
+
+ExecutionChecker::ExecutionChecker(const graph::TopologyView& view,
+                                   const core::ProtocolSpec& protocol,
+                                   const mac::MacParams& mac,
+                                   const core::MmbWorkload& workload)
+    : ExecutionChecker(view, protocol, mac, workload, Options{}) {}
+
+ExecutionChecker::~ExecutionChecker() = default;
+
+void ExecutionChecker::feed(const sim::TraceRecord& r) {
+  Impl& im = *impl_;
+  if (im.macChecker != nullptr) im.macChecker->feed(r);
+  im.mmb.feed(r);
+  switch (r.kind) {
+    case TraceKind::kBcast: ++im.bcasts; break;
+    case TraceKind::kRcv: ++im.rcvs; break;
+    case TraceKind::kAck: ++im.acks; break;
+    case TraceKind::kAbort: ++im.aborts; break;
+    case TraceKind::kDeliver: ++im.delivers; break;
+    case TraceKind::kArrive: ++im.arrives; break;
+    default: break;
+  }
+  if (im.protocol.kind() == core::ProtocolKind::kFmmb &&
+      (r.kind == TraceKind::kBcast || r.kind == TraceKind::kAbort) &&
+      r.t % im.roundLen != 0) {
+    im.fmmbViolations.push_back(
+        std::string(r.kind == TraceKind::kBcast ? "bcast" : "abort") +
+        " at node " + std::to_string(r.node) + " off the round grid" +
+        " (t=" + std::to_string(r.t) + ", round length " +
+        std::to_string(im.roundLen) + ")");
+  }
+}
+
+OracleReport ExecutionChecker::finish(const core::RunResult& result,
+                                      const mac::CheckResult* externalMac) {
+  Impl& im = *impl_;
   OracleReport report;
 
-  // 1. MAC-layer axioms, offline, up to the time the run stopped —
-  // epoch-aware: each delivery is judged against its epoch's topology
-  // and the ack/progress guarantees only bind whole-window-live links.
-  mac::CheckResult macResult =
-      mac::checkTrace(view, mac, trace, result.endTime);
+  // 1. MAC-layer axioms, up to the time the run stopped — epoch-aware:
+  // each delivery is judged against its epoch's topology and the
+  // ack/progress guarantees only bind whole-window-live links.
+  mac::CheckResult macResult;
+  if (externalMac != nullptr) {
+    macResult = *externalMac;
+  } else if (im.macChecker != nullptr) {
+    macResult = im.macChecker->finish(result.endTime);
+  }
   for (const std::string& v : macResult.violations) add(report, "mac", v);
   report.macRecords = std::move(macResult.records);
 
@@ -69,8 +142,7 @@ OracleReport checkExecution(const graph::TopologyView& view,
   // truncated by its limits is exempt by definition.  Requirements are
   // quantified over the base topology's components, matching the
   // online SolveTracker.
-  const core::MmbCheckResult mmb = core::checkMmbTrace(
-      view.base(), workload, trace, /*requireSolved=*/result.solved);
+  const core::MmbCheckResult mmb = im.mmb.finish(result.solved);
   for (const std::string& v : mmb.violations) add(report, "mmb", v);
 
   // 3. Liveness: an unsolved run may stop because a limit cut it off —
@@ -87,6 +159,88 @@ OracleReport checkExecution(const graph::TopologyView& view,
   // protocols under churn stay exempt (the paper's protocols make no
   // promise across epochs).
   if (!result.solved && result.status == sim::RunStatus::kDrained &&
+      (!im.view.dynamic() ||
+       (finalEpochRestoresConnectivity(im.view) &&
+        reactsToChurn(im.protocol)))) {
+    add(report, "liveness",
+        "event queue drained at t=" + std::to_string(result.endTime) +
+            " with the MMB problem unsolved (protocol quiesced early)");
+  }
+
+  // 4. Result bookkeeping against the trace.
+  if (result.solved) {
+    if (result.solveTime == kTimeNever || result.solveTime > result.endTime) {
+      add(report, "result",
+          "solved run reports solve time outside the execution");
+    }
+    if (result.messages.completed !=
+        static_cast<std::uint64_t>(im.workload.k)) {
+      add(report, "result",
+          "solved run completed " + std::to_string(result.messages.completed) +
+              " of " + std::to_string(im.workload.k) + " messages");
+    }
+  }
+  if (im.bcasts != result.stats.bcasts || im.rcvs != result.stats.rcvs ||
+      im.acks != result.stats.acks || im.aborts != result.stats.aborts ||
+      im.delivers != result.stats.delivers ||
+      im.arrives != result.stats.arrives) {
+    add(report, "result",
+        "engine counters disagree with the trace record counts");
+  }
+
+  // 5. FMMB lock-step structure: RoundedProcess may bcast/abort only at
+  // round starts, and rounds last exactly Fprog + 1 ticks.
+  for (const std::string& v : im.fmmbViolations) add(report, "fmmb", v);
+
+  return report;
+}
+
+OracleReport checkExecution(const graph::TopologyView& view,
+                            const core::ProtocolSpec& protocol,
+                            const mac::MacParams& mac,
+                            const core::MmbWorkload& workload,
+                            const sim::Trace& trace,
+                            const core::RunResult& result) {
+  AMMB_REQUIRE(trace.enabled(),
+               "checkExecution requires a trace that recorded events");
+  ExecutionChecker::Options options;
+  options.macHorizonClip = result.endTime;
+  ExecutionChecker checker(view, protocol, mac, workload, options);
+  trace.forEach(
+      [&checker](const sim::TraceRecord& r) { checker.feed(r); });
+  return checker.finish(result);
+}
+
+OracleReport checkExecution(const graph::DualGraph& topology,
+                            const core::ProtocolSpec& protocol,
+                            const mac::MacParams& mac,
+                            const core::MmbWorkload& workload,
+                            const sim::Trace& trace,
+                            const core::RunResult& result) {
+  const graph::TopologyView view(topology);
+  return checkExecution(view, protocol, mac, workload, trace, result);
+}
+
+OracleReport checkExecutionOffline(const graph::TopologyView& view,
+                                   const core::ProtocolSpec& protocol,
+                                   const mac::MacParams& mac,
+                                   const core::MmbWorkload& workload,
+                                   const sim::Trace& trace,
+                                   const core::RunResult& result) {
+  AMMB_REQUIRE(trace.enabled(),
+               "checkExecutionOffline requires a trace that recorded events");
+  OracleReport report;
+
+  mac::CheckResult macResult =
+      mac::checkTraceOffline(view, mac, trace, result.endTime);
+  for (const std::string& v : macResult.violations) add(report, "mac", v);
+  report.macRecords = std::move(macResult.records);
+
+  const core::MmbCheckResult mmb = core::checkMmbTrace(
+      view.base(), workload, trace, /*requireSolved=*/result.solved);
+  for (const std::string& v : mmb.violations) add(report, "mmb", v);
+
+  if (!result.solved && result.status == sim::RunStatus::kDrained &&
       (!view.dynamic() ||
        (finalEpochRestoresConnectivity(view) && reactsToChurn(protocol)))) {
     add(report, "liveness",
@@ -94,7 +248,6 @@ OracleReport checkExecution(const graph::TopologyView& view,
             " with the MMB problem unsolved (protocol quiesced early)");
   }
 
-  // 4. Result bookkeeping against the trace.
   if (result.solved) {
     if (result.solveTime == kTimeNever || result.solveTime > result.endTime) {
       add(report, "result",
@@ -127,8 +280,6 @@ OracleReport checkExecution(const graph::TopologyView& view,
         "engine counters disagree with the trace record counts");
   }
 
-  // 5. FMMB lock-step structure: RoundedProcess may bcast/abort only at
-  // round starts, and rounds last exactly Fprog + 1 ticks.
   if (protocol.kind() == core::ProtocolKind::kFmmb) {
     const Time roundLen = mac.fprog + 1;
     for (const TraceRecord& r : trace.records()) {
@@ -144,16 +295,6 @@ OracleReport checkExecution(const graph::TopologyView& view,
   }
 
   return report;
-}
-
-OracleReport checkExecution(const graph::DualGraph& topology,
-                            const core::ProtocolSpec& protocol,
-                            const mac::MacParams& mac,
-                            const core::MmbWorkload& workload,
-                            const sim::Trace& trace,
-                            const core::RunResult& result) {
-  const graph::TopologyView view(topology);
-  return checkExecution(view, protocol, mac, workload, trace, result);
 }
 
 }  // namespace ammb::check

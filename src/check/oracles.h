@@ -20,8 +20,18 @@
 //
 // The oracles are the ground truth of the fuzzing subsystem
 // (check/fuzzer.h) and of CheckMode sweeps (runner/sweep_spec.h).
+//
+// The production implementation is streaming: ExecutionChecker
+// consumes records in commit order (feed() or a live-Trace
+// attachConsumer) and keeps only O(n + active instances) of state —
+// the internal mac::TraceChecker, the MMB bitmaps, per-kind counters
+// and the FMMB round-grid findings — so spooled traces are vetted
+// without ever materializing.  checkExecution() drives it over a
+// stored trace; checkExecutionOffline() retains the original
+// whole-trace composition for the streaming-parity suite.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -52,6 +62,57 @@ struct OracleReport {
 /// see below.
 bool finalEpochRestoresConnectivity(const graph::TopologyView& view);
 
+/// Single-pass streaming form of checkExecution: construct against the
+/// run's topology/protocol/params/workload, feed every record in
+/// commit order, then finish() with the RunResult for the merged
+/// verdict — byte-identical to the offline composition.
+///
+/// The MAC block is either computed internally (Options::checkMac,
+/// the default) or supplied post-hoc at finish() — the latter is for
+/// realized/net runs whose MAC verdict is produced elsewhere (e.g.
+/// against post-hoc fitted bounds).
+class ExecutionChecker : public sim::TraceConsumer {
+ public:
+  struct Options {
+    /// Run the streaming mac::TraceChecker internally.  Disable when a
+    /// mac::CheckResult will be handed to finish() instead.
+    bool checkMac = true;
+    /// Observation-window clip for the internal MAC checker (same
+    /// semantics as mac::TraceChecker's horizonClip).  kTimeNever
+    /// defers the horizon to finish(), which uses result.endTime —
+    /// exact for engine-committed traces.
+    Time macHorizonClip = kTimeNever;
+  };
+
+  ExecutionChecker(const graph::TopologyView& view,
+                   const core::ProtocolSpec& protocol,
+                   const mac::MacParams& mac,
+                   const core::MmbWorkload& workload, Options options);
+  /// Default options: internal MAC checker, horizon at finish().
+  ExecutionChecker(const graph::TopologyView& view,
+                   const core::ProtocolSpec& protocol,
+                   const mac::MacParams& mac,
+                   const core::MmbWorkload& workload);
+  ~ExecutionChecker() override;
+
+  ExecutionChecker(const ExecutionChecker&) = delete;
+  ExecutionChecker& operator=(const ExecutionChecker&) = delete;
+
+  /// Consumes the next record of the execution.
+  void feed(const sim::TraceRecord& record);
+  void onRecord(const sim::TraceRecord& record) override { feed(record); }
+
+  /// Assembles the merged verdict.  `externalMac`, when non-null,
+  /// becomes the report's MAC block verbatim (Options::checkMac should
+  /// then be false so no redundant internal checker ran).
+  OracleReport finish(const core::RunResult& result,
+                      const mac::CheckResult* externalMac = nullptr);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
 /// Runs every applicable oracle over one finished execution.  `trace`
 /// must have recorded events; `workload` is the materialized arrival
 /// stream the run consumed (core::materializeWorkload).  `view` is the
@@ -66,7 +127,7 @@ bool finalEpochRestoresConnectivity(const graph::TopologyView& view);
 /// AND a protocol that claims churn reactivity (a non-default
 /// core::ReactionSpec), draining unsolved is again a violation: the
 /// reaction layer promises to re-arm stranded obligations once links
-/// recover.
+/// recover.  Streams the trace through an ExecutionChecker.
 OracleReport checkExecution(const graph::TopologyView& view,
                             const core::ProtocolSpec& protocol,
                             const mac::MacParams& mac,
@@ -81,5 +142,17 @@ OracleReport checkExecution(const graph::DualGraph& topology,
                             const core::MmbWorkload& workload,
                             const sim::Trace& trace,
                             const core::RunResult& result);
+
+/// The original whole-trace composition (mac::checkTraceOffline plus
+/// random-access record scans; O(trace) memory, needs the in-memory
+/// sink).  Kept as the oracle the streaming-parity suite compares
+/// ExecutionChecker against; production code should use
+/// checkExecution().
+OracleReport checkExecutionOffline(const graph::TopologyView& view,
+                                   const core::ProtocolSpec& protocol,
+                                   const mac::MacParams& mac,
+                                   const core::MmbWorkload& workload,
+                                   const sim::Trace& trace,
+                                   const core::RunResult& result);
 
 }  // namespace ammb::check

@@ -177,6 +177,7 @@ Experiment::Experiment(const graph::DualGraph& topology,
     netConfig.jitterUs = config_.backend.net.jitterUs;
     netConfig.seed = config_.seed;
     netConfig.recordTrace = config_.recordTrace;
+    netConfig.traceMode = config_.traceMode;
     netEngine_ = std::make_unique<net::NetEngine>(view_, config_.mac, factory,
                                                   netConfig);
     tracker_.attachStop([this] { netEngine_->requestStop(); },
@@ -218,7 +219,7 @@ Experiment::Experiment(const graph::DualGraph& topology,
   AMMB_REQUIRE(scheduler != nullptr, "scheduler factory returned null");
   engine_ = std::make_unique<mac::MacEngine>(
       view_, config_.mac, std::move(scheduler), factory, config_.seed,
-      config_.recordTrace, config_.kernel);
+      config_.recordTrace, config_.kernel, config_.traceMode);
   engine_->setPlanValidation(config_.scheduler.validatePlans);
   engine_->setEpochNotification(config_.scheduler.notifyEpochChanges);
   if (auto* bmmb = std::get_if<BmmbSuite>(&suite_)) {
@@ -250,6 +251,11 @@ net::NetEngine& Experiment::netEngine() {
 
 const sim::Trace& Experiment::trace() const {
   return netEngine_ != nullptr ? netEngine_->trace() : engine_->trace();
+}
+
+sim::Trace& Experiment::mutableTrace() {
+  return netEngine_ != nullptr ? netEngine_->mutableTrace()
+                               : engine_->mutableTrace();
 }
 
 RunResult Experiment::run() {

@@ -183,6 +183,11 @@ struct RunConfig {
   DynamicsSpec dynamics;
   std::uint64_t seed = 1;
   bool recordTrace = true;
+  /// Trace storage backend (sim::TraceMode — in-memory vector by
+  /// default, or a bounded-buffer disk spool).  Pure storage knob: the
+  /// committed record sequence is identical either way, so hashes,
+  /// goldens and checker verdicts never depend on it.
+  sim::TraceMode traceMode;
   /// Intra-run execution kernel (serial by default).  Parallel kernels
   /// are bit-identical to serial — same traces, stats and RNG draws at
   /// any worker count — so this is purely a wall-clock knob.
@@ -261,6 +266,9 @@ class Experiment {
   net::NetEngine& netEngine();
   /// The recorded execution trace, whichever backend produced it.
   const sim::Trace& trace() const;
+  /// Mutable trace access (whichever backend) — the attachment point
+  /// for streaming consumers (sim::Trace::attachConsumer) before run().
+  sim::Trace& mutableTrace();
   const SolveTracker& tracker() const { return tracker_; }
   ProtocolKind protocol() const { return protocol_.kind(); }
 

@@ -191,59 +191,70 @@ MessageMetrics SolveTracker::metrics() const {
   return out;
 }
 
-MmbCheckResult checkMmbTrace(const graph::DualGraph& topology,
-                             const MmbWorkload& workload,
-                             const sim::Trace& trace, bool requireSolved) {
-  MmbCheckResult result;
-  const auto fail = [&result](const std::string& msg) {
-    result.ok = false;
-    result.violations.push_back(msg);
-  };
+MmbTraceChecker::MmbTraceChecker(const graph::DualGraph& topology,
+                                 const MmbWorkload& workload)
+    : topology_(topology),
+      workload_(workload),
+      n_(topology.n()),
+      k_(workload.k),
+      arrived_(static_cast<std::size_t>(k_), 0),
+      delivered_(static_cast<std::size_t>(n_) * k_, 0) {}
 
-  const NodeId n = topology.n();
-  const int k = workload.k;
-  std::vector<char> arrived(static_cast<std::size_t>(k), 0);
-  std::vector<char> delivered(static_cast<std::size_t>(n) * k, 0);
-
-  for (const auto& rec : trace.records()) {
-    if (rec.kind == sim::TraceKind::kArrive) {
-      if (rec.msg >= 0 && rec.msg < k) {
-        arrived[static_cast<std::size_t>(rec.msg)] = 1;
-      }
-    } else if (rec.kind == sim::TraceKind::kDeliver) {
-      if (rec.msg < 0 || rec.msg >= k) {
-        fail("deliver of unknown message " + std::to_string(rec.msg));
-        continue;
-      }
-      if (!arrived[static_cast<std::size_t>(rec.msg)]) {
-        fail("node " + std::to_string(rec.node) + " delivered message " +
-             std::to_string(rec.msg) + " before any arrive event");
-      }
-      char& d =
-          delivered[static_cast<std::size_t>(rec.node) * k + rec.msg];
-      if (d) {
-        fail("node " + std::to_string(rec.node) + " delivered message " +
-             std::to_string(rec.msg) + " twice");
-      }
-      d = 1;
+void MmbTraceChecker::feed(const sim::TraceRecord& rec) {
+  if (rec.kind == sim::TraceKind::kArrive) {
+    if (rec.msg >= 0 && rec.msg < k_) {
+      arrived_[static_cast<std::size_t>(rec.msg)] = 1;
     }
+  } else if (rec.kind == sim::TraceKind::kDeliver) {
+    if (rec.msg < 0 || rec.msg >= k_) {
+      streamViolations_.push_back("deliver of unknown message " +
+                                  std::to_string(rec.msg));
+      return;
+    }
+    if (!arrived_[static_cast<std::size_t>(rec.msg)]) {
+      streamViolations_.push_back(
+          "node " + std::to_string(rec.node) + " delivered message " +
+          std::to_string(rec.msg) + " before any arrive event");
+    }
+    char& d = delivered_[static_cast<std::size_t>(rec.node) * k_ + rec.msg];
+    if (d) {
+      streamViolations_.push_back("node " + std::to_string(rec.node) +
+                                  " delivered message " +
+                                  std::to_string(rec.msg) + " twice");
+    }
+    d = 1;
   }
+}
 
+MmbCheckResult MmbTraceChecker::finish(bool requireSolved) const {
+  MmbCheckResult result;
+  result.violations = streamViolations_;
   if (requireSolved) {
-    const auto labels = topology.g().componentLabels();
-    for (const auto& [node, msg, at] : workload.arrivals) {
+    const auto labels = topology_.g().componentLabels();
+    for (const auto& [node, msg, at] : workload_.arrivals) {
       (void)at;
       const int comp = labels[static_cast<std::size_t>(node)];
-      for (NodeId v = 0; v < n; ++v) {
+      for (NodeId v = 0; v < n_; ++v) {
         if (labels[static_cast<std::size_t>(v)] != comp) continue;
-        if (!delivered[static_cast<std::size_t>(v) * k + msg]) {
-          fail("required delivery missing: node " + std::to_string(v) +
-               ", message " + std::to_string(msg));
+        if (!delivered_[static_cast<std::size_t>(v) * k_ + msg]) {
+          result.violations.push_back("required delivery missing: node " +
+                                      std::to_string(v) + ", message " +
+                                      std::to_string(msg));
         }
       }
     }
   }
+  result.ok = result.violations.empty();
   return result;
+}
+
+MmbCheckResult checkMmbTrace(const graph::DualGraph& topology,
+                             const MmbWorkload& workload,
+                             const sim::Trace& trace, bool requireSolved) {
+  MmbTraceChecker checker(topology, workload);
+  trace.forEach(
+      [&checker](const sim::TraceRecord& rec) { checker.feed(rec); });
+  return checker.finish(requireSolved);
 }
 
 }  // namespace ammb::core

@@ -176,12 +176,40 @@ struct MmbCheckResult {
   std::vector<std::string> violations;
 };
 
+/// Single-pass streaming form of the MMB deliver-event check: feed the
+/// trace in commit order (or attach to a live sim::Trace), then call
+/// finish().  Resident memory is the two n*k bitmaps — independent of
+/// trace length, so spooled traces check without materializing.
+class MmbTraceChecker : public sim::TraceConsumer {
+ public:
+  MmbTraceChecker(const graph::DualGraph& topology,
+                  const MmbWorkload& workload);
+
+  void feed(const sim::TraceRecord& record);
+  void onRecord(const sim::TraceRecord& record) override { feed(record); }
+
+  /// Assembles the verdict; completeness clause (a) only when
+  /// `requireSolved`.  Violations are byte-identical to checkMmbTrace
+  /// over the same record sequence.
+  MmbCheckResult finish(bool requireSolved) const;
+
+ private:
+  const graph::DualGraph& topology_;
+  const MmbWorkload& workload_;
+  NodeId n_;
+  int k_;
+  std::vector<char> arrived_;              ///< [msg]
+  std::vector<char> delivered_;            ///< [node * k + msg]
+  std::vector<std::string> streamViolations_;  ///< scan-order findings
+};
+
 /// Validates the deliver events of a finished execution:
 ///  (a) every required (node, message) pair was delivered;
 ///  (b) no (node, message) pair was delivered twice;
 ///  (c) every delivery follows the message's arrival;
 ///  (d) only injected messages are ever delivered.
 /// Pass requireSolved = false to skip (a) for truncated runs.
+/// Streams the trace through an MmbTraceChecker.
 MmbCheckResult checkMmbTrace(const graph::DualGraph& topology,
                              const MmbWorkload& workload,
                              const sim::Trace& trace,

@@ -87,29 +87,32 @@ void Context::abortBcast() { layer_.apiAbort(node_); }
 MacEngine::MacEngine(const graph::TopologyView& view, MacParams params,
                      std::unique_ptr<Scheduler> scheduler,
                      ProcessFactory factory, std::uint64_t seed,
-                     bool traceEnabled, sim::KernelSpec kernel)
+                     bool traceEnabled, sim::KernelSpec kernel,
+                     sim::TraceMode traceMode)
     : MacEngine(std::nullopt, &view, params, std::move(scheduler),
-                std::move(factory), seed, traceEnabled, kernel) {}
+                std::move(factory), seed, traceEnabled, kernel, traceMode) {}
 
 MacEngine::MacEngine(const graph::DualGraph& topology, MacParams params,
                      std::unique_ptr<Scheduler> scheduler,
                      ProcessFactory factory, std::uint64_t seed,
-                     bool traceEnabled, sim::KernelSpec kernel)
+                     bool traceEnabled, sim::KernelSpec kernel,
+                     sim::TraceMode traceMode)
     : MacEngine(graph::TopologyView(topology), nullptr, params,
                 std::move(scheduler), std::move(factory), seed, traceEnabled,
-                kernel) {}
+                kernel, traceMode) {}
 
 MacEngine::MacEngine(std::optional<graph::TopologyView> owned,
                      const graph::TopologyView* view, MacParams params,
                      std::unique_ptr<Scheduler> scheduler,
                      ProcessFactory factory, std::uint64_t seed,
-                     bool traceEnabled, sim::KernelSpec kernel)
+                     bool traceEnabled, sim::KernelSpec kernel,
+                     sim::TraceMode traceMode)
     : ownedView_(std::move(owned)),
       view_(view != nullptr ? view : &*ownedView_),
       csr_(&view_->csrAt(0)),
       params_(params),
       scheduler_(std::move(scheduler)),
-      trace_(traceEnabled),
+      trace_(traceEnabled, traceMode),
       guard_(*this, view_->n()),
       schedulerRng_(SeedSequence(seed).childSeed(rngstream::kScheduler, 0)),
       kernel_(kernel) {

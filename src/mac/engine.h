@@ -75,18 +75,19 @@ class MacEngine : public MacLayer {
   /// must outlive the engine.  `kernel` selects the intra-run
   /// execution kernel; parallel kernels produce bit-identical traces,
   /// stats and RNG streams at any worker count (evaluations fan out,
-  /// commits stay in serial order).
+  /// commits stay in serial order).  `traceMode` selects the record
+  /// storage backend (in-memory vector or disk spool — sim/trace.h).
   MacEngine(const graph::TopologyView& view, MacParams params,
             std::unique_ptr<Scheduler> scheduler, ProcessFactory factory,
             std::uint64_t seed, bool traceEnabled = true,
-            sim::KernelSpec kernel = {});
+            sim::KernelSpec kernel = {}, sim::TraceMode traceMode = {});
 
   /// Static-topology convenience: wraps `topology` in an owned
   /// single-epoch view.  The topology must outlive the engine.
   MacEngine(const graph::DualGraph& topology, MacParams params,
             std::unique_ptr<Scheduler> scheduler, ProcessFactory factory,
             std::uint64_t seed, bool traceEnabled = true,
-            sim::KernelSpec kernel = {});
+            sim::KernelSpec kernel = {}, sim::TraceMode traceMode = {});
 
   MacEngine(const MacEngine&) = delete;
   MacEngine& operator=(const MacEngine&) = delete;
@@ -161,6 +162,9 @@ class MacEngine : public MacLayer {
   int currentEpoch() const { return epoch_; }
   const MacParams& params() const override { return params_; }
   const sim::Trace& trace() const { return trace_; }
+  /// Mutable trace access — the attachment point for streaming
+  /// consumers (sim::Trace::attachConsumer) before run().
+  sim::Trace& mutableTrace() { return trace_; }
   const EngineStats& stats() const { return stats_; }
   NodeId n() const override { return view_->n(); }
 
@@ -252,7 +256,8 @@ class MacEngine : public MacLayer {
   MacEngine(std::optional<graph::TopologyView> owned,
             const graph::TopologyView* view, MacParams params,
             std::unique_ptr<Scheduler> scheduler, ProcessFactory factory,
-            std::uint64_t seed, bool traceEnabled, sim::KernelSpec kernel);
+            std::uint64_t seed, bool traceEnabled, sim::KernelSpec kernel,
+            sim::TraceMode traceMode);
 
   NodeState& state(NodeId node);
   const NodeState& state(NodeId node) const;

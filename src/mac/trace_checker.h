@@ -1,4 +1,4 @@
-// Offline model checker for abstract-MAC-layer executions.
+// Model checker for abstract-MAC-layer executions.
 //
 // Re-validates a recorded trace against every axiom of Section 3.2.1:
 //
@@ -18,8 +18,20 @@
 // The checker is the test suite's ground truth that no scheduler —
 // including the hand-built lower-bound adversaries — is ever granted
 // more power than the model allows.
+//
+// The production implementation is a single-pass streaming automaton
+// (TraceChecker): it consumes records in commit order, retires
+// per-instance state when the instance acks/aborts, and keeps the
+// progress interval algebra compacted incrementally — peak memory is
+// O(n + active instances), independent of trace length, so spooled
+// traces check without ever materializing.  checkTrace() drives it
+// over a stored trace; attach a TraceChecker to a live Trace
+// (attachConsumer) to check while the run executes.
+// checkTraceOffline() retains the original whole-trace reference
+// implementation; the parity suite pins the two byte-identical.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -57,9 +69,48 @@ struct CheckResult {
   }
 };
 
+/// Single-pass streaming axiom checker.
+///
+/// Feed records in commit order (feed() directly, or attach to a live
+/// Trace as a TraceConsumer), then call finish() once for the verdict.
+/// Per-instance state is retired on ack/abort (kept briefly as a
+/// tombstone so epsAbort-window deliveries stay attributable), and the
+/// per-receiver need/cover interval sets are re-normalized as they
+/// grow, so resident memory is O(n + active instances).
+///
+/// `horizonClip` bounds the observation window exactly like the
+/// `horizon` argument of checkTrace(); leave it kTimeNever when the
+/// horizon is only known at finish() time — correct whenever records
+/// are fed in nondecreasing timestamp order and the final horizon is
+/// at or past the last fed record (true for every engine-committed
+/// trace).
+class TraceChecker : public sim::TraceConsumer {
+ public:
+  TraceChecker(const graph::TopologyView& view, const MacParams& params,
+               Time horizonClip = kTimeNever);
+  ~TraceChecker() override;
+
+  TraceChecker(const TraceChecker&) = delete;
+  TraceChecker& operator=(const TraceChecker&) = delete;
+
+  /// Consumes the next record of the execution.
+  void feed(const sim::TraceRecord& record);
+  void onRecord(const sim::TraceRecord& record) override { feed(record); }
+
+  /// Closes the observation window and assembles the verdict.
+  /// `horizon` defaults to the constructor clip when one was given,
+  /// else to the last fed record's timestamp (0 if none were fed).
+  CheckResult finish(Time horizon = kTimeNever);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
 /// Checks `trace` (an execution over the epoch-indexed `view` under
-/// `params`, observed up to time `horizon`) against all model axioms.
-/// `horizon` defaults (kTimeNever) to the last record's timestamp.
+/// `params`, observed up to time `horizon`) against all model axioms,
+/// by streaming it through a TraceChecker.  `horizon` defaults
+/// (kTimeNever) to the last record's timestamp.
 ///
 /// Epoch awareness: receive legality is judged against the topology of
 /// the epoch the rcv happened in, and the acknowledgment / progress
@@ -76,5 +127,14 @@ CheckResult checkTrace(const graph::TopologyView& view,
 CheckResult checkTrace(const graph::DualGraph& topology,
                        const MacParams& params, const sim::Trace& trace,
                        Time horizon = kTimeNever);
+
+/// The original whole-trace reference implementation (random access
+/// over trace.records(), O(trace) memory).  Kept as the oracle the
+/// streaming-parity suite compares TraceChecker against; production
+/// code should use checkTrace().
+CheckResult checkTraceOffline(const graph::TopologyView& view,
+                              const MacParams& params,
+                              const sim::Trace& trace,
+                              Time horizon = kTimeNever);
 
 }  // namespace ammb::mac

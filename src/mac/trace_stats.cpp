@@ -9,8 +9,8 @@ std::vector<MessageLatency> messageLatencies(const sim::Trace& trace,
   AMMB_REQUIRE(k >= 1, "k must be positive");
   std::vector<MessageLatency> out(static_cast<std::size_t>(k));
   for (MsgId m = 0; m < k; ++m) out[static_cast<std::size_t>(m)].msg = m;
-  for (const auto& record : trace.records()) {
-    if (record.msg < 0 || record.msg >= k) continue;
+  trace.forEach([&out, k](const sim::TraceRecord& record) {
+    if (record.msg < 0 || record.msg >= k) return;
     MessageLatency& lat = out[static_cast<std::size_t>(record.msg)];
     if (record.kind == sim::TraceKind::kArrive) {
       if (lat.arriveAt == kTimeNever) lat.arriveAt = record.t;
@@ -19,7 +19,7 @@ std::vector<MessageLatency> messageLatencies(const sim::Trace& trace,
       lat.lastDeliver = record.t;
       ++lat.deliveries;
     }
-  }
+  });
   return out;
 }
 
@@ -27,15 +27,15 @@ std::vector<Time> deliveryTimeline(const sim::Trace& trace, MsgId msg,
                                    NodeId n) {
   AMMB_REQUIRE(n >= 1, "node count must be positive");
   std::vector<Time> out(static_cast<std::size_t>(n), kTimeNever);
-  for (const auto& record : trace.records()) {
+  trace.forEach([&out, msg, n](const sim::TraceRecord& record) {
     if (record.kind != sim::TraceKind::kDeliver || record.msg != msg) {
-      continue;
+      return;
     }
     if (record.node >= 0 && record.node < n &&
         out[static_cast<std::size_t>(record.node)] == kTimeNever) {
       out[static_cast<std::size_t>(record.node)] = record.t;
     }
-  }
+  });
   return out;
 }
 

@@ -33,11 +33,11 @@ std::size_t unreliableDeliveryCount(const graph::DualGraph& topology,
                                     const sim::Trace& trace,
                                     SenderFn&& instanceSender) {
   std::size_t count = 0;
-  for (const auto& record : trace.records()) {
-    if (record.kind != sim::TraceKind::kRcv) continue;
+  trace.forEach([&](const sim::TraceRecord& record) {
+    if (record.kind != sim::TraceKind::kRcv) return;
     const NodeId sender = instanceSender(record.instance);
     if (topology.isUnreliableOnlyEdge(sender, record.node)) ++count;
-  }
+  });
   return count;
 }
 

@@ -34,7 +34,7 @@ NetEngine::NetEngine(const graph::TopologyView& view, mac::MacParams params,
       params_(params),
       config_(config),
       faults_(config.seed, config.loss, config.jitterUs),
-      trace_(config.recordTrace) {
+      trace_(config.recordTrace, config.traceMode) {
   params_.validate();
   AMMB_REQUIRE(!view.dynamic(),
                "the net backend requires a static (single-epoch) topology");

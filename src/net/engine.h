@@ -83,6 +83,8 @@ struct NetConfig {
   std::uint64_t seed = 1;
   /// Whether to record the sim::Trace.
   bool recordTrace = true;
+  /// Trace storage backend (in-memory vector or disk spool).
+  sim::TraceMode traceMode;
 };
 
 /// The UDP realization of the abstract MAC layer.
@@ -132,6 +134,9 @@ class NetEngine final : public mac::MacLayer {
   const graph::TopologyView& view() const { return *view_; }
   const mac::MacParams& params() const override { return params_; }
   const sim::Trace& trace() const { return trace_; }
+  /// Mutable trace access — attach streaming consumers before run().
+  /// Consumers fire under the engine's trace mutex, in commit order.
+  sim::Trace& mutableTrace() { return trace_; }
   const mac::EngineStats& stats() const { return stats_; }
   NodeId n() const override { return view_->n(); }
 

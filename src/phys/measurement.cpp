@@ -1,8 +1,6 @@
 #include "phys/measurement.h"
 
 #include <algorithm>
-#include <unordered_map>
-#include <vector>
 
 #include "common/error.h"
 #include "mac/trace_checker.h"
@@ -11,81 +9,82 @@ namespace ammb::phys {
 
 namespace {
 
-/// Nearest-rank percentile over a sorted sample vector.
-Time nearestRank(const std::vector<Time>& sorted, double pct) {
-  if (sorted.empty()) return 0;
-  const auto rank = static_cast<std::size_t>(
-      pct / 100.0 * static_cast<double>(sorted.size()) + 0.5);
-  const std::size_t index = rank == 0 ? 0 : rank - 1;
-  return sorted[std::min(index, sorted.size() - 1)];
+/// Nearest-rank percentile over a counting histogram — the k-th
+/// smallest sample with k = round(pct/100 * total), identical to
+/// indexing the sorted sample vector.
+Time nearestRank(const std::map<Time, std::uint64_t>& hist,
+                 std::uint64_t total, double pct) {
+  if (total == 0) return 0;
+  const auto rank = static_cast<std::uint64_t>(
+      pct / 100.0 * static_cast<double>(total) + 0.5);
+  std::uint64_t index = rank == 0 ? 0 : rank - 1;
+  index = std::min(index, total - 1);
+  std::uint64_t seen = 0;
+  for (const auto& [gap, count] : hist) {
+    seen += count;
+    if (index < seen) return gap;
+  }
+  return hist.rbegin()->first;
 }
 
 }  // namespace
 
-RealizedBounds measureRealized(const graph::TopologyView& view,
-                               const mac::MacParams& envelope,
-                               const sim::Trace& trace, Time horizon) {
-  AMMB_REQUIRE(trace.enabled(), "realized-bound measurement needs a trace");
-  if (horizon == kTimeNever && !trace.records().empty()) {
-    horizon = trace.records().back().t;
-  }
-
-  // One pass: instance birth/termination spans and per-receiver
-  // progress gaps.
-  std::unordered_map<InstanceId, Time> bcastAt;
-  std::unordered_map<NodeId, Time> lastRcvAt;
-  std::vector<Time> ackGaps;
-  std::vector<Time> progGaps;
-  for (const sim::TraceRecord& r : trace.records()) {
-    switch (r.kind) {
-      case sim::TraceKind::kBcast:
-        bcastAt.emplace(r.instance, r.t);
-        break;
-      case sim::TraceKind::kAck:
-      case sim::TraceKind::kAbort: {
-        const auto born = bcastAt.find(r.instance);
-        if (born != bcastAt.end()) {
-          ackGaps.push_back(r.t - born->second);
-          bcastAt.erase(born);
-        }
-        break;
+void RealizedAccumulator::feed(const sim::TraceRecord& r) {
+  switch (r.kind) {
+    case sim::TraceKind::kBcast:
+      bcastAt_.emplace(r.instance, r.t);
+      break;
+    case sim::TraceKind::kAck:
+    case sim::TraceKind::kAbort: {
+      const auto born = bcastAt_.find(r.instance);
+      if (born != bcastAt_.end()) {
+        ++ackGaps_[r.t - born->second];
+        ++ackSamples_;
+        bcastAt_.erase(born);
       }
-      case sim::TraceKind::kRcv: {
-        const auto born = bcastAt.find(r.instance);
-        if (born == bcastAt.end()) break;  // rcv past its termination
-        Time since = born->second;
-        const auto last = lastRcvAt.find(r.node);
-        if (last != lastRcvAt.end()) since = std::max(since, last->second);
-        progGaps.push_back(r.t - since);
-        lastRcvAt[r.node] = r.t;
-        break;
-      }
-      default:
-        break;
+      break;
     }
+    case sim::TraceKind::kRcv: {
+      const auto born = bcastAt_.find(r.instance);
+      if (born == bcastAt_.end()) break;  // rcv past its termination
+      Time since = born->second;
+      const auto last = lastRcvAt_.find(r.node);
+      if (last != lastRcvAt_.end()) since = std::max(since, last->second);
+      ++progGaps_[r.t - since];
+      ++progSamples_;
+      lastRcvAt_[r.node] = r.t;
+      break;
+    }
+    default:
+      break;
   }
+}
+
+RealizedBounds RealizedAccumulator::finish(const graph::TopologyView& view,
+                                           const mac::MacParams& envelope,
+                                           const sim::Trace& trace,
+                                           Time horizon) {
+  if (horizon == kTimeNever && trace.size() > 0) horizon = trace.lastTime();
 
   RealizedBounds bounds;
-  bounds.ackSamples = ackGaps.size();
-  bounds.progSamples = progGaps.size();
+  bounds.ackSamples = ackSamples_;
+  bounds.progSamples = progSamples_;
   // Instances still in flight at the horizon censor the fitted Fack:
   // the checker's termination axiom flags any unterminated instance
   // whose bcastAt + fack precedes the horizon.
   Time censored = 0;
-  for (const auto& [id, born] : bcastAt) {
+  for (const auto& [id, born] : bcastAt_) {
     (void)id;
     censored = std::max(censored, horizon - born);
   }
   if (!bounds.measured() && censored == 0) return bounds;
 
-  std::sort(ackGaps.begin(), ackGaps.end());
-  std::sort(progGaps.begin(), progGaps.end());
-  bounds.fackP50 = nearestRank(ackGaps, 50.0);
-  bounds.fackP95 = nearestRank(ackGaps, 95.0);
-  bounds.fackMax = ackGaps.empty() ? 0 : ackGaps.back();
-  bounds.fprogP50 = nearestRank(progGaps, 50.0);
-  bounds.fprogP95 = nearestRank(progGaps, 95.0);
-  bounds.fprogMax = progGaps.empty() ? 0 : progGaps.back();
+  bounds.fackP50 = nearestRank(ackGaps_, ackSamples_, 50.0);
+  bounds.fackP95 = nearestRank(ackGaps_, ackSamples_, 95.0);
+  bounds.fackMax = ackGaps_.empty() ? 0 : ackGaps_.rbegin()->first;
+  bounds.fprogP50 = nearestRank(progGaps_, progSamples_, 50.0);
+  bounds.fprogP95 = nearestRank(progGaps_, progSamples_, 95.0);
+  bounds.fprogMax = progGaps_.empty() ? 0 : progGaps_.rbegin()->first;
 
   bounds.fittedFack = std::max<Time>(std::max(bounds.fackMax, censored), 1);
 
@@ -95,7 +94,8 @@ RealizedBounds measureRealized(const graph::TopologyView& view,
   // executed under the envelope's guard, so the envelope fprog starts
   // accepted; net-backend runs obey no guard at all, so the bracket
   // first grows (doubling up to the horizon) until a candidate is
-  // accepted, then bisects inside it.
+  // accepted, then bisects inside it.  Each probe streams the trace
+  // through the single-pass checker — spooled traces replay from disk.
   const auto accepted = [&](Time fprog) {
     mac::MacParams candidate = envelope;
     candidate.fprog = fprog;
@@ -130,6 +130,15 @@ RealizedBounds measureRealized(const graph::TopologyView& view,
   bounds.fittedFprog = hi;
   bounds.fittedFack = std::max(bounds.fittedFack, bounds.fittedFprog);
   return bounds;
+}
+
+RealizedBounds measureRealized(const graph::TopologyView& view,
+                               const mac::MacParams& envelope,
+                               const sim::Trace& trace, Time horizon) {
+  AMMB_REQUIRE(trace.enabled(), "realized-bound measurement needs a trace");
+  RealizedAccumulator acc;
+  trace.forEach([&acc](const sim::TraceRecord& r) { acc.feed(r); });
+  return acc.finish(view, envelope, trace, horizon);
 }
 
 mac::MacParams fittedParams(const RealizedBounds& bounds,

@@ -26,6 +26,9 @@
 // Fprog/Fack constants that MAC actually realized.
 #pragma once
 
+#include <map>
+#include <unordered_map>
+
 #include "graph/topology_view.h"
 #include "mac/params.h"
 #include "sim/trace.h"
@@ -59,10 +62,40 @@ struct RealizedBounds {
   }
 };
 
+/// Single-pass streaming sample collector for the realized bounds:
+/// feed the trace in commit order (or attach to a live sim::Trace),
+/// then finish().  Gap samples accumulate in counting histograms keyed
+/// by gap value, so resident memory is O(active instances + n +
+/// distinct gaps) — independent of trace length.  Percentiles computed
+/// from the histograms are byte-identical to the sorted-vector
+/// nearest-rank rule.
+class RealizedAccumulator : public sim::TraceConsumer {
+ public:
+  void feed(const sim::TraceRecord& record);
+  void onRecord(const sim::TraceRecord& record) override { feed(record); }
+
+  /// Closes the observation window and fits the bounds.  `trace` is
+  /// the record sequence that was fed — the Fprog bisection replays it
+  /// through the streaming checker per probe.  `horizon` kTimeNever
+  /// resolves to the trace's last timestamp.
+  RealizedBounds finish(const graph::TopologyView& view,
+                        const mac::MacParams& envelope,
+                        const sim::Trace& trace, Time horizon = kTimeNever);
+
+ private:
+  std::unordered_map<InstanceId, Time> bcastAt_;  ///< in-flight instances
+  std::unordered_map<NodeId, Time> lastRcvAt_;
+  std::map<Time, std::uint64_t> ackGaps_;   ///< gap -> sample count
+  std::map<Time, std::uint64_t> progGaps_;  ///< gap -> sample count
+  std::uint64_t ackSamples_ = 0;
+  std::uint64_t progSamples_ = 0;
+};
+
 /// Measures the realized bounds of `trace`, an execution over `view`
 /// that ran under `envelope` (the engine's MacParams — the analytic
 /// worst case, and the bisection's upper bracket).  `horizon` is the
 /// observation window (kTimeNever: the last record's timestamp).
+/// Streams the trace through a RealizedAccumulator.
 RealizedBounds measureRealized(const graph::TopologyView& view,
                                const mac::MacParams& envelope,
                                const sim::Trace& trace,

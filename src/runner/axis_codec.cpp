@@ -38,7 +38,14 @@ void setBackend(SpecDoc& doc, const std::string& label, bool) {
   doc.backend = core::ExecutionBackend::fromLabel(label);
 }
 
-constexpr std::array<AxisCodec, 4> makeTable() {
+std::vector<std::string> getTraceMode(const SpecDoc& doc) {
+  return {doc.traceMode.label()};
+}
+void setTraceMode(SpecDoc& doc, const std::string& label, bool) {
+  doc.traceMode = sim::TraceMode::fromLabel(label);
+}
+
+constexpr std::array<AxisCodec, 5> makeTable() {
   return {{
       // kernel: pure wall-clock knob, bit-identical results; the only
       // axis whose override may apply after fingerprinting and whose
@@ -59,13 +66,20 @@ constexpr std::array<AxisCodec, 4> makeTable() {
       {"backend", "backend", "--backend", "backend", "sim",
        /*resultBearing=*/true, /*recordElided=*/true, /*multi=*/false,
        getBackend, setBackend, &RunRecord::backend},
+      // trace: a pure storage knob like the kernel — the committed
+      // record sequence (and every hash/verdict derived from it) is
+      // identical across backends, so the override applies after
+      // fingerprinting and the keys elide at "mem".
+      {"trace", "trace_mode", "--trace-mode", "trace_mode", "mem",
+       /*resultBearing=*/false, /*recordElided=*/true, /*multi=*/false,
+       getTraceMode, setTraceMode, &RunRecord::traceMode},
   }};
 }
 
 }  // namespace
 
-const std::array<AxisCodec, 4>& axisCodecs() {
-  static const std::array<AxisCodec, 4> table = makeTable();
+const std::array<AxisCodec, 5>& axisCodecs() {
+  static const std::array<AxisCodec, 5> table = makeTable();
   return table;
 }
 

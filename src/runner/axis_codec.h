@@ -6,11 +6,12 @@
 // `ammb_sweep run` override flag, and (for the per-run ones) a
 // provenance key in run records:
 //
-//   axis      spec key     CLI flag     record key         default
-//   kernel    "kernel"     --kernel     "kernel"           "serial"
-//   mac       "mac"        --mac        "mac_realization"  "abstract"
-//   reaction  "reactions"  --reaction   (react_idx coord)  "none"
-//   backend   "backend"    --backend    "backend"          "sim"
+//   axis      spec key      CLI flag      record key         default
+//   kernel    "kernel"      --kernel      "kernel"           "serial"
+//   mac       "mac"         --mac         "mac_realization"  "abstract"
+//   reaction  "reactions"   --reaction    (react_idx coord)  "none"
+//   backend   "backend"     --backend     "backend"          "sim"
+//   trace     "trace_mode"  --trace-mode  "trace_mode"       "mem"
 //
 // Before this table existed, each of those cells was a hand-rolled
 // copy in spec_io.cpp (parse + canonical writer), sweep_main.cpp
@@ -64,7 +65,7 @@ struct AxisCodec {
 };
 
 /// The table, in canonical (spec-key emission and record-key) order.
-const std::array<AxisCodec, 4>& axisCodecs();
+const std::array<AxisCodec, 5>& axisCodecs();
 
 /// Lookup by axis name; throws on unknown names.
 const AxisCodec& axisCodec(const std::string& axis);

@@ -23,6 +23,11 @@ const char* kindName(const Value& v) {
   return "object";
 }
 
+bool ignored(const CompareOptions& options, const std::string& key) {
+  return std::find(options.ignoreKeys.begin(), options.ignoreKeys.end(),
+                   key) != options.ignoreKeys.end();
+}
+
 void diff(const Value& baseline, const Value& candidate,
           const CompareOptions& options, const std::string& path,
           std::vector<Difference>& out) {
@@ -65,6 +70,7 @@ void diff(const Value& baseline, const Value& candidate,
   if (baseline.isObject()) {
     const json::Object& a = baseline.asObject();
     for (const json::Member& m : a) {
+      if (ignored(options, m.first)) continue;
       const Value* other = candidate.find(m.first);
       const std::string memberPath =
           path.empty() ? m.first : path + "." + m.first;
@@ -75,6 +81,7 @@ void diff(const Value& baseline, const Value& candidate,
       diff(m.second, *other, options, memberPath, out);
     }
     for (const json::Member& m : candidate.asObject()) {
+      if (ignored(options, m.first)) continue;
       if (baseline.find(m.first) == nullptr) {
         out.push_back({path.empty() ? m.first : path + "." + m.first,
                        "not present in baseline"});

@@ -26,6 +26,11 @@ namespace ammb::runner {
 struct CompareOptions {
   double relTol = 0.0;
   double absTol = 0.0;
+  /// Object keys excluded from the diff entirely (any depth, either
+  /// side).  For fields that are measurements of the *machine* rather
+  /// than the simulation — e.g. a bench document's "peak_rss_mb" —
+  /// where the rest of the document still gates at zero tolerance.
+  std::vector<std::string> ignoreKeys;
 };
 
 /// One out-of-tolerance difference.

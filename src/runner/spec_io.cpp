@@ -689,6 +689,7 @@ std::string writeSpec(const SpecDoc& doc) {
   emitSpecAxis(root, doc, axisCodec("kernel"));
   emitSpecAxis(root, doc, axisCodec("mac"));
   emitSpecAxis(root, doc, axisCodec("backend"));
+  emitSpecAxis(root, doc, axisCodec("trace"));
   if (doc.hasFmmb) {
     Object fmmb;
     fmmb.emplace_back("c", doc.fmmb.c);
@@ -775,6 +776,7 @@ SweepSpec buildSweep(const SpecDoc& doc) {
   spec.discipline = doc.discipline;
   spec.lowerBoundLineLength = doc.lowerBoundLineLength;
   spec.kernel = doc.kernel;
+  spec.traceMode = doc.traceMode;
   spec.realization = doc.realization;
   spec.backend = doc.backend;
   if (doc.hasFmmb) {

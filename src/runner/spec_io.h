@@ -57,6 +57,7 @@
 //            "csma:<slot>,<cwMin>,<cwMax>,<maxRetries>,<pCapture>",
 //     "backend": "sim" | "net" | "net:<basePort>,<loss>,<tickUs>,
 //                <gPrimeAttempts>,<ackDelayTicks>,<jitterUs>",
+//     "trace_mode": "mem" | "spool" | "spool:<bufRecords>",
 //     // Required iff protocol == "fmmb":
 //     "fmmb": {"c": 1.5, "mode": "interleaved" | "sequential",
 //              "strict_paper_phases": false}
@@ -181,6 +182,13 @@ struct SpecDoc {
   /// have measured, not scheduled, timing — so the `--backend`
   /// override is likewise applied before fingerprinting.
   core::ExecutionBackend backend;
+  /// Trace storage backend, the "trace_mode" key ("mem" when the file
+  /// omits it; serialized only when non-mem, keeping existing
+  /// fingerprints stable).  Like the kernel it is a pure storage knob
+  /// — the committed record sequence, trace hashes, verdicts and
+  /// fitted bounds are identical either way — so the `--trace-mode`
+  /// override applies after fingerprinting.
+  sim::TraceMode traceMode;
 };
 
 /// Parses and validates a spec document.  Throws ammb::Error naming

@@ -72,6 +72,7 @@ RunRecord executeRun(const SweepSpec& spec, const RunPoint& point) {
   RunRecord record;
   record.point = point;
   record.kernel = spec.kernel.label();
+  record.traceMode = spec.traceMode.label();
   record.realization = spec.realization.label();
   record.backend = spec.backend.label();
   try {
@@ -89,8 +90,9 @@ RunRecord executeRun(const SweepSpec& spec, const RunPoint& point) {
           core::runExperiment(topology, protocol, *arrivals, config);
       return record;
     }
-    // Checked run: keep the experiment alive so its trace outlives the
-    // run, and re-validate before the trace drops.  Only the full
+    // Checked run: the oracles consume the trace as a single-pass
+    // stream, attached to the live Trace at commit time, so checking
+    // never needs the whole record vector resident.  Only the full
     // oracles consult the workload; materialize it first (the stream
     // is reset afterwards) and only then.
     core::MmbWorkload workload;
@@ -98,27 +100,49 @@ RunRecord executeRun(const SweepSpec& spec, const RunPoint& point) {
       workload = core::materializeWorkload(*arrivals);
     }
     core::Experiment experiment(topology, protocol, *arrivals, config);
-    record.result = experiment.run();
-    const sim::Trace& trace = experiment.trace();
-    record.checked = true;
-    record.traceHash = check::traceHash(trace);
     // Check under the params the engine really ran under (for physical
     // realizations that is the analytic envelope, not the cell's).
     // Realized runs are additionally measured, and the checker re-runs
     // under the *fitted* realized bounds — the axioms must hold for
-    // the constants the physical MAC actually induced.
+    // the constants the physical MAC actually induced.  Net-backend
+    // runs have measured, not scheduled, timing too, so both fit
+    // bounds post-hoc: their axiom checkers replay the (possibly
+    // spooled) trace after the fit instead of streaming live.
     const mac::MacParams envelope = core::effectiveMacParams(config);
+    const bool postHocParams =
+        !spec.realization.abstract() || !spec.backend.sim();
+    check::TraceHasher hasher;
+    experiment.mutableTrace().attachConsumer(&hasher);
+    phys::RealizedAccumulator realizedAcc;
+    std::unique_ptr<mac::TraceChecker> macStream;
+    std::unique_ptr<check::ExecutionChecker> execStream;
+    if (postHocParams) {
+      experiment.mutableTrace().attachConsumer(&realizedAcc);
+    } else if (spec.check == CheckMode::kMac) {
+      macStream =
+          std::make_unique<mac::TraceChecker>(experiment.view(), envelope);
+      experiment.mutableTrace().attachConsumer(macStream.get());
+    } else {
+      execStream = std::make_unique<check::ExecutionChecker>(
+          experiment.view(), protocol, envelope, workload);
+      experiment.mutableTrace().attachConsumer(execStream.get());
+    }
+    record.result = experiment.run();
+    const sim::Trace& trace = experiment.trace();
+    record.checked = true;
+    record.traceHash = hasher.hash();
     mac::MacParams checkParams = envelope;
-    // Net-backend runs have measured, not scheduled, timing — fit
-    // bounds from the trace exactly as for a physical realization.
-    if (!spec.realization.abstract() || !spec.backend.sim()) {
-      record.realized = phys::measureRealized(experiment.view(), envelope,
-                                              trace, record.result.endTime);
+    if (postHocParams) {
+      record.realized = realizedAcc.finish(experiment.view(), envelope, trace,
+                                           record.result.endTime);
       checkParams = phys::fittedParams(record.realized, envelope);
     }
     if (spec.check == CheckMode::kMac) {
-      mac::CheckResult res = mac::checkTrace(experiment.view(), checkParams,
-                                             trace, record.result.endTime);
+      mac::CheckResult res =
+          macStream != nullptr
+              ? macStream->finish(record.result.endTime)
+              : mac::checkTrace(experiment.view(), checkParams, trace,
+                                record.result.endTime);
       record.checkViolations = std::move(res.violations);
     } else {
       // FMMB's structure oracle validates the round grid the protocol
@@ -127,11 +151,13 @@ RunRecord executeRun(const SweepSpec& spec, const RunPoint& point) {
       // under the fitted bounds on top.  BMMB has no parameter
       // coupling and checks everything under the fitted bounds.
       const bool fmmbRealized =
-          protocol.kind() == core::ProtocolKind::kFmmb &&
-          (!spec.realization.abstract() || !spec.backend.sim());
-      check::OracleReport report = check::checkExecution(
-          experiment.view(), protocol, fmmbRealized ? envelope : checkParams,
-          workload, trace, record.result);
+          protocol.kind() == core::ProtocolKind::kFmmb && postHocParams;
+      check::OracleReport report =
+          execStream != nullptr
+              ? execStream->finish(record.result)
+              : check::checkExecution(experiment.view(), protocol,
+                                      fmmbRealized ? envelope : checkParams,
+                                      workload, trace, record.result);
       record.checkViolations = std::move(report.violations);
       if (fmmbRealized) {
         mac::CheckResult res = mac::checkTrace(experiment.view(), checkParams,
@@ -142,6 +168,8 @@ RunRecord executeRun(const SweepSpec& spec, const RunPoint& point) {
       }
     }
     if (spec.keepCanonicalTraces) {
+      // canonicalExecution streams the trace straight into the
+      // document — one resident copy, not a serialize-then-append pair.
       record.canonicalTrace = check::canonicalExecution(
           runHeader(spec, point), record.result, trace);
     }

@@ -29,6 +29,9 @@ struct RunRecord {
   /// Kernel label the run executed on ("serial", "parallel:N") — pure
   /// provenance; results never depend on it.
   std::string kernel = "serial";
+  /// Trace storage backend label ("mem", "spool[:N]") — pure
+  /// provenance like the kernel; the record sequence is identical.
+  std::string traceMode = "mem";
   /// MAC realization label ("abstract", "csma:...").  Unlike the
   /// kernel this is result-bearing provenance: realized runs derive
   /// their timing from simulated contention.

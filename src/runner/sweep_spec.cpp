@@ -153,6 +153,7 @@ core::RunConfig runConfigFor(const SweepSpec& spec, const RunPoint& point) {
   config.limits.maxTime = spec.maxTime;
   config.limits.maxEvents = spec.maxEvents;
   config.kernel = spec.kernel;
+  config.traceMode = spec.traceMode;
   config.realization = spec.realization;
   config.backend = spec.backend;
   return config;

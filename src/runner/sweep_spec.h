@@ -128,6 +128,13 @@ struct SweepSpec {
   /// kernels are bit-identical to serial, so results (and the sweep's
   /// fingerprint, which covers only the grid) do not depend on this.
   sim::KernelSpec kernel;
+  /// Trace storage backend for every run of the sweep ("mem" default;
+  /// "spool[:bufRecords]" spools records to disk and replays them
+  /// through the streaming oracles).  Pure storage knob like the
+  /// kernel: the committed record sequence — and with it every hash,
+  /// verdict and fitted bound — is identical either way, so it is NOT
+  /// part of the canonical form or fingerprint.
+  sim::TraceMode traceMode;
   /// Physical MAC realization for every run of the sweep (abstract by
   /// default).  Unlike the kernel this *changes results* — a CSMA
   /// realization replaces the scheduler axis with simulated contention

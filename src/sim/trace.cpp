@@ -2,6 +2,9 @@
 
 #include <sstream>
 
+#include "common/error.h"
+#include "sim/trace_sink.h"
+
 namespace ammb::sim {
 
 namespace {
@@ -27,6 +30,78 @@ std::string toString(const TraceRecord& record) {
   if (record.instance != kNoInstance) os << " inst=" << record.instance;
   if (record.msg != kNoMsg) os << " msg=" << record.msg;
   return os.str();
+}
+
+std::string TraceMode::label() const {
+  if (kind == Kind::kMem) return "mem";
+  if (bufRecords == kDefaultSpoolBuf) return "spool";
+  return "spool:" + std::to_string(bufRecords);
+}
+
+TraceMode TraceMode::fromLabel(const std::string& label) {
+  if (label == "mem") return mem();
+  if (label == "spool") return spool();
+  const std::string prefix = "spool:";
+  if (label.rfind(prefix, 0) == 0) {
+    const std::string digits = label.substr(prefix.size());
+    AMMB_REQUIRE(!digits.empty() &&
+                     digits.find_first_not_of("0123456789") ==
+                         std::string::npos,
+                 "bad spool buffer size in \"" + label + "\"");
+    const long buf = std::stol(digits);
+    AMMB_REQUIRE(buf >= 1 && buf <= 1'000'000'000,
+                 "spool buffer size out of range in \"" + label + "\"");
+    return spool(static_cast<std::size_t>(buf));
+  }
+  throw Error("unknown trace mode \"" + label +
+              "\" (expected mem, spool, or spool:N)");
+}
+
+Trace::Trace(bool enabled, TraceMode mode) : enabled_(enabled), mode_(mode) {
+  if (!enabled_) return;
+  sink_ = makeTraceSink(mode_);
+  if (auto* mem = dynamic_cast<MemTraceSink*>(sink_.get())) {
+    memVec_ = &mem->records();
+  }
+}
+
+Trace::~Trace() = default;
+Trace::Trace(Trace&& other) noexcept = default;
+Trace& Trace::operator=(Trace&& other) noexcept = default;
+
+const std::vector<TraceRecord>& Trace::records() const {
+  static const std::vector<TraceRecord> kEmpty;
+  if (!enabled_) return kEmpty;
+  if (memVec_ != nullptr) return *memVec_;
+  throw Error("Trace::records() needs the in-memory sink; trace mode \"" +
+              mode_.label() + "\" supports forEach() replay only");
+}
+
+std::size_t Trace::size() const {
+  return sink_ == nullptr ? 0 : sink_->size();
+}
+
+Time Trace::lastTime() const {
+  return sink_ == nullptr ? 0 : sink_->lastTime();
+}
+
+void Trace::forEach(
+    const std::function<void(const TraceRecord&)>& fn) const {
+  if (sink_ != nullptr) sink_->replay(fn);
+}
+
+void Trace::attachConsumer(TraceConsumer* consumer) {
+  if (!enabled_ || consumer == nullptr) return;
+  if (!teed_) {
+    auto tee = std::make_unique<TeeTraceSink>(std::move(sink_));
+    sink_ = std::move(tee);
+    teed_ = true;
+  }
+  static_cast<TeeTraceSink*>(sink_.get())->addConsumer(consumer);
+}
+
+void Trace::slowAdd(const TraceRecord& record) {
+  sink_->append(record);
 }
 
 }  // namespace ammb::sim

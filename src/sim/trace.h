@@ -3,12 +3,21 @@
 // Every observable event of a run — environment arrivals, MAC-layer
 // bcast/rcv/ack/abort, and protocol-level deliver outputs — is appended
 // to a Trace in execution order.  The trace is the ground truth for the
-// offline model checker (mac/trace_checker.h): event *order* in the
-// vector resolves same-tick precedence questions (the model's "precedes"
+// trace checker (mac/trace_checker.h): event *order* in the stream
+// resolves same-tick precedence questions (the model's "precedes"
 // relation), while timestamps feed the Fack/Fprog bound checks.
+//
+// Storage is pluggable (trace_sink.h): the default in-memory vector
+// keeps `records()` random access for tests and tools, while the disk
+// spool bounds resident memory to a small write buffer so checked runs
+// scale with the topology, not the event count.  Consumers attached via
+// attachConsumer() observe every record at commit time — the streaming
+// oracles ride this tee and never need the stored trace at all.
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -40,29 +49,112 @@ struct TraceRecord {
 /// Human-readable one-liner for debugging and the example binaries.
 std::string toString(const TraceRecord& record);
 
-/// An append-only event log.  Recording can be disabled for large
-/// benchmark runs (bounds are still enforced online by the engine).
+/// Where a run's trace records live.
+///
+///   mem        — in-memory vector (default; random access, O(events))
+///   spool[:N]  — bounded-buffer disk spool (N-record write buffer,
+///                sequential replay, O(buffer) resident)
+///
+/// The label round-trips through spec files, the --trace-mode flag and
+/// RunRecord provenance; the default buffer size is elided so "spool"
+/// and "spool:16384" are the same mode with the same canonical label.
+struct TraceMode {
+  enum class Kind { kMem, kSpool };
+
+  static constexpr std::size_t kDefaultSpoolBuf = 16384;
+
+  Kind kind = Kind::kMem;
+  std::size_t bufRecords = kDefaultSpoolBuf;
+
+  static TraceMode mem() { return {}; }
+  static TraceMode spool(std::size_t bufRecords = kDefaultSpoolBuf) {
+    TraceMode m;
+    m.kind = Kind::kSpool;
+    m.bufRecords = bufRecords == 0 ? 1 : bufRecords;
+    return m;
+  }
+
+  /// Canonical label: "mem", "spool", or "spool:N" for non-default N.
+  std::string label() const;
+  /// Parses a label; throws ammb::Error on anything else.
+  static TraceMode fromLabel(const std::string& label);
+
+  friend bool operator==(const TraceMode& a, const TraceMode& b) {
+    return a.kind == b.kind &&
+           (a.kind == Kind::kMem || a.bufRecords == b.bufRecords);
+  }
+  friend bool operator!=(const TraceMode& a, const TraceMode& b) {
+    return !(a == b);
+  }
+};
+
+/// Observer of records as they are committed (trace_sink.h tee).
+class TraceConsumer {
+ public:
+  virtual ~TraceConsumer() = default;
+  virtual void onRecord(const TraceRecord& record) = 0;
+};
+
+class TraceSink;
+
+/// An append-only event log over a pluggable sink.  Recording can be
+/// disabled for large benchmark runs (bounds are still enforced online
+/// by the engine).  Move-only: the sink may own an open spool file.
 class Trace {
  public:
-  explicit Trace(bool enabled = true) : enabled_(enabled) {}
+  explicit Trace(bool enabled = true, TraceMode mode = {});
+  ~Trace();
+  Trace(Trace&& other) noexcept;
+  Trace& operator=(Trace&& other) noexcept;
+  Trace(const Trace&) = delete;
+  Trace& operator=(const Trace&) = delete;
 
   /// True when records are being kept.
   bool enabled() const { return enabled_; }
 
+  /// The storage mode this trace was built with.
+  const TraceMode& mode() const { return mode_; }
+
   /// Appends a record (no-op when disabled).
   void add(const TraceRecord& record) {
-    if (enabled_) records_.push_back(record);
+    if (!enabled_) return;
+    if (memVec_ != nullptr && !teed_) {
+      memVec_->push_back(record);
+      return;
+    }
+    slowAdd(record);
   }
 
-  /// All records in execution order.
-  const std::vector<TraceRecord>& records() const { return records_; }
+  /// All records in execution order.  Only the in-memory sink supports
+  /// random access; throws ammb::Error for spool-backed traces (use
+  /// forEach), and returns an empty vector when recording is disabled.
+  const std::vector<TraceRecord>& records() const;
 
   /// Number of records kept.
-  std::size_t size() const { return records_.size(); }
+  std::size_t size() const;
+
+  /// Timestamp of the last record appended (0 when empty) — the
+  /// default checking horizon, available without replaying a spool.
+  Time lastTime() const;
+
+  /// Replays every stored record in execution order.  For the spool
+  /// sink this flushes the write buffer and streams from disk.
+  void forEach(const std::function<void(const TraceRecord&)>& fn) const;
+
+  /// Registers a live observer of every subsequently added record
+  /// (commit-order tee; not owned).  No-op when recording is disabled.
+  void attachConsumer(TraceConsumer* consumer);
 
  private:
+  void slowAdd(const TraceRecord& record);
+
   bool enabled_;
-  std::vector<TraceRecord> records_;
+  TraceMode mode_;
+  std::unique_ptr<TraceSink> sink_;
+  /// Fast-path append target when the sink is the in-memory vector.
+  std::vector<TraceRecord>* memVec_ = nullptr;
+  /// True once a consumer tee wraps the sink (fast path disabled).
+  bool teed_ = false;
 };
 
 }  // namespace ammb::sim

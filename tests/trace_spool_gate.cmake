@@ -1,0 +1,43 @@
+# Runs the out-of-core trace gate: one checked n = 1e5 grey-zone-field
+# run with the trace spooled to disk and the full streaming checking
+# stack attached, under an enforced peak-RSS ceiling.  The ceiling sits
+# between the streaming path (~1.7 GiB on the reference host, engine
+# state included) and the in-memory-trace path (~2.7 GiB), so the gate
+# fails if checked runs ever go back to holding the event log — or any
+# other O(events) buffer — in memory.  The deterministic half of the
+# output document (trace hash, stats, verdict) is then diffed against
+# the committed baseline at zero tolerance; peak_rss_mb is the one
+# machine-dependent key and is excluded.
+#
+#   cmake -DBENCH=... -DAMMB_SWEEP=... -DBASELINE=... -DWORKDIR=...
+#         [-DRSS_CEILING_MB=N] -P trace_spool_gate.cmake
+foreach(var BENCH AMMB_SWEEP BASELINE WORKDIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "${var} is required")
+  endif()
+endforeach()
+if(NOT DEFINED RSS_CEILING_MB)
+  set(RSS_CEILING_MB 2048)
+endif()
+
+file(MAKE_DIRECTORY "${WORKDIR}")
+set(result "${WORKDIR}/BENCH_trace_spool.json")
+
+execute_process(
+  COMMAND "${BENCH}" --spool-gate "${result}"
+          --rss-ceiling-mb ${RSS_CEILING_MB}
+  RESULT_VARIABLE bench_rc)
+if(NOT bench_rc EQUAL 0)
+  message(FATAL_ERROR
+          "bench_parallel_kernel --spool-gate failed (rc=${bench_rc}): "
+          "an oracle violation, or peak RSS above ${RSS_CEILING_MB} MiB")
+endif()
+
+execute_process(
+  COMMAND "${AMMB_SWEEP}" compare "${result}" --baseline "${BASELINE}"
+          --ignore-key peak_rss_mb
+  RESULT_VARIABLE compare_rc)
+if(NOT compare_rc EQUAL 0)
+  message(FATAL_ERROR
+          "ammb_sweep compare against ${BASELINE} failed (rc=${compare_rc})")
+endif()

@@ -61,13 +61,14 @@ int usage() {
          "[,...]]\n"
          "                  [--backend sim|net[:basePort,loss,tickUs,"
          "gPrimeAttempts,ackDelayTicks,jitterUs]]\n"
+         "                  [--trace-mode mem|spool[:bufRecords]]\n"
          "                  [--journal PATH [--resume]] [--shard-json PATH]\n"
          "                  [--json PATH] [--csv PATH] [--runs-csv PATH]\n"
          "                  [--allow-errors] [--allow-violations]\n"
          "       ammb_sweep merge SPEC.json SHARD.json... [--json PATH] "
          "[--csv PATH]\n"
          "       ammb_sweep compare RESULT.json --baseline BASELINE.json\n"
-         "                  [--rel-tol R] [--abs-tol A]\n"
+         "                  [--rel-tol R] [--abs-tol A] [--ignore-key K[,...]]\n"
          "       ammb_sweep print SPEC.json\n";
   return 2;
 }
@@ -78,8 +79,8 @@ int cmdRun(int argc, char** argv) {
   const Args args = Args::parse(
       argc, argv, 2,
       {"--shard", "--threads", "--kernel", "--mac", "--reaction",
-       "--backend", "--journal", "--shard-json", "--json", "--csv",
-       "--runs-csv"},
+       "--backend", "--trace-mode", "--journal", "--shard-json", "--json",
+       "--csv", "--runs-csv"},
       {"--resume", "--allow-errors", "--allow-violations"});
   if (args.positional.size() != 1) return usage();
   const std::string specPath = args.positional[0];
@@ -96,12 +97,16 @@ int cmdRun(int argc, char** argv) {
     }
   }
   const std::string fingerprint = runner::specFingerprint(doc);
-  // The kernel applies after the fingerprint is taken: it is a pure
-  // wall-clock knob (parallel runs are bit-identical to serial), so a
-  // shard run with an override still journals/merges against shards
-  // produced with any other kernel.
-  if (const std::string* kernel = args.flag("--kernel")) {
-    runner::applyAxisOverride(doc, runner::axisCodec("kernel"), *kernel);
+  // The pure-knob axes (--kernel, --trace-mode) apply after the
+  // fingerprint is taken: parallel runs are bit-identical to serial and
+  // spooled traces commit the same record sequence as in-memory ones,
+  // so a shard run with either override still journals/merges against
+  // shards produced with any other setting.
+  for (const runner::AxisCodec& codec : runner::axisCodecs()) {
+    if (codec.resultBearing) continue;
+    if (const std::string* value = args.flag(codec.cliFlag)) {
+      runner::applyAxisOverride(doc, codec, *value);
+    }
   }
   runner::SweepSpec spec = runner::buildSweep(doc);
 
@@ -349,7 +354,8 @@ int cmdMerge(int argc, char** argv) {
 
 int cmdCompare(int argc, char** argv) {
   const Args args = Args::parse(
-      argc, argv, 2, {"--baseline", "--rel-tol", "--abs-tol"}, {});
+      argc, argv, 2, {"--baseline", "--rel-tol", "--abs-tol", "--ignore-key"},
+      {});
   if (args.positional.size() != 1 || !args.has("--baseline")) return usage();
 
   runner::CompareOptions options;
@@ -358,6 +364,17 @@ int cmdCompare(int argc, char** argv) {
   }
   if (const std::string* tol = args.flag("--abs-tol")) {
     options.absTol = parseDoubleFlag("--abs-tol", *tol);
+  }
+  if (const std::string* keys = args.flag("--ignore-key")) {
+    std::string remaining = *keys;
+    while (true) {
+      const std::size_t comma = remaining.find(',');
+      const std::string key = remaining.substr(0, comma);
+      AMMB_REQUIRE(!key.empty(), "--ignore-key: empty key");
+      options.ignoreKeys.push_back(key);
+      if (comma == std::string::npos) break;
+      remaining = remaining.substr(comma + 1);
+    }
   }
   // A NaN/inf tolerance would silently disable the gate (every
   // comparison against NaN slack is false); a negative one would fail
